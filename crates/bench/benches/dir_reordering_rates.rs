@@ -1,0 +1,19 @@
+//! Regenerates the Section 5.3 directory-protocol statistics: per-virtual-
+//! network message reordering rates, ordering recoveries and link
+//! utilizations across the 400 MB/s – 3.2 GB/s bandwidth sweep.
+
+use specsim::experiments::{ExperimentScale, ReorderData};
+use specsim_bench::{finish, start};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t = start(
+        "Section 5.3 — Speculatively simplified directory protocol: reordering rates",
+        scale,
+    );
+    match ReorderData::run(scale) {
+        Ok(data) => print!("{}", data.render()),
+        Err(e) => eprintln!("protocol error during reordering runs: {e}"),
+    }
+    finish(t);
+}

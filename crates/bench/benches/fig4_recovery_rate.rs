@@ -1,0 +1,15 @@
+//! Regenerates Figure 4: normalized performance versus mis-speculation
+//! (recovery) rate, for all five workloads.
+
+use specsim::experiments::{ExperimentScale, Fig4Data};
+use specsim_bench::{finish, start};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t = start("Figure 4 — Performance vs. Mis-speculation Rate", scale);
+    match Fig4Data::run(scale) {
+        Ok(data) => print!("{}", data.render()),
+        Err(e) => eprintln!("protocol error during Figure 4 runs: {e}"),
+    }
+    finish(t);
+}

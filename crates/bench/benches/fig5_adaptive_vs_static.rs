@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: relative performance of static and adaptive routing
+//! at 400 MB/s links for the speculatively simplified directory protocol.
+
+use specsim::experiments::{ExperimentScale, Fig5Data};
+use specsim_bench::{finish, start};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t = start(
+        "Figure 5 — Relative performance of static and adaptive routing (400 MB/s)",
+        scale,
+    );
+    match Fig5Data::run(scale) {
+        Ok(data) => print!("{}", data.render()),
+        Err(e) => eprintln!("protocol error during Figure 5 runs: {e}"),
+    }
+    finish(t);
+}

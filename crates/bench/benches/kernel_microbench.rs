@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the simulation kernel itself: how fast the
+//! interconnect and the full directory system simulate, per simulated cycle.
+//! These are engineering benchmarks for the simulator (not paper artifacts);
+//! they make regressions in simulator throughput visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use specsim::{DirectorySystem, SystemConfig};
+use specsim_base::{DetRng, LinkBandwidth, MessageSize, NodeId, RoutingPolicy};
+use specsim_net::{NetConfig, Network, VirtualNetwork};
+use specsim_workloads::WorkloadKind;
+
+fn bench_network_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("torus_1000_cycles_random_traffic", |b| {
+        b.iter_batched(
+            || {
+                let net: Network<u64> = Network::new(NetConfig::full_buffering(
+                    16,
+                    LinkBandwidth::GB_3_2,
+                    RoutingPolicy::Adaptive,
+                ));
+                (net, DetRng::new(7))
+            },
+            |(mut net, mut rng)| {
+                for now in 1..=1_000u64 {
+                    let src = NodeId::from(rng.next_below(16) as usize);
+                    let dst = NodeId::from(rng.next_below(16) as usize);
+                    if src != dst {
+                        let _ = net.inject(
+                            now,
+                            src,
+                            dst,
+                            VirtualNetwork::Request,
+                            MessageSize::Control,
+                            now,
+                        );
+                    }
+                    net.tick(now);
+                    for n in 0..16 {
+                        while net.eject_any(NodeId::from(n)).is_some() {}
+                    }
+                }
+                net.in_flight()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_directory_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directory_system");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(5_000));
+    group.bench_function("oltp_5000_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SystemConfig::directory_speculative(
+                    WorkloadKind::Oltp,
+                    LinkBandwidth::GB_3_2,
+                    11,
+                );
+                cfg.memory.safetynet.checkpoint_interval_cycles = 10_000;
+                DirectorySystem::new(cfg)
+            },
+            |mut sys| sys.run_for(5_000).expect("no protocol errors").ops_completed,
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_tick, bench_directory_system);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the Section 5.3 interconnect study: performance of the
+//! simplified (no virtual channel) network versus shared buffer size, with
+//! deadlock recoveries, compared against worst-case buffering.
+
+use specsim::experiments::{BufferSweep, ExperimentScale};
+use specsim_bench::{finish, start};
+use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t = start(
+        "Section 5.3 — Simplified interconnection network: buffer-size sweep",
+        scale,
+    );
+    // The headline sweep runs OLTP (the most network-intensive workload);
+    // set SPECSIM_ALL_WORKLOADS=1 to sweep every workload.
+    let workloads: Vec<WorkloadKind> = if std::env::var("SPECSIM_ALL_WORKLOADS").is_ok() {
+        ALL_WORKLOADS.to_vec()
+    } else {
+        vec![WorkloadKind::Oltp]
+    };
+    for workload in workloads {
+        match BufferSweep::run(workload, scale) {
+            Ok(sweep) => print!("{}\n", sweep.render()),
+            Err(e) => eprintln!("protocol error during buffer sweep: {e}"),
+        }
+    }
+    finish(t);
+}

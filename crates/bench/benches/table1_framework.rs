@@ -1,0 +1,16 @@
+//! Regenerates Table 1: the framework characterization of the three
+//! speculative designs, augmented with measured exposure / mis-speculation /
+//! recovery statistics.
+
+use specsim::experiments::{render_table1, ExperimentScale};
+use specsim_bench::{finish, start};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t = start("Table 1 — Framework characterization of the three designs", scale);
+    match render_table1(scale) {
+        Ok(table) => print!("{table}"),
+        Err(e) => eprintln!("protocol error during Table 1 runs: {e}"),
+    }
+    finish(t);
+}

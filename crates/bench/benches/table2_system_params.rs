@@ -1,0 +1,12 @@
+//! Regenerates Table 2: the target-system parameters, printed from the
+//! default configuration (and therefore guaranteed to match what every
+//! experiment in this repository actually simulates).
+
+use specsim::experiments::{render_table2, ExperimentScale};
+use specsim_bench::{finish, start};
+
+fn main() {
+    let t = start("Table 2 — Target system parameters", ExperimentScale::quick());
+    print!("{}", render_table2());
+    finish(t);
+}

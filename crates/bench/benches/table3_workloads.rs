@@ -1,0 +1,15 @@
+//! Regenerates Table 3: the workload suite — the synthetic stand-ins'
+//! parameters plus measured traffic characteristics from short runs.
+
+use specsim::experiments::{render_table3, ExperimentScale};
+use specsim_bench::{finish, start};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t = start("Table 3 — Workloads", scale);
+    match render_table3(scale) {
+        Ok(table) => print!("{table}"),
+        Err(e) => eprintln!("protocol error during Table 3 runs: {e}"),
+    }
+    finish(t);
+}

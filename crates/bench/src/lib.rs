@@ -1,0 +1,45 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Each `benches/*.rs` target is a plain binary (`harness = false`) that runs
+//! one experiment from [`specsim::experiments`] and prints the same rows or
+//! series the paper reports. The experiment scale (cycles per run, perturbed
+//! runs per design point) is controlled with the `SPECSIM_CYCLES` and
+//! `SPECSIM_SEEDS` environment variables; the defaults keep `cargo bench`
+//! under a few minutes.
+
+use std::time::Instant;
+
+pub use specsim::experiments::ExperimentScale;
+
+/// Prints a standard header for one reproduced artifact and returns a timer.
+pub fn start(artifact: &str, scale: ExperimentScale) -> Instant {
+    println!("================================================================");
+    println!("Reproducing: {artifact}");
+    println!(
+        "scale: {} cycles per run, {} perturbed runs per design point",
+        scale.cycles, scale.seeds
+    );
+    println!("(override with SPECSIM_CYCLES / SPECSIM_SEEDS)");
+    println!("================================================================");
+    Instant::now()
+}
+
+/// Prints the standard footer with the elapsed wall-clock time.
+pub fn finish(started: Instant) {
+    println!(
+        "\n[done in {:.1} s]\n",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_footer_do_not_panic() {
+        let t = start("smoke", ExperimentScale::quick());
+        finish(t);
+    }
+}

@@ -1,0 +1,338 @@
+//! Set-associative cache arrays with LRU replacement.
+//!
+//! Both cache levels of the target system (Table 2: 128 KB 4-way L1, 4 MB
+//! 4-way L2) are modelled with the same generic array. The array stores, per
+//! resident block, a caller-defined coherence state `S`, the block's data
+//! token, and LRU ordering information. Transient (in-flight) blocks do *not*
+//! live in the array — they live in the controller's MSHR / writeback buffer,
+//! as in a real design — so `S` only ever holds stable states.
+
+use specsim_base::{BlockAddr, BLOCK_SIZE_BYTES};
+
+/// Geometry (sets × ways) of a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from a capacity in bytes and an associativity,
+    /// assuming the global 64-byte block size.
+    #[must_use]
+    pub fn from_capacity(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let blocks = capacity_bytes / BLOCK_SIZE_BYTES;
+        assert!(blocks >= ways, "cache must hold at least one set");
+        assert_eq!(
+            blocks % ways,
+            0,
+            "capacity must be divisible by ways × block size"
+        );
+        Self {
+            sets: blocks / ways,
+            ways,
+        }
+    }
+
+    /// Total number of blocks the cache can hold.
+    #[must_use]
+    pub fn capacity_blocks(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// One resident cache block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine<S> {
+    /// The block address stored in this way.
+    pub addr: BlockAddr,
+    /// Caller-defined (stable) coherence state.
+    pub state: S,
+    /// Block contents (token value; see [`crate::data`]).
+    pub data: u64,
+    lru: u64,
+}
+
+/// A set-associative, LRU-replacement cache array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheArray<S> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<CacheLine<S>>>,
+    lru_clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<S> CacheArray<S> {
+    /// Creates an empty array with the given geometry.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Self {
+            geometry,
+            sets: (0..geometry.sets).map(|_| Vec::new()).collect(),
+            lru_clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The array's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_index(&self, addr: BlockAddr) -> usize {
+        addr.cache_set(self.geometry.sets)
+    }
+
+    /// Looks a block up without affecting LRU state or hit/miss counters.
+    #[must_use]
+    pub fn probe(&self, addr: BlockAddr) -> Option<&CacheLine<S>> {
+        self.sets[self.set_index(addr)]
+            .iter()
+            .find(|l| l.addr == addr)
+    }
+
+    /// Looks a block up, updating LRU order and hit/miss counters, and
+    /// returns a mutable reference if resident.
+    pub fn lookup(&mut self, addr: BlockAddr) -> Option<&mut CacheLine<S>> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_index(addr);
+        let found = self.sets[set].iter_mut().find(|l| l.addr == addr);
+        match found {
+            Some(line) => {
+                line.lru = clock;
+                self.hits += 1;
+                Some(line)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns a mutable reference to a resident block without touching the
+    /// hit/miss counters (for protocol actions that are not demand accesses,
+    /// e.g. applying an invalidation).
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut CacheLine<S>> {
+        let set = self.set_index(addr);
+        self.sets[set].iter_mut().find(|l| l.addr == addr)
+    }
+
+    /// True when inserting `addr` would require evicting a resident block.
+    #[must_use]
+    pub fn insertion_requires_eviction(&self, addr: BlockAddr) -> bool {
+        let set = self.set_index(addr);
+        self.probe(addr).is_none() && self.sets[set].len() >= self.geometry.ways
+    }
+
+    /// The block that would be evicted to make room for `addr` (the LRU line
+    /// of the target set), if any.
+    #[must_use]
+    pub fn eviction_victim(&self, addr: BlockAddr) -> Option<&CacheLine<S>> {
+        if !self.insertion_requires_eviction(addr) {
+            return None;
+        }
+        self.sets[self.set_index(addr)].iter().min_by_key(|l| l.lru)
+    }
+
+    /// Inserts (or overwrites) a block, evicting the LRU line of the set if
+    /// necessary, and returns the evicted line.
+    pub fn insert(&mut self, addr: BlockAddr, state: S, data: u64) -> Option<CacheLine<S>> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let ways = self.geometry.ways;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.addr == addr) {
+            line.state = state;
+            line.data = data;
+            line.lru = clock;
+            return None;
+        }
+        let evicted = if set.len() >= ways {
+            let victim_pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            self.evictions += 1;
+            Some(set.swap_remove(victim_pos))
+        } else {
+            None
+        };
+        set.push(CacheLine {
+            addr,
+            state,
+            data,
+            lru: clock,
+        });
+        evicted
+    }
+
+    /// Removes a block (invalidation or migration to the writeback buffer)
+    /// and returns it.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<CacheLine<S>> {
+        let set = self.set_index(addr);
+        let pos = self.sets[set].iter().position(|l| l.addr == addr)?;
+        Some(self.sets[set].swap_remove(pos))
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True when no blocks are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates every resident line.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheLine<S>> {
+        self.sets.iter().flatten()
+    }
+
+    /// Demand hits observed by [`CacheArray::lookup`].
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed by [`CacheArray::lookup`].
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions forced by insertions into full sets.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> CacheArray<u8> {
+        // 4 sets x 2 ways.
+        CacheArray::new(CacheGeometry {
+            sets: 4,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_from_capacity_matches_table_2() {
+        let l1 = CacheGeometry::from_capacity(128 * 1024, 4);
+        assert_eq!(l1.sets, 512);
+        assert_eq!(l1.capacity_blocks(), 2048);
+        let l2 = CacheGeometry::from_capacity(4 * 1024 * 1024, 4);
+        assert_eq!(l2.sets, 16384);
+        assert_eq!(l2.capacity_blocks(), 65536);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut c = small();
+        assert!(c.lookup(BlockAddr(4)).is_none());
+        c.insert(BlockAddr(4), 1, 42);
+        let line = c.lookup(BlockAddr(4)).expect("resident");
+        assert_eq!(line.data, 42);
+        assert_eq!(line.state, 1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_line_is_evicted_when_a_set_overflows() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(BlockAddr(0), 0, 10);
+        c.insert(BlockAddr(4), 0, 20);
+        // Touch block 0 so block 4 becomes LRU.
+        c.lookup(BlockAddr(0));
+        let evicted = c.insert(BlockAddr(8), 0, 30).expect("eviction");
+        assert_eq!(evicted.addr, BlockAddr(4));
+        assert!(c.probe(BlockAddr(0)).is_some());
+        assert!(c.probe(BlockAddr(8)).is_some());
+        assert!(c.probe(BlockAddr(4)).is_none());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_victim_predicts_the_evicted_line() {
+        let mut c = small();
+        c.insert(BlockAddr(0), 0, 1);
+        c.insert(BlockAddr(4), 0, 2);
+        assert!(c.insertion_requires_eviction(BlockAddr(8)));
+        let victim = c.eviction_victim(BlockAddr(8)).unwrap().addr;
+        let evicted = c.insert(BlockAddr(8), 0, 3).unwrap().addr;
+        assert_eq!(victim, evicted);
+        // A resident block never needs an eviction.
+        assert!(!c.insertion_requires_eviction(BlockAddr(8)));
+        assert!(c.eviction_victim(BlockAddr(8)).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_resident_block_updates_in_place() {
+        let mut c = small();
+        c.insert(BlockAddr(3), 1, 5);
+        assert!(c.insert(BlockAddr(3), 2, 6).is_none());
+        assert_eq!(c.len(), 1);
+        let line = c.probe(BlockAddr(3)).unwrap();
+        assert_eq!(line.state, 2);
+        assert_eq!(line.data, 6);
+    }
+
+    #[test]
+    fn remove_extracts_the_line() {
+        let mut c = small();
+        c.insert(BlockAddr(7), 9, 70);
+        let line = c.remove(BlockAddr(7)).unwrap();
+        assert_eq!(line.state, 9);
+        assert!(c.is_empty());
+        assert!(c.remove(BlockAddr(7)).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_geometry(addrs in proptest::collection::vec(0u64..64, 0..200)) {
+            let mut c = small();
+            for a in addrs {
+                c.insert(BlockAddr(a), 0u8, a);
+                prop_assert!(c.len() <= c.geometry().capacity_blocks());
+                // Every set individually respects associativity.
+                for s in 0..4u64 {
+                    let in_set = c.iter().filter(|l| l.addr.cache_set(4) == s as usize).count();
+                    prop_assert!(in_set <= 2);
+                }
+            }
+        }
+
+        #[test]
+        fn most_recently_inserted_block_is_always_resident(
+            addrs in proptest::collection::vec(0u64..64, 1..100)
+        ) {
+            let mut c = small();
+            for a in &addrs {
+                c.insert(BlockAddr(*a), 0u8, *a);
+                prop_assert!(c.probe(BlockAddr(*a)).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Directory-protocol messages.
+
+use specsim_base::{BlockAddr, MessageSize, NodeId};
+
+use crate::types::MsgClass;
+
+/// A directory-protocol coherence message. Names follow the paper: `GetS` is
+/// the RequestReadOnly, `GetM` the RequestReadWrite, `PutM` the Writeback,
+/// `FwdGetS`/`FwdGetM` the forwarded requests, `Inv` the Invalidation and
+/// `WbAck` the Writeback-Ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirMsg {
+    /// RequestReadOnly: processor asks the home directory for a readable copy.
+    GetS {
+        /// Requested block.
+        addr: BlockAddr,
+    },
+    /// RequestReadWrite: processor asks the home directory for an exclusive
+    /// (writable) copy.
+    GetM {
+        /// Requested block.
+        addr: BlockAddr,
+    },
+    /// Writeback of an owned (M or O) block to the home directory; carries
+    /// the block data.
+    PutM {
+        /// Block being written back.
+        addr: BlockAddr,
+        /// Block contents.
+        data: u64,
+    },
+    /// Forwarded-RequestReadOnly: the directory asks the owner to send a copy
+    /// to `requestor` (the owner remains owner, MOSI).
+    FwdGetS {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Node that issued the original RequestReadOnly.
+        requestor: NodeId,
+    },
+    /// Forwarded-RequestReadWrite: the directory asks the owner to transfer
+    /// data and ownership to `requestor`.
+    FwdGetM {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Node that issued the original RequestReadWrite.
+        requestor: NodeId,
+        /// Number of invalidation acknowledgments the requestor must collect
+        /// (sharers being invalidated by the directory).
+        acks: u32,
+    },
+    /// Invalidation of a shared copy; the invalidated sharer acknowledges
+    /// directly to `requestor`.
+    Inv {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Node collecting the invalidation acknowledgments.
+        requestor: NodeId,
+    },
+    /// Writeback-Ack: the directory acknowledges a Writeback; the writer may
+    /// forget the block.
+    WbAck {
+        /// Block concerned.
+        addr: BlockAddr,
+    },
+    /// Data response carrying the block contents and the number of
+    /// invalidation acks the requestor must still collect.
+    Data {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Block contents.
+        data: u64,
+        /// Invalidation acknowledgments to collect before the requestor's
+        /// transaction completes.
+        acks: u32,
+    },
+    /// Ack-count response used when the requestor already holds valid data
+    /// (an owner upgrading from O to M): no data is transferred, only the
+    /// number of invalidation acks to collect.
+    AckCount {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Invalidation acknowledgments to collect.
+        acks: u32,
+    },
+    /// Invalidation acknowledgment, sent by an invalidated sharer to the
+    /// requestor.
+    InvAck {
+        /// Block concerned.
+        addr: BlockAddr,
+    },
+    /// Transaction-completion message from the requestor to the home
+    /// directory; unblocks the directory entry (and, in the full system,
+    /// carries SafetyNet checkpoint-coordination information).
+    FinalAck {
+        /// Block concerned.
+        addr: BlockAddr,
+    },
+}
+
+impl DirMsg {
+    /// The block this message concerns.
+    #[must_use]
+    pub fn addr(&self) -> BlockAddr {
+        match *self {
+            DirMsg::GetS { addr }
+            | DirMsg::GetM { addr }
+            | DirMsg::PutM { addr, .. }
+            | DirMsg::FwdGetS { addr, .. }
+            | DirMsg::FwdGetM { addr, .. }
+            | DirMsg::Inv { addr, .. }
+            | DirMsg::WbAck { addr }
+            | DirMsg::Data { addr, .. }
+            | DirMsg::AckCount { addr, .. }
+            | DirMsg::InvAck { addr }
+            | DirMsg::FinalAck { addr } => addr,
+        }
+    }
+
+    /// The message class, which the system-assembly layer maps onto a virtual
+    /// network (Section 3.1: "each class of messages travels on a logically
+    /// separate interconnection network").
+    #[must_use]
+    pub fn class(&self) -> MsgClass {
+        match self {
+            DirMsg::GetS { .. } | DirMsg::GetM { .. } | DirMsg::PutM { .. } => MsgClass::Request,
+            DirMsg::FwdGetS { .. }
+            | DirMsg::FwdGetM { .. }
+            | DirMsg::Inv { .. }
+            | DirMsg::WbAck { .. } => MsgClass::Forwarded,
+            DirMsg::Data { .. } | DirMsg::AckCount { .. } | DirMsg::InvAck { .. } => {
+                MsgClass::Response
+            }
+            DirMsg::FinalAck { .. } => MsgClass::FinalAck,
+        }
+    }
+
+    /// Whether this message carries a data block (and therefore serializes as
+    /// a long message on the links).
+    #[must_use]
+    pub fn size(&self) -> MessageSize {
+        match self {
+            DirMsg::PutM { .. } | DirMsg::Data { .. } => MessageSize::Data,
+            _ => MessageSize::Control,
+        }
+    }
+}
+
+/// A message produced by a controller, addressed to a destination node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutMsg {
+    /// Destination node.
+    pub dst: NodeId,
+    /// The protocol message.
+    pub msg: DirMsg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_the_papers_virtual_networks() {
+        let a = BlockAddr(1);
+        assert_eq!(DirMsg::GetS { addr: a }.class(), MsgClass::Request);
+        assert_eq!(DirMsg::GetM { addr: a }.class(), MsgClass::Request);
+        assert_eq!(DirMsg::PutM { addr: a, data: 0 }.class(), MsgClass::Request);
+        assert_eq!(
+            DirMsg::FwdGetS {
+                addr: a,
+                requestor: NodeId(1)
+            }
+            .class(),
+            MsgClass::Forwarded
+        );
+        assert_eq!(
+            DirMsg::FwdGetM {
+                addr: a,
+                requestor: NodeId(1),
+                acks: 0
+            }
+            .class(),
+            MsgClass::Forwarded
+        );
+        assert_eq!(
+            DirMsg::Inv {
+                addr: a,
+                requestor: NodeId(1)
+            }
+            .class(),
+            MsgClass::Forwarded
+        );
+        assert_eq!(DirMsg::WbAck { addr: a }.class(), MsgClass::Forwarded);
+        assert_eq!(
+            DirMsg::Data {
+                addr: a,
+                data: 0,
+                acks: 0
+            }
+            .class(),
+            MsgClass::Response
+        );
+        assert_eq!(DirMsg::AckCount { addr: a, acks: 0 }.class(), MsgClass::Response);
+        assert_eq!(DirMsg::InvAck { addr: a }.class(), MsgClass::Response);
+        assert_eq!(DirMsg::FinalAck { addr: a }.class(), MsgClass::FinalAck);
+    }
+
+    #[test]
+    fn only_data_carrying_messages_are_long() {
+        let a = BlockAddr(2);
+        assert_eq!(DirMsg::PutM { addr: a, data: 1 }.size(), MessageSize::Data);
+        assert_eq!(
+            DirMsg::Data {
+                addr: a,
+                data: 1,
+                acks: 0
+            }
+            .size(),
+            MessageSize::Data
+        );
+        assert_eq!(DirMsg::GetM { addr: a }.size(), MessageSize::Control);
+        assert_eq!(DirMsg::WbAck { addr: a }.size(), MessageSize::Control);
+    }
+
+    #[test]
+    fn addr_is_extracted_from_every_variant() {
+        let a = BlockAddr(77);
+        let msgs = [
+            DirMsg::GetS { addr: a },
+            DirMsg::GetM { addr: a },
+            DirMsg::PutM { addr: a, data: 3 },
+            DirMsg::FwdGetS {
+                addr: a,
+                requestor: NodeId(0),
+            },
+            DirMsg::FwdGetM {
+                addr: a,
+                requestor: NodeId(0),
+                acks: 2,
+            },
+            DirMsg::Inv {
+                addr: a,
+                requestor: NodeId(0),
+            },
+            DirMsg::WbAck { addr: a },
+            DirMsg::Data {
+                addr: a,
+                data: 9,
+                acks: 1,
+            },
+            DirMsg::AckCount { addr: a, acks: 1 },
+            DirMsg::InvAck { addr: a },
+            DirMsg::FinalAck { addr: a },
+        ];
+        for m in msgs {
+            assert_eq!(m.addr(), a);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # specsim-coherence
+//!
+//! Cache-coherence substrate of the speculation-for-simplicity simulator:
+//!
+//! * a **MOSI directory protocol** (Section 3.1 of the paper) with the four
+//!   message classes of the paper (Request, ForwardedRequest, Response,
+//!   FinalAck), in two variants:
+//!   * [`specsim_base::ProtocolVariant::Full`] — the conventionally designed
+//!     protocol that handles the Writeback / Forwarded-RequestReadWrite race
+//!     by deferring racy writebacks at the directory until the conflicting
+//!     transaction completes,
+//!   * [`specsim_base::ProtocolVariant::Speculative`] — the speculatively
+//!     simplified protocol that relies on point-to-point ordering of the
+//!     ForwardedRequest virtual network, acknowledges racy writebacks
+//!     immediately, and *detects* the resulting invalid transition (a
+//!     forwarded request arriving at a cache without a valid copy) as a
+//!     mis-speculation;
+//! * a **MOSI broadcast snooping protocol** (Section 3.2) over a totally
+//!   ordered address network, again in a Full variant (which specifies the
+//!   rare double-race on an in-flight writeback) and a Speculative variant
+//!   (which treats that transition as a mis-speculation);
+//! * the supporting machinery both protocols need: set-associative cache
+//!   arrays with LRU replacement, a two-level (L1/L2) hierarchy model,
+//!   miss-status registers and writeback buffers, per-home-node memory with
+//!   a write (undo) log consumed by SafetyNet, and directory state.
+//!
+//! The crate is *network-agnostic*: controllers consume and produce protocol
+//! messages tagged with a [`types::MsgClass`]; the system-assembly crate maps
+//! classes onto virtual networks and moves the messages.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache_array;
+pub mod data;
+pub mod dir;
+pub mod snoop;
+pub mod types;
+
+pub use cache_array::{CacheArray, CacheGeometry};
+pub use data::MemoryStore;
+pub use types::{
+    CpuAccess, CpuRequest, MisSpecKind, MisSpeculation, MsgClass, NodeSet, ProtocolError,
+};

@@ -1,0 +1,25 @@
+//! The MOSI broadcast snooping protocol of Section 3.2.
+//!
+//! Coherence *requests* (RequestReadOnly, RequestReadWrite, Writeback) are
+//! broadcast on a totally ordered address network; *data* moves point-to-
+//! point on a separate data network. Every cache — including the requestor —
+//! observes the same request sequence in the same order, and ownership is
+//! defined by that order.
+//!
+//! The corner case of Section 3.2 (the one the designers "did not initially
+//! consider"): a cache that owns a block issues a Writeback and, **before
+//! observing its own Writeback on the address network**, observes a foreign
+//! RequestForReadWrite (it is still the owner, so it supplies data and
+//! surrenders ownership), and then observes a *second* foreign
+//! RequestForReadWrite while still waiting for its own Writeback. The Full
+//! variant specifies the transition (ignore — the new owner responds); the
+//! Speculative variant leaves it unspecified and reports a mis-speculation,
+//! relying on SafetyNet recovery plus slow-start for forward progress.
+
+pub mod cache;
+pub mod memory;
+pub mod msg;
+
+pub use cache::{SnoopAccessOutcome, SnoopCacheController, SnoopCompletedAccess};
+pub use memory::SnoopMemoryController;
+pub use msg::{SnoopDataMsg, SnoopRequest};

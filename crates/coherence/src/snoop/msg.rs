@@ -1,0 +1,98 @@
+//! Snooping-protocol messages.
+
+use specsim_base::{BlockAddr, MessageSize, NodeId};
+
+/// A coherence request broadcast on the totally ordered address network.
+/// Requests carry no data; data moves on the point-to-point data network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopRequest {
+    /// RequestReadOnly: the issuer wants a readable copy.
+    GetS {
+        /// Requested block.
+        addr: BlockAddr,
+    },
+    /// RequestForReadWrite: the issuer wants an exclusive copy; all other
+    /// copies are invalidated by observing this request.
+    GetM {
+        /// Requested block.
+        addr: BlockAddr,
+    },
+    /// Writeback announcement: the owner is evicting the block; the data
+    /// follows on the data network once the owner observes this request.
+    PutM {
+        /// Block being written back.
+        addr: BlockAddr,
+    },
+}
+
+impl SnoopRequest {
+    /// The block this request concerns.
+    #[must_use]
+    pub fn addr(&self) -> BlockAddr {
+        match *self {
+            SnoopRequest::GetS { addr } | SnoopRequest::GetM { addr } | SnoopRequest::PutM { addr } => {
+                addr
+            }
+        }
+    }
+}
+
+/// A message on the point-to-point data network of the snooping system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopDataMsg {
+    /// Block data sent to a requestor by the owner (cache or home memory).
+    Data {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Block contents.
+        data: u64,
+    },
+    /// Writeback data sent by the evicting owner to the block's home memory.
+    WbData {
+        /// Block concerned.
+        addr: BlockAddr,
+        /// Block contents.
+        data: u64,
+    },
+}
+
+impl SnoopDataMsg {
+    /// The block this message concerns.
+    #[must_use]
+    pub fn addr(&self) -> BlockAddr {
+        match *self {
+            SnoopDataMsg::Data { addr, .. } | SnoopDataMsg::WbData { addr, .. } => addr,
+        }
+    }
+
+    /// Data messages always carry a block and serialize as long messages.
+    #[must_use]
+    pub fn size(&self) -> MessageSize {
+        MessageSize::Data
+    }
+}
+
+/// A data-network message produced by a controller, addressed to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopDataOut {
+    /// Destination node.
+    pub dst: NodeId,
+    /// The message.
+    pub msg: SnoopDataMsg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_accessors_cover_all_variants() {
+        let a = BlockAddr(5);
+        assert_eq!(SnoopRequest::GetS { addr: a }.addr(), a);
+        assert_eq!(SnoopRequest::GetM { addr: a }.addr(), a);
+        assert_eq!(SnoopRequest::PutM { addr: a }.addr(), a);
+        assert_eq!(SnoopDataMsg::Data { addr: a, data: 0 }.addr(), a);
+        assert_eq!(SnoopDataMsg::WbData { addr: a, data: 0 }.addr(), a);
+        assert_eq!(SnoopDataMsg::Data { addr: a, data: 0 }.size(), MessageSize::Data);
+    }
+}

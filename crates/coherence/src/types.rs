@@ -1,0 +1,253 @@
+//! Common coherence vocabulary: node sets, processor requests, message
+//! classes, mis-speculation descriptors and protocol errors.
+
+use specsim_base::{BlockAddr, Cycle, NodeId};
+
+/// A set of nodes, stored as a bitmask (the simulator supports up to 64
+/// nodes; the paper's target system has 16). Used for directory sharer lists
+/// and invalidation fan-out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        NodeSet(0)
+    }
+
+    /// A set containing a single node.
+    #[must_use]
+    pub fn single(node: NodeId) -> Self {
+        let mut s = Self::empty();
+        s.insert(node);
+        s
+    }
+
+    /// Adds a node to the set.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.index() < 64, "NodeSet supports at most 64 nodes");
+        self.0 |= 1 << node.index();
+    }
+
+    /// Removes a node from the set.
+    pub fn remove(&mut self, node: NodeId) {
+        if node.index() < 64 {
+            self.0 &= !(1 << node.index());
+        }
+    }
+
+    /// True when the node is a member.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < 64 && (self.0 >> node.index()) & 1 == 1
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..64u16).filter(|i| (self.0 >> i) & 1 == 1).map(NodeId)
+    }
+
+    /// The set with `node` removed (non-mutating).
+    #[must_use]
+    pub fn without(&self, node: NodeId) -> Self {
+        let mut s = *self;
+        s.remove(node);
+        s
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::empty();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+/// The kind of access a processor makes to a cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuAccess {
+    /// A read; satisfied by any valid copy (S, O or M).
+    Load,
+    /// A write; requires exclusive ownership (M).
+    Store,
+}
+
+/// A processor memory request presented to its cache controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuRequest {
+    /// The block being accessed (the simulator works at block granularity).
+    pub addr: BlockAddr,
+    /// Load or store.
+    pub access: CpuAccess,
+    /// For stores, the value written to the block (a whole-block token value;
+    /// see [`crate::data::MemoryStore`]). Ignored for loads.
+    pub store_value: u64,
+}
+
+/// The coherence message classes of the directory protocol (Section 3.1).
+/// The system-assembly crate maps each class onto its own virtual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Processor → directory requests.
+    Request,
+    /// Directory → processor forwarded requests, invalidations and
+    /// writeback acknowledgments.
+    Forwarded,
+    /// Data / ack / nack responses to the requestor.
+    Response,
+    /// Requestor → directory transaction-completion messages (also used to
+    /// coordinate SafetyNet checkpoints).
+    FinalAck,
+}
+
+/// Why a mis-speculation was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisSpecKind {
+    /// Directory protocol (Section 3.1): a cache without a valid copy
+    /// received a Forwarded-RequestReadWrite — the message must have been
+    /// overtaken by the Writeback-Ack on the ForwardedRequest virtual
+    /// network.
+    ForwardedRequestToInvalidCache,
+    /// Snooping protocol (Section 3.2): a cache that had already surrendered
+    /// ownership while its Writeback was in flight observed a second foreign
+    /// RequestForReadWrite — the unspecified corner case.
+    WritebackDoubleRace,
+    /// Interconnect (Section 4): a coherence transaction did not complete
+    /// within three checkpoint intervals, indicating (endpoint or switch)
+    /// deadlock in the unprotected network.
+    TransactionTimeout,
+}
+
+impl MisSpecKind {
+    /// Short label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MisSpecKind::ForwardedRequestToInvalidCache => "fwd-to-invalid-cache",
+            MisSpecKind::WritebackDoubleRace => "writeback-double-race",
+            MisSpecKind::TransactionTimeout => "transaction-timeout",
+        }
+    }
+}
+
+/// A detected mis-speculation; the system-assembly crate turns this into a
+/// SafetyNet recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisSpeculation {
+    /// What was detected.
+    pub kind: MisSpecKind,
+    /// The node that detected it.
+    pub node: NodeId,
+    /// The block involved.
+    pub addr: BlockAddr,
+    /// The cycle at which detection happened.
+    pub at: Cycle,
+}
+
+/// A transition that the *fully designed* protocol considers impossible.
+/// Reaching one of these is a simulator/protocol bug, not a mis-speculation,
+/// and the error is propagated so tests fail loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The node at which the impossible transition was attempted.
+    pub node: NodeId,
+    /// The block involved.
+    pub addr: BlockAddr,
+    /// Human-readable description of the state/event combination.
+    pub description: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol error at {} for {}: {}",
+            self.node, self.addr, self.description
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodeset_insert_remove_contains() {
+        let mut s = NodeSet::empty();
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(7));
+        assert!(s.contains(NodeId(3)));
+        assert!(s.contains(NodeId(7)));
+        assert!(!s.contains(NodeId(5)));
+        assert_eq!(s.len(), 2);
+        s.remove(NodeId(3));
+        assert!(!s.contains(NodeId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn nodeset_iter_is_sorted_and_complete() {
+        let s: NodeSet = [NodeId(9), NodeId(1), NodeId(15)].into_iter().collect();
+        let v: Vec<NodeId> = s.iter().collect();
+        assert_eq!(v, vec![NodeId(1), NodeId(9), NodeId(15)]);
+    }
+
+    #[test]
+    fn nodeset_without_does_not_mutate() {
+        let s = NodeSet::single(NodeId(2));
+        let t = s.without(NodeId(2));
+        assert!(s.contains(NodeId(2)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn nodeset_rejects_out_of_range() {
+        let mut s = NodeSet::empty();
+        s.insert(NodeId(64));
+    }
+
+    #[test]
+    fn misspec_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = [
+            MisSpecKind::ForwardedRequestToInvalidCache,
+            MisSpecKind::WritebackDoubleRace,
+            MisSpecKind::TransactionTimeout,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn protocol_error_displays_context() {
+        let e = ProtocolError {
+            node: NodeId(4),
+            addr: BlockAddr(0x10),
+            description: "Data in state I".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("N4"));
+        assert!(s.contains("Data in state I"));
+    }
+}

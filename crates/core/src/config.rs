@@ -1,0 +1,221 @@
+//! Full-system configuration.
+
+use specsim_base::{
+    CycleDelta, FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant, RoutingPolicy,
+};
+use specsim_net::NetConfig;
+use specsim_workloads::WorkloadKind;
+
+/// Forward-progress measures applied after a recovery (Section 2, feature 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardProgressConfig {
+    /// Directory system (Section 3.1): after a recovery caused by an ordering
+    /// mis-speculation, adaptive routing is disabled for this many cycles so
+    /// the race cannot recur during re-execution. `0` disables the mechanism.
+    pub disable_adaptive_cycles: CycleDelta,
+    /// Snooping system / interconnect (Sections 3.2 and 4): after a recovery,
+    /// the system enters "slow-start" mode for this many cycles. `0` disables
+    /// the mechanism.
+    pub slow_start_cycles: CycleDelta,
+    /// Maximum coherence transactions allowed to be outstanding system-wide
+    /// while in slow-start mode (the paper suggests one).
+    pub slow_start_max_outstanding: usize,
+}
+
+impl Default for ForwardProgressConfig {
+    fn default() -> Self {
+        Self {
+            disable_adaptive_cycles: 200_000,
+            slow_start_cycles: 200_000,
+            slow_start_max_outstanding: 1,
+        }
+    }
+}
+
+/// Configuration of one full-system simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Memory-system parameters (Table 2 defaults).
+    pub memory: MemorySystemConfig,
+    /// Which coherence-protocol variant to run (Full or Speculative).
+    pub protocol: ProtocolVariant,
+    /// Interconnect routing policy.
+    pub routing: RoutingPolicy,
+    /// Interconnect deadlock-avoidance strategy / buffering.
+    pub flow_control: FlowControl,
+    /// Workload to run.
+    pub workload: WorkloadKind,
+    /// Top-level seed; every generator, perturbation and arbitration draw is
+    /// derived from it.
+    pub seed: u64,
+    /// Forward-progress measures after recoveries.
+    pub forward_progress: ForwardProgressConfig,
+    /// If set, inject a recovery every this many cycles regardless of
+    /// mis-speculations (the stress test of Figure 4).
+    pub inject_recovery_every: Option<CycleDelta>,
+    /// Magnitude (in cycles) of the pseudo-random perturbation added to each
+    /// miss, following the evaluation methodology of Alameldeen et al.
+    /// (Section 5.2): multiple runs with small perturbations provide the
+    /// error bars.
+    pub perturbation_cycles: u64,
+    /// Maximum coherence transactions outstanding system-wide in normal
+    /// operation (the blocking processors already bound this at one per
+    /// node).
+    pub max_outstanding: usize,
+}
+
+impl SystemConfig {
+    /// The paper's baseline directory-protocol system: 16 nodes, adaptive
+    /// routing isolated from deadlock concerns by full buffering
+    /// (footnote 1), speculative reliance on point-to-point ordering.
+    #[must_use]
+    pub fn directory_speculative(workload: WorkloadKind, bandwidth: LinkBandwidth, seed: u64) -> Self {
+        Self {
+            memory: MemorySystemConfig {
+                link_bandwidth: bandwidth,
+                ..MemorySystemConfig::default()
+            },
+            protocol: ProtocolVariant::Speculative,
+            routing: RoutingPolicy::Adaptive,
+            flow_control: FlowControl::WorstCaseBuffering,
+            workload,
+            seed,
+            forward_progress: ForwardProgressConfig::default(),
+            inject_recovery_every: None,
+            perturbation_cycles: 4,
+            max_outstanding: usize::MAX,
+        }
+    }
+
+    /// The non-speculative reference system: full protocol, static
+    /// dimension-order routing, conventional virtual-channel interconnect.
+    #[must_use]
+    pub fn directory_baseline(workload: WorkloadKind, bandwidth: LinkBandwidth, seed: u64) -> Self {
+        Self {
+            memory: MemorySystemConfig {
+                link_bandwidth: bandwidth,
+                ..MemorySystemConfig::default()
+            },
+            protocol: ProtocolVariant::Full,
+            routing: RoutingPolicy::Static,
+            flow_control: FlowControl::VirtualChannels {
+                channels_per_network: 2,
+            },
+            workload,
+            seed,
+            forward_progress: ForwardProgressConfig::default(),
+            inject_recovery_every: None,
+            perturbation_cycles: 4,
+            max_outstanding: usize::MAX,
+        }
+    }
+
+    /// The speculatively simplified interconnect of Section 4: no virtual
+    /// channels/networks, shared buffers of the given size, deadlock detected
+    /// by transaction timeout and resolved by recovery.
+    #[must_use]
+    pub fn simplified_interconnect(
+        workload: WorkloadKind,
+        bandwidth: LinkBandwidth,
+        buffers_per_port: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            memory: MemorySystemConfig {
+                link_bandwidth: bandwidth,
+                ..MemorySystemConfig::default()
+            },
+            protocol: ProtocolVariant::Speculative,
+            routing: RoutingPolicy::Adaptive,
+            flow_control: FlowControl::SharedBuffers { buffers_per_port },
+            workload,
+            seed,
+            forward_progress: ForwardProgressConfig::default(),
+            inject_recovery_every: None,
+            perturbation_cycles: 4,
+            max_outstanding: usize::MAX,
+        }
+    }
+
+    /// The derived interconnect configuration.
+    #[must_use]
+    pub fn net_config(&self) -> NetConfig {
+        let mut cfg = match self.flow_control {
+            FlowControl::VirtualChannels {
+                channels_per_network,
+            } => {
+                let mut c = NetConfig::conventional(self.memory.num_nodes, self.memory.link_bandwidth);
+                c.flow_control = FlowControl::VirtualChannels {
+                    channels_per_network,
+                };
+                c
+            }
+            FlowControl::SharedBuffers { buffers_per_port } => NetConfig::speculative(
+                self.memory.num_nodes,
+                self.memory.link_bandwidth,
+                buffers_per_port,
+            ),
+            FlowControl::WorstCaseBuffering => NetConfig::full_buffering(
+                self.memory.num_nodes,
+                self.memory.link_bandwidth,
+                self.routing,
+            ),
+        };
+        cfg.routing = self.routing;
+        cfg.switch_latency = self.memory.switch_latency_cycles;
+        cfg
+    }
+
+    /// Returns a copy with a different seed (used for perturbed re-runs).
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut c = self.clone();
+        c.seed = seed;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_papers_three_designs() {
+        let spec = SystemConfig::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::MB_400, 1);
+        assert_eq!(spec.protocol, ProtocolVariant::Speculative);
+        assert_eq!(spec.routing, RoutingPolicy::Adaptive);
+        assert_eq!(spec.flow_control, FlowControl::WorstCaseBuffering);
+
+        let base = SystemConfig::directory_baseline(WorkloadKind::Oltp, LinkBandwidth::MB_400, 1);
+        assert_eq!(base.protocol, ProtocolVariant::Full);
+        assert_eq!(base.routing, RoutingPolicy::Static);
+
+        let net = SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 16, 1);
+        assert_eq!(
+            net.flow_control,
+            FlowControl::SharedBuffers { buffers_per_port: 16 }
+        );
+    }
+
+    #[test]
+    fn net_config_follows_the_routing_and_flow_control_choices() {
+        let cfg = SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::MB_400, 8, 3);
+        let net = cfg.net_config();
+        assert_eq!(net.routing, RoutingPolicy::Adaptive);
+        assert_eq!(net.flow_control, FlowControl::SharedBuffers { buffers_per_port: 8 });
+        assert_eq!(net.num_nodes, 16);
+
+        let mut base = SystemConfig::directory_baseline(WorkloadKind::Jbb, LinkBandwidth::MB_400, 3);
+        base.routing = RoutingPolicy::Adaptive;
+        assert_eq!(base.net_config().routing, RoutingPolicy::Adaptive);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = SystemConfig::directory_speculative(WorkloadKind::Barnes, LinkBandwidth::GB_3_2, 1);
+        let b = a.with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.protocol, b.protocol);
+    }
+}

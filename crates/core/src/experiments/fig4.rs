@@ -1,0 +1,195 @@
+//! Figure 4: normalized performance versus mis-speculation (recovery) rate.
+//!
+//! The paper stress-tests recovery by running a system *without* speculation
+//! and injecting periodic recoveries at 1, 10 and 100 per second, showing
+//! that "recovery is sufficiently short that the performance cost of
+//! recovering even ten times per second is negligible".
+//!
+//! Simulating whole seconds of a 16-node machine at cycle granularity is not
+//! feasible in this environment, so the experiment uses a configurable
+//! *scaled second* ([`Fig4Data::CYCLES_PER_SCALED_SECOND`] cycles). The
+//! normalized-performance series is measured directly at the scaled rates,
+//! and the table additionally reports the paper-scale overhead each rate
+//! would impose at the real 4 GHz clock, computed from the *measured* mean
+//! cost per recovery — which is the quantity that determines the shape of
+//! Figure 4. See `EXPERIMENTS.md` for the mapping.
+
+use specsim_base::time::PAPER_CYCLES_PER_SECOND;
+use specsim_base::LinkBandwidth;
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
+
+use crate::config::SystemConfig;
+use crate::experiments::runner::{
+    measure_directory, throughput_measurement, ExperimentScale, Measurement,
+};
+
+/// The recovery rates of Figure 4, in recoveries per (scaled) second.
+pub const RECOVERY_RATES_PER_SECOND: [u64; 4] = [0, 1, 10, 100];
+
+/// One bar of Figure 4: a workload at an injected recovery rate.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Workload.
+    pub workload: WorkloadKind,
+    /// Injected recoveries per scaled second (0 = no mis-speculations).
+    pub rate_per_second: u64,
+    /// Performance normalized to the same workload with no recoveries.
+    pub normalized_performance: Measurement,
+    /// Recoveries actually performed per run (mean).
+    pub recoveries_per_run: f64,
+    /// Mean measured cost of one recovery in cycles (lost work + recovery
+    /// latency), 0 when no recoveries occurred.
+    pub mean_recovery_cost_cycles: f64,
+}
+
+impl Fig4Row {
+    /// The fraction of execution time this recovery rate would cost on the
+    /// paper's 4 GHz-equivalent machine, given the measured per-recovery
+    /// cost: `rate × cost / cycles_per_second`.
+    #[must_use]
+    pub fn paper_scale_overhead(&self) -> f64 {
+        self.rate_per_second as f64 * self.mean_recovery_cost_cycles
+            / PAPER_CYCLES_PER_SECOND as f64
+    }
+}
+
+/// The full Figure 4 data set.
+#[derive(Debug, Clone)]
+pub struct Fig4Data {
+    /// One row per (workload, rate).
+    pub rows: Vec<Fig4Row>,
+    /// The scale the experiment ran at.
+    pub scale: ExperimentScale,
+}
+
+impl Fig4Data {
+    /// Cycles per "scaled second" used to convert the paper's
+    /// recoveries-per-second axis into injection intervals that are
+    /// observable within a short simulation window.
+    pub const CYCLES_PER_SCALED_SECOND: u64 = 1_000_000;
+
+    /// Runs the experiment.
+    pub fn run(scale: ExperimentScale) -> Result<Self, ProtocolError> {
+        let mut rows = Vec::new();
+        for workload in ALL_WORKLOADS {
+            // Baseline: the non-speculative system with no injected
+            // recoveries. The checkpoint interval is scaled down with the
+            // run length so the recovery point does not trail the whole
+            // (short) run; see EXPERIMENTS.md for the time-scaling argument.
+            let mut base_cfg =
+                SystemConfig::directory_baseline(workload, LinkBandwidth::GB_3_2, 1000);
+            base_cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+            let baseline_runs = measure_directory(&base_cfg, scale)?;
+            let baseline = throughput_measurement(&baseline_runs);
+            for rate in RECOVERY_RATES_PER_SECOND {
+                let mut cfg = base_cfg.clone();
+                if rate > 0 {
+                    cfg.inject_recovery_every =
+                        Some((Self::CYCLES_PER_SCALED_SECOND / rate).max(1));
+                }
+                let runs = measure_directory(&cfg, scale)?;
+                let samples: Vec<f64> = runs
+                    .iter()
+                    .map(|r| {
+                        if baseline.mean == 0.0 {
+                            0.0
+                        } else {
+                            r.throughput() / baseline.mean
+                        }
+                    })
+                    .collect();
+                let recoveries: f64 = runs
+                    .iter()
+                    .map(|r| r.total_recoveries() as f64)
+                    .sum::<f64>()
+                    / runs.len() as f64;
+                let total_cost: u64 = runs
+                    .iter()
+                    .map(|r| r.lost_work_cycles + r.recovery_latency_cycles)
+                    .sum();
+                let total_recoveries: u64 = runs.iter().map(|r| r.total_recoveries()).sum();
+                rows.push(Fig4Row {
+                    workload,
+                    rate_per_second: rate,
+                    normalized_performance: Measurement::from_samples(&samples),
+                    recoveries_per_run: recoveries,
+                    mean_recovery_cost_cycles: if total_recoveries == 0 {
+                        0.0
+                    } else {
+                        total_cost as f64 / total_recoveries as f64
+                    },
+                });
+            }
+        }
+        Ok(Self { rows, scale })
+    }
+
+    /// Renders the figure as a text table (one row per workload × rate).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Figure 4: Performance vs. Mis-speculation Rate\n");
+        out.push_str(&format!(
+            "(scaled second = {} cycles; paper-scale overhead uses the measured cost per recovery at 4e9 cycles/s)\n",
+            Self::CYCLES_PER_SCALED_SECOND
+        ));
+        out.push_str(
+            "workload  rate/s  normalized-perf     recoveries/run  cost/recovery(cyc)  paper-scale normalized\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<9} {:>5}  {:<18} {:>14.1}  {:>18.0}  {:>21.4}\n",
+                row.workload.label(),
+                row.rate_per_second,
+                row.normalized_performance.display(),
+                row.recoveries_per_run,
+                row.mean_recovery_cost_cycles,
+                1.0 - row.paper_scale_overhead(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_quick_run_produces_all_rows_and_sane_normalization() {
+        let data = Fig4Data::run(ExperimentScale {
+            cycles: 25_000,
+            seeds: 1,
+        })
+        .expect("no protocol errors");
+        assert_eq!(data.rows.len(), ALL_WORKLOADS.len() * RECOVERY_RATES_PER_SECOND.len());
+        for row in &data.rows {
+            // At the highest scaled rate the directly simulated performance
+            // degrades heavily (the scaled second compresses the recovery
+            // interval far below the paper's; see EXPERIMENTS.md), so only
+            // sanity bounds are asserted here. The low rates must stay near
+            // the baseline.
+            assert!(
+                row.normalized_performance.mean > 0.02,
+                "{} at {}: normalized perf {}",
+                row.workload.label(),
+                row.rate_per_second,
+                row.normalized_performance.mean
+            );
+            assert!(row.normalized_performance.mean < 1.5);
+            if row.rate_per_second <= 1 {
+                assert!(
+                    row.normalized_performance.mean > 0.8,
+                    "{} at {}/s should be near 1.0, got {}",
+                    row.workload.label(),
+                    row.rate_per_second,
+                    row.normalized_performance.mean
+                );
+            }
+        }
+        let rendered = data.render();
+        assert!(rendered.contains("Figure 4"));
+        assert!(rendered.contains("oltp"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 5: relative performance of static versus adaptive routing at
+//! 400 MB/s links, for the speculatively simplified directory protocol.
+//!
+//! Section 5.3: "we compare the relative performances of systems with static
+//! and adaptive routing, and we normalize the results to the performance of
+//! static routing. We observe that adaptive routing achieves a significant
+//! speedup for our workloads because of better instantaneous link
+//! utilization and the infrequency of recoveries."
+
+use specsim_base::{LinkBandwidth, RoutingPolicy};
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
+
+use crate::config::SystemConfig;
+use crate::experiments::runner::{
+    measure_directory, throughput_measurement, ExperimentScale, Measurement,
+};
+
+/// One workload's pair of bars in Figure 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Workload.
+    pub workload: WorkloadKind,
+    /// Static-routing performance normalized to itself (always 1.0; kept for
+    /// symmetry with the figure and to carry the error bar).
+    pub static_normalized: Measurement,
+    /// Adaptive-routing performance normalized to static routing.
+    pub adaptive_normalized: Measurement,
+    /// Recoveries observed with adaptive routing (mean per run) — the paper
+    /// observed "only a handful of recoveries in all simulations".
+    pub adaptive_recoveries_per_run: f64,
+    /// Mean link utilization under static routing (the paper reports 13–35 %
+    /// mean utilizations for static routing at 400 MB/s).
+    pub static_link_utilization: f64,
+}
+
+/// The full Figure 5 data set.
+#[derive(Debug, Clone)]
+pub struct Fig5Data {
+    /// One row per workload.
+    pub rows: Vec<Fig5Row>,
+    /// The link bandwidth used (the paper uses 400 MB/s).
+    pub bandwidth: LinkBandwidth,
+    /// The scale the experiment ran at.
+    pub scale: ExperimentScale,
+}
+
+impl Fig5Data {
+    /// Runs the experiment at 400 MB/s links (the paper's operating point).
+    pub fn run(scale: ExperimentScale) -> Result<Self, ProtocolError> {
+        Self::run_at(LinkBandwidth::MB_400, scale)
+    }
+
+    /// Runs the experiment at an arbitrary link bandwidth.
+    pub fn run_at(bandwidth: LinkBandwidth, scale: ExperimentScale) -> Result<Self, ProtocolError> {
+        let mut rows = Vec::new();
+        for workload in ALL_WORKLOADS {
+            let mut static_cfg = SystemConfig::directory_speculative(workload, bandwidth, 2000);
+            static_cfg.routing = RoutingPolicy::Static;
+            static_cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+            let mut adaptive_cfg = static_cfg.clone();
+            adaptive_cfg.routing = RoutingPolicy::Adaptive;
+
+            let static_runs = measure_directory(&static_cfg, scale)?;
+            let adaptive_runs = measure_directory(&adaptive_cfg, scale)?;
+            let static_throughput = throughput_measurement(&static_runs);
+            let denom = static_throughput.mean.max(f64::MIN_POSITIVE);
+            let static_norm: Vec<f64> =
+                static_runs.iter().map(|r| r.throughput() / denom).collect();
+            let adaptive_norm: Vec<f64> =
+                adaptive_runs.iter().map(|r| r.throughput() / denom).collect();
+            rows.push(Fig5Row {
+                workload,
+                static_normalized: Measurement::from_samples(&static_norm),
+                adaptive_normalized: Measurement::from_samples(&adaptive_norm),
+                adaptive_recoveries_per_run: adaptive_runs
+                    .iter()
+                    .map(|r| r.recoveries as f64)
+                    .sum::<f64>()
+                    / adaptive_runs.len() as f64,
+                static_link_utilization: static_runs
+                    .iter()
+                    .map(|r| r.link_utilization)
+                    .sum::<f64>()
+                    / static_runs.len() as f64,
+            });
+        }
+        Ok(Self {
+            rows,
+            bandwidth,
+            scale,
+        })
+    }
+
+    /// Renders the figure as a text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Figure 5: Relative performance of static and adaptive routing ({} MB/s links)\n",
+            self.bandwidth.megabytes_per_second
+        ));
+        out.push_str(
+            "workload  static(norm)        adaptive(norm)      recoveries/run  static link util\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<9} {:<19} {:<19} {:>14.2}  {:>15.1}%\n",
+                r.workload.label(),
+                r.static_normalized.display(),
+                r.adaptive_normalized.display(),
+                r.adaptive_recoveries_per_run,
+                r.static_link_utilization * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_quick_run_produces_a_row_per_workload() {
+        let data = Fig5Data::run_at(
+            LinkBandwidth::MB_400,
+            ExperimentScale {
+                cycles: 20_000,
+                seeds: 1,
+            },
+        )
+        .expect("no protocol errors");
+        assert_eq!(data.rows.len(), ALL_WORKLOADS.len());
+        for r in &data.rows {
+            assert!((r.static_normalized.mean - 1.0).abs() < 1e-9);
+            assert!(r.adaptive_normalized.mean > 0.3, "{}", r.adaptive_normalized.mean);
+            assert!(r.static_link_utilization >= 0.0 && r.static_link_utilization <= 1.0);
+        }
+        assert!(data.render().contains("Figure 5"));
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's evaluation (Section 5), one module per table/figure.
+//!
+//! Every experiment follows the methodology of Section 5.2: each design
+//! point is simulated several times with small pseudo-random perturbations
+//! (different seeds), and results are reported as means with one-standard-
+//! deviation error bars. Experiments return plain data structs plus a
+//! `render()` method that prints the same rows/series the paper reports;
+//! the bench harnesses in `crates/bench` simply run and print them.
+
+pub mod buffer_sweep;
+pub mod fig4;
+pub mod fig5;
+pub mod reorder;
+pub mod runner;
+pub mod snooping;
+pub mod tables;
+
+pub use buffer_sweep::{BufferSweep, BufferSweepRow};
+pub use fig4::{Fig4Data, Fig4Row};
+pub use fig5::{Fig5Data, Fig5Row};
+pub use reorder::{ReorderData, ReorderRow};
+pub use runner::{measure_directory, measure_snooping, ExperimentScale, Measurement};
+pub use snooping::{SnoopingComparison, SnoopingRow};
+pub use tables::{render_table1, render_table2, render_table3};

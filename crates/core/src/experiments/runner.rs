@@ -1,0 +1,180 @@
+//! Multi-run experiment execution: perturbed runs in parallel, aggregated
+//! into means and standard deviations (the error bars of Section 5.2).
+
+use specsim_base::{CycleDelta, RunningStats};
+use specsim_coherence::types::ProtocolError;
+
+use crate::config::SystemConfig;
+use crate::dirsys::DirectorySystem;
+use crate::metrics::RunMetrics;
+use crate::snoopsys::{SnoopSystemConfig, SnoopingSystem};
+
+/// How long and how many times to run each design point.
+///
+/// The defaults are sized so the whole benchmark suite completes in minutes
+/// on a laptop; set the `SPECSIM_CYCLES` and `SPECSIM_SEEDS` environment
+/// variables to run longer/more-replicated experiments (closer to the
+/// paper's multi-second full-system runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Simulated cycles per run.
+    pub cycles: CycleDelta,
+    /// Number of perturbed runs (distinct seeds) per design point.
+    pub seeds: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self {
+            cycles: 150_000,
+            seeds: 3,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// A faster scale for smoke tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            cycles: 40_000,
+            seeds: 2,
+        }
+    }
+
+    /// Reads the scale from the environment (`SPECSIM_CYCLES`,
+    /// `SPECSIM_SEEDS`), falling back to the defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut scale = Self::default();
+        if let Ok(c) = std::env::var("SPECSIM_CYCLES") {
+            if let Ok(c) = c.parse() {
+                scale.cycles = c;
+            }
+        }
+        if let Ok(s) = std::env::var("SPECSIM_SEEDS") {
+            if let Ok(s) = s.parse() {
+                scale.seeds = s;
+            }
+        }
+        scale
+    }
+
+    /// The seeds used for the perturbed runs.
+    #[must_use]
+    pub fn seed_list(&self, base: u64) -> Vec<u64> {
+        (0..self.seeds.max(1)).map(|i| base + 1 + i).collect()
+    }
+}
+
+/// Mean ± standard deviation of a measured quantity over perturbed runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Measurement {
+    /// Mean over the runs.
+    pub mean: f64,
+    /// Sample standard deviation over the runs (one error-bar half-width).
+    pub std_dev: f64,
+    /// Number of runs aggregated.
+    pub runs: u64,
+}
+
+impl Measurement {
+    /// Aggregates a slice of observations.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut stats = RunningStats::new();
+        for &s in samples {
+            stats.push(s);
+        }
+        Self {
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            runs: stats.count(),
+        }
+    }
+
+    /// Formats as `mean ± std`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        format!("{:.3} ±{:.3}", self.mean, self.std_dev)
+    }
+}
+
+/// Runs the directory system once per seed (in parallel) and returns the
+/// per-run metrics in seed order.
+pub fn measure_directory(
+    cfg: &SystemConfig,
+    scale: ExperimentScale,
+) -> Result<Vec<RunMetrics>, ProtocolError> {
+    let seeds = scale.seed_list(cfg.seed);
+    let results: Vec<Result<RunMetrics, ProtocolError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let run_cfg = cfg.with_seed(seed);
+                scope.spawn(move || {
+                    let mut sys = DirectorySystem::new(run_cfg);
+                    sys.run_for(scale.cycles)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Runs the snooping system once per seed (in parallel) and returns the
+/// per-run metrics in seed order.
+pub fn measure_snooping(
+    cfg: &SnoopSystemConfig,
+    scale: ExperimentScale,
+) -> Result<Vec<RunMetrics>, ProtocolError> {
+    let seeds = scale.seed_list(cfg.seed);
+    let results: Vec<Result<RunMetrics, ProtocolError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut run_cfg = cfg.clone();
+                run_cfg.seed = seed;
+                scope.spawn(move || {
+                    let mut sys = SnoopingSystem::new(run_cfg);
+                    sys.run_for(scale.cycles)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Convenience: the throughput measurement over a set of per-run metrics.
+#[must_use]
+pub fn throughput_measurement(runs: &[RunMetrics]) -> Measurement {
+    let samples: Vec<f64> = runs.iter().map(RunMetrics::throughput).collect();
+    Measurement::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_aggregates_mean_and_stddev() {
+        let m = Measurement::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.runs, 3);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.std_dev - 1.0).abs() < 1e-12);
+        assert!(m.display().contains('±'));
+    }
+
+    #[test]
+    fn scale_seed_list_is_deterministic_and_distinct() {
+        let s = ExperimentScale { cycles: 1, seeds: 4 };
+        assert_eq!(s.seed_list(10), vec![11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller_than_default() {
+        assert!(ExperimentScale::quick().cycles < ExperimentScale::default().cycles);
+    }
+}

@@ -1,0 +1,205 @@
+//! The speculation-for-simplicity framework (Section 2 and Table 1).
+//!
+//! The framework names the four features any application of "speculation for
+//! simplicity" must provide:
+//!
+//! 1. **infrequency of mis-speculation**,
+//! 2. **detection of all mis-speculations**,
+//! 3. **recovery** (SafetyNet in all three designs), and
+//! 4. **guaranteed forward progress**.
+//!
+//! This module gives those features first-class types so that the three
+//! concrete designs (speculative directory protocol, speculative snooping
+//! protocol, speculative interconnect) can be described, configured and —
+//! via the Table 1 bench — characterised from measured runs.
+
+use specsim_base::CycleDelta;
+
+/// The three applications of speculation for simplicity the paper develops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpeculativeDesign {
+    /// Section 3.1: simplify the directory protocol by speculating on
+    /// point-to-point ordering under adaptive routing.
+    DirectoryOrdering,
+    /// Section 3.2: simplify the snooping protocol by treating the
+    /// writeback double-race corner case as a mis-speculation.
+    SnoopingCornerCase,
+    /// Section 4: simplify the interconnect by removing virtual-channel flow
+    /// control and recovering from deadlock.
+    InterconnectDeadlock,
+}
+
+impl SpeculativeDesign {
+    /// All three designs, in paper order.
+    pub const ALL: [SpeculativeDesign; 3] = [
+        SpeculativeDesign::DirectoryOrdering,
+        SpeculativeDesign::SnoopingCornerCase,
+        SpeculativeDesign::InterconnectDeadlock,
+    ];
+
+    /// Column heading used by the Table 1 bench.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            SpeculativeDesign::DirectoryOrdering => {
+                "Simplify directory protocol by speculating on point-to-point ordering (S3.1)"
+            }
+            SpeculativeDesign::SnoopingCornerCase => {
+                "Simplify snooping protocol by treating corner case transition as error (S3.2)"
+            }
+            SpeculativeDesign::InterconnectDeadlock => {
+                "Simplify interconnection network by removing virtual channel flow control (S4)"
+            }
+        }
+    }
+
+    /// Row (1) of Table 1: why mis-speculation is infrequent.
+    #[must_use]
+    pub fn infrequency_argument(self) -> &'static str {
+        match self {
+            SpeculativeDesign::DirectoryOrdering => {
+                "re-orderings are rare and most re-orderings do not matter"
+            }
+            SpeculativeDesign::SnoopingCornerCase => {
+                "writebacks do not often race with requests to write the block"
+            }
+            SpeculativeDesign::InterconnectDeadlock => {
+                "worst-case buffering requirements are rarely needed in practice"
+            }
+        }
+    }
+
+    /// Row (2) of Table 1: how mis-speculation is detected.
+    #[must_use]
+    pub fn detection_mechanism(self) -> &'static str {
+        match self {
+            SpeculativeDesign::DirectoryOrdering | SpeculativeDesign::SnoopingCornerCase => {
+                "one specific invalid transition in protocol controller"
+            }
+            SpeculativeDesign::InterconnectDeadlock => "timeout on cache coherence transaction",
+        }
+    }
+
+    /// Row (3) of Table 1: the recovery mechanism (SafetyNet for all three).
+    #[must_use]
+    pub fn recovery_mechanism(self) -> &'static str {
+        "SafetyNet"
+    }
+
+    /// Row (4) of Table 1: the forward-progress mechanism.
+    #[must_use]
+    pub fn forward_progress_mechanism(self) -> &'static str {
+        match self {
+            SpeculativeDesign::DirectoryOrdering => {
+                "selectively disable adaptive routing during re-execution"
+            }
+            SpeculativeDesign::SnoopingCornerCase => "slow-start execution after recovery",
+            SpeculativeDesign::InterconnectDeadlock => {
+                "slow-start execution after recovery, with sufficient buffering during slow-start"
+            }
+        }
+    }
+
+    /// The "Result" row of Table 1.
+    #[must_use]
+    pub fn result_claim(self) -> &'static str {
+        match self {
+            SpeculativeDesign::DirectoryOrdering => "simpler protocol with rare mis-speculations",
+            SpeculativeDesign::SnoopingCornerCase => {
+                "protocol almost never exercises corner case in practice"
+            }
+            SpeculativeDesign::InterconnectDeadlock => {
+                "simpler network incurs no deadlocks in practice"
+            }
+        }
+    }
+}
+
+/// The forward-progress mode a system is currently operating in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardProgressMode {
+    /// Normal, fully speculative operation.
+    Normal,
+    /// Adaptive routing disabled until the given cycle (directory design).
+    AdaptiveRoutingDisabled {
+        /// Cycle at which adaptive routing is re-enabled.
+        until: CycleDelta,
+    },
+    /// Slow-start: outstanding transactions restricted until the given cycle
+    /// (snooping and interconnect designs).
+    SlowStart {
+        /// Cycle at which normal concurrency resumes.
+        until: CycleDelta,
+        /// Maximum transactions outstanding while in slow-start.
+        max_outstanding: usize,
+    },
+}
+
+/// Measured characterization of one design, filled in by short simulations
+/// and printed by the Table 1 bench alongside the qualitative rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeasuredCharacterization {
+    /// Events that could have mis-speculated (e.g. messages on the ordered
+    /// virtual network, writebacks, transactions).
+    pub exposure_events: u64,
+    /// Mis-speculations actually detected.
+    pub misspeculations: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// Mean cost of a recovery in cycles (lost work + recovery latency).
+    pub mean_recovery_cost_cycles: f64,
+}
+
+impl MeasuredCharacterization {
+    /// Mis-speculations per exposure event (0 when there was no exposure).
+    #[must_use]
+    pub fn misspeculation_rate(&self) -> f64 {
+        if self.exposure_events == 0 {
+            0.0
+        } else {
+            self.misspeculations as f64 / self.exposure_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_have_distinct_descriptions() {
+        let titles: std::collections::HashSet<_> =
+            SpeculativeDesign::ALL.iter().map(|d| d.title()).collect();
+        assert_eq!(titles.len(), 3);
+        for d in SpeculativeDesign::ALL {
+            assert_eq!(d.recovery_mechanism(), "SafetyNet");
+            assert!(!d.infrequency_argument().is_empty());
+            assert!(!d.detection_mechanism().is_empty());
+            assert!(!d.forward_progress_mechanism().is_empty());
+            assert!(!d.result_claim().is_empty());
+        }
+    }
+
+    #[test]
+    fn detection_rows_match_table_1() {
+        assert_eq!(
+            SpeculativeDesign::DirectoryOrdering.detection_mechanism(),
+            SpeculativeDesign::SnoopingCornerCase.detection_mechanism()
+        );
+        assert!(SpeculativeDesign::InterconnectDeadlock
+            .detection_mechanism()
+            .contains("timeout"));
+    }
+
+    #[test]
+    fn misspeculation_rate_is_guarded_against_zero_exposure() {
+        let m = MeasuredCharacterization::default();
+        assert_eq!(m.misspeculation_rate(), 0.0);
+        let m = MeasuredCharacterization {
+            exposure_events: 1000,
+            misspeculations: 2,
+            ..Default::default()
+        };
+        assert!((m.misspeculation_rate() - 0.002).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # specsim
+//!
+//! The paper's primary contribution — **speculation for simplicity** — and
+//! the full-system simulator that evaluates it.
+//!
+//! The crate assembles the substrates (interconnect, coherence protocols,
+//! SafetyNet, workloads) into the two target machines of the paper:
+//!
+//! * [`DirectorySystem`] — the 16-node directory-protocol machine of
+//!   Sections 3.1 and 4 (2D torus, MOSI directory protocol, SafetyNet), with
+//!   configuration presets for the speculative design (adaptive routing +
+//!   reliance on point-to-point ordering), the conventional baseline, and the
+//!   simplified interconnect (shared buffers, no virtual channels);
+//! * [`SnoopingSystem`] — the broadcast-snooping machine of Section 3.2
+//!   (totally ordered address network, MOSI snooping protocol, SafetyNet).
+//!
+//! On top of the two systems, [`experiments`] implements the paper's
+//! evaluation: the recovery-rate stress test (Figure 4), the static-versus-
+//! adaptive routing comparison (Figure 5), the message-reordering statistics,
+//! the snooping corner-case study and the interconnect buffer sweep, together
+//! with the multi-run perturbation methodology (means and one-standard-
+//! deviation error bars) of Section 5.2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod dirsys;
+pub mod experiments;
+pub mod framework;
+pub mod metrics;
+pub mod snoopsys;
+
+pub use config::{ForwardProgressConfig, SystemConfig};
+pub use dirsys::DirectorySystem;
+pub use framework::{ForwardProgressMode, MeasuredCharacterization, SpeculativeDesign};
+pub use metrics::RunMetrics;
+pub use snoopsys::{SnoopSystemConfig, SnoopingSystem};

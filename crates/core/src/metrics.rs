@@ -1,0 +1,185 @@
+//! Run-level metrics and normalized-performance accounting.
+
+use specsim_base::Cycle;
+use specsim_coherence::MisSpecKind;
+use specsim_net::VirtualNetwork;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Simulated cycles executed.
+    pub cycles: Cycle,
+    /// Memory operations completed across all processors (committed work;
+    /// work rolled back by recoveries is not counted).
+    pub ops_completed: u64,
+    /// Completed loads.
+    pub loads: u64,
+    /// Completed stores.
+    pub stores: u64,
+    /// Demand misses (coherence transactions started).
+    pub misses: u64,
+    /// Total cycles processors spent waiting on misses.
+    pub miss_wait_cycles: u64,
+    /// Coherence protocol messages delivered by the interconnect.
+    pub messages_delivered: u64,
+    /// Messages delivered per virtual network.
+    pub delivered_per_vnet: [u64; 4],
+    /// Messages delivered out of point-to-point order per virtual network.
+    pub reordered_per_vnet: [u64; 4],
+    /// Mean link utilization over the run (0..1).
+    pub link_utilization: f64,
+    /// Mis-speculations detected, by kind.
+    pub misspeculations: Vec<(MisSpecKind, u64)>,
+    /// Recoveries triggered by detected mis-speculations.
+    pub recoveries: u64,
+    /// Recoveries injected artificially (the Figure 4 stress test).
+    pub injected_recoveries: u64,
+    /// Cycles of speculative work discarded by recoveries.
+    pub lost_work_cycles: u64,
+    /// Cycles spent in the recovery procedure itself.
+    pub recovery_latency_cycles: u64,
+    /// SafetyNet checkpoints taken.
+    pub checkpoints: u64,
+    /// SafetyNet log entries recorded.
+    pub log_entries: u64,
+    /// Cycles any node spent stalled on a full SafetyNet log.
+    pub log_stall_cycles: u64,
+    /// Address-network requests ordered (snooping system only).
+    pub bus_requests: u64,
+}
+
+impl RunMetrics {
+    /// Work throughput: completed memory operations per kilo-cycle. This is
+    /// the quantity the "normalized performance" figures compare.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops_completed as f64 * 1000.0 / self.cycles as f64
+        }
+    }
+
+    /// This run's performance normalized to a baseline run (baseline = 1.0).
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &RunMetrics) -> f64 {
+        let b = baseline.throughput();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.throughput() / b
+        }
+    }
+
+    /// Total recoveries (detected plus injected).
+    #[must_use]
+    pub fn total_recoveries(&self) -> u64 {
+        self.recoveries + self.injected_recoveries
+    }
+
+    /// Fraction of messages on a virtual network that were delivered out of
+    /// point-to-point order.
+    #[must_use]
+    pub fn reorder_fraction(&self, vnet: VirtualNetwork) -> f64 {
+        let d = self.delivered_per_vnet[vnet.index()];
+        if d == 0 {
+            0.0
+        } else {
+            self.reordered_per_vnet[vnet.index()] as f64 / d as f64
+        }
+    }
+
+    /// Fraction of all messages delivered out of order.
+    #[must_use]
+    pub fn total_reorder_fraction(&self) -> f64 {
+        let d: u64 = self.delivered_per_vnet.iter().sum();
+        let r: u64 = self.reordered_per_vnet.iter().sum();
+        if d == 0 {
+            0.0
+        } else {
+            r as f64 / d as f64
+        }
+    }
+
+    /// Count of mis-speculations of a given kind.
+    #[must_use]
+    pub fn misspeculations_of(&self, kind: MisSpecKind) -> u64 {
+        self.misspeculations
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Records one detected mis-speculation.
+    pub fn count_misspeculation(&mut self, kind: MisSpecKind) {
+        if let Some(entry) = self.misspeculations.iter_mut().find(|(k, _)| *k == kind) {
+            entry.1 += 1;
+        } else {
+            self.misspeculations.push((kind, 1));
+        }
+    }
+
+    /// Mean demand-miss latency in cycles.
+    #[must_use]
+    pub fn mean_miss_latency(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.miss_wait_cycles as f64 / self.misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_normalization() {
+        let base = RunMetrics {
+            cycles: 1_000,
+            ops_completed: 500,
+            ..RunMetrics::default()
+        };
+        let slower = RunMetrics {
+            cycles: 1_000,
+            ops_completed: 400,
+            ..RunMetrics::default()
+        };
+        assert!((base.throughput() - 500.0).abs() < 1e-12);
+        assert!((slower.normalized_to(&base) - 0.8).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().throughput(), 0.0);
+        assert_eq!(base.normalized_to(&RunMetrics::default()), 0.0);
+    }
+
+    #[test]
+    fn reorder_fractions() {
+        let mut m = RunMetrics::default();
+        m.delivered_per_vnet[VirtualNetwork::ForwardedRequest.index()] = 1000;
+        m.reordered_per_vnet[VirtualNetwork::ForwardedRequest.index()] = 2;
+        m.delivered_per_vnet[VirtualNetwork::Response.index()] = 1000;
+        assert!((m.reorder_fraction(VirtualNetwork::ForwardedRequest) - 0.002).abs() < 1e-12);
+        assert_eq!(m.reorder_fraction(VirtualNetwork::Response), 0.0);
+        assert!((m.total_reorder_fraction() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misspeculation_counting() {
+        let mut m = RunMetrics::default();
+        m.count_misspeculation(MisSpecKind::TransactionTimeout);
+        m.count_misspeculation(MisSpecKind::TransactionTimeout);
+        m.count_misspeculation(MisSpecKind::ForwardedRequestToInvalidCache);
+        assert_eq!(m.misspeculations_of(MisSpecKind::TransactionTimeout), 2);
+        assert_eq!(m.misspeculations_of(MisSpecKind::ForwardedRequestToInvalidCache), 1);
+        assert_eq!(m.misspeculations_of(MisSpecKind::WritebackDoubleRace), 0);
+    }
+
+    #[test]
+    fn mean_miss_latency_guarded_against_zero() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.mean_miss_latency(), 0.0);
+        m.misses = 10;
+        m.miss_wait_cycles = 5000;
+        assert!((m.mean_miss_latency() - 500.0).abs() < 1e-12);
+    }
+}

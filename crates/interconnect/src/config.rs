@@ -1,0 +1,426 @@
+//! Network configuration and buffer layout.
+
+use specsim_base::{CycleDelta, FlowControl, LinkBandwidth, RoutingPolicy};
+
+use crate::packet::VirtualNetwork;
+use crate::topology::Direction;
+
+/// Configuration of one interconnection network instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of nodes / switches (must be a perfect square).
+    pub num_nodes: usize,
+    /// Routing policy (static dimension-order or minimal adaptive).
+    pub routing: RoutingPolicy,
+    /// Deadlock-avoidance strategy (virtual channels, shared buffers, or
+    /// worst-case buffering).
+    pub flow_control: FlowControl,
+    /// Link bandwidth, which sets per-message serialization time.
+    pub link_bandwidth: LinkBandwidth,
+    /// Per-hop switch pipeline latency in cycles.
+    pub switch_latency: CycleDelta,
+    /// Depth (in messages) of each virtual-channel buffer in
+    /// [`FlowControl::VirtualChannels`] mode.
+    pub vc_buffer_depth: usize,
+    /// Depth of each endpoint ejection queue (per virtual network in VC mode,
+    /// shared in shared-buffer mode).
+    pub ejection_queue_depth: usize,
+    /// Depth of each endpoint injection queue.
+    pub injection_queue_depth: usize,
+}
+
+impl NetConfig {
+    /// A configuration mirroring the paper's conventional (non-speculative)
+    /// interconnect: 16 nodes, static dimension-order routing, four virtual
+    /// networks with two virtual channels each.
+    #[must_use]
+    pub fn conventional(num_nodes: usize, link_bandwidth: LinkBandwidth) -> Self {
+        Self {
+            num_nodes,
+            routing: RoutingPolicy::Static,
+            flow_control: FlowControl::VirtualChannels {
+                channels_per_network: 2,
+            },
+            link_bandwidth,
+            switch_latency: 8,
+            vc_buffer_depth: 4,
+            ejection_queue_depth: 8,
+            injection_queue_depth: 8,
+        }
+    }
+
+    /// The speculatively simplified interconnect of Section 4: adaptive
+    /// routing, no virtual channels or networks, a single shared buffer pool
+    /// of `buffers_per_port` messages at every switch port and endpoint.
+    #[must_use]
+    pub fn speculative(
+        num_nodes: usize,
+        link_bandwidth: LinkBandwidth,
+        buffers_per_port: usize,
+    ) -> Self {
+        Self {
+            num_nodes,
+            routing: RoutingPolicy::Adaptive,
+            flow_control: FlowControl::SharedBuffers { buffers_per_port },
+            link_bandwidth,
+            switch_latency: 8,
+            vc_buffer_depth: buffers_per_port,
+            ejection_queue_depth: buffers_per_port,
+            injection_queue_depth: buffers_per_port,
+        }
+    }
+
+    /// The worst-case-buffering baseline of Section 5.3 (no virtual channels,
+    /// buffers that can never fill), with a choice of routing policy. Also
+    /// used (per footnote 1 of the paper) for the directory-protocol
+    /// experiments, which "simplistically avoid deadlock with full buffering"
+    /// to isolate the effect of adaptive routing.
+    #[must_use]
+    pub fn full_buffering(
+        num_nodes: usize,
+        link_bandwidth: LinkBandwidth,
+        routing: RoutingPolicy,
+    ) -> Self {
+        Self {
+            num_nodes,
+            routing,
+            flow_control: FlowControl::WorstCaseBuffering,
+            link_bandwidth,
+            switch_latency: 8,
+            vc_buffer_depth: 4,
+            ejection_queue_depth: 8,
+            injection_queue_depth: 8,
+        }
+    }
+
+    /// The buffer layout implied by this configuration.
+    #[must_use]
+    pub(crate) fn layout(&self) -> BufferLayout {
+        match self.flow_control {
+            FlowControl::VirtualChannels {
+                channels_per_network,
+            } => {
+                // Deadlock-free adaptive routing needs at least one extra
+                // (adaptive) channel on top of the two escape channels
+                // (Duato); the conventional static configuration needs two
+                // (dateline) channels.
+                let vcs = match self.routing {
+                    RoutingPolicy::Static => channels_per_network.max(2),
+                    RoutingPolicy::Adaptive => channels_per_network.max(3),
+                };
+                BufferLayout::PerVirtualChannel {
+                    channels_per_network: vcs,
+                    depth: self.vc_buffer_depth,
+                    ejection_depth: self.ejection_queue_depth,
+                    injection_depth: self.injection_queue_depth,
+                }
+            }
+            FlowControl::SharedBuffers { buffers_per_port } => BufferLayout::Shared {
+                depth: buffers_per_port,
+                ejection_depth: self.ejection_queue_depth,
+                injection_depth: self.injection_queue_depth,
+            },
+            FlowControl::WorstCaseBuffering => BufferLayout::Unbounded,
+        }
+    }
+}
+
+/// How switch-port buffering is organised; derived from
+/// [`NetConfig::flow_control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BufferLayout {
+    /// One buffer per (virtual network, virtual channel) pair at every port.
+    PerVirtualChannel {
+        channels_per_network: usize,
+        depth: usize,
+        ejection_depth: usize,
+        injection_depth: usize,
+    },
+    /// One shared buffer per port; every message class competes for it.
+    Shared {
+        depth: usize,
+        ejection_depth: usize,
+        injection_depth: usize,
+    },
+    /// One unbounded buffer per port (worst-case buffering).
+    Unbounded,
+}
+
+/// Index of the escape virtual channel used before a packet crosses the
+/// dateline of a ring.
+pub(crate) const ESCAPE_VC_LOW: usize = 0;
+/// Index of the escape virtual channel used after a packet crosses the
+/// dateline of a ring.
+pub(crate) const ESCAPE_VC_HIGH: usize = 1;
+/// Index of the fully adaptive virtual channel (Duato's scheme).
+pub(crate) const ADAPTIVE_VC: usize = 2;
+
+impl BufferLayout {
+    /// Number of buffers at each switch input port.
+    pub(crate) fn buffers_per_port(&self) -> usize {
+        match self {
+            BufferLayout::PerVirtualChannel {
+                channels_per_network,
+                ..
+            } => 4 * channels_per_network,
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 1,
+        }
+    }
+
+    /// Capacity of each switch-port buffer (`None` = unbounded).
+    pub(crate) fn buffer_capacity(&self) -> Option<usize> {
+        match self {
+            BufferLayout::PerVirtualChannel { depth, .. } => Some(*depth),
+            BufferLayout::Shared { depth, .. } => Some(*depth),
+            BufferLayout::Unbounded => None,
+        }
+    }
+
+    /// Number of ejection queues per endpoint.
+    pub(crate) fn ejection_queues(&self) -> usize {
+        match self {
+            BufferLayout::PerVirtualChannel { .. } => 4,
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 1,
+        }
+    }
+
+    /// Capacity of each ejection queue (`None` = unbounded).
+    pub(crate) fn ejection_capacity(&self) -> Option<usize> {
+        match self {
+            BufferLayout::PerVirtualChannel { ejection_depth, .. } => Some(*ejection_depth),
+            BufferLayout::Shared { ejection_depth, .. } => Some(*ejection_depth),
+            BufferLayout::Unbounded => None,
+        }
+    }
+
+    /// Capacity of each injection queue (`None` = unbounded).
+    pub(crate) fn injection_capacity(&self) -> Option<usize> {
+        match self {
+            BufferLayout::PerVirtualChannel {
+                injection_depth, ..
+            } => Some(*injection_depth),
+            BufferLayout::Shared {
+                injection_depth, ..
+            } => Some(*injection_depth),
+            BufferLayout::Unbounded => None,
+        }
+    }
+
+    /// Number of virtual channels per virtual network (1 when buffers are
+    /// shared).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn channels_per_network(&self) -> usize {
+        match self {
+            BufferLayout::PerVirtualChannel {
+                channels_per_network,
+                ..
+            } => *channels_per_network,
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 1,
+        }
+    }
+
+    /// The ejection queue a delivered packet of class `vnet` is placed in.
+    pub(crate) fn ejection_index(&self, vnet: VirtualNetwork) -> usize {
+        match self {
+            BufferLayout::PerVirtualChannel { .. } => vnet.index(),
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 0,
+        }
+    }
+
+    /// Port-buffer index for a packet of class `vnet` on virtual channel
+    /// `vc`.
+    pub(crate) fn buffer_index(&self, vnet: VirtualNetwork, vc: usize) -> usize {
+        match self {
+            BufferLayout::PerVirtualChannel {
+                channels_per_network,
+                ..
+            } => {
+                debug_assert!(vc < *channels_per_network);
+                vnet.index() * channels_per_network + vc
+            }
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 0,
+        }
+    }
+
+    /// The virtual channel encoded by a port-buffer index.
+    pub(crate) fn vc_of_buffer(&self, buffer_index: usize) -> usize {
+        match self {
+            BufferLayout::PerVirtualChannel {
+                channels_per_network,
+                ..
+            } => buffer_index % channels_per_network,
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 0,
+        }
+    }
+
+    /// The buffer a newly injected packet of class `vnet` starts in (escape
+    /// channel 0 in VC mode; the shared buffer otherwise).
+    pub(crate) fn injection_buffer_index(&self, vnet: VirtualNetwork) -> usize {
+        self.buffer_index(vnet, ESCAPE_VC_LOW)
+    }
+
+    /// The downstream buffer index for a hop, implementing dateline
+    /// virtual-channel allocation plus Duato's adaptive channel.
+    ///
+    /// * `vnet` — the packet's message class (virtual network);
+    /// * `current_vc` — the virtual channel the packet occupies at the
+    ///   current switch;
+    /// * `incoming` — the port the packet arrived on at the current switch
+    ///   (`Local` for freshly injected packets);
+    /// * `outgoing` — the chosen output direction;
+    /// * `crosses_dateline` — whether this hop crosses the ring's wrap-around
+    ///   edge;
+    /// * `use_adaptive_channel` — whether the routing decision chose the
+    ///   fully adaptive channel (only meaningful with ≥ 3 VCs).
+    pub(crate) fn next_buffer_index(
+        &self,
+        vnet: VirtualNetwork,
+        current_vc: usize,
+        incoming: Direction,
+        outgoing: Direction,
+        crosses_dateline: bool,
+        use_adaptive_channel: bool,
+    ) -> usize {
+        match self {
+            BufferLayout::Shared { .. } | BufferLayout::Unbounded => 0,
+            BufferLayout::PerVirtualChannel {
+                channels_per_network,
+                ..
+            } => {
+                let vc = if use_adaptive_channel && *channels_per_network > ADAPTIVE_VC {
+                    ADAPTIVE_VC
+                } else {
+                    // Escape (dateline) channels. Staying within the same
+                    // dimension keeps the current escape channel unless this
+                    // hop crosses the dateline; entering a new dimension (or
+                    // leaving the injection port, or leaving the adaptive
+                    // channel) restarts at the low escape channel, again
+                    // unless the very first hop crosses the dateline.
+                    let same_dimension = incoming != Direction::Local
+                        && incoming.is_x() == outgoing.is_x()
+                        && current_vc < ADAPTIVE_VC;
+                    let base = if same_dimension {
+                        current_vc
+                    } else {
+                        ESCAPE_VC_LOW
+                    };
+                    if crosses_dateline || base == ESCAPE_VC_HIGH {
+                        ESCAPE_VC_HIGH
+                    } else {
+                        ESCAPE_VC_LOW
+                    }
+                };
+                self.buffer_index(vnet, vc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specsim_base::LinkBandwidth;
+
+    #[test]
+    fn conventional_layout_has_eight_vcs_per_port() {
+        let cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
+        let layout = cfg.layout();
+        assert_eq!(layout.buffers_per_port(), 8); // 4 VNs x 2 VCs
+        assert_eq!(layout.ejection_queues(), 4);
+        assert_eq!(layout.channels_per_network(), 2);
+    }
+
+    #[test]
+    fn adaptive_with_vcs_gets_an_extra_channel() {
+        let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
+        cfg.routing = RoutingPolicy::Adaptive;
+        let layout = cfg.layout();
+        // Section 4: "To provide deadlock freedom with adaptive routing
+        // requires at least one additional virtual channel."
+        assert_eq!(layout.channels_per_network(), 3);
+        assert_eq!(layout.buffers_per_port(), 12);
+    }
+
+    #[test]
+    fn speculative_layout_is_one_shared_buffer() {
+        let cfg = NetConfig::speculative(16, LinkBandwidth::MB_400, 16);
+        let layout = cfg.layout();
+        assert_eq!(layout.buffers_per_port(), 1);
+        assert_eq!(layout.buffer_capacity(), Some(16));
+        assert_eq!(layout.ejection_queues(), 1);
+        assert_eq!(
+            layout.ejection_index(VirtualNetwork::Response),
+            layout.ejection_index(VirtualNetwork::Request)
+        );
+    }
+
+    #[test]
+    fn worst_case_layout_is_unbounded() {
+        let cfg = NetConfig::full_buffering(16, LinkBandwidth::MB_400, RoutingPolicy::Adaptive);
+        let layout = cfg.layout();
+        assert_eq!(layout.buffer_capacity(), None);
+        assert_eq!(layout.ejection_capacity(), None);
+        assert_eq!(layout.injection_capacity(), None);
+    }
+
+    #[test]
+    fn buffer_index_roundtrips_vc() {
+        let layout = BufferLayout::PerVirtualChannel {
+            channels_per_network: 3,
+            depth: 4,
+            ejection_depth: 8,
+            injection_depth: 8,
+        };
+        for vn in crate::packet::ALL_VIRTUAL_NETWORKS {
+            for vc in 0..3 {
+                let idx = layout.buffer_index(vn, vc);
+                assert_eq!(layout.vc_of_buffer(idx), vc);
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_allocation_switches_to_high_channel() {
+        let layout = BufferLayout::PerVirtualChannel {
+            channels_per_network: 2,
+            depth: 4,
+            ejection_depth: 8,
+            injection_depth: 8,
+        };
+        let vn = VirtualNetwork::Request;
+        // First hop in a dimension without crossing the dateline stays low.
+        let idx = layout.next_buffer_index(vn, 0, Direction::Local, Direction::East, false, false);
+        assert_eq!(layout.vc_of_buffer(idx), ESCAPE_VC_LOW);
+        // Crossing the dateline moves to the high channel.
+        let idx = layout.next_buffer_index(vn, 0, Direction::West, Direction::East, true, false);
+        assert_eq!(layout.vc_of_buffer(idx), ESCAPE_VC_HIGH);
+        // Once on the high channel, later hops in the same dimension stay high.
+        let idx = layout.next_buffer_index(vn, 1, Direction::West, Direction::East, false, false);
+        assert_eq!(layout.vc_of_buffer(idx), ESCAPE_VC_HIGH);
+        // Turning into a new dimension resets to the low channel.
+        let idx = layout.next_buffer_index(vn, 1, Direction::West, Direction::North, false, false);
+        assert_eq!(layout.vc_of_buffer(idx), ESCAPE_VC_LOW);
+    }
+
+    #[test]
+    fn adaptive_channel_used_when_requested_and_available() {
+        let layout = BufferLayout::PerVirtualChannel {
+            channels_per_network: 3,
+            depth: 4,
+            ejection_depth: 8,
+            injection_depth: 8,
+        };
+        let vn = VirtualNetwork::Response;
+        let idx = layout.next_buffer_index(vn, 0, Direction::Local, Direction::East, true, true);
+        assert_eq!(layout.vc_of_buffer(idx), ADAPTIVE_VC);
+        // With only two channels the request is ignored and escape rules apply.
+        let layout2 = BufferLayout::PerVirtualChannel {
+            channels_per_network: 2,
+            depth: 4,
+            ejection_depth: 8,
+            injection_depth: 8,
+        };
+        let idx = layout2.next_buffer_index(vn, 0, Direction::Local, Direction::East, true, true);
+        assert_eq!(layout2.vc_of_buffer(idx), ESCAPE_VC_HIGH);
+    }
+}

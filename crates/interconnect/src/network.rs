@@ -1,0 +1,762 @@
+//! The assembled torus network: injection, cycle-by-cycle switching,
+//! delivery, ordering accounting and recovery draining.
+
+use specsim_base::{Cycle, CycleDelta, MessageSize, MsgQueue, NodeId, RoutingPolicy};
+
+use crate::config::{BufferLayout, NetConfig};
+use crate::deadlock::ProgressWatchdog;
+use crate::ordering::OrderingTracker;
+use crate::packet::{Packet, VirtualNetwork};
+use crate::routing::route_candidates;
+use crate::stats::NetStats;
+use crate::switch::{InTransit, Switch};
+use crate::topology::{Direction, Torus, LINK_DIRECTIONS};
+
+/// Ports of a switch in index order (the four link directions plus Local).
+const ALL_PORTS: [Direction; 5] = [
+    Direction::East,
+    Direction::West,
+    Direction::North,
+    Direction::South,
+    Direction::Local,
+];
+
+/// Error returned by [`Network::inject`] when the source injection queue is
+/// full; carries the payload back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectError<P>(pub P);
+
+/// A planned packet movement inside one switch, produced by the read-only
+/// planning pass and executed by the mutating pass.
+#[derive(Debug, Clone, Copy)]
+struct MoveDecision {
+    buffer: usize,
+    action: MoveAction,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MoveAction {
+    Eject {
+        queue: usize,
+    },
+    Forward {
+        dir: Direction,
+        target_buffer: usize,
+        serialization: CycleDelta,
+    },
+}
+
+/// A 2D-torus interconnection network carrying packets with payload type `P`.
+///
+/// The network is advanced by calling [`Network::tick`] once per cycle.
+/// Endpoints interact with it only through [`Network::inject`] and the
+/// ejection-queue accessors; everything in between (switch arbitration, link
+/// serialization, virtual-channel flow control, routing) is internal.
+#[derive(Debug, Clone)]
+pub struct Network<P> {
+    torus: Torus,
+    cfg: NetConfig,
+    layout: BufferLayout,
+    routing: RoutingPolicy,
+    switches: Vec<Switch<P>>,
+    eject: Vec<Vec<MsgQueue<Packet<P>>>>,
+    eject_rr: Vec<usize>,
+    ordering: OrderingTracker,
+    stats: NetStats,
+    watchdog: ProgressWatchdog,
+    in_flight: usize,
+}
+
+impl<P> Network<P> {
+    /// Builds a network from a configuration.
+    #[must_use]
+    pub fn new(cfg: NetConfig) -> Self {
+        let torus = Torus::new(cfg.num_nodes);
+        let layout = cfg.layout();
+        let switches = (0..cfg.num_nodes)
+            .map(|i| Switch::new(NodeId::from(i), &layout))
+            .collect();
+        let eject = (0..cfg.num_nodes)
+            .map(|_| {
+                (0..layout.ejection_queues())
+                    .map(|_| match layout.ejection_capacity() {
+                        Some(c) => MsgQueue::bounded(c),
+                        None => MsgQueue::unbounded(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let num_links = 4 * cfg.num_nodes;
+        let routing = cfg.routing;
+        Self {
+            torus,
+            layout,
+            routing,
+            switches,
+            eject,
+            eject_rr: vec![0; cfg.num_nodes],
+            ordering: OrderingTracker::new(),
+            stats: NetStats::new(num_links),
+            watchdog: ProgressWatchdog::new(10_000),
+            in_flight: 0,
+            cfg,
+        }
+    }
+
+    /// Number of nodes (and switches).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.cfg.num_nodes
+    }
+
+    /// The topology object (for distance queries in tests and experiments).
+    #[must_use]
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The routing policy currently in force.
+    #[must_use]
+    pub fn routing(&self) -> RoutingPolicy {
+        self.routing
+    }
+
+    /// Changes the routing policy at runtime. This is the forward-progress
+    /// knob of Section 3.1: after a recovery the system "selectively
+    /// disable[s] adaptive routing during re-execution".
+    pub fn set_routing(&mut self, routing: RoutingPolicy) {
+        self.routing = routing;
+    }
+
+    /// True when a packet of class `vnet` can be injected at `src` this
+    /// cycle.
+    #[must_use]
+    pub fn can_inject(&self, src: NodeId, vnet: VirtualNetwork) -> bool {
+        let b = self.layout.injection_buffer_index(vnet);
+        self.switches[src.index()].ports[Direction::Local.index()].buffers[b].has_space()
+    }
+
+    /// Injects a packet. On success the packet is stamped with a sequence
+    /// number and queued at the source switch's local port; on failure the
+    /// payload is returned so the caller can retry later.
+    pub fn inject(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        vnet: VirtualNetwork,
+        size: MessageSize,
+        payload: P,
+    ) -> Result<(), InjectError<P>> {
+        if !self.can_inject(src, vnet) {
+            self.stats.injection_rejects.incr();
+            return Err(InjectError(payload));
+        }
+        let seq = self.ordering.stamp(src, dst, vnet);
+        let packet = Packet {
+            src,
+            dst,
+            vnet,
+            size,
+            seq,
+            injected_at: now,
+            payload,
+        };
+        let b = self.layout.injection_buffer_index(vnet);
+        self.switches[src.index()].ports[Direction::Local.index()].buffers[b]
+            .queue
+            .push(packet)
+            .unwrap_or_else(|_| panic!("injection space was checked"));
+        self.stats.injected.incr();
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Advances the network by one cycle: first delivers link arrivals into
+    /// downstream buffers, then lets every switch forward up to one packet
+    /// per input port.
+    pub fn tick(&mut self, now: Cycle) {
+        self.deliver_phase(now);
+        self.forward_phase(now);
+    }
+
+    /// Messages currently inside the network fabric (injected but not yet
+    /// placed in an ejection queue).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Total messages waiting in `node`'s ejection queues.
+    #[must_use]
+    pub fn ejection_len(&self, node: NodeId) -> usize {
+        self.eject[node.index()].iter().map(MsgQueue::len).sum()
+    }
+
+    /// Removes the next packet from `node`'s ejection queue for a specific
+    /// virtual network (meaningful in virtual-channel mode; in shared-buffer
+    /// mode all classes share one queue and this behaves like
+    /// [`Network::eject_any`]).
+    pub fn eject_from(&mut self, node: NodeId, vnet: VirtualNetwork) -> Option<Packet<P>> {
+        let q = self.layout.ejection_index(vnet);
+        self.eject[node.index()][q].pop()
+    }
+
+    /// Peeks the next packet that [`Network::eject_from`] would return.
+    #[must_use]
+    pub fn peek_from(&self, node: NodeId, vnet: VirtualNetwork) -> Option<&Packet<P>> {
+        let q = self.layout.ejection_index(vnet);
+        self.eject[node.index()][q].peek()
+    }
+
+    /// Removes the next packet from any of `node`'s ejection queues,
+    /// rotating across queues for fairness.
+    pub fn eject_any(&mut self, node: NodeId) -> Option<Packet<P>> {
+        let i = node.index();
+        let n = self.eject[i].len();
+        for k in 0..n {
+            let q = (self.eject_rr[i] + k) % n;
+            if let Some(p) = self.eject[i][q].pop() {
+                self.eject_rr[i] = (q + 1) % n;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Peeks the packet at the head of `node`'s single shared ejection queue
+    /// (shared-buffer / worst-case modes). In virtual-channel mode this peeks
+    /// the queue that the fairness rotation would serve next.
+    #[must_use]
+    pub fn peek_any(&self, node: NodeId) -> Option<&Packet<P>> {
+        let i = node.index();
+        let n = self.eject[i].len();
+        (0..n)
+            .map(|k| (self.eject_rr[i] + k) % n)
+            .find_map(|q| self.eject[i][q].peek())
+    }
+
+    /// Network statistics.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Point-to-point ordering statistics.
+    #[must_use]
+    pub fn ordering(&self) -> &OrderingTracker {
+        &self.ordering
+    }
+
+    /// Mean utilization across every unidirectional link over `[0, now]`.
+    #[must_use]
+    pub fn mean_link_utilization(&self, now: Cycle) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .switches
+            .iter()
+            .flat_map(|s| s.links.iter())
+            .map(|l| l.util.busy_cycles())
+            .sum();
+        let links = (4 * self.num_nodes()) as f64;
+        (busy as f64 / (links * now as f64)).clamp(0.0, 1.0)
+    }
+
+    /// True when the fabric holds messages but none has moved for the
+    /// watchdog threshold (a deadlock or a complete endpoint stall).
+    #[must_use]
+    pub fn is_stalled(&self, now: Cycle) -> bool {
+        self.watchdog.is_stalled(now, self.in_flight)
+    }
+
+    /// Sets how many quiet cycles the progress watchdog tolerates before
+    /// reporting a stall.
+    pub fn set_stall_threshold(&mut self, threshold: u64) {
+        self.watchdog = ProgressWatchdog::new(threshold);
+    }
+
+    /// Total messages queued at each switch (diagnostic snapshot).
+    #[must_use]
+    pub fn occupancy_snapshot(&self) -> Vec<usize> {
+        self.switches.iter().map(Switch::occupancy).collect()
+    }
+
+    /// Drops every message in the fabric and the ejection queues (recovery
+    /// drain; SafetyNet rollback discards all in-flight coherence messages).
+    /// Returns the number of messages dropped.
+    pub fn drain(&mut self, now: Cycle) -> usize {
+        let mut dropped = 0;
+        for sw in &mut self.switches {
+            dropped += sw.clear();
+        }
+        for queues in &mut self.eject {
+            for q in queues {
+                dropped += q.len();
+                q.clear();
+            }
+        }
+        self.in_flight = 0;
+        self.watchdog.reset(now);
+        dropped
+    }
+
+    fn deliver_phase(&mut self, now: Cycle) {
+        for i in 0..self.switches.len() {
+            for d in LINK_DIRECTIONS {
+                let di = d.index();
+                let node = self.switches[i].node;
+                let j = self.torus.neighbor(node, d).index();
+                let opp = d.opposite().index();
+                loop {
+                    let ready = matches!(
+                        self.switches[i].links[di].in_transit.front(),
+                        Some(t) if t.arrival <= now
+                    );
+                    if !ready {
+                        break;
+                    }
+                    let InTransit {
+                        target_buffer,
+                        packet,
+                        ..
+                    } = self.switches[i].links[di].in_transit.pop_front().unwrap();
+                    self.switches[j].ports[opp].buffers[target_buffer].accept_reserved(packet);
+                    self.watchdog.record_progress(now);
+                }
+            }
+        }
+    }
+
+    fn forward_phase(&mut self, now: Cycle) {
+        let n = self.switches.len();
+        let rotation = (now as usize) % n.max(1);
+        for k in 0..n {
+            let i = (k + rotation) % n;
+            self.forward_switch(i, now);
+        }
+    }
+
+    fn forward_switch(&mut self, i: usize, now: Cycle) {
+        let start_port = self.switches[i].rr_port;
+        for pk in 0..ALL_PORTS.len() {
+            let p = (start_port + pk) % ALL_PORTS.len();
+            if let Some(decision) = self.plan_port_move(i, p, now) {
+                self.apply_move(i, p, decision, now);
+            }
+        }
+        self.switches[i].rr_port = (start_port + 1) % ALL_PORTS.len();
+    }
+
+    /// Read-only pass: decide which (if any) packet of input port `p` of
+    /// switch `i` can move this cycle, and where to.
+    fn plan_port_move(&self, i: usize, p: usize, now: Cycle) -> Option<MoveDecision> {
+        let sw = &self.switches[i];
+        let port = &sw.ports[p];
+        let nb = port.buffers.len();
+        let incoming = ALL_PORTS[p];
+        for bk in 0..nb {
+            let b = (port.rr_next + bk) % nb;
+            let Some(pkt) = port.buffers[b].queue.peek() else {
+                continue;
+            };
+            // Local delivery.
+            if pkt.dst == sw.node {
+                let q = self.layout.ejection_index(pkt.vnet);
+                if !self.eject[i][q].is_full() {
+                    return Some(MoveDecision {
+                        buffer: b,
+                        action: MoveAction::Eject { queue: q },
+                    });
+                }
+                continue; // head blocked on ejection space; try other buffers
+            }
+            // Congestion metric per direction: messages on the link, link
+            // busy flag, and occupancy of the downstream input port.
+            let mut congestion = [0usize; 4];
+            for d in LINK_DIRECTIONS {
+                let di = d.index();
+                let j = self.torus.neighbor(sw.node, d).index();
+                let opp = d.opposite().index();
+                congestion[di] = sw.links[di].in_transit.len()
+                    + usize::from(!sw.links[di].is_free(now))
+                    + self.switches[j].ports[opp].occupancy();
+            }
+            let cands = route_candidates(&self.torus, self.routing, sw.node, pkt.dst, &congestion);
+            let current_vc = self.layout.vc_of_buffer(b);
+            let serialization = self.cfg.link_bandwidth.serialization_cycles(pkt.bytes());
+
+            let try_hop = |dir: Direction, use_adaptive: bool| -> Option<MoveDecision> {
+                let di = dir.index();
+                if !sw.links[di].is_free(now) {
+                    return None;
+                }
+                let crosses = self.torus.crosses_dateline(sw.node, dir);
+                let j = self.torus.neighbor(sw.node, dir).index();
+                let opp = dir.opposite().index();
+                let tb = self.layout.next_buffer_index(
+                    pkt.vnet,
+                    current_vc,
+                    incoming,
+                    dir,
+                    crosses,
+                    use_adaptive,
+                );
+                if self.switches[j].ports[opp].buffers[tb].has_space() {
+                    Some(MoveDecision {
+                        buffer: b,
+                        action: MoveAction::Forward {
+                            dir,
+                            target_buffer: tb,
+                            serialization,
+                        },
+                    })
+                } else {
+                    None
+                }
+            };
+
+            if cands.adaptive {
+                // Duato's scheme: prefer the fully adaptive channel on any
+                // productive direction (least congested first) and fall back
+                // to the escape (dimension-order, dateline) channel.
+                for &dir in &cands.directions {
+                    if let Some(m) = try_hop(dir, true) {
+                        return Some(m);
+                    }
+                }
+                let dor = self.torus.dimension_order_direction(sw.node, pkt.dst);
+                if let Some(m) = try_hop(dor, false) {
+                    return Some(m);
+                }
+            } else {
+                for &dir in &cands.directions {
+                    if dir == Direction::Local {
+                        break;
+                    }
+                    if let Some(m) = try_hop(dir, false) {
+                        return Some(m);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Mutating pass: execute a planned move.
+    fn apply_move(&mut self, i: usize, p: usize, decision: MoveDecision, now: Cycle) {
+        match decision.action {
+            MoveAction::Eject { queue } => {
+                let pkt = self.switches[i].ports[p].buffers[decision.buffer]
+                    .queue
+                    .pop()
+                    .expect("planned packet vanished");
+                let latency = now.saturating_sub(pkt.injected_at);
+                self.ordering
+                    .observe_delivery(pkt.src, pkt.dst, pkt.vnet, pkt.seq);
+                self.stats.record_delivery(pkt.vnet, latency);
+                self.eject[i][queue]
+                    .push(pkt)
+                    .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.watchdog.record_progress(now);
+            }
+            MoveAction::Forward {
+                dir,
+                target_buffer,
+                serialization,
+            } => {
+                let pkt = self.switches[i].ports[p].buffers[decision.buffer]
+                    .queue
+                    .pop()
+                    .expect("planned packet vanished");
+                let node = self.switches[i].node;
+                let j = self.torus.neighbor(node, dir).index();
+                let opp = dir.opposite().index();
+                let arrival = now + serialization + self.cfg.switch_latency;
+                {
+                    let link = &mut self.switches[i].links[dir.index()];
+                    link.busy_until = now + serialization;
+                    link.util.add_busy(serialization);
+                    link.in_transit.push_back(InTransit {
+                        arrival,
+                        target_buffer,
+                        packet: pkt,
+                    });
+                }
+                self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
+                self.stats.hops.incr();
+                self.watchdog.record_progress(now);
+            }
+        }
+        let port = &mut self.switches[i].ports[p];
+        port.rr_next = (decision.buffer + 1) % port.buffers.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specsim_base::{DetRng, LinkBandwidth};
+
+    type Net = Network<u64>;
+
+    fn drain_all_ejections(net: &mut Net) -> Vec<Packet<u64>> {
+        let mut out = Vec::new();
+        for i in 0..net.num_nodes() {
+            while let Some(p) = net.eject_any(NodeId::from(i)) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Ticks the network (draining every ejection queue each cycle, as live
+    /// endpoints would) until the fabric is empty or `max_cycles` elapse.
+    /// Returns the final cycle and every packet delivered while draining.
+    fn run_until_drained(net: &mut Net, start: Cycle, max_cycles: u64) -> (Cycle, Vec<Packet<u64>>) {
+        let mut now = start;
+        let mut delivered = drain_all_ejections(net);
+        while net.in_flight() > 0 && now < start + max_cycles {
+            now += 1;
+            net.tick(now);
+            delivered.extend(drain_all_ejections(net));
+        }
+        (now, delivered)
+    }
+
+    #[test]
+    fn single_message_is_delivered_across_the_torus() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(10),
+            VirtualNetwork::Request,
+            MessageSize::Control,
+            7,
+        )
+        .unwrap();
+        let (end, delivered) = run_until_drained(&mut net, 0, 100_000);
+        assert!(net.in_flight() == 0, "message still in flight at {end}");
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 7);
+        assert_eq!(delivered[0].dst, NodeId(10));
+        // Latency must cover at least distance hops of serialization.
+        let min = net.torus().distance(NodeId(0), NodeId(10)) as u64
+            * LinkBandwidth::GB_3_2.serialization_cycles(8);
+        assert!(net.stats().mean_latency() >= min as f64);
+    }
+
+    #[test]
+    fn self_send_is_delivered_locally() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+        net.inject(
+            0,
+            NodeId(5),
+            NodeId(5),
+            VirtualNetwork::Response,
+            MessageSize::Data,
+            1,
+        )
+        .unwrap();
+        let (_, delivered) = run_until_drained(&mut net, 0, 1000);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 1);
+        assert_eq!(delivered[0].src, NodeId(5));
+        assert_eq!(delivered[0].dst, NodeId(5));
+    }
+
+    #[test]
+    fn static_routing_preserves_point_to_point_order() {
+        let mut net: Net =
+            Network::new(NetConfig::full_buffering(16, LinkBandwidth::MB_400, RoutingPolicy::Static));
+        let mut now = 0;
+        let mut sent = 0u64;
+        // Keep a stream of messages flowing from node 0 to node 10 while
+        // other nodes add background traffic.
+        let mut rng = DetRng::new(1);
+        for _ in 0..400 {
+            now += 1;
+            if net.can_inject(NodeId(0), VirtualNetwork::ForwardedRequest) && sent < 200 {
+                net.inject(
+                    now,
+                    NodeId(0),
+                    NodeId(10),
+                    VirtualNetwork::ForwardedRequest,
+                    MessageSize::Control,
+                    sent,
+                )
+                .unwrap();
+                sent += 1;
+            }
+            let src = NodeId::from((rng.next_below(16)) as usize);
+            let dst = NodeId::from((rng.next_below(16)) as usize);
+            if src != dst && net.can_inject(src, VirtualNetwork::Response) {
+                let _ = net.inject(now, src, dst, VirtualNetwork::Response, MessageSize::Data, 0);
+            }
+            net.tick(now);
+            for i in 0..16 {
+                while net.eject_any(NodeId::from(i)).is_some() {}
+            }
+        }
+        let (now, _) = run_until_drained(&mut net, now, 200_000);
+        assert_eq!(net.in_flight(), 0, "not drained by {now}");
+        assert_eq!(net.ordering().total_reordered(), 0);
+        assert!(net.ordering().total_delivered() > 200);
+    }
+
+    #[test]
+    fn all_messages_are_delivered_under_heavy_random_traffic_with_vcs() {
+        let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
+        cfg.routing = RoutingPolicy::Adaptive;
+        let mut net: Net = Network::new(cfg);
+        let mut rng = DetRng::new(99);
+        let mut now = 0;
+        let mut injected = 0u64;
+        for _ in 0..2000 {
+            now += 1;
+            for _ in 0..4 {
+                let src = NodeId::from(rng.next_below(16) as usize);
+                let dst = NodeId::from(rng.next_below(16) as usize);
+                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
+                if net.can_inject(src, vnet) {
+                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
+                        .unwrap();
+                    injected += 1;
+                }
+            }
+            net.tick(now);
+            // Endpoints drain their ejection queues every cycle.
+            for i in 0..16 {
+                while net.eject_any(NodeId::from(i)).is_some() {}
+            }
+        }
+        let (now, _) = run_until_drained(&mut net, now, 200_000);
+        assert_eq!(net.in_flight(), 0, "VC network wedged at {now}");
+        assert!(!net.is_stalled(now));
+        assert_eq!(net.stats().delivered.get(), injected);
+        assert!(injected > 1000);
+    }
+
+    #[test]
+    fn worst_case_buffering_never_rejects_injection() {
+        let mut net: Net = Network::new(NetConfig::full_buffering(
+            16,
+            LinkBandwidth::MB_400,
+            RoutingPolicy::Adaptive,
+        ));
+        let mut rng = DetRng::new(5);
+        for now in 1..200u64 {
+            for _ in 0..16 {
+                let src = NodeId::from(rng.next_below(16) as usize);
+                let dst = NodeId::from(rng.next_below(16) as usize);
+                net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Data, 0)
+                    .unwrap();
+            }
+            net.tick(now);
+        }
+        assert_eq!(net.stats().injection_rejects.get(), 0);
+    }
+
+    #[test]
+    fn undrained_endpoints_back_pressure_and_stall_the_fabric() {
+        // Tiny shared buffers and nobody draining ejection queues: the fabric
+        // must eventually wedge (endpoint-induced stall), which the watchdog
+        // reports. This is the failure mode that, in the full system, the
+        // coherence-transaction timeout converts into a recovery.
+        let mut net: Net = Network::new(NetConfig::speculative(16, LinkBandwidth::GB_3_2, 2));
+        net.set_stall_threshold(2_000);
+        let mut rng = DetRng::new(17);
+        let mut now = 0;
+        for _ in 0..20_000 {
+            now += 1;
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            if src != dst {
+                let _ = net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Control, 0);
+            }
+            net.tick(now);
+            if net.is_stalled(now) {
+                break;
+            }
+        }
+        assert!(net.is_stalled(now), "expected a stall with undrained endpoints");
+        assert!(net.in_flight() > 0);
+        // Recovery drains everything and clears the stall.
+        let dropped = net.drain(now);
+        assert!(dropped > 0);
+        assert_eq!(net.in_flight(), 0);
+        assert!(!net.is_stalled(now + 1));
+    }
+
+    #[test]
+    fn routing_policy_can_be_changed_at_runtime() {
+        let mut net: Net = Network::new(NetConfig::speculative(16, LinkBandwidth::MB_400, 16));
+        assert_eq!(net.routing(), RoutingPolicy::Adaptive);
+        net.set_routing(RoutingPolicy::Static);
+        assert_eq!(net.routing(), RoutingPolicy::Static);
+    }
+
+    #[test]
+    fn shared_buffer_injection_back_pressure_reports_rejects() {
+        let mut net: Net = Network::new(NetConfig::speculative(4, LinkBandwidth::MB_400, 1));
+        // Saturate node 0's injection queue (capacity 1) without ticking.
+        assert!(net
+            .inject(0, NodeId(0), NodeId(3), VirtualNetwork::Request, MessageSize::Data, 0)
+            .is_ok());
+        assert!(!net.can_inject(NodeId(0), VirtualNetwork::Request));
+        let err = net.inject(
+            0,
+            NodeId(0),
+            NodeId(3),
+            VirtualNetwork::Request,
+            MessageSize::Data,
+            42,
+        );
+        assert_eq!(err, Err(InjectError(42)));
+        assert_eq!(net.stats().injection_rejects.get(), 1);
+    }
+
+    #[test]
+    fn hop_count_matches_distance_for_a_single_message() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(15),
+            VirtualNetwork::FinalAck,
+            MessageSize::Control,
+            0,
+        )
+        .unwrap();
+        run_until_drained(&mut net, 0, 100_000);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(
+            net.stats().hops.get(),
+            net.torus().distance(NodeId(0), NodeId(15)) as u64
+        );
+    }
+
+    #[test]
+    fn mean_link_utilization_is_nonzero_under_traffic_and_bounded() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::MB_400));
+        let mut rng = DetRng::new(2);
+        let mut now = 0;
+        for _ in 0..500 {
+            now += 1;
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            if src != dst && net.can_inject(src, VirtualNetwork::Response) {
+                let _ = net.inject(now, src, dst, VirtualNetwork::Response, MessageSize::Data, 0);
+            }
+            net.tick(now);
+            for i in 0..16 {
+                while net.eject_any(NodeId::from(i)).is_some() {}
+            }
+        }
+        let u = net.mean_link_utilization(now);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+}

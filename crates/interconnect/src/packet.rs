@@ -1,0 +1,125 @@
+//! Packets and virtual networks.
+//!
+//! The directory protocol of Section 3.1 uses four classes of messages —
+//! Request, ForwardedRequest, Response and FinalAck — and "each class of
+//! messages travels on a logically separate interconnection network (i.e.,
+//! virtual network)". Virtual networks exist to break endpoint deadlock: a
+//! node's incoming queue can never fill up with requests alone, because
+//! buffer space is reserved per class.
+
+use specsim_base::{Cycle, MessageSize, NodeId};
+
+/// The four virtual networks (message classes) of the directory protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VirtualNetwork {
+    /// Processor → directory requests (RequestReadOnly, RequestReadWrite,
+    /// Writeback).
+    Request,
+    /// Directory → processor forwarded requests (Forwarded-RequestReadOnly,
+    /// Forwarded-RequestReadWrite, Invalidation, Writeback-Ack). This is the
+    /// only virtual network whose point-to-point ordering matters for
+    /// correctness in the speculatively simplified protocol.
+    ForwardedRequest,
+    /// Data, Ack and Nack responses sent to the requesting processor.
+    Response,
+    /// Processor → directory final acknowledgments used to close transactions
+    /// and coordinate SafetyNet checkpoints.
+    FinalAck,
+}
+
+/// All virtual networks, in a fixed order (used for per-VN statistics and for
+/// iterating buffers).
+pub const ALL_VIRTUAL_NETWORKS: [VirtualNetwork; 4] = [
+    VirtualNetwork::Request,
+    VirtualNetwork::ForwardedRequest,
+    VirtualNetwork::Response,
+    VirtualNetwork::FinalAck,
+];
+
+impl VirtualNetwork {
+    /// Dense index of this virtual network, `0..4`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            VirtualNetwork::Request => 0,
+            VirtualNetwork::ForwardedRequest => 1,
+            VirtualNetwork::Response => 2,
+            VirtualNetwork::FinalAck => 3,
+        }
+    }
+
+    /// Short label for statistics output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            VirtualNetwork::Request => "Request",
+            VirtualNetwork::ForwardedRequest => "FwdRequest",
+            VirtualNetwork::Response => "Response",
+            VirtualNetwork::FinalAck => "FinalAck",
+        }
+    }
+}
+
+/// A message travelling through the network, wrapping a protocol payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message class / virtual network.
+    pub vnet: VirtualNetwork,
+    /// Whether the message carries a data block (affects serialization time).
+    pub size: MessageSize,
+    /// Per-(src, dst, vnet) sequence number stamped at injection; used by the
+    /// ordering tracker to detect point-to-point order violations.
+    pub seq: u64,
+    /// Cycle at which the message entered the source injection queue.
+    pub injected_at: Cycle,
+    /// The protocol-level payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Number of bytes this packet occupies on a link.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.size.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vnet_indices_are_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for vn in ALL_VIRTUAL_NETWORKS {
+            assert!(!seen[vn.index()]);
+            seen[vn.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn packet_size_follows_message_class() {
+        let p = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            vnet: VirtualNetwork::Response,
+            size: MessageSize::Data,
+            seq: 0,
+            injected_at: 0,
+            payload: (),
+        };
+        assert_eq!(p.bytes(), 72);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            ALL_VIRTUAL_NETWORKS.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Routing policies.
+//!
+//! * **Static dimension-order routing** sends a packet fully along the X ring
+//!   and then along the Y ring. Every (source, destination) pair uses exactly
+//!   one path, so point-to-point ordering is preserved (messages cannot
+//!   overtake each other except within a single FIFO buffer, which preserves
+//!   order).
+//! * **Minimal adaptive routing** (Section 3.1) lets a packet choose, at each
+//!   hop, among the productive directions "based on outgoing queue lengths in
+//!   each direction". Two packets between the same pair of nodes can take
+//!   different paths and arrive out of order (Figure 1).
+
+use specsim_base::{NodeId, RoutingPolicy};
+
+use crate::topology::{Direction, Torus};
+
+/// An ordered list of candidate output directions for one packet at one
+/// switch, most preferred first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteCandidates {
+    /// Candidate directions in preference order.
+    pub directions: Vec<Direction>,
+    /// Whether the preferred candidates may use the fully adaptive virtual
+    /// channel (true only under adaptive routing).
+    pub adaptive: bool,
+}
+
+/// Computes the candidate output directions for a packet at `current` headed
+/// to `dst`.
+///
+/// `congestion` supplies the congestion metric for each direction (indexed by
+/// [`Direction::index`]); it is only consulted under adaptive routing. Lower
+/// is better. Ties are broken in favour of the dimension-order direction, and
+/// then by direction index, so the result is deterministic.
+#[must_use]
+pub fn route_candidates(
+    torus: &Torus,
+    policy: RoutingPolicy,
+    current: NodeId,
+    dst: NodeId,
+    congestion: &[usize; 4],
+) -> RouteCandidates {
+    if current == dst {
+        return RouteCandidates {
+            directions: vec![Direction::Local],
+            adaptive: false,
+        };
+    }
+    let dor = torus.dimension_order_direction(current, dst);
+    match policy {
+        RoutingPolicy::Static => RouteCandidates {
+            directions: vec![dor],
+            adaptive: false,
+        },
+        RoutingPolicy::Adaptive => {
+            let mut productive = torus.productive_directions(current, dst);
+            productive.sort_by_key(|&d| {
+                (
+                    congestion[d.index()],
+                    usize::from(d != dor), // prefer the DOR direction on ties
+                    d.index(),
+                )
+            });
+            RouteCandidates {
+                directions: productive,
+                adaptive: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4() -> Torus {
+        Torus::new(16)
+    }
+
+    #[test]
+    fn static_routing_returns_exactly_the_dor_direction() {
+        let t = t4();
+        // Node 0 (0,0) to node 10 (2,2): DOR goes East first.
+        let c = route_candidates(&t, RoutingPolicy::Static, NodeId(0), NodeId(10), &[0; 4]);
+        assert_eq!(c.directions, vec![Direction::East]);
+        assert!(!c.adaptive);
+    }
+
+    #[test]
+    fn adaptive_routing_prefers_less_congested_productive_direction() {
+        let t = t4();
+        // Node 0 (0,0) to node 5 (1,1): productive directions East and North.
+        let mut congestion = [0usize; 4];
+        congestion[Direction::East.index()] = 10;
+        congestion[Direction::North.index()] = 1;
+        let c = route_candidates(&t, RoutingPolicy::Adaptive, NodeId(0), NodeId(5), &congestion);
+        assert_eq!(c.directions[0], Direction::North);
+        assert_eq!(c.directions.len(), 2);
+        assert!(c.adaptive);
+    }
+
+    #[test]
+    fn adaptive_routing_breaks_ties_towards_dimension_order() {
+        let t = t4();
+        let c = route_candidates(&t, RoutingPolicy::Adaptive, NodeId(0), NodeId(5), &[3; 4]);
+        // DOR from (0,0) to (1,1) is East; equal congestion should keep East first.
+        assert_eq!(c.directions[0], Direction::East);
+    }
+
+    #[test]
+    fn arrived_packet_routes_to_local() {
+        let t = t4();
+        for policy in [RoutingPolicy::Static, RoutingPolicy::Adaptive] {
+            let c = route_candidates(&t, policy, NodeId(7), NodeId(7), &[0; 4]);
+            assert_eq!(c.directions, vec![Direction::Local]);
+        }
+    }
+
+    #[test]
+    fn adaptive_candidates_are_all_productive() {
+        let t = t4();
+        for from in 0..16usize {
+            for to in 0..16usize {
+                if from == to {
+                    continue;
+                }
+                let c = route_candidates(
+                    &t,
+                    RoutingPolicy::Adaptive,
+                    NodeId::from(from),
+                    NodeId::from(to),
+                    &[0; 4],
+                );
+                for d in &c.directions {
+                    let next = t.neighbor(NodeId::from(from), *d);
+                    assert_eq!(
+                        t.distance(next, NodeId::from(to)),
+                        t.distance(NodeId::from(from), NodeId::from(to)) - 1,
+                        "candidate {d:?} from {from} to {to} is not productive"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Network statistics.
+
+use specsim_base::{Counter, Cycle, Histogram};
+
+use crate::packet::VirtualNetwork;
+
+/// Statistics gathered by a [`crate::Network`] instance.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Messages accepted into injection queues.
+    pub injected: Counter,
+    /// Messages handed to their destination's ejection queue.
+    pub delivered: Counter,
+    /// Messages delivered, by virtual network.
+    pub delivered_per_vnet: [Counter; 4],
+    /// Link-to-link hops taken (excluding injection/ejection).
+    pub hops: Counter,
+    /// End-to-end latency (injection to ejection-queue arrival) in cycles.
+    pub latency: Histogram,
+    /// Injection attempts rejected because the injection queue was full.
+    pub injection_rejects: Counter,
+    /// Total busy cycles summed over every unidirectional link.
+    pub link_busy_cycles: u64,
+    /// Number of unidirectional links in the network.
+    pub num_links: usize,
+    /// Cycle at which statistics collection started (for utilization).
+    pub window_start: Cycle,
+}
+
+impl NetStats {
+    /// Creates an empty statistics block for a network with `num_links`
+    /// unidirectional links.
+    #[must_use]
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            injected: Counter::new(),
+            delivered: Counter::new(),
+            delivered_per_vnet: [Counter::new(); 4],
+            hops: Counter::new(),
+            latency: Histogram::new(50, 200),
+            injection_rejects: Counter::new(),
+            link_busy_cycles: 0,
+            num_links,
+            window_start: 0,
+        }
+    }
+
+    /// Records a delivery of a packet of class `vnet` that spent `latency`
+    /// cycles in the network.
+    pub(crate) fn record_delivery(&mut self, vnet: VirtualNetwork, latency: u64) {
+        self.delivered.incr();
+        self.delivered_per_vnet[vnet.index()].incr();
+        self.latency.record(latency);
+    }
+
+    /// Mean utilization across all links over `[window_start, now]`.
+    #[must_use]
+    pub fn mean_link_utilization(&self, now: Cycle) -> f64 {
+        if now <= self.window_start || self.num_links == 0 {
+            return 0.0;
+        }
+        let window = (now - self.window_start) as f64;
+        (self.link_busy_cycles as f64 / (window * self.num_links as f64)).clamp(0.0, 1.0)
+    }
+
+    /// Mean end-to-end message latency in cycles.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Messages still unaccounted for (injected but not delivered).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.injected.get().saturating_sub(self.delivered.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_normalised_by_links_and_window() {
+        let mut s = NetStats::new(4);
+        s.link_busy_cycles = 200;
+        // 4 links over 100 cycles = 400 link-cycles; 200 busy = 50%.
+        assert!((s.mean_link_utilization(100) - 0.5).abs() < 1e-12);
+        assert_eq!(s.mean_link_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn delivery_records_latency_and_class() {
+        let mut s = NetStats::new(1);
+        s.record_delivery(VirtualNetwork::Response, 120);
+        s.record_delivery(VirtualNetwork::Response, 80);
+        assert_eq!(s.delivered.get(), 2);
+        assert_eq!(s.delivered_per_vnet[VirtualNetwork::Response.index()].get(), 2);
+        assert!((s.mean_latency() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outstanding_counts_in_flight() {
+        let mut s = NetStats::new(1);
+        s.injected.add(5);
+        s.record_delivery(VirtualNetwork::Request, 10);
+        assert_eq!(s.outstanding(), 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! Switch data structures: input-port buffers and outgoing links.
+//!
+//! The forwarding logic that moves packets *between* switches needs mutable
+//! access to two switches at once, so it lives in [`crate::network`]; this
+//! module defines the per-switch state and the local bookkeeping helpers.
+
+use std::collections::VecDeque;
+
+use specsim_base::{Cycle, MsgQueue, NodeId, UtilizationTracker};
+
+use crate::config::BufferLayout;
+use crate::packet::Packet;
+use crate::topology::{Direction, LINK_DIRECTIONS};
+
+/// One buffer of a switch input port (a virtual-channel buffer in VC mode,
+/// the shared port buffer otherwise). `reserved` counts messages currently in
+/// flight on the upstream link that will land in this buffer; reserving at
+/// forwarding time is what makes the flow control credit-exact.
+#[derive(Debug, Clone)]
+pub(crate) struct InputBuffer<P> {
+    pub queue: MsgQueue<Packet<P>>,
+    pub reserved: usize,
+    capacity: Option<usize>,
+}
+
+impl<P> InputBuffer<P> {
+    fn new(capacity: Option<usize>) -> Self {
+        let queue = match capacity {
+            Some(c) => MsgQueue::bounded(c),
+            None => MsgQueue::unbounded(),
+        };
+        Self {
+            queue,
+            reserved: 0,
+            capacity,
+        }
+    }
+
+    /// True when a new message may be reserved into this buffer.
+    pub fn has_space(&self) -> bool {
+        match self.capacity {
+            Some(cap) => self.queue.len() + self.reserved < cap,
+            None => true,
+        }
+    }
+
+    /// Messages either queued or in flight towards this buffer.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len() + self.reserved
+    }
+
+    /// Accepts a message whose slot was previously reserved.
+    pub fn accept_reserved(&mut self, packet: Packet<P>) {
+        debug_assert!(self.reserved > 0, "delivery without reservation");
+        self.reserved = self.reserved.saturating_sub(1);
+        // A reserved slot is guaranteed to exist; an unbounded queue always
+        // accepts. Losing a packet here would be a flow-control bug.
+        self.queue
+            .push(packet)
+            .unwrap_or_else(|_| panic!("reserved buffer slot was not available"));
+    }
+
+    /// Drops all queued messages and reservations (recovery drain).
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.queue.len();
+        self.queue.clear();
+        self.reserved = 0;
+        dropped
+    }
+}
+
+/// One input port of a switch: a set of buffers plus a round-robin pointer
+/// for fair selection among them.
+#[derive(Debug, Clone)]
+pub(crate) struct InputPort<P> {
+    pub buffers: Vec<InputBuffer<P>>,
+    pub rr_next: usize,
+}
+
+impl<P> InputPort<P> {
+    fn new(layout: &BufferLayout) -> Self {
+        let buffers = (0..layout.buffers_per_port())
+            .map(|_| InputBuffer::new(layout.buffer_capacity()))
+            .collect();
+        Self {
+            buffers,
+            rr_next: 0,
+        }
+    }
+
+    /// Total messages queued or reserved across all buffers of this port.
+    pub fn occupancy(&self) -> usize {
+        self.buffers.iter().map(InputBuffer::occupancy).sum()
+    }
+
+    /// Total messages actually queued (excluding reservations).
+    pub fn queued(&self) -> usize {
+        self.buffers.iter().map(|b| b.queue.len()).sum()
+    }
+}
+
+/// A message in flight on a link, due to arrive at `arrival`.
+#[derive(Debug, Clone)]
+pub(crate) struct InTransit<P> {
+    pub arrival: Cycle,
+    pub target_buffer: usize,
+    pub packet: Packet<P>,
+}
+
+/// One outgoing unidirectional link of a switch.
+#[derive(Debug, Clone)]
+pub(crate) struct OutLink<P> {
+    /// The link is serializing a message until this cycle.
+    pub busy_until: Cycle,
+    /// Messages currently propagating on the link (bounded in practice by the
+    /// switch latency / serialization ratio).
+    pub in_transit: VecDeque<InTransit<P>>,
+    /// Busy-cycle accounting for the link-utilization statistic.
+    pub util: UtilizationTracker,
+}
+
+impl<P> OutLink<P> {
+    fn new() -> Self {
+        Self {
+            busy_until: 0,
+            in_transit: VecDeque::new(),
+            util: UtilizationTracker::new(),
+        }
+    }
+
+    /// True when a new message may start serializing at cycle `now`.
+    pub fn is_free(&self, now: Cycle) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Drops all in-flight messages (recovery drain).
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.in_transit.len();
+        self.in_transit.clear();
+        dropped
+    }
+}
+
+/// One switch of the torus: five input ports (four link directions plus the
+/// local injection port) and four outgoing links.
+#[derive(Debug, Clone)]
+pub(crate) struct Switch<P> {
+    pub node: NodeId,
+    /// Input ports indexed by [`Direction::index`]; index 4 is the local
+    /// (injection) port.
+    pub ports: Vec<InputPort<P>>,
+    /// Outgoing links indexed by [`Direction::index`] (no local link).
+    pub links: Vec<OutLink<P>>,
+    /// Round-robin pointer over input ports for fair arbitration.
+    pub rr_port: usize,
+}
+
+impl<P> Switch<P> {
+    pub fn new(node: NodeId, layout: &BufferLayout) -> Self {
+        let mut ports: Vec<InputPort<P>> = (0..5).map(|_| InputPort::new(layout)).collect();
+        // The local (injection) port honours the injection-queue depth rather
+        // than the per-VC depth.
+        let injection_cap = layout.injection_capacity();
+        for buffer in &mut ports[Direction::Local.index()].buffers {
+            *buffer = InputBuffer::new(injection_cap);
+        }
+        Self {
+            node,
+            ports,
+            links: LINK_DIRECTIONS.iter().map(|_| OutLink::new()).collect(),
+            rr_port: 0,
+        }
+    }
+
+    /// Total messages queued or in flight at this switch (all ports and
+    /// links).
+    pub fn occupancy(&self) -> usize {
+        self.ports.iter().map(InputPort::queued).sum::<usize>()
+            + self.links.iter().map(|l| l.in_transit.len()).sum::<usize>()
+    }
+
+    /// Drops every queued and in-flight message (recovery drain); returns how
+    /// many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let mut dropped = 0;
+        for port in &mut self.ports {
+            for buffer in &mut port.buffers {
+                dropped += buffer.clear();
+            }
+        }
+        for link in &mut self.links {
+            dropped += link.clear();
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::VirtualNetwork;
+    use specsim_base::MessageSize;
+
+    fn packet(seq: u64) -> Packet<u32> {
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            vnet: VirtualNetwork::Request,
+            size: MessageSize::Control,
+            seq,
+            injected_at: 0,
+            payload: seq as u32,
+        }
+    }
+
+    fn shared_layout(depth: usize) -> BufferLayout {
+        BufferLayout::Shared {
+            depth,
+            ejection_depth: depth,
+            injection_depth: depth,
+        }
+    }
+
+    #[test]
+    fn reservation_consumes_space_before_arrival() {
+        let mut b: InputBuffer<u32> = InputBuffer::new(Some(2));
+        assert!(b.has_space());
+        b.reserved += 1;
+        b.reserved += 1;
+        assert!(!b.has_space());
+        assert_eq!(b.occupancy(), 2);
+        b.accept_reserved(packet(0));
+        assert_eq!(b.queue.len(), 1);
+        assert_eq!(b.reserved, 1);
+        assert!(!b.has_space());
+    }
+
+    #[test]
+    fn unbounded_buffer_always_has_space() {
+        let mut b: InputBuffer<u32> = InputBuffer::new(None);
+        for i in 0..1000 {
+            b.reserved += 1;
+            b.accept_reserved(packet(i));
+        }
+        assert!(b.has_space());
+        assert_eq!(b.occupancy(), 1000);
+    }
+
+    #[test]
+    fn switch_occupancy_and_clear() {
+        let layout = shared_layout(4);
+        let mut sw: Switch<u32> = Switch::new(NodeId(3), &layout);
+        sw.ports[0].buffers[0].queue.push(packet(1)).unwrap();
+        sw.ports[4].buffers[0].queue.push(packet(2)).unwrap();
+        sw.links[0].in_transit.push_back(InTransit {
+            arrival: 10,
+            target_buffer: 0,
+            packet: packet(3),
+        });
+        assert_eq!(sw.occupancy(), 3);
+        assert_eq!(sw.clear(), 3);
+        assert_eq!(sw.occupancy(), 0);
+    }
+
+    #[test]
+    fn link_busy_accounting() {
+        let mut link: OutLink<u32> = OutLink::new();
+        assert!(link.is_free(0));
+        link.busy_until = 100;
+        assert!(!link.is_free(50));
+        assert!(link.is_free(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery without reservation")]
+    fn accepting_without_reservation_panics_in_debug() {
+        let mut b: InputBuffer<u32> = InputBuffer::new(Some(2));
+        b.accept_reserved(packet(0));
+    }
+}

@@ -1,0 +1,370 @@
+//! 2D bidirectional torus topology.
+//!
+//! The target system (Section 3.1) connects its 16 nodes with a 4×4
+//! two-dimensional torus: every switch has four neighbours (east, west,
+//! north, south) with wrap-around links, plus a local port to its node's
+//! network interface.
+
+use specsim_base::NodeId;
+
+/// A switch coordinate in the torus: `x` grows eastward, `y` grows northward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column index, `0..side`.
+    pub x: usize,
+    /// Row index, `0..side`.
+    pub y: usize,
+}
+
+/// One of the five ports of a torus switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Towards increasing `x` (with wrap-around).
+    East,
+    /// Towards decreasing `x` (with wrap-around).
+    West,
+    /// Towards increasing `y` (with wrap-around).
+    North,
+    /// Towards decreasing `y` (with wrap-around).
+    South,
+    /// The local port connecting the switch to its node's network interface.
+    Local,
+}
+
+/// The four link directions (everything but [`Direction::Local`]).
+pub const LINK_DIRECTIONS: [Direction; 4] = [
+    Direction::East,
+    Direction::West,
+    Direction::North,
+    Direction::South,
+];
+
+impl Direction {
+    /// Dense index of this direction, `0..5` (Local is 4).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The direction a message arrives from when it was sent in `self`'s
+    /// direction (e.g. a message sent East arrives at the neighbour's West
+    /// port).
+    #[must_use]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// True for the two X-dimension directions.
+    #[must_use]
+    pub fn is_x(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+}
+
+/// A square 2D torus of `side × side` switches, one per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus {
+    side: usize,
+}
+
+impl Torus {
+    /// Creates a torus for `num_nodes` nodes; `num_nodes` must be a perfect
+    /// square (the 16-node target machine is 4×4).
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        let side = (num_nodes as f64).sqrt().round() as usize;
+        assert!(
+            side * side == num_nodes && side > 0,
+            "torus requires a positive perfect-square node count, got {num_nodes}"
+        );
+        Self { side }
+    }
+
+    /// Side length of the torus.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Total number of switches/nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Coordinate of a node's switch.
+    #[must_use]
+    pub fn coord(&self, node: NodeId) -> Coord {
+        let i = node.index();
+        assert!(i < self.num_nodes(), "node {node} outside torus");
+        Coord {
+            x: i % self.side,
+            y: i / self.side,
+        }
+    }
+
+    /// Node at a coordinate.
+    #[must_use]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.side && c.y < self.side, "coordinate off torus");
+        NodeId::from(c.y * self.side + c.x)
+    }
+
+    /// The neighbour reached by leaving `node` in direction `dir`
+    /// (wrap-around included). `Local` returns the node itself.
+    #[must_use]
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> NodeId {
+        let c = self.coord(node);
+        let s = self.side;
+        let n = match dir {
+            Direction::East => Coord {
+                x: (c.x + 1) % s,
+                y: c.y,
+            },
+            Direction::West => Coord {
+                x: (c.x + s - 1) % s,
+                y: c.y,
+            },
+            Direction::North => Coord {
+                x: c.x,
+                y: (c.y + 1) % s,
+            },
+            Direction::South => Coord {
+                x: c.x,
+                y: (c.y + s - 1) % s,
+            },
+            Direction::Local => c,
+        };
+        self.node_at(n)
+    }
+
+    /// Signed shortest offset from `from` to `to` along one ring of length
+    /// `side`: positive means travel in the increasing direction. Ties (exact
+    /// half-way) are resolved to the positive direction.
+    fn ring_offset(&self, from: usize, to: usize) -> isize {
+        let s = self.side as isize;
+        let mut d = to as isize - from as isize;
+        if d > s / 2 {
+            d -= s;
+        } else if d < -(s / 2) {
+            d += s;
+        } else if d == -(s / 2) {
+            // Exactly half-way: prefer the positive direction for determinism.
+            d = s / 2;
+        }
+        d
+    }
+
+    /// The productive directions from `from` towards `to`: the set of
+    /// directions that reduce the remaining distance. Empty when the nodes
+    /// are the same.
+    #[must_use]
+    pub fn productive_directions(&self, from: NodeId, to: NodeId) -> Vec<Direction> {
+        let a = self.coord(from);
+        let b = self.coord(to);
+        let mut dirs = Vec::with_capacity(2);
+        let dx = self.ring_offset(a.x, b.x);
+        let dy = self.ring_offset(a.y, b.y);
+        if dx > 0 {
+            dirs.push(Direction::East);
+        } else if dx < 0 {
+            dirs.push(Direction::West);
+        }
+        if dy > 0 {
+            dirs.push(Direction::North);
+        } else if dy < 0 {
+            dirs.push(Direction::South);
+        }
+        dirs
+    }
+
+    /// Minimal hop distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> usize {
+        let a = self.coord(from);
+        let b = self.coord(to);
+        (self.ring_offset(a.x, b.x).unsigned_abs()) + (self.ring_offset(a.y, b.y).unsigned_abs())
+    }
+
+    /// The dimension-order (X then Y) next hop from `from` towards `to`;
+    /// `Local` when already at the destination. This is the static route.
+    #[must_use]
+    pub fn dimension_order_direction(&self, from: NodeId, to: NodeId) -> Direction {
+        let a = self.coord(from);
+        let b = self.coord(to);
+        let dx = self.ring_offset(a.x, b.x);
+        if dx > 0 {
+            return Direction::East;
+        }
+        if dx < 0 {
+            return Direction::West;
+        }
+        let dy = self.ring_offset(a.y, b.y);
+        if dy > 0 {
+            return Direction::North;
+        }
+        if dy < 0 {
+            return Direction::South;
+        }
+        Direction::Local
+    }
+
+    /// True when the hop from `node` in direction `dir` crosses the
+    /// wrap-around edge of its ring. Used by dateline virtual-channel
+    /// allocation: a packet that crosses the dateline must move to the
+    /// higher-numbered virtual channel to break the ring's cyclic dependency.
+    #[must_use]
+    pub fn crosses_dateline(&self, node: NodeId, dir: Direction) -> bool {
+        let c = self.coord(node);
+        let s = self.side;
+        match dir {
+            Direction::East => c.x == s - 1,
+            Direction::West => c.x == 0,
+            Direction::North => c.y == s - 1,
+            Direction::South => c.y == 0,
+            Direction::Local => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t4() -> Torus {
+        Torus::new(16)
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = t4();
+        for i in 0..16 {
+            let n = NodeId::from(i);
+            assert_eq!(t.node_at(t.coord(n)), n);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap_around() {
+        let t = t4();
+        // Node 0 is at (0,0).
+        assert_eq!(t.neighbor(NodeId(0), Direction::West), NodeId(3));
+        assert_eq!(t.neighbor(NodeId(0), Direction::South), NodeId(12));
+        assert_eq!(t.neighbor(NodeId(0), Direction::East), NodeId(1));
+        assert_eq!(t.neighbor(NodeId(0), Direction::North), NodeId(4));
+        assert_eq!(t.neighbor(NodeId(0), Direction::Local), NodeId(0));
+    }
+
+    #[test]
+    fn neighbor_opposite_is_inverse() {
+        let t = t4();
+        for i in 0..16 {
+            let n = NodeId::from(i);
+            for dir in LINK_DIRECTIONS {
+                let m = t.neighbor(n, dir);
+                assert_eq!(t.neighbor(m, dir.opposite()), n);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_minimal_manhattan_on_rings() {
+        let t = t4();
+        assert_eq!(t.distance(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.distance(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.distance(NodeId(0), NodeId(3)), 1); // wrap
+        assert_eq!(t.distance(NodeId(0), NodeId(15)), 2); // (3,3) via wraps
+        assert_eq!(t.distance(NodeId(0), NodeId(10)), 4); // (2,2): 2+2
+    }
+
+    #[test]
+    fn dimension_order_reaches_destination() {
+        let t = t4();
+        for from in 0..16 {
+            for to in 0..16 {
+                let mut cur = NodeId::from(from);
+                let dst = NodeId::from(to);
+                let mut hops = 0;
+                while cur != dst {
+                    let dir = t.dimension_order_direction(cur, dst);
+                    assert_ne!(dir, Direction::Local);
+                    cur = t.neighbor(cur, dir);
+                    hops += 1;
+                    assert!(hops <= 4, "DOR route too long on 4x4 torus");
+                }
+                assert_eq!(hops, t.distance(NodeId::from(from), dst));
+            }
+        }
+    }
+
+    #[test]
+    fn productive_directions_reduce_distance() {
+        let t = t4();
+        for from in 0..16 {
+            for to in 0..16 {
+                let f = NodeId::from(from);
+                let d = NodeId::from(to);
+                let dirs = t.productive_directions(f, d);
+                if from == to {
+                    assert!(dirs.is_empty());
+                }
+                for dir in dirs {
+                    let next = t.neighbor(f, dir);
+                    assert_eq!(t.distance(next, d), t.distance(f, d) - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_crossings_only_on_wrap_links() {
+        let t = t4();
+        assert!(t.crosses_dateline(NodeId(3), Direction::East));
+        assert!(!t.crosses_dateline(NodeId(2), Direction::East));
+        assert!(t.crosses_dateline(NodeId(0), Direction::West));
+        assert!(t.crosses_dateline(NodeId(12), Direction::North));
+        assert!(t.crosses_dateline(NodeId(0), Direction::South));
+        assert!(!t.crosses_dateline(NodeId(5), Direction::Local));
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn non_square_node_count_panics() {
+        let _ = Torus::new(12);
+    }
+
+    proptest! {
+        #[test]
+        fn adaptive_and_static_routes_agree_on_distance(
+            from in 0usize..16, to in 0usize..16
+        ) {
+            let t = t4();
+            let f = NodeId::from(from);
+            let d = NodeId::from(to);
+            // Following any productive direction repeatedly reaches the
+            // destination in exactly `distance` hops.
+            let mut cur = f;
+            let mut hops = 0;
+            while cur != d {
+                let dirs = t.productive_directions(cur, d);
+                prop_assert!(!dirs.is_empty());
+                cur = t.neighbor(cur, dirs[0]);
+                hops += 1;
+            }
+            prop_assert_eq!(hops, t.distance(f, d));
+        }
+    }
+}

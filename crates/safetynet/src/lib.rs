@@ -1,0 +1,39 @@
+//! # specsim-safetynet
+//!
+//! A functional model of **SafetyNet** (Sorin et al., ISCA 2002), the global
+//! checkpoint/recovery substrate that all three speculation-for-simplicity
+//! designs of the paper rely on (Section 2, feature 3):
+//!
+//! * the shared-memory system is **logically checkpointed** at a fixed
+//!   interval (Table 2: every 100 000 cycles for the directory system, every
+//!   3000 coherence requests for the snooping system);
+//! * between checkpoints every change to memory state is **incrementally
+//!   logged** into a per-node checkpoint log buffer (Table 2: 512 KB per
+//!   node, 72-byte entries); when a log fills, the node must stall until an
+//!   old checkpoint commits and frees its entries;
+//! * a checkpoint **commits** (and its log space is reclaimed) once the
+//!   system is sure execution up to that point was mis-speculation-free —
+//!   i.e. after the transaction-timeout window (three checkpoint intervals)
+//!   has passed with no detection;
+//! * on a detected mis-speculation the system **recovers**: all in-flight
+//!   messages are discarded, the memory system state is restored to the
+//!   recovery point (the most recent validated checkpoint), the processors
+//!   restore their register checkpoints (100 cycles) and execution resumes.
+//!
+//! The model is generic over the system-state snapshot type `S`. The
+//! system-assembly crate snapshots its controllers (caches, directories,
+//! memories, workload positions) into an `S` at each checkpoint and restores
+//! from it on recovery; this crate owns the checkpoint schedule, the log
+//! capacity accounting, the validation/commit logic and the recovery-cost
+//! bookkeeping.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod log;
+pub mod recovery;
+pub mod station;
+
+pub use log::{LogOutcome, NodeLog};
+pub use recovery::{RecoveryOutcome, RecoveryStats};
+pub use station::{Checkpoint, SafetyNet, SafetyNetStats};

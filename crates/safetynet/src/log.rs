@@ -1,0 +1,179 @@
+//! Per-node checkpoint log buffers.
+//!
+//! SafetyNet logs the pre-image of every block the first time it is modified
+//! in a checkpoint interval. The log buffer is a fixed hardware resource
+//! (Table 2: 512 KB, 72-byte entries, ≈ 7 281 entries per node); entries are
+//! only reclaimed when the checkpoint interval they belong to commits. If a
+//! node's log fills, that node must stall speculative progress until a
+//! commit frees space — a performance effect, never a correctness loss.
+
+use specsim_base::SafetyNetConfig;
+
+/// Result of attempting to append entries to a node's log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogOutcome {
+    /// The entries were recorded.
+    Recorded,
+    /// The log is full; the node must stall until a checkpoint commits.
+    Full,
+}
+
+/// The checkpoint log buffer of one node.
+#[derive(Debug, Clone)]
+pub struct NodeLog {
+    capacity_entries: usize,
+    /// Entries belonging to each outstanding (uncommitted) checkpoint
+    /// interval, oldest first. The last element is the active interval.
+    per_interval: Vec<usize>,
+    /// Total entries ever recorded (statistics).
+    total_recorded: u64,
+    /// Append attempts rejected because the log was full.
+    overflows: u64,
+}
+
+impl NodeLog {
+    /// Creates an empty log with the capacity implied by `cfg`.
+    #[must_use]
+    pub fn new(cfg: &SafetyNetConfig) -> Self {
+        Self {
+            capacity_entries: cfg.log_capacity_entries(),
+            per_interval: vec![0],
+            total_recorded: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity_entries
+    }
+
+    /// Entries currently held (across all outstanding intervals).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.per_interval.iter().sum()
+    }
+
+    /// True when no further entry can be recorded.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.occupancy() >= self.capacity_entries
+    }
+
+    /// Number of times an append was rejected.
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Total entries recorded over the node's lifetime.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Appends `entries` pre-image records to the active interval.
+    pub fn record(&mut self, entries: usize) -> LogOutcome {
+        if self.occupancy() + entries > self.capacity_entries {
+            self.overflows += 1;
+            return LogOutcome::Full;
+        }
+        *self
+            .per_interval
+            .last_mut()
+            .expect("log always has an active interval") += entries;
+        self.total_recorded += entries as u64;
+        LogOutcome::Recorded
+    }
+
+    /// Starts a new checkpoint interval (called when a checkpoint is taken).
+    pub fn start_interval(&mut self) {
+        self.per_interval.push(0);
+    }
+
+    /// Frees the oldest interval's entries (called when the oldest
+    /// outstanding checkpoint commits).
+    pub fn commit_oldest(&mut self) {
+        if self.per_interval.len() > 1 {
+            self.per_interval.remove(0);
+        } else {
+            // Only the active interval exists; committing it empties it.
+            self.per_interval[0] = 0;
+        }
+    }
+
+    /// Discards everything (after a recovery the speculative intervals are
+    /// meaningless; logging restarts from the restored state).
+    pub fn clear(&mut self) {
+        self.per_interval = vec![0];
+    }
+
+    /// Number of outstanding intervals currently tracked.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.per_interval.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SafetyNetConfig {
+        SafetyNetConfig::default()
+    }
+
+    #[test]
+    fn capacity_matches_table_2() {
+        let log = NodeLog::new(&cfg());
+        assert_eq!(log.capacity(), 512 * 1024 / 72);
+    }
+
+    #[test]
+    fn record_accumulates_until_full() {
+        let mut log = NodeLog::new(&SafetyNetConfig {
+            log_buffer_bytes: 720,
+            log_entry_bytes: 72,
+            ..cfg()
+        });
+        assert_eq!(log.capacity(), 10);
+        assert_eq!(log.record(6), LogOutcome::Recorded);
+        assert_eq!(log.record(4), LogOutcome::Recorded);
+        assert!(log.is_full());
+        assert_eq!(log.record(1), LogOutcome::Full);
+        assert_eq!(log.overflows(), 1);
+        assert_eq!(log.total_recorded(), 10);
+    }
+
+    #[test]
+    fn committing_the_oldest_interval_frees_its_entries() {
+        let mut log = NodeLog::new(&SafetyNetConfig {
+            log_buffer_bytes: 720,
+            log_entry_bytes: 72,
+            ..cfg()
+        });
+        log.record(5);
+        log.start_interval();
+        log.record(3);
+        assert_eq!(log.occupancy(), 8);
+        assert_eq!(log.intervals(), 2);
+        log.commit_oldest();
+        assert_eq!(log.occupancy(), 3);
+        assert_eq!(log.intervals(), 1);
+        // Committing when only the active interval remains empties it.
+        log.commit_oldest();
+        assert_eq!(log.occupancy(), 0);
+    }
+
+    #[test]
+    fn clear_resets_to_a_single_empty_interval() {
+        let mut log = NodeLog::new(&cfg());
+        log.record(100);
+        log.start_interval();
+        log.record(50);
+        log.clear();
+        assert_eq!(log.occupancy(), 0);
+        assert_eq!(log.intervals(), 1);
+    }
+}

@@ -1,0 +1,412 @@
+//! Target system parameters.
+//!
+//! The defaults here mirror Table 2 of the paper ("Target System
+//! Parameters"): 16 nodes, 128 KB 4-way L1s, a 4 MB 4-way L2, 64-byte blocks,
+//! 180 ns uncontended 2-hop memory misses, link bandwidths between
+//! 400 MB/s and 3.2 GB/s, a 512 KB checkpoint log buffer with 72-byte
+//! entries, a 100 000-cycle checkpoint interval for the directory system
+//! (3000 requests for the snooping system) and a 100-cycle register
+//! checkpointing latency.
+
+use crate::time::{ns_to_cycles, CycleDelta};
+
+/// Coherence block (cache line) size in bytes — Table 2: "64 byte blocks".
+pub const BLOCK_SIZE_BYTES: usize = 64;
+
+/// How messages are routed through the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingPolicy {
+    /// Deterministic dimension-order (X then Y) routing. Preserves
+    /// point-to-point ordering because every (source, destination) pair uses a
+    /// single path.
+    Static,
+    /// Minimal adaptive routing: at each hop the switch picks, among the
+    /// productive directions, the output with the shortest queue (Section 3.1:
+    /// "The adaptive routing algorithm allows messages to choose among minimal
+    /// distance paths based on outgoing queue lengths in each direction").
+    /// Does *not* preserve point-to-point ordering.
+    Adaptive,
+}
+
+impl RoutingPolicy {
+    /// Human-readable label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::Static => "static",
+            RoutingPolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// How the network avoids (or does not avoid) deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowControl {
+    /// The conventional design: one virtual network per message class to
+    /// avoid endpoint deadlock, and virtual channels (dateline allocation on
+    /// torus rings) to avoid switch deadlock. Section 4 notes the target
+    /// system needs 4 virtual networks × 2 virtual channels = 8 VCs with
+    /// static routing (plus one more VC for adaptive routing).
+    VirtualChannels {
+        /// Virtual channels per virtual network per unidirectional link.
+        channels_per_network: usize,
+    },
+    /// The speculatively simplified design of Section 4: no virtual networks,
+    /// no virtual channels; every message class shares a single buffer pool
+    /// per port. Deadlock becomes possible and is detected by transaction
+    /// timeout, then resolved by SafetyNet recovery.
+    SharedBuffers {
+        /// Buffer capacity (in messages) of each switch input port and each
+        /// endpoint ingress queue. The paper sweeps this: performance is
+        /// steady at 16 and above and drops sharply at 8, where deadlocks
+        /// first appear.
+        buffers_per_port: usize,
+    },
+    /// Worst-case buffering: buffers large enough that they can never fill,
+    /// making deadlock structurally impossible without virtual channels. Used
+    /// as the comparison baseline in Section 5.3 ("we compare the performance
+    /// of this system against a system with the same protocol running on an
+    /// interconnection network with worst-case buffering").
+    WorstCaseBuffering,
+}
+
+impl FlowControl {
+    /// Human-readable label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowControl::VirtualChannels { .. } => "virtual-channels",
+            FlowControl::SharedBuffers { .. } => "shared-buffers",
+            FlowControl::WorstCaseBuffering => "worst-case-buffering",
+        }
+    }
+}
+
+/// Which variant of a coherence protocol to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolVariant {
+    /// The fully designed protocol: every race, including the rare corner
+    /// cases, has explicit states and transitions.
+    Full,
+    /// The speculatively simplified protocol: the rare corner case is *not*
+    /// handled; encountering it is detected as a mis-speculation and triggers
+    /// a SafetyNet recovery.
+    Speculative,
+}
+
+impl ProtocolVariant {
+    /// Human-readable label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolVariant::Full => "full",
+            ProtocolVariant::Speculative => "speculative",
+        }
+    }
+}
+
+/// Link bandwidth of the interconnection network, Table 2: "400 MB/sec to
+/// 3.2 GB/sec".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkBandwidth {
+    /// Megabytes per second per unidirectional link.
+    pub megabytes_per_second: u64,
+}
+
+impl LinkBandwidth {
+    /// The low end of the paper's sweep (and the operating point of Figure 5).
+    pub const MB_400: LinkBandwidth = LinkBandwidth {
+        megabytes_per_second: 400,
+    };
+    /// An intermediate point of the paper's sweep.
+    pub const MB_800: LinkBandwidth = LinkBandwidth {
+        megabytes_per_second: 800,
+    };
+    /// An intermediate point of the paper's sweep.
+    pub const GB_1_6: LinkBandwidth = LinkBandwidth {
+        megabytes_per_second: 1600,
+    };
+    /// The high end of the paper's sweep.
+    pub const GB_3_2: LinkBandwidth = LinkBandwidth {
+        megabytes_per_second: 3200,
+    };
+
+    /// Cycles needed to serialize `bytes` onto one link at a
+    /// 4 GHz-equivalent cycle time (0.25 ns per cycle).
+    ///
+    /// `400 MB/s` moves 0.1 bytes per cycle, so a 72-byte data message takes
+    /// 720 cycles of link occupancy; `3.2 GB/s` moves 0.8 bytes per cycle
+    /// (90 cycles for the same message). The result is always at least one
+    /// cycle.
+    #[must_use]
+    pub fn serialization_cycles(self, bytes: usize) -> CycleDelta {
+        let bytes_per_second = self.megabytes_per_second * 1_000_000;
+        // cycles = bytes / (bytes per cycle) = bytes * cycles_per_sec / bytes_per_sec
+        let cycles =
+            (bytes as u64 * crate::time::PAPER_CYCLES_PER_SECOND).div_ceil(bytes_per_second);
+        cycles.max(1)
+    }
+}
+
+/// SafetyNet checkpoint/recovery parameters (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyNetConfig {
+    /// Total capacity of each node's checkpoint log buffer, in bytes
+    /// (Table 2: 512 KB).
+    pub log_buffer_bytes: usize,
+    /// Size of one log entry in bytes (Table 2: 72 bytes — a 64-byte block
+    /// pre-image plus an 8-byte address/metadata word).
+    pub log_entry_bytes: usize,
+    /// Checkpoint interval for the directory system, in cycles
+    /// (Table 2: 100 000 cycles).
+    pub checkpoint_interval_cycles: CycleDelta,
+    /// Checkpoint interval for the snooping system, in coherence requests
+    /// (Table 2: 3000 requests). The snooping system uses the totally ordered
+    /// address network as its logical time base.
+    pub checkpoint_interval_requests: u64,
+    /// Latency to checkpoint processor registers (Table 2: 100 cycles).
+    pub register_checkpoint_cycles: CycleDelta,
+    /// How many checkpoint intervals must elapse before an outstanding
+    /// coherence transaction is declared timed out (Section 4: "a processor
+    /// times out on its request after three checkpoint intervals").
+    pub timeout_checkpoint_intervals: u64,
+    /// Maximum number of not-yet-validated checkpoints a node may hold before
+    /// it must stall new speculative work (bounded by log capacity).
+    pub max_outstanding_checkpoints: usize,
+}
+
+impl Default for SafetyNetConfig {
+    fn default() -> Self {
+        Self {
+            log_buffer_bytes: 512 * 1024,
+            log_entry_bytes: 72,
+            checkpoint_interval_cycles: 100_000,
+            checkpoint_interval_requests: 3_000,
+            register_checkpoint_cycles: 100,
+            timeout_checkpoint_intervals: 3,
+            max_outstanding_checkpoints: 4,
+        }
+    }
+}
+
+impl SafetyNetConfig {
+    /// Number of log entries that fit in one node's checkpoint log buffer.
+    #[must_use]
+    pub fn log_capacity_entries(&self) -> usize {
+        self.log_buffer_bytes / self.log_entry_bytes
+    }
+
+    /// The coherence-transaction timeout in cycles for the directory system.
+    #[must_use]
+    pub fn transaction_timeout_cycles(&self) -> CycleDelta {
+        self.checkpoint_interval_cycles * self.timeout_checkpoint_intervals
+    }
+}
+
+/// The complete set of memory-system parameters for the 16-node target
+/// machine of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemorySystemConfig {
+    /// Number of nodes (processor + caches + memory slice + NI). Table 2 /
+    /// Section 5.1: 16.
+    pub num_nodes: usize,
+    /// L1 cache capacity in bytes (instruction and data each; we model the
+    /// unified miss stream). Table 2: 128 KB.
+    pub l1_bytes: usize,
+    /// L1 associativity. Table 2: 4-way.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_hit_cycles: CycleDelta,
+    /// L2 cache capacity in bytes. Table 2: 4 MB.
+    pub l2_bytes: usize,
+    /// L2 associativity. Table 2: 4-way.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: CycleDelta,
+    /// Total memory in bytes. Table 2: 2 GB.
+    pub memory_bytes: u64,
+    /// Uncontended two-hop miss-from-memory latency in cycles.
+    /// Table 2: 180 ns = 720 cycles at 4 GHz.
+    pub memory_latency_cycles: CycleDelta,
+    /// DRAM access latency charged at the home node's memory controller
+    /// (part of the 180 ns end-to-end budget).
+    pub dram_access_cycles: CycleDelta,
+    /// Interconnect link bandwidth.
+    pub link_bandwidth: LinkBandwidth,
+    /// Per-hop switch traversal latency in cycles (pipeline latency of a
+    /// switch, independent of serialization).
+    pub switch_latency_cycles: CycleDelta,
+    /// SafetyNet parameters.
+    pub safetynet: SafetyNetConfig,
+}
+
+impl Default for MemorySystemConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 16,
+            l1_bytes: 128 * 1024,
+            l1_ways: 4,
+            l1_hit_cycles: 2,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 4,
+            l2_hit_cycles: 12,
+            memory_bytes: 2 * 1024 * 1024 * 1024,
+            memory_latency_cycles: ns_to_cycles(180),
+            dram_access_cycles: 200,
+            link_bandwidth: LinkBandwidth::GB_3_2,
+            switch_latency_cycles: 8,
+            safetynet: SafetyNetConfig::default(),
+        }
+    }
+}
+
+impl MemorySystemConfig {
+    /// Number of sets in the L1 cache.
+    #[must_use]
+    pub fn l1_sets(&self) -> usize {
+        self.l1_bytes / (BLOCK_SIZE_BYTES * self.l1_ways)
+    }
+
+    /// Number of sets in the L2 cache.
+    #[must_use]
+    pub fn l2_sets(&self) -> usize {
+        self.l2_bytes / (BLOCK_SIZE_BYTES * self.l2_ways)
+    }
+
+    /// Number of cache blocks backed by the whole machine's memory.
+    #[must_use]
+    pub fn memory_blocks(&self) -> u64 {
+        self.memory_bytes / BLOCK_SIZE_BYTES as u64
+    }
+
+    /// Side length of the 2D torus for this node count (the paper's 16-node
+    /// machine is a 4×4 torus). Panics if `num_nodes` is not a perfect
+    /// square, because the network model only supports square tori.
+    #[must_use]
+    pub fn torus_side(&self) -> usize {
+        let side = (self.num_nodes as f64).sqrt().round() as usize;
+        assert_eq!(
+            side * side,
+            self.num_nodes,
+            "num_nodes must be a perfect square to form a 2D torus"
+        );
+        side
+    }
+
+    /// Sanity-checks the configuration, returning a list of human-readable
+    /// problems (empty when the configuration is consistent).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.num_nodes == 0 {
+            problems.push("num_nodes must be positive".to_string());
+        } else {
+            let side = (self.num_nodes as f64).sqrt().round() as usize;
+            if side * side != self.num_nodes {
+                problems.push(format!(
+                    "num_nodes = {} is not a perfect square (required for a 2D torus)",
+                    self.num_nodes
+                ));
+            }
+        }
+        if self.l1_bytes % (BLOCK_SIZE_BYTES * self.l1_ways) != 0 {
+            problems.push("L1 size must be a multiple of block size × associativity".to_string());
+        }
+        if self.l2_bytes % (BLOCK_SIZE_BYTES * self.l2_ways) != 0 {
+            problems.push("L2 size must be a multiple of block size × associativity".to_string());
+        }
+        if self.l2_bytes < self.l1_bytes {
+            problems.push("L2 must be at least as large as L1 (inclusive hierarchy)".to_string());
+        }
+        if self.safetynet.log_entry_bytes == 0 || self.safetynet.log_buffer_bytes == 0 {
+            problems.push("SafetyNet log buffer and entry sizes must be positive".to_string());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table_2() {
+        let c = MemorySystemConfig::default();
+        assert_eq!(c.num_nodes, 16);
+        assert_eq!(c.l1_bytes, 128 * 1024);
+        assert_eq!(c.l1_ways, 4);
+        assert_eq!(c.l2_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2_ways, 4);
+        assert_eq!(c.memory_bytes, 2 * 1024 * 1024 * 1024);
+        assert_eq!(c.memory_latency_cycles, 720); // 180 ns at 4 GHz
+        assert_eq!(c.safetynet.log_buffer_bytes, 512 * 1024);
+        assert_eq!(c.safetynet.log_entry_bytes, 72);
+        assert_eq!(c.safetynet.checkpoint_interval_cycles, 100_000);
+        assert_eq!(c.safetynet.checkpoint_interval_requests, 3_000);
+        assert_eq!(c.safetynet.register_checkpoint_cycles, 100);
+        assert!(c.validate().is_empty());
+    }
+
+    #[test]
+    fn derived_geometry_is_consistent() {
+        let c = MemorySystemConfig::default();
+        assert_eq!(c.l1_sets(), 128 * 1024 / (64 * 4));
+        assert_eq!(c.l2_sets(), 4 * 1024 * 1024 / (64 * 4));
+        assert_eq!(c.torus_side(), 4);
+        assert_eq!(c.memory_blocks(), 2 * 1024 * 1024 * 1024 / 64);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = MemorySystemConfig {
+            num_nodes: 15,
+            ..MemorySystemConfig::default()
+        };
+        assert!(!c.validate().is_empty());
+        c.num_nodes = 16;
+        c.l2_bytes = 64 * 1024; // smaller than L1
+        assert!(!c.validate().is_empty());
+    }
+
+    #[test]
+    fn link_serialization_matches_bandwidth() {
+        // 400 MB/s = 0.1 B/cycle at 4 GHz: 72 bytes take 720 cycles.
+        assert_eq!(LinkBandwidth::MB_400.serialization_cycles(72), 720);
+        // 3.2 GB/s = 0.8 B/cycle: 72 bytes take 90 cycles.
+        assert_eq!(LinkBandwidth::GB_3_2.serialization_cycles(72), 90);
+        // Control message of 8 bytes at 400 MB/s: 80 cycles.
+        assert_eq!(LinkBandwidth::MB_400.serialization_cycles(8), 80);
+        // Serialization is never zero cycles.
+        assert_eq!(LinkBandwidth::GB_3_2.serialization_cycles(0), 1);
+    }
+
+    #[test]
+    fn safetynet_derived_values() {
+        let s = SafetyNetConfig::default();
+        assert_eq!(s.log_capacity_entries(), 512 * 1024 / 72);
+        assert_eq!(s.transaction_timeout_cycles(), 300_000);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RoutingPolicy::Static.label(), "static");
+        assert_eq!(RoutingPolicy::Adaptive.label(), "adaptive");
+        assert_eq!(ProtocolVariant::Full.label(), "full");
+        assert_eq!(ProtocolVariant::Speculative.label(), "speculative");
+        assert_eq!(
+            FlowControl::VirtualChannels {
+                channels_per_network: 2
+            }
+            .label(),
+            "virtual-channels"
+        );
+        assert_eq!(
+            FlowControl::SharedBuffers {
+                buffers_per_port: 16
+            }
+            .label(),
+            "shared-buffers"
+        );
+        assert_eq!(FlowControl::WorstCaseBuffering.label(), "worst-case-buffering");
+    }
+}

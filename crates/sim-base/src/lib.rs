@@ -1,0 +1,44 @@
+//! # specsim-base
+//!
+//! Simulation kernel primitives shared by every crate in the
+//! *speculation-for-simplicity* multiprocessor simulator, a reproduction of
+//! Sorin, Martin, Hill and Wood, *"Using Speculation to Simplify
+//! Multiprocessor Design"*, IPDPS 2004.
+//!
+//! This crate deliberately contains **no policy**: it provides the vocabulary
+//! the rest of the workspace speaks —
+//!
+//! * [`time`] — the cycle clock and time conversion helpers,
+//! * [`ids`] — node identifiers, physical addresses and cache-block math,
+//! * [`config`] — the target-system parameters of the paper's Table 2,
+//! * [`rng`] — a small, deterministic, save/restorable random number
+//!   generator (checkpoint recovery rewinds generators, so RNG state must be
+//!   checkpointable),
+//! * [`stats`] — counters, running mean/standard deviation, histograms and
+//!   utilization trackers used by the evaluation harness,
+//! * [`queue`] — bounded message queues, the port abstraction through which
+//!   controllers and the interconnection network exchange messages,
+//! * [`msgsize`] — the message size model (control vs. data messages) used by
+//!   the link serialization model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod ids;
+pub mod msgsize;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use config::{
+    FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant, RoutingPolicy,
+    SafetyNetConfig, BLOCK_SIZE_BYTES,
+};
+pub use ids::{Address, BlockAddr, NodeId};
+pub use msgsize::{MessageSize, CONTROL_MSG_BYTES, DATA_MSG_BYTES};
+pub use queue::MsgQueue;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, RunningStats, UtilizationTracker};
+pub use time::{Cycle, CycleDelta};

@@ -1,0 +1,52 @@
+//! Message size model.
+//!
+//! The coherence protocol exchanges two sizes of message: short control
+//! messages (requests, forwarded requests, acknowledgments, nacks) and long
+//! data messages carrying a 64-byte cache block plus a header. The link
+//! model charges serialization time proportional to the message size, which
+//! is how link bandwidth (Table 2: 400 MB/s – 3.2 GB/s) turns into
+//! contention and, under adaptive routing, into reordering opportunities.
+
+use crate::config::BLOCK_SIZE_BYTES;
+
+/// Size in bytes of a control-only coherence message (address + type +
+/// source/destination + sequence metadata).
+pub const CONTROL_MSG_BYTES: usize = 8;
+
+/// Size in bytes of a data-carrying coherence message: a 64-byte block plus
+/// an 8-byte header. This matches the 72-byte SafetyNet log entry of Table 2,
+/// which stores a block pre-image plus metadata.
+pub const DATA_MSG_BYTES: usize = BLOCK_SIZE_BYTES + CONTROL_MSG_BYTES;
+
+/// Whether a message carries a data block or only control information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageSize {
+    /// Control-only message ([`CONTROL_MSG_BYTES`] bytes).
+    Control,
+    /// Data-carrying message ([`DATA_MSG_BYTES`] bytes).
+    Data,
+}
+
+impl MessageSize {
+    /// Size of this class of message in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        match self {
+            MessageSize::Control => CONTROL_MSG_BYTES,
+            MessageSize::Data => DATA_MSG_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_carry_a_block_plus_header() {
+        assert_eq!(DATA_MSG_BYTES, 72);
+        assert_eq!(MessageSize::Data.bytes(), 72);
+        assert_eq!(MessageSize::Control.bytes(), 8);
+        assert!(MessageSize::Data.bytes() > MessageSize::Control.bytes());
+    }
+}

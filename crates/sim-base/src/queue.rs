@@ -1,0 +1,237 @@
+//! Bounded message queues.
+//!
+//! Every buffered resource in the system — switch input ports, virtual
+//! channel buffers, endpoint ingress/egress queues, controller mailboxes —
+//! is a [`MsgQueue`]. Finite capacities are what make deadlock possible
+//! (Section 4), so capacity accounting lives in one place and is exact:
+//! a push into a full queue is refused, and the producer must retry later
+//! (back-pressure), exactly as a real flow-controlled buffer behaves.
+
+use std::collections::VecDeque;
+
+/// Error returned when pushing into a full [`MsgQueue`]; carries the rejected
+/// message back to the caller so it is not lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull<T>(pub T);
+
+/// A FIFO queue with an optional capacity bound and occupancy statistics.
+#[derive(Debug, Clone)]
+pub struct MsgQueue<T> {
+    items: VecDeque<T>,
+    capacity: Option<usize>,
+    high_water: usize,
+    total_enqueued: u64,
+}
+
+impl<T> MsgQueue<T> {
+    /// Creates a queue holding at most `capacity` messages.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: Some(capacity),
+            high_water: 0,
+            total_enqueued: 0,
+        }
+    }
+
+    /// Creates a queue with no capacity bound (worst-case buffering).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            items: VecDeque::new(),
+            capacity: None,
+            high_water: 0,
+            total_enqueued: 0,
+        }
+    }
+
+    /// The capacity bound, if any.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no messages are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when the queue cannot accept another message.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        match self.capacity {
+            Some(cap) => self.items.len() >= cap,
+            None => false,
+        }
+    }
+
+    /// Remaining space, or `usize::MAX` for unbounded queues.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.items.len()),
+            None => usize::MAX,
+        }
+    }
+
+    /// Appends a message, or returns it in [`QueueFull`] if there is no room.
+    pub fn push(&mut self, item: T) -> Result<(), QueueFull<T>> {
+        if self.is_full() {
+            return Err(QueueFull(item));
+        }
+        self.items.push_back(item);
+        self.total_enqueued += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the message at the head of the queue.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the message at the head without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Iterates over the queued messages from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes every queued message (used when recovery drains the network).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Retains only the messages for which the predicate returns true.
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.items.retain(f);
+    }
+
+    /// Highest occupancy ever observed.
+    #[must_use]
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total messages ever enqueued.
+    #[must_use]
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+}
+
+impl<T> Default for MsgQueue<T> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = MsgQueue::unbounded();
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let mut q = MsgQueue::bounded(2);
+        assert!(q.push('a').is_ok());
+        assert!(q.push('b').is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.free_slots(), 0);
+        assert_eq!(q.push('c'), Err(QueueFull('c')));
+        q.pop();
+        assert!(q.push('c').is_ok());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = MsgQueue::bounded(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.peek(), Some(&1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn stats_track_high_water_and_total() {
+        let mut q = MsgQueue::bounded(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.pop();
+        q.pop();
+        q.push(9).unwrap();
+        assert_eq!(q.high_water_mark(), 5);
+        assert_eq!(q.total_enqueued(), 6);
+    }
+
+    #[test]
+    fn clear_and_retain() {
+        let mut q = MsgQueue::unbounded();
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        q.retain(|&x| x % 2 == 0);
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_everything() {
+        let mut q = MsgQueue::bounded(0);
+        assert!(q.is_full());
+        assert_eq!(q.push(1), Err(QueueFull(1)));
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_queue_never_exceeds_capacity(
+            cap in 1usize..16,
+            ops in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let mut q = MsgQueue::bounded(cap);
+            let mut model: VecDeque<u32> = VecDeque::new();
+            let mut next = 0u32;
+            for push in ops {
+                if push {
+                    let accepted = q.push(next).is_ok();
+                    if model.len() < cap {
+                        prop_assert!(accepted);
+                        model.push_back(next);
+                    } else {
+                        prop_assert!(!accepted);
+                    }
+                    next += 1;
+                } else {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+                prop_assert!(q.len() <= cap);
+                prop_assert_eq!(q.len(), model.len());
+            }
+        }
+    }
+}

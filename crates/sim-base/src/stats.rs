@@ -1,0 +1,418 @@
+//! Statistics collection.
+//!
+//! The evaluation methodology of the paper (Section 5.2, following
+//! Alameldeen et al.) runs each design point several times with small
+//! pseudo-random perturbations and reports means with one-standard-deviation
+//! error bars. [`RunningStats`] implements the numerically stable Welford
+//! recurrence used for those error bars. [`Counter`], [`Histogram`] and
+//! [`UtilizationTracker`] are the building blocks the simulator components
+//! use to account for events, distributions (e.g. miss latencies) and busy
+//! fractions (e.g. link utilization, reported as 13–35 % for static routing
+//! in Section 5.3).
+
+use crate::time::Cycle;
+
+/// A simple saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value = self.value.saturating_add(1);
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current count.
+    #[must_use]
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Online mean / variance / standard deviation via Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the observations (0 if fewer than two).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (unbiased) variance of the observations (0 if fewer than two).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation — the error-bar half-width used in the
+    /// paper's figures ("Error bars in results represent one standard
+    /// deviation in each direction").
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel-runs reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (e.g. miss latencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_buckets` buckets of `bucket_width` each;
+    /// samples at or beyond `num_buckets * bucket_width` land in an overflow
+    /// bucket.
+    #[must_use]
+    pub fn new(bucket_width: u64, num_buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(num_buckets > 0, "need at least one bucket");
+        Self {
+            bucket_width,
+            buckets: vec![0; num_buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (sample / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += u128::from(sample);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Count in the bucket covering `[i*width, (i+1)*width)`.
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Count of samples beyond the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Smallest sample value `v` such that at least `fraction` of all samples
+    /// are `<= v`, resolved to bucket granularity (upper bucket edge).
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, fraction: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (fraction.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Tracks what fraction of cycles a resource (e.g. a link) was busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UtilizationTracker {
+    busy_cycles: u64,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker with zero busy cycles.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the resource was busy for `cycles` cycles.
+    #[inline]
+    pub fn add_busy(&mut self, cycles: u64) {
+        self.busy_cycles = self.busy_cycles.saturating_add(cycles);
+    }
+
+    /// Total busy cycles recorded.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Busy fraction over an observation window ending at `now` that started
+    /// at cycle `start`. Clamped to `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, start: Cycle, now: Cycle) -> f64 {
+        if now <= start {
+            return 0.0;
+        }
+        (self.busy_cycles as f64 / (now - start) as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_increments_and_resets() {
+        let mut c = Counter::new();
+        c.incr();
+        c.incr();
+        c.add(5);
+        assert_eq!(c.get(), 7);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn running_stats_mean_and_stddev() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_empty_is_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 5);
+        for v in [0, 5, 9, 10, 49, 50, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket(0), 3);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.overflow(), 2);
+        assert!((h.mean() - (0 + 5 + 9 + 10 + 49 + 50 + 1000) as f64 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 50);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(Histogram::new(1, 4).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let mut u = UtilizationTracker::new();
+        u.add_busy(250);
+        assert!((u.utilization(0, 1000) - 0.25).abs() < 1e-12);
+        assert_eq!(u.utilization(0, 0), 0.0);
+        // Clamped even if accounting overshoots the window.
+        u.add_busy(10_000);
+        assert_eq!(u.utilization(0, 1000), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let mut s = RunningStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+            prop_assert!((s.sample_variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        }
+
+        #[test]
+        fn histogram_total_equals_bucket_sum(samples in proptest::collection::vec(0u64..10_000, 0..500)) {
+            let mut h = Histogram::new(100, 50);
+            for &s in &samples {
+                h.record(s);
+            }
+            let bucket_sum: u64 = (0..50).map(|i| h.bucket(i)).sum::<u64>() + h.overflow();
+            prop_assert_eq!(bucket_sum, samples.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The five workloads of Table 3 and their synthetic-generator parameters.
+
+use specsim_base::BLOCK_SIZE_BYTES;
+
+/// The workloads of the paper's evaluation (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// OLTP: TPC-C-like transaction processing on a database (DB2 in the
+    /// paper). Large working set, significant read-write sharing and
+    /// migratory data (row/lock ownership moves between processors), high
+    /// writeback traffic.
+    Oltp,
+    /// Java server (SPECjbb2000): mostly per-warehouse (per-thread) private
+    /// heaps, moderate shared structures, modest sharing.
+    Jbb,
+    /// Static web server (Apache + SURGE): read-mostly shared file/metadata
+    /// caches, low write fraction.
+    Apache,
+    /// Dynamic web server (Slashcode): Apache + mod_perl + MySQL; more
+    /// read-write sharing than the static server.
+    Slashcode,
+    /// SPLASH-2 barnes-hut (16K bodies): scientific N-body phases with
+    /// bursty all-to-all sharing of the tree and mostly-private body updates.
+    Barnes,
+}
+
+/// All workloads in the order the paper's figures present them.
+pub const ALL_WORKLOADS: [WorkloadKind; 5] = [
+    WorkloadKind::Jbb,
+    WorkloadKind::Apache,
+    WorkloadKind::Slashcode,
+    WorkloadKind::Oltp,
+    WorkloadKind::Barnes,
+];
+
+impl WorkloadKind {
+    /// Short label used in experiment output (matches the paper's figure
+    /// labels).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Oltp => "oltp",
+            WorkloadKind::Jbb => "jbb",
+            WorkloadKind::Apache => "apache",
+            WorkloadKind::Slashcode => "slash",
+            WorkloadKind::Barnes => "barnes",
+        }
+    }
+
+    /// One-line description (condensed from Table 3).
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            WorkloadKind::Oltp => {
+                "OLTP: TPC-C-like transactions on a 10-warehouse database (DB2 in the paper)"
+            }
+            WorkloadKind::Jbb => {
+                "Java server: SPECjbb2000-like 3-tier middleware, 24 warehouses (~500 MB)"
+            }
+            WorkloadKind::Apache => {
+                "Static web server: Apache serving a 2000-file (~50 MB) repository under SURGE"
+            }
+            WorkloadKind::Slashcode => {
+                "Dynamic web server: Slashcode message board on Apache/mod_perl + MySQL"
+            }
+            WorkloadKind::Barnes => "Scientific: SPLASH-2 barnes-hut, 16K-body input",
+        }
+    }
+
+    /// The synthetic-generator parameters for this workload.
+    #[must_use]
+    pub fn params(self) -> WorkloadParams {
+        // All block counts are per the whole machine unless stated otherwise.
+        // They are scaled so that private hot sets largely fit in the L1/L2
+        // while total footprints exceed the caches (forcing evictions and
+        // writebacks, which the directory-protocol race needs).
+        match self {
+            WorkloadKind::Oltp => WorkloadParams {
+                mean_think_cycles: 6,
+                private_hot_blocks: 1_024,
+                private_warm_blocks: 120_000,
+                shared_rw_blocks: 16_384,
+                shared_ro_blocks: 32_768,
+                migratory_blocks: 512,
+                p_private: 0.55,
+                p_shared_ro: 0.20,
+                p_shared_rw: 0.17,
+                p_migratory: 0.08,
+                write_fraction_private: 0.30,
+                write_fraction_shared_rw: 0.35,
+                write_fraction_migratory: 0.60,
+                reuse_fraction: 0.88,
+                reuse_window: 192,
+                transactions_reported: 500,
+            },
+            WorkloadKind::Jbb => WorkloadParams {
+                mean_think_cycles: 5,
+                private_hot_blocks: 2_048,
+                private_warm_blocks: 200_000,
+                shared_rw_blocks: 4_096,
+                shared_ro_blocks: 8_192,
+                migratory_blocks: 128,
+                p_private: 0.80,
+                p_shared_ro: 0.10,
+                p_shared_rw: 0.08,
+                p_migratory: 0.02,
+                write_fraction_private: 0.35,
+                write_fraction_shared_rw: 0.25,
+                write_fraction_migratory: 0.50,
+                reuse_fraction: 0.93,
+                reuse_window: 256,
+                transactions_reported: 10_000,
+            },
+            WorkloadKind::Apache => WorkloadParams {
+                mean_think_cycles: 5,
+                private_hot_blocks: 1_536,
+                private_warm_blocks: 80_000,
+                shared_rw_blocks: 2_048,
+                shared_ro_blocks: 65_536,
+                migratory_blocks: 128,
+                p_private: 0.55,
+                p_shared_ro: 0.35,
+                p_shared_rw: 0.07,
+                p_migratory: 0.03,
+                write_fraction_private: 0.25,
+                write_fraction_shared_rw: 0.20,
+                write_fraction_migratory: 0.40,
+                reuse_fraction: 0.91,
+                reuse_window: 224,
+                transactions_reported: 5_000,
+            },
+            WorkloadKind::Slashcode => WorkloadParams {
+                mean_think_cycles: 6,
+                private_hot_blocks: 1_536,
+                private_warm_blocks: 80_000,
+                shared_rw_blocks: 8_192,
+                shared_ro_blocks: 32_768,
+                migratory_blocks: 256,
+                p_private: 0.55,
+                p_shared_ro: 0.25,
+                p_shared_rw: 0.14,
+                p_migratory: 0.06,
+                write_fraction_private: 0.30,
+                write_fraction_shared_rw: 0.30,
+                write_fraction_migratory: 0.55,
+                reuse_fraction: 0.90,
+                reuse_window: 224,
+                transactions_reported: 50,
+            },
+            WorkloadKind::Barnes => WorkloadParams {
+                mean_think_cycles: 4,
+                private_hot_blocks: 2_048,
+                private_warm_blocks: 16_384,
+                shared_rw_blocks: 16_384,
+                shared_ro_blocks: 4_096,
+                migratory_blocks: 1_024,
+                p_private: 0.60,
+                p_shared_ro: 0.10,
+                p_shared_rw: 0.24,
+                p_migratory: 0.06,
+                write_fraction_private: 0.40,
+                write_fraction_shared_rw: 0.30,
+                write_fraction_migratory: 0.50,
+                reuse_fraction: 0.94,
+                reuse_window: 160,
+                transactions_reported: 16_384,
+            },
+        }
+    }
+}
+
+/// Parameters of one synthetic workload.
+///
+/// The address space of a run is carved into disjoint regions:
+/// per-node private hot and warm regions, a globally shared read-write
+/// region, a globally shared read-mostly region and a small migratory region
+/// (blocks written in turn by different processors — the pattern that
+/// produces Writeback/RequestReadWrite races).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Mean cycles of non-memory work between two memory references issued
+    /// to the cache hierarchy.
+    pub mean_think_cycles: u64,
+    /// Per-node hot private blocks (sized to mostly fit the L1).
+    pub private_hot_blocks: u64,
+    /// Per-node warm private blocks (exceeds the L2 for the commercial
+    /// workloads, forcing capacity evictions).
+    pub private_warm_blocks: u64,
+    /// Globally shared read-write blocks.
+    pub shared_rw_blocks: u64,
+    /// Globally shared read-mostly blocks.
+    pub shared_ro_blocks: u64,
+    /// Migratory blocks (written by one processor at a time, ownership moves).
+    pub migratory_blocks: u64,
+    /// Probability that a reference targets the private regions.
+    pub p_private: f64,
+    /// Probability that a reference targets the shared read-mostly region.
+    pub p_shared_ro: f64,
+    /// Probability that a reference targets the shared read-write region.
+    pub p_shared_rw: f64,
+    /// Probability that a reference targets the migratory region.
+    pub p_migratory: f64,
+    /// Fraction of private references that are stores.
+    pub write_fraction_private: f64,
+    /// Fraction of shared read-write references that are stores.
+    pub write_fraction_shared_rw: f64,
+    /// Fraction of migratory references that are stores.
+    pub write_fraction_migratory: f64,
+    /// Probability that a reference re-uses a recently touched block instead
+    /// of drawing a fresh one from the region model (temporal locality; this
+    /// is what gives the synthetic workloads realistic cache hit rates).
+    pub reuse_fraction: f64,
+    /// Number of recently touched blocks eligible for re-use.
+    pub reuse_window: usize,
+    /// Number of application-level transactions the paper measures for this
+    /// workload (Table 3); reported by the Table 3 bench for context.
+    pub transactions_reported: u64,
+}
+
+impl WorkloadParams {
+    /// Total footprint of the workload in blocks for a machine of
+    /// `num_nodes` nodes.
+    #[must_use]
+    pub fn footprint_blocks(&self, num_nodes: usize) -> u64 {
+        (self.private_hot_blocks + self.private_warm_blocks) * num_nodes as u64
+            + self.shared_rw_blocks
+            + self.shared_ro_blocks
+            + self.migratory_blocks
+    }
+
+    /// Total footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self, num_nodes: usize) -> u64 {
+        self.footprint_blocks(num_nodes) * BLOCK_SIZE_BYTES as u64
+    }
+
+    /// Checks that the region probabilities form a distribution.
+    #[must_use]
+    pub fn probabilities_are_consistent(&self) -> bool {
+        let sum = self.p_private + self.p_shared_ro + self.p_shared_rw + self.p_migratory;
+        (sum - 1.0).abs() < 1e-9
+            && [
+                self.write_fraction_private,
+                self.write_fraction_shared_rw,
+                self.write_fraction_migratory,
+            ]
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_have_consistent_probabilities() {
+        for w in ALL_WORKLOADS {
+            assert!(
+                w.params().probabilities_are_consistent(),
+                "{} has inconsistent probabilities",
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_match_figures() {
+        let labels: Vec<&str> = ALL_WORKLOADS.iter().map(|w| w.label()).collect();
+        assert_eq!(labels, vec!["jbb", "apache", "slash", "oltp", "barnes"]);
+    }
+
+    #[test]
+    fn commercial_workloads_exceed_the_l2_capacity() {
+        // 4 MB L2 = 65 536 blocks per node. The commercial workloads' per-node
+        // private footprint plus shared data must exceed it so that capacity
+        // evictions (and therefore writebacks) occur.
+        for w in [
+            WorkloadKind::Oltp,
+            WorkloadKind::Jbb,
+            WorkloadKind::Apache,
+            WorkloadKind::Slashcode,
+        ] {
+            let p = w.params();
+            assert!(
+                p.private_hot_blocks + p.private_warm_blocks > 65_536,
+                "{} private footprint should exceed the L2",
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn footprints_are_plausible_for_a_2gb_machine() {
+        for w in ALL_WORKLOADS {
+            let bytes = w.params().footprint_bytes(16);
+            assert!(bytes > 1024 * 1024, "{} footprint too small", w.label());
+            assert!(
+                bytes < 2 * 1024 * 1024 * 1024,
+                "{} footprint exceeds the 2 GB memory of Table 2",
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn descriptions_mention_distinct_applications() {
+        let descrs: std::collections::HashSet<_> =
+            ALL_WORKLOADS.iter().map(|w| w.description()).collect();
+        assert_eq!(descrs.len(), 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! # specsim-workloads
+//!
+//! Synthetic workload generators and the blocking processor model that drive
+//! the memory-system simulator.
+//!
+//! The paper evaluates its designs with the Wisconsin Commercial Workload
+//! Suite (OLTP/DB2, SPECjbb2000, Apache+SURGE, Slashcode) and SPLASH-2
+//! barnes-hut (Table 3), run under Simics full-system simulation. Those
+//! binaries and their full-system environment are not reproducible here, so
+//! each workload is replaced by a parameterised synthetic generator that
+//! produces the *memory behaviour* that drives the paper's experiments:
+//! private versus shared working sets, read-mostly versus migratory sharing,
+//! write fractions and think times. See `DESIGN.md` ("Substitutions") for the
+//! rationale; the per-workload parameters live in [`kinds`].
+//!
+//! Two properties matter beyond realism:
+//!
+//! * **Determinism** — a generator is a pure function of (workload kind,
+//!   node, seed), so experiments are reproducible and perturbation runs
+//!   (Section 5.2) are controlled.
+//! * **Rewindability** — SafetyNet recovery rolls execution back to a
+//!   checkpoint; generators and processors expose snapshot/restore so the
+//!   system can replay from the recovery point.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod kinds;
+pub mod processor;
+
+pub use generator::{GeneratedOp, GeneratorSnapshot, WorkloadGenerator};
+pub use kinds::{WorkloadKind, WorkloadParams, ALL_WORKLOADS};
+pub use processor::{Processor, ProcessorSnapshot, ProcessorStats};

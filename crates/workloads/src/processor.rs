@@ -1,0 +1,356 @@
+//! The blocking processor model.
+//!
+//! Section 5.1: "We model a processor core that, given a perfect memory
+//! system, would execute four billion instructions per second and generate
+//! blocking requests to the cache hierarchy and beyond." The model here is
+//! exactly that: a processor alternates between *thinking* (executing
+//! non-memory instructions for the generator's think time), *issuing* one
+//! memory reference to its cache controller, and — on a miss — *waiting*
+//! for the coherence transaction to complete before continuing. At most one
+//! demand request is outstanding per processor.
+
+use specsim_base::{Cycle, CycleDelta, NodeId};
+use specsim_coherence::types::CpuRequest;
+
+use crate::generator::{GeneratorSnapshot, WorkloadGenerator};
+
+/// What the processor is doing this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Executing non-memory work until the given cycle, after which `next`
+    /// is issued.
+    Thinking { until: Cycle, next: CpuRequest },
+    /// Ready to (re-)present `next` to the cache controller.
+    Ready { next: CpuRequest },
+    /// A miss is outstanding; waiting for the coherence transaction.
+    /// The request is kept so a checkpoint restore can re-issue it.
+    WaitingMiss { issued_at: Cycle, req: CpuRequest },
+}
+
+/// Per-processor performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessorStats {
+    /// Memory operations completed (hits and misses).
+    pub ops_completed: u64,
+    /// Completed operations that were loads.
+    pub loads: u64,
+    /// Completed operations that were stores.
+    pub stores: u64,
+    /// Operations that required a coherence transaction.
+    pub misses: u64,
+    /// Cycles spent waiting for misses.
+    pub miss_wait_cycles: u64,
+    /// Cycles the cache controller refused the request (structural stalls).
+    pub stall_retries: u64,
+}
+
+/// Saved processor state for checkpoint/recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorSnapshot {
+    phase: Phase,
+    stats: ProcessorStats,
+    generator: GeneratorSnapshot,
+}
+
+/// A blocking processor driving one node's cache controller with a synthetic
+/// workload.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    node: NodeId,
+    generator: WorkloadGenerator,
+    phase: Phase,
+    stats: ProcessorStats,
+}
+
+impl Processor {
+    /// Creates a processor that starts thinking at cycle `now`.
+    #[must_use]
+    pub fn new(node: NodeId, mut generator: WorkloadGenerator, now: Cycle) -> Self {
+        let op = generator.next_op();
+        Self {
+            node,
+            generator,
+            phase: Phase::Thinking {
+                until: now + op.think_cycles,
+                next: op.req,
+            },
+            stats: ProcessorStats::default(),
+        }
+    }
+
+    /// The node this processor belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Performance counters.
+    #[must_use]
+    pub fn stats(&self) -> &ProcessorStats {
+        &self.stats
+    }
+
+    /// Memory operations completed so far (the throughput measure used for
+    /// normalized performance).
+    #[must_use]
+    pub fn ops_completed(&self) -> u64 {
+        self.stats.ops_completed
+    }
+
+    /// True when the processor is waiting on an outstanding miss.
+    #[must_use]
+    pub fn is_waiting(&self) -> bool {
+        matches!(self.phase, Phase::WaitingMiss { .. })
+    }
+
+    /// Cycle at which the outstanding miss was issued, if any.
+    #[must_use]
+    pub fn waiting_since(&self) -> Option<Cycle> {
+        match self.phase {
+            Phase::WaitingMiss { issued_at, .. } => Some(issued_at),
+            _ => None,
+        }
+    }
+
+    /// Returns the request the processor wants to present to its cache
+    /// controller this cycle, if any.
+    #[must_use]
+    pub fn poll(&mut self, now: Cycle) -> Option<CpuRequest> {
+        match self.phase {
+            Phase::Thinking { until, next } => {
+                if now >= until {
+                    self.phase = Phase::Ready { next };
+                    Some(next)
+                } else {
+                    None
+                }
+            }
+            Phase::Ready { next } => Some(next),
+            Phase::WaitingMiss { .. } => None,
+        }
+    }
+
+    fn advance_to_next_op(&mut self, now: Cycle, extra_latency: CycleDelta) {
+        let op = self.generator.next_op();
+        self.phase = Phase::Thinking {
+            until: now + extra_latency + op.think_cycles,
+            next: op.req,
+        };
+    }
+
+    /// The presented request hit in the cache with the given latency.
+    pub fn note_hit(&mut self, now: Cycle, latency: CycleDelta, was_store: bool) {
+        debug_assert!(matches!(self.phase, Phase::Ready { .. }));
+        self.stats.ops_completed += 1;
+        if was_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        self.advance_to_next_op(now, latency);
+    }
+
+    /// The presented request missed; a coherence transaction was started.
+    pub fn note_miss_issued(&mut self, now: Cycle) {
+        let Phase::Ready { next } = self.phase else {
+            debug_assert!(false, "miss issued while not presenting a request");
+            return;
+        };
+        self.stats.misses += 1;
+        self.phase = Phase::WaitingMiss {
+            issued_at: now,
+            req: next,
+        };
+    }
+
+    /// The cache controller could not accept the request this cycle.
+    pub fn note_stall(&mut self) {
+        self.stats.stall_retries += 1;
+        // Stay in Ready; the request is re-presented next cycle.
+    }
+
+    /// The outstanding miss completed.
+    pub fn note_miss_completed(&mut self, now: Cycle, was_store: bool) {
+        let Phase::WaitingMiss { issued_at, .. } = self.phase else {
+            debug_assert!(false, "completion without an outstanding miss");
+            return;
+        };
+        self.stats.ops_completed += 1;
+        if was_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        self.stats.miss_wait_cycles += now.saturating_sub(issued_at);
+        self.advance_to_next_op(now, 0);
+    }
+
+    /// Captures processor state (including the generator) for a checkpoint.
+    #[must_use]
+    pub fn snapshot(&self) -> ProcessorSnapshot {
+        ProcessorSnapshot {
+            phase: self.phase,
+            stats: self.stats,
+            generator: self.generator.snapshot(),
+        }
+    }
+
+    /// Restores processor state from a checkpoint. A miss that was in flight
+    /// at checkpoint time (or a request that was about to issue) is simply
+    /// re-issued after recovery; completed-but-rolled-back work is replayed
+    /// because the generator stream rewinds with the processor.
+    pub fn restore(&mut self, now: Cycle, snap: ProcessorSnapshot) {
+        self.generator.restore(snap.generator);
+        self.stats = snap.stats;
+        let next = match snap.phase {
+            Phase::Thinking { next, .. }
+            | Phase::Ready { next }
+            | Phase::WaitingMiss { req: next, .. } => next,
+        };
+        // Execution resumes from the register checkpoint: re-anchor the think
+        // time at the recovery cycle (the precise residual think time is not
+        // architecturally visible).
+        self.phase = Phase::Thinking {
+            until: now + 1,
+            next,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::WorkloadKind;
+    use specsim_coherence::types::CpuAccess;
+
+    fn proc() -> Processor {
+        let g = WorkloadGenerator::new(WorkloadKind::Jbb, NodeId(0), 42);
+        Processor::new(NodeId(0), g, 0)
+    }
+
+    #[test]
+    fn processor_thinks_before_issuing() {
+        let mut p = proc();
+        // At cycle 0 the processor is still thinking (think times are >= 1).
+        assert!(p.poll(0).is_none());
+        // Eventually it becomes ready and presents a request.
+        let mut presented = None;
+        for now in 1..100 {
+            if let Some(req) = p.poll(now) {
+                presented = Some((now, req));
+                break;
+            }
+        }
+        assert!(presented.is_some());
+    }
+
+    #[test]
+    fn hit_completes_the_op_and_moves_on() {
+        let mut p = proc();
+        let mut now = 0;
+        let req = loop {
+            now += 1;
+            if let Some(r) = p.poll(now) {
+                break r;
+            }
+        };
+        p.note_hit(now, 2, req.access == CpuAccess::Store);
+        assert_eq!(p.ops_completed(), 1);
+        assert!(p.poll(now).is_none(), "must think again after a hit");
+        // It issues another request later.
+        let mut issued_again = false;
+        for t in now + 1..now + 100 {
+            if p.poll(t).is_some() {
+                issued_again = true;
+                break;
+            }
+        }
+        assert!(issued_again);
+    }
+
+    #[test]
+    fn miss_blocks_until_completion() {
+        let mut p = proc();
+        let mut now = 0;
+        while p.poll(now).is_none() {
+            now += 1;
+        }
+        p.note_miss_issued(now);
+        assert!(p.is_waiting());
+        assert_eq!(p.waiting_since(), Some(now));
+        assert!(p.poll(now + 500).is_none(), "blocking processor issues nothing while waiting");
+        p.note_miss_completed(now + 700, false);
+        assert_eq!(p.ops_completed(), 1);
+        assert_eq!(p.stats().miss_wait_cycles, 700);
+        assert!(!p.is_waiting());
+    }
+
+    #[test]
+    fn stall_keeps_the_request_pending() {
+        let mut p = proc();
+        let mut now = 0;
+        let first = loop {
+            now += 1;
+            if let Some(r) = p.poll(now) {
+                break r;
+            }
+        };
+        p.note_stall();
+        let again = p.poll(now + 1).expect("request must be re-presented after a stall");
+        assert_eq!(first, again);
+        assert_eq!(p.stats().stall_retries, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_completed_work() {
+        let mut p = proc();
+        let mut now = 0;
+        // Complete a few ops as hits.
+        for _ in 0..5 {
+            let req = loop {
+                now += 1;
+                if let Some(r) = p.poll(now) {
+                    break r;
+                }
+            };
+            p.note_hit(now, 2, req.access == CpuAccess::Store);
+        }
+        let snap = p.snapshot();
+        let ops_at_snap = p.ops_completed();
+        for _ in 0..5 {
+            let req = loop {
+                now += 1;
+                if let Some(r) = p.poll(now) {
+                    break r;
+                }
+            };
+            p.note_hit(now, 2, req.access == CpuAccess::Store);
+        }
+        assert_eq!(p.ops_completed(), ops_at_snap + 5);
+        p.restore(now, snap);
+        assert_eq!(p.ops_completed(), ops_at_snap, "speculative work must be discarded");
+        assert!(!p.is_waiting());
+    }
+
+    #[test]
+    fn restore_while_a_miss_is_outstanding_resumes_cleanly() {
+        let mut p = proc();
+        let mut now = 0;
+        while p.poll(now).is_none() {
+            now += 1;
+        }
+        p.note_miss_issued(now);
+        let snap = p.snapshot();
+        p.restore(now + 1000, snap);
+        assert!(!p.is_waiting());
+        // The processor eventually issues again.
+        let mut issued = false;
+        for t in now + 1000..now + 1200 {
+            if p.poll(t).is_some() {
+                issued = true;
+                break;
+            }
+        }
+        assert!(issued);
+    }
+}

@@ -1,0 +1,54 @@
+//! Domain example 2 — the Section 4 design: remove virtual channels, let
+//! deadlock happen, detect it with a transaction timeout and recover.
+//!
+//! The example squeezes the shared per-port buffering until the network
+//! wedges, then shows the timeout-triggered SafetyNet recovery and the
+//! slow-start forward-progress mode bringing the system back.
+//!
+//! ```text
+//! cargo run --release --example deadlock_recovery
+//! ```
+
+use specsim::experiments::ExperimentScale;
+use specsim::{DirectorySystem, SystemConfig};
+use specsim_base::LinkBandwidth;
+use specsim_coherence::MisSpecKind;
+use specsim_workloads::WorkloadKind;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("Section 4 study: simplified interconnect (no virtual channels/networks)");
+    println!();
+    println!("buffers/port   ops completed   deadlock recoveries   notes");
+
+    for buffers in [32usize, 16, 8, 4, 2] {
+        let mut cfg = SystemConfig::simplified_interconnect(
+            WorkloadKind::Oltp,
+            LinkBandwidth::GB_3_2,
+            buffers,
+            7,
+        );
+        // Short checkpoint interval so the deadlock timeout (3 intervals) is
+        // reached within the demo window.
+        cfg.memory.safetynet.checkpoint_interval_cycles = 3_000;
+        let mut sys = DirectorySystem::new(cfg);
+        let metrics = sys
+            .run_for(scale.cycles.max(120_000))
+            .expect("protocol behaved");
+        let deadlocks = metrics.misspeculations_of(MisSpecKind::TransactionTimeout);
+        let note = if deadlocks > 0 {
+            "deadlocked -> timeout detection -> SafetyNet recovery -> slow-start"
+        } else {
+            "no deadlock at this buffer size"
+        };
+        println!(
+            "{:<13} {:>14} {:>21}   {}",
+            buffers, metrics.ops_completed, deadlocks, note
+        );
+    }
+
+    println!();
+    println!("Larger buffers never deadlock; as buffering shrinks the network wedges,");
+    println!("the requestor times out after three checkpoint intervals and the system");
+    println!("recovers instead of having been designed with virtual-channel flow control.");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the *speculation-for-simplicity* multiprocessor
+//! simulator — a Rust reproduction of Sorin, Martin, Hill and Wood, "Using
+//! Speculation to Simplify Multiprocessor Design" (IPDPS 2004).
+//!
+//! This crate re-exports the workspace members under one roof so that the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) have a single dependency. Library users should normally depend
+//! on the individual crates:
+//!
+//! * [`specsim`] — the speculation framework, the directory and snooping
+//!   full-system simulators, and the paper's experiments;
+//! * [`specsim_base`] — kernel primitives (clock, RNG, statistics, config);
+//! * [`specsim_net`] — the 2D-torus interconnect and the ordered bus;
+//! * [`specsim_coherence`] — the MOSI directory and snooping protocols;
+//! * [`specsim_safetynet`] — the SafetyNet checkpoint/recovery model;
+//! * [`specsim_workloads`] — the synthetic commercial/scientific workloads.
+
+#![warn(missing_docs)]
+
+pub use specsim;
+pub use specsim_base;
+pub use specsim_coherence;
+pub use specsim_net;
+pub use specsim_safetynet;
+pub use specsim_workloads;

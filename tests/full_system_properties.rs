@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: full-system properties of the directory
+//! and snooping machines (coherence invariants, determinism, recovery
+//! behaviour, forward progress under speculation).
+
+use specsim::experiments::ExperimentScale;
+use specsim::{DirectorySystem, SnoopSystemConfig, SnoopingSystem, SystemConfig};
+use specsim_base::{LinkBandwidth, ProtocolVariant, RoutingPolicy};
+use specsim_coherence::MisSpecKind;
+use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
+
+fn dir_cfg(workload: WorkloadKind, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::directory_speculative(workload, LinkBandwidth::GB_3_2, seed);
+    cfg.memory.l1_bytes = 32 * 1024;
+    cfg.memory.l2_bytes = 256 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    cfg
+}
+
+#[test]
+fn every_workload_runs_coherently_on_the_speculative_directory_system() {
+    for workload in ALL_WORKLOADS {
+        let mut sys = DirectorySystem::new(dir_cfg(workload, 21));
+        let m = sys.run_for(25_000).expect("no protocol errors");
+        assert!(
+            m.ops_completed > 1_000,
+            "{}: only {} ops completed",
+            workload.label(),
+            m.ops_completed
+        );
+        sys.verify_coherence()
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.label()));
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_for_a_fixed_seed() {
+    let run = |seed: u64| {
+        let mut sys = DirectorySystem::new(dir_cfg(WorkloadKind::Oltp, seed));
+        let m = sys.run_for(20_000).expect("no protocol errors");
+        (m.ops_completed, m.misses, m.messages_delivered)
+    };
+    assert_eq!(run(5), run(5), "same seed must reproduce exactly");
+    assert_ne!(run(5), run(6), "different seeds must differ");
+}
+
+#[test]
+fn full_and_speculative_directory_protocols_agree_when_nothing_goes_wrong() {
+    // With static routing there are no reorderings, so the speculative
+    // protocol never mis-speculates and completes the same work as the full
+    // protocol (identical seeds and workloads).
+    let mut full_cfg = dir_cfg(WorkloadKind::Slashcode, 33);
+    full_cfg.protocol = ProtocolVariant::Full;
+    full_cfg.routing = RoutingPolicy::Static;
+    let mut spec_cfg = full_cfg.clone();
+    spec_cfg.protocol = ProtocolVariant::Speculative;
+
+    let full = DirectorySystem::new(full_cfg).run_for(20_000).unwrap();
+    let spec = DirectorySystem::new(spec_cfg).run_for(20_000).unwrap();
+    assert_eq!(spec.recoveries, 0);
+    assert_eq!(full.ops_completed, spec.ops_completed);
+    assert_eq!(full.misses, spec.misses);
+}
+
+#[test]
+fn adaptive_routing_with_speculation_keeps_the_ordering_recovery_count_tiny() {
+    // The central Section 3.1 claim: reorderings that matter are so rare
+    // that the speculative system recovers far less often than the ten-per-
+    // second budget (here: at most a couple in a short window, usually zero).
+    let mut total_recoveries = 0;
+    for seed in [1, 2, 3] {
+        let mut cfg = dir_cfg(WorkloadKind::Oltp, seed);
+        cfg.memory.link_bandwidth = LinkBandwidth::MB_400;
+        let mut sys = DirectorySystem::new(cfg);
+        let m = sys.run_for(30_000).expect("no protocol errors");
+        assert!(m.ops_completed > 1_000);
+        total_recoveries += m.misspeculations_of(MisSpecKind::ForwardedRequestToInvalidCache);
+        sys.verify_coherence().unwrap();
+    }
+    assert!(
+        total_recoveries <= 3,
+        "ordering mis-speculations should be rare, saw {total_recoveries}"
+    );
+}
+
+#[test]
+fn injected_recoveries_do_not_break_coherence_or_forward_progress() {
+    let mut cfg = dir_cfg(WorkloadKind::Jbb, 9);
+    cfg.inject_recovery_every = Some(7_000);
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(40_000).expect("no protocol errors");
+    assert!(m.injected_recoveries >= 4, "got {}", m.injected_recoveries);
+    assert!(m.ops_completed > 1_000);
+    assert!(m.lost_work_cycles > 0);
+    sys.verify_coherence().unwrap();
+}
+
+#[test]
+fn snooping_system_runs_all_workloads_without_corner_case_recoveries() {
+    for workload in ALL_WORKLOADS {
+        let mut cfg = SnoopSystemConfig::new(workload, ProtocolVariant::Speculative, 13);
+        cfg.memory.l1_bytes = 32 * 1024;
+        cfg.memory.l2_bytes = 256 * 1024;
+        cfg.memory.safetynet.checkpoint_interval_requests = 300;
+        let mut sys = SnoopingSystem::new(cfg);
+        let m = sys.run_for(25_000).expect("no protocol errors");
+        assert!(
+            m.ops_completed > 1_000,
+            "{}: only {} ops",
+            workload.label(),
+            m.ops_completed
+        );
+        assert_eq!(
+            m.misspeculations_of(MisSpecKind::WritebackDoubleRace),
+            0,
+            "{}: the corner case should not occur in practice",
+            workload.label()
+        );
+        sys.verify_coherence().unwrap();
+    }
+}
+
+#[test]
+fn small_buffer_interconnect_recovers_from_deadlock_and_keeps_going() {
+    // Section 4 end-to-end: with very small shared buffers the network can
+    // wedge; the transaction timeout fires, SafetyNet recovers, slow-start
+    // drains the congestion, and the system continues to make progress.
+    let mut cfg = SystemConfig::simplified_interconnect(WorkloadKind::Oltp, LinkBandwidth::GB_3_2, 2, 5);
+    cfg.memory.l1_bytes = 32 * 1024;
+    cfg.memory.l2_bytes = 256 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_cycles = 2_000;
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(120_000).expect("no protocol errors");
+    assert!(m.ops_completed > 500, "system must keep making progress, got {}", m.ops_completed);
+    sys.verify_coherence().unwrap();
+}
+
+#[test]
+fn ample_buffer_interconnect_never_times_out() {
+    let mut cfg =
+        SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 32, 5);
+    cfg.memory.l1_bytes = 32 * 1024;
+    cfg.memory.l2_bytes = 256 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(40_000).expect("no protocol errors");
+    assert_eq!(m.misspeculations_of(MisSpecKind::TransactionTimeout), 0);
+    assert!(m.ops_completed > 1_000);
+}
+
+#[test]
+fn experiment_scale_override_is_respected() {
+    let scale = ExperimentScale { cycles: 1234, seeds: 2 };
+    assert_eq!(scale.seed_list(7), vec![8, 9]);
+}
