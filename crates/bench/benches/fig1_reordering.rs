@@ -14,11 +14,8 @@ use specsim_net::{NetConfig, Network, VirtualNetwork};
 
 fn reorder_trial(policy: RoutingPolicy, seed: u64) -> (u64, u64) {
     // Worst-case buffering isolates the routing question (paper footnote 1).
-    let mut net: Network<u64> = Network::new(NetConfig::full_buffering(
-        16,
-        LinkBandwidth::MB_400,
-        policy,
-    ));
+    let mut net: Network<u64> =
+        Network::new(NetConfig::full_buffering(16, LinkBandwidth::MB_400, policy));
     let mut rng = DetRng::new(seed);
     let src = NodeId(0); // "NW switch"
     let dst = NodeId(10); // two hops east, two hops north: the "SE switch"

@@ -39,7 +39,14 @@ fn endpoint_scenario(use_virtual_networks: bool) -> (bool, usize) {
         // both processors are full of requests").
         for (src, dst) in [(a, b), (b, a)] {
             while net.can_inject(src, VirtualNetwork::Request) {
-                let _ = net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Control, REQ);
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Request,
+                    MessageSize::Control,
+                    REQ,
+                );
             }
         }
         // Endpoints process their incoming messages in order; a request can
@@ -162,7 +169,11 @@ fn main() {
         ),
         (
             "worst-case buffering",
-            NetConfig::full_buffering(16, LinkBandwidth::GB_3_2, specsim_base::RoutingPolicy::Adaptive),
+            NetConfig::full_buffering(
+                16,
+                LinkBandwidth::GB_3_2,
+                specsim_base::RoutingPolicy::Adaptive,
+            ),
             64,
         ),
     ];
@@ -170,7 +181,11 @@ fn main() {
         let (wedged, in_flight) = switch_scenario(cfg, drain);
         println!(
             "  {label:<52}: {} (messages outstanding: {in_flight})",
-            if wedged { "DEADLOCKED / wedged" } else { "kept moving" }
+            if wedged {
+                "DEADLOCKED / wedged"
+            } else {
+                "kept moving"
+            }
         );
     }
     println!();

@@ -64,7 +64,11 @@ fn bench_directory_system(c: &mut Criterion) {
                 cfg.memory.safetynet.checkpoint_interval_cycles = 10_000;
                 DirectorySystem::new(cfg)
             },
-            |mut sys| sys.run_for(5_000).expect("no protocol errors").ops_completed,
+            |mut sys| {
+                sys.run_for(5_000)
+                    .expect("no protocol errors")
+                    .ops_completed
+            },
             BatchSize::SmallInput,
         );
     });

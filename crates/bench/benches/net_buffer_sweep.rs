@@ -21,7 +21,7 @@ fn main() {
     };
     for workload in workloads {
         match BufferSweep::run(workload, scale) {
-            Ok(sweep) => print!("{}\n", sweep.render()),
+            Ok(sweep) => println!("{}", sweep.render()),
             Err(e) => eprintln!("protocol error during buffer sweep: {e}"),
         }
     }

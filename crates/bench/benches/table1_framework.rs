@@ -7,7 +7,10 @@ use specsim_bench::{finish, start};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let t = start("Table 1 — Framework characterization of the three designs", scale);
+    let t = start(
+        "Table 1 — Framework characterization of the three designs",
+        scale,
+    );
     match render_table1(scale) {
         Ok(table) => print!("{table}"),
         Err(e) => eprintln!("protocol error during Table 1 runs: {e}"),

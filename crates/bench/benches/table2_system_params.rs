@@ -6,7 +6,10 @@ use specsim::experiments::{render_table2, ExperimentScale};
 use specsim_bench::{finish, start};
 
 fn main() {
-    let t = start("Table 2 — Target system parameters", ExperimentScale::quick());
+    let t = start(
+        "Table 2 — Target system parameters",
+        ExperimentScale::quick(),
+    );
     print!("{}", render_table2());
     finish(t);
 }

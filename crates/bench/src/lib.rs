@@ -27,10 +27,7 @@ pub fn start(artifact: &str, scale: ExperimentScale) -> Instant {
 
 /// Prints the standard footer with the elapsed wall-clock time.
 pub fn finish(started: Instant) {
-    println!(
-        "\n[done in {:.1} s]\n",
-        started.elapsed().as_secs_f64()
-    );
+    println!("\n[done in {:.1} s]\n", started.elapsed().as_secs_f64());
 }
 
 #[cfg(test)]

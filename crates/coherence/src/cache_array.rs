@@ -230,10 +230,7 @@ mod tests {
 
     fn small() -> CacheArray<u8> {
         // 4 sets x 2 ways.
-        CacheArray::new(CacheGeometry {
-            sets: 4,
-            ways: 2,
-        })
+        CacheArray::new(CacheGeometry { sets: 4, ways: 2 })
     }
 
     #[test]

@@ -161,8 +161,14 @@ impl DirCacheController {
             node,
             num_nodes: config.num_nodes,
             variant,
-            l1: CacheArray::new(CacheGeometry::from_capacity(config.l1_bytes, config.l1_ways)),
-            l2: CacheArray::new(CacheGeometry::from_capacity(config.l2_bytes, config.l2_ways)),
+            l1: CacheArray::new(CacheGeometry::from_capacity(
+                config.l1_bytes,
+                config.l1_ways,
+            )),
+            l2: CacheArray::new(CacheGeometry::from_capacity(
+                config.l2_bytes,
+                config.l2_ways,
+            )),
             l1_hit_cycles: config.l1_hit_cycles,
             l2_hit_cycles: config.l2_hit_cycles,
             demand: None,
@@ -471,7 +477,14 @@ impl DirCacheController {
                     line.state = CacheState::O;
                     let data = line.data;
                     self.stats.forwards_served.incr();
-                    self.send(requestor, DirMsg::Data { addr, data, acks: 0 });
+                    self.send(
+                        requestor,
+                        DirMsg::Data {
+                            addr,
+                            data,
+                            acks: 0,
+                        },
+                    );
                     return Ok(None);
                 }
                 CacheState::S => {
@@ -484,7 +497,14 @@ impl DirCacheController {
             if entry.state == WbState::Owner {
                 let data = entry.data;
                 self.stats.forwards_served.incr();
-                self.send(requestor, DirMsg::Data { addr, data, acks: 0 });
+                self.send(
+                    requestor,
+                    DirMsg::Data {
+                        addr,
+                        data,
+                        acks: 0,
+                    },
+                );
                 return Ok(None);
             }
         }
@@ -581,7 +601,10 @@ impl DirCacheController {
     }
 
     fn complete_demand(&mut self, now: Cycle) {
-        let demand = self.demand.take().expect("complete_demand without a demand");
+        let demand = self
+            .demand
+            .take()
+            .expect("complete_demand without a demand");
         let value = match demand.access {
             CpuAccess::Load => demand.data.expect("load completed without data"),
             CpuAccess::Store => demand.store_value,
@@ -617,7 +640,10 @@ impl DirCacheController {
         }
         self.l1.insert(demand.addr, (), 0);
         // Close the transaction at the directory.
-        self.send(self.home(demand.addr), DirMsg::FinalAck { addr: demand.addr });
+        self.send(
+            self.home(demand.addr),
+            DirMsg::FinalAck { addr: demand.addr },
+        );
         self.completed = Some(CompletedAccess {
             addr: demand.addr,
             access: demand.access,
@@ -645,7 +671,13 @@ impl DirCacheController {
                         issued_at: now,
                     },
                 );
-                self.send(self.home(addr), DirMsg::PutM { addr, data: line.data });
+                self.send(
+                    self.home(addr),
+                    DirMsg::PutM {
+                        addr,
+                        data: line.data,
+                    },
+                );
             }
             CacheState::S => {}
         }
@@ -704,7 +736,12 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         assert_eq!(c.cpu_request(10, load(0x40)), AccessOutcome::MissIssued);
         let out = c.pop_outgoing().unwrap();
-        assert_eq!(out.msg, DirMsg::GetS { addr: BlockAddr(0x40) });
+        assert_eq!(
+            out.msg,
+            DirMsg::GetS {
+                addr: BlockAddr(0x40)
+            }
+        );
         assert_eq!(out.dst, BlockAddr(0x40).home_node(16));
         assert!(c.has_outstanding_demand());
         // Another request stalls while the miss is outstanding.
@@ -725,7 +762,12 @@ mod tests {
         assert!(!c.has_outstanding_demand());
         // A FinalAck closes the transaction at the home directory.
         let fa = c.pop_outgoing().unwrap();
-        assert_eq!(fa.msg, DirMsg::FinalAck { addr: BlockAddr(0x40) });
+        assert_eq!(
+            fa.msg,
+            DirMsg::FinalAck {
+                addr: BlockAddr(0x40)
+            }
+        );
         // The block is now resident in S and hits.
         match c.cpu_request(200, load(0x40)) {
             AccessOutcome::L2Hit { value, .. } | AccessOutcome::L1Hit { value, .. } => {
@@ -738,10 +780,15 @@ mod tests {
     #[test]
     fn store_miss_waits_for_data_and_all_inv_acks() {
         let mut c = ctrl(ProtocolVariant::Full);
-        assert_eq!(c.cpu_request(0, store(0x100, 77)), AccessOutcome::MissIssued);
+        assert_eq!(
+            c.cpu_request(0, store(0x100, 77)),
+            AccessOutcome::MissIssued
+        );
         assert_eq!(
             c.pop_outgoing().unwrap().msg,
-            DirMsg::GetM { addr: BlockAddr(0x100) }
+            DirMsg::GetM {
+                addr: BlockAddr(0x100)
+            }
         );
         // Data arrives expecting 2 invalidation acks.
         c.handle_message(
@@ -754,9 +801,21 @@ mod tests {
         )
         .unwrap();
         assert!(c.take_completed().is_none());
-        c.handle_message(60, DirMsg::InvAck { addr: BlockAddr(0x100) }).unwrap();
+        c.handle_message(
+            60,
+            DirMsg::InvAck {
+                addr: BlockAddr(0x100),
+            },
+        )
+        .unwrap();
         assert!(c.take_completed().is_none());
-        c.handle_message(70, DirMsg::InvAck { addr: BlockAddr(0x100) }).unwrap();
+        c.handle_message(
+            70,
+            DirMsg::InvAck {
+                addr: BlockAddr(0x100),
+            },
+        )
+        .unwrap();
         let done = c.take_completed().unwrap();
         assert_eq!(done.value, 77);
         assert_eq!(c.cached_value(BlockAddr(0x100)), Some((CacheState::M, 77)));
@@ -767,7 +826,13 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         c.cpu_request(0, store(0x100, 9));
         c.pop_outgoing();
-        c.handle_message(10, DirMsg::InvAck { addr: BlockAddr(0x100) }).unwrap();
+        c.handle_message(
+            10,
+            DirMsg::InvAck {
+                addr: BlockAddr(0x100),
+            },
+        )
+        .unwrap();
         c.handle_message(
             20,
             DirMsg::Data {
@@ -785,8 +850,15 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         c.cpu_request(0, store(0x40, 1));
         c.pop_outgoing();
-        c.handle_message(1, DirMsg::Data { addr: BlockAddr(0x40), data: 0, acks: 0 })
-            .unwrap();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
         c.take_completed();
         match c.cpu_request(10, store(0x40, 2)) {
             AccessOutcome::L1Hit { value, .. } | AccessOutcome::L2Hit { value, .. } => {
@@ -804,11 +876,18 @@ mod tests {
         // ... simpler: install via store then downgrade through FwdGetS.
         c.cpu_request(0, store(0x40, 42));
         c.pop_outgoing();
-        c.handle_message(1, DirMsg::Data { addr: BlockAddr(0x40), data: 0, acks: 0 })
-            .unwrap();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
         c.take_completed();
         c.pop_outgoing(); // FinalAck
-        // A FwdGetS downgrades M -> O and serves data.
+                          // A FwdGetS downgrades M -> O and serves data.
         c.handle_message(
             5,
             DirMsg::FwdGetS {
@@ -830,12 +909,27 @@ mod tests {
         assert_eq!(c.cached_value(BlockAddr(0x40)), Some((CacheState::O, 42)));
         // Now upgrade back to M: the controller issues GetM and can complete
         // from an AckCount alone because it already holds the data.
-        assert_eq!(c.cpu_request(10, store(0x40, 43)), AccessOutcome::MissIssued);
+        assert_eq!(
+            c.cpu_request(10, store(0x40, 43)),
+            AccessOutcome::MissIssued
+        );
         c.pop_outgoing(); // GetM
-        c.handle_message(20, DirMsg::AckCount { addr: BlockAddr(0x40), acks: 1 })
-            .unwrap();
+        c.handle_message(
+            20,
+            DirMsg::AckCount {
+                addr: BlockAddr(0x40),
+                acks: 1,
+            },
+        )
+        .unwrap();
         assert!(c.take_completed().is_none());
-        c.handle_message(25, DirMsg::InvAck { addr: BlockAddr(0x40) }).unwrap();
+        c.handle_message(
+            25,
+            DirMsg::InvAck {
+                addr: BlockAddr(0x40),
+            },
+        )
+        .unwrap();
         let done = c.take_completed().unwrap();
         assert_eq!(done.value, 43);
         assert_eq!(c.cached_value(BlockAddr(0x40)), Some((CacheState::M, 43)));
@@ -871,7 +965,13 @@ mod tests {
         assert_eq!(c.cpu_request(100, load(evicted)), AccessOutcome::Stall);
         // The writeback completes on WbAck, after which the block can be
         // requested again.
-        c.handle_message(110, DirMsg::WbAck { addr: BlockAddr(evicted) }).unwrap();
+        c.handle_message(
+            110,
+            DirMsg::WbAck {
+                addr: BlockAddr(evicted),
+            },
+        )
+        .unwrap();
         assert_eq!(c.cpu_request(120, load(evicted)), AccessOutcome::MissIssued);
     }
 
@@ -880,13 +980,26 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         c.cpu_request(0, store(0x40, 7));
         c.pop_outgoing();
-        c.handle_message(1, DirMsg::Data { addr: BlockAddr(0x40), data: 0, acks: 0 })
-            .unwrap();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
         c.take_completed();
         while c.pop_outgoing().is_some() {}
         assert!(c.force_evict(10, BlockAddr(0x40)));
         let putm = c.pop_outgoing().unwrap();
-        assert_eq!(putm.msg, DirMsg::PutM { addr: BlockAddr(0x40), data: 7 });
+        assert_eq!(
+            putm.msg,
+            DirMsg::PutM {
+                addr: BlockAddr(0x40),
+                data: 7
+            }
+        );
         // FwdGetS while MI_A: data served, still waiting for WbAck.
         c.handle_message(
             20,
@@ -898,7 +1011,11 @@ mod tests {
         .unwrap();
         assert_eq!(
             c.pop_outgoing().unwrap().msg,
-            DirMsg::Data { addr: BlockAddr(0x40), data: 7, acks: 0 }
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 7,
+                acks: 0
+            }
         );
         // FwdGetM while MI_A: data + ownership handed over (II_A).
         c.handle_message(
@@ -912,10 +1029,20 @@ mod tests {
         .unwrap();
         assert_eq!(
             c.pop_outgoing().unwrap().msg,
-            DirMsg::Data { addr: BlockAddr(0x40), data: 7, acks: 1 }
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 7,
+                acks: 1
+            }
         );
         // The WbAck then retires the writeback entry.
-        c.handle_message(40, DirMsg::WbAck { addr: BlockAddr(0x40) }).unwrap();
+        c.handle_message(
+            40,
+            DirMsg::WbAck {
+                addr: BlockAddr(0x40),
+            },
+        )
+        .unwrap();
         assert_eq!(c.cpu_request(50, load(0x40)), AccessOutcome::MissIssued);
     }
 
@@ -925,15 +1052,28 @@ mod tests {
         // Install M copy, then evict it (PutM in flight).
         c.cpu_request(0, store(0x40, 7));
         c.pop_outgoing();
-        c.handle_message(1, DirMsg::Data { addr: BlockAddr(0x40), data: 0, acks: 0 })
-            .unwrap();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
         c.take_completed();
         while c.pop_outgoing().is_some() {}
         c.force_evict(10, BlockAddr(0x40));
         while c.pop_outgoing().is_some() {}
         // The adaptively routed network delivers the WbAck *before* the
         // FwdGetM (point-to-point order violated).
-        c.handle_message(20, DirMsg::WbAck { addr: BlockAddr(0x40) }).unwrap();
+        c.handle_message(
+            20,
+            DirMsg::WbAck {
+                addr: BlockAddr(0x40),
+            },
+        )
+        .unwrap();
         let result = c
             .handle_message(
                 30,
@@ -956,13 +1096,26 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         c.cpu_request(0, store(0x40, 7));
         c.pop_outgoing();
-        c.handle_message(1, DirMsg::Data { addr: BlockAddr(0x40), data: 0, acks: 0 })
-            .unwrap();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
         c.take_completed();
         while c.pop_outgoing().is_some() {}
         c.force_evict(10, BlockAddr(0x40));
         while c.pop_outgoing().is_some() {}
-        c.handle_message(20, DirMsg::WbAck { addr: BlockAddr(0x40) }).unwrap();
+        c.handle_message(
+            20,
+            DirMsg::WbAck {
+                addr: BlockAddr(0x40),
+            },
+        )
+        .unwrap();
         let err = c.handle_message(
             30,
             DirMsg::FwdGetM {
@@ -971,7 +1124,10 @@ mod tests {
                 acks: 0,
             },
         );
-        assert!(err.is_err(), "full protocol treats this as a bug, not a misspeculation");
+        assert!(
+            err.is_err(),
+            "full protocol treats this as a bug, not a misspeculation"
+        );
     }
 
     #[test]
@@ -979,8 +1135,15 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         c.cpu_request(0, load(0x40));
         c.pop_outgoing();
-        c.handle_message(1, DirMsg::Data { addr: BlockAddr(0x40), data: 3, acks: 0 })
-            .unwrap();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 3,
+                acks: 0,
+            },
+        )
+        .unwrap();
         c.take_completed();
         while c.pop_outgoing().is_some() {}
         c.handle_message(
@@ -993,7 +1156,12 @@ mod tests {
         .unwrap();
         let ack = c.pop_outgoing().unwrap();
         assert_eq!(ack.dst, NodeId(7));
-        assert_eq!(ack.msg, DirMsg::InvAck { addr: BlockAddr(0x40) });
+        assert_eq!(
+            ack.msg,
+            DirMsg::InvAck {
+                addr: BlockAddr(0x40)
+            }
+        );
         assert_eq!(c.cached_value(BlockAddr(0x40)), None);
         // A stale invalidation (block not resident) is still acknowledged.
         c.handle_message(
@@ -1006,7 +1174,9 @@ mod tests {
         .unwrap();
         assert_eq!(
             c.pop_outgoing().unwrap().msg,
-            DirMsg::InvAck { addr: BlockAddr(0x80) }
+            DirMsg::InvAck {
+                addr: BlockAddr(0x80)
+            }
         );
     }
 
@@ -1014,9 +1184,18 @@ mod tests {
     fn unexpected_messages_are_protocol_errors() {
         let mut c = ctrl(ProtocolVariant::Full);
         assert!(c
-            .handle_message(0, DirMsg::Data { addr: BlockAddr(1), data: 0, acks: 0 })
+            .handle_message(
+                0,
+                DirMsg::Data {
+                    addr: BlockAddr(1),
+                    data: 0,
+                    acks: 0
+                }
+            )
             .is_err());
-        assert!(c.handle_message(0, DirMsg::WbAck { addr: BlockAddr(1) }).is_err());
+        assert!(c
+            .handle_message(0, DirMsg::WbAck { addr: BlockAddr(1) })
+            .is_err());
         assert!(c
             .handle_message(0, DirMsg::GetS { addr: BlockAddr(1) })
             .is_err());

@@ -222,7 +222,14 @@ impl DirectoryController {
                 match state {
                     DirState::Uncached => {
                         let data = self.memory.read(addr);
-                        self.send(src, DirMsg::Data { addr, data, acks: 0 });
+                        self.send(
+                            src,
+                            DirMsg::Data {
+                                addr,
+                                data,
+                                acks: 0,
+                            },
+                        );
                         self.set_busy(
                             addr,
                             BusyInfo {
@@ -237,7 +244,14 @@ impl DirectoryController {
                     }
                     DirState::Shared { sharers } => {
                         let data = self.memory.read(addr);
-                        self.send(src, DirMsg::Data { addr, data, acks: 0 });
+                        self.send(
+                            src,
+                            DirMsg::Data {
+                                addr,
+                                data,
+                                acks: 0,
+                            },
+                        );
                         let mut next = sharers;
                         next.insert(src);
                         self.set_busy(
@@ -255,14 +269,23 @@ impl DirectoryController {
                             return Err(self.error(addr, "owner issued a GetS".into()));
                         }
                         self.stats.forwards.incr();
-                        self.send(owner, DirMsg::FwdGetS { addr, requestor: src });
+                        self.send(
+                            owner,
+                            DirMsg::FwdGetS {
+                                addr,
+                                requestor: src,
+                            },
+                        );
                         let mut next = sharers;
                         next.insert(src);
                         self.set_busy(
                             addr,
                             BusyInfo {
                                 requestor: src,
-                                next: DirState::Owned { owner, sharers: next },
+                                next: DirState::Owned {
+                                    owner,
+                                    sharers: next,
+                                },
                                 prev_owner: Some(owner),
                                 ownership_transfer: false,
                             },
@@ -276,7 +299,14 @@ impl DirectoryController {
                 match state {
                     DirState::Uncached => {
                         let data = self.memory.read(addr);
-                        self.send(src, DirMsg::Data { addr, data, acks: 0 });
+                        self.send(
+                            src,
+                            DirMsg::Data {
+                                addr,
+                                data,
+                                acks: 0,
+                            },
+                        );
                         self.set_busy(
                             addr,
                             BusyInfo {
@@ -303,7 +333,13 @@ impl DirectoryController {
                         );
                         for sharer in others.iter() {
                             self.stats.invalidations.incr();
-                            self.send(sharer, DirMsg::Inv { addr, requestor: src });
+                            self.send(
+                                sharer,
+                                DirMsg::Inv {
+                                    addr,
+                                    requestor: src,
+                                },
+                            );
                         }
                         self.set_busy(
                             addr,
@@ -342,7 +378,13 @@ impl DirectoryController {
                         }
                         for sharer in others.iter() {
                             self.stats.invalidations.incr();
-                            self.send(sharer, DirMsg::Inv { addr, requestor: src });
+                            self.send(
+                                sharer,
+                                DirMsg::Inv {
+                                    addr,
+                                    requestor: src,
+                                },
+                            );
                         }
                         self.set_busy(
                             addr,
@@ -504,13 +546,22 @@ mod tests {
     #[test]
     fn gets_on_uncached_block_returns_memory_data_and_blocks_until_final_ack() {
         let mut d = dir(ProtocolVariant::Full);
-        d.handle_message(0, NodeId(1), DirMsg::GetS { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetS { addr: A })
+            .unwrap();
         let out = drain(&mut d);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, NodeId(1));
-        assert_eq!(out[0].msg, DirMsg::Data { addr: A, data: 0, acks: 0 });
+        assert_eq!(
+            out[0].msg,
+            DirMsg::Data {
+                addr: A,
+                data: 0,
+                acks: 0
+            }
+        );
         assert!(d.is_busy(A));
-        d.handle_message(10, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(10, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
         assert!(!d.is_busy(A));
         assert_eq!(
             d.state_of(A),
@@ -525,12 +576,15 @@ mod tests {
         let mut d = dir(ProtocolVariant::Full);
         // Two sharers: N1 and N2.
         for n in [1u16, 2] {
-            d.handle_message(0, NodeId(n), DirMsg::GetS { addr: A }).unwrap();
+            d.handle_message(0, NodeId(n), DirMsg::GetS { addr: A })
+                .unwrap();
             drain(&mut d);
-            d.handle_message(1, NodeId(n), DirMsg::FinalAck { addr: A }).unwrap();
+            d.handle_message(1, NodeId(n), DirMsg::FinalAck { addr: A })
+                .unwrap();
         }
         // N3 wants to write.
-        d.handle_message(10, NodeId(3), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(10, NodeId(3), DirMsg::GetM { addr: A })
+            .unwrap();
         let out = drain(&mut d);
         let data: Vec<_> = out
             .iter()
@@ -542,11 +596,19 @@ mod tests {
             .collect();
         assert_eq!(data.len(), 1);
         assert_eq!(data[0].dst, NodeId(3));
-        assert_eq!(data[0].msg, DirMsg::Data { addr: A, data: 0, acks: 2 });
+        assert_eq!(
+            data[0].msg,
+            DirMsg::Data {
+                addr: A,
+                data: 0,
+                acks: 2
+            }
+        );
         assert_eq!(invs.len(), 2);
         let inv_dsts: Vec<NodeId> = invs.iter().map(|m| m.dst).collect();
         assert!(inv_dsts.contains(&NodeId(1)) && inv_dsts.contains(&NodeId(2)));
-        d.handle_message(20, NodeId(3), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(20, NodeId(3), DirMsg::FinalAck { addr: A })
+            .unwrap();
         assert_eq!(
             d.state_of(A),
             DirState::Owned {
@@ -559,10 +621,13 @@ mod tests {
     #[test]
     fn getm_on_owned_block_forwards_to_the_owner() {
         let mut d = dir(ProtocolVariant::Full);
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
-        d.handle_message(10, NodeId(2), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
+        d.handle_message(10, NodeId(2), DirMsg::GetM { addr: A })
+            .unwrap();
         let out = drain(&mut d);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, NodeId(1));
@@ -580,14 +645,19 @@ mod tests {
     fn owner_upgrade_gets_an_ack_count_not_data() {
         let mut d = dir(ProtocolVariant::Full);
         // N1 becomes owner, then N2 a sharer (owner keeps ownership via FwdGetS).
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
-        d.handle_message(2, NodeId(2), DirMsg::GetS { addr: A }).unwrap();
+        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
+        d.handle_message(2, NodeId(2), DirMsg::GetS { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(3, NodeId(2), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(3, NodeId(2), DirMsg::FinalAck { addr: A })
+            .unwrap();
         // Owner N1 upgrades back to M.
-        d.handle_message(10, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(10, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         let out = drain(&mut d);
         let ack: Vec<_> = out
             .iter()
@@ -596,18 +666,29 @@ mod tests {
         assert_eq!(ack.len(), 1);
         assert_eq!(ack[0].dst, NodeId(1));
         assert_eq!(ack[0].msg, DirMsg::AckCount { addr: A, acks: 1 });
-        assert!(out.iter().any(|m| m.dst == NodeId(2) && matches!(m.msg, DirMsg::Inv { .. })));
+        assert!(out
+            .iter()
+            .any(|m| m.dst == NodeId(2) && matches!(m.msg, DirMsg::Inv { .. })));
     }
 
     #[test]
     fn normal_writeback_updates_memory_and_acknowledges() {
         let mut d = dir(ProtocolVariant::Full);
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
-        d.handle_message(10, NodeId(1), DirMsg::PutM { addr: A, data: 555 }).unwrap();
+        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
+        d.handle_message(10, NodeId(1), DirMsg::PutM { addr: A, data: 555 })
+            .unwrap();
         let out = drain(&mut d);
-        assert_eq!(out, vec![OutMsg { dst: NodeId(1), msg: DirMsg::WbAck { addr: A } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                dst: NodeId(1),
+                msg: DirMsg::WbAck { addr: A }
+            }]
+        );
         assert_eq!(d.memory().peek(A), 555);
         assert_eq!(d.state_of(A), DirState::Uncached);
         assert_eq!(d.stats().writebacks.get(), 1);
@@ -616,15 +697,21 @@ mod tests {
     #[test]
     fn requests_to_a_busy_block_are_deferred_until_final_ack() {
         let mut d = dir(ProtocolVariant::Full);
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
         // A second requestor arrives while busy.
-        d.handle_message(5, NodeId(2), DirMsg::GetS { addr: A }).unwrap();
-        assert!(drain(&mut d).is_empty(), "deferred request must not be served yet");
+        d.handle_message(5, NodeId(2), DirMsg::GetS { addr: A })
+            .unwrap();
+        assert!(
+            drain(&mut d).is_empty(),
+            "deferred request must not be served yet"
+        );
         assert_eq!(d.stats().deferred.get(), 1);
         // FinalAck unblocks and the deferred GetS is served by forwarding to
         // the new owner N1.
-        d.handle_message(10, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(10, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
         let out = drain(&mut d);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, NodeId(1));
@@ -645,20 +732,34 @@ mod tests {
     fn full_variant_defers_racing_writeback_until_transfer_completes() {
         let mut d = dir(ProtocolVariant::Full);
         // N1 owns the block.
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
         // N2's GetM is processed first (forwarded to N1); then N1's racing
         // PutM arrives at the busy directory.
-        d.handle_message(10, NodeId(2), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(10, NodeId(2), DirMsg::GetM { addr: A })
+            .unwrap();
         let fwd = drain(&mut d);
         assert!(matches!(fwd[0].msg, DirMsg::FwdGetM { .. }));
-        d.handle_message(11, NodeId(1), DirMsg::PutM { addr: A, data: 7 }).unwrap();
-        assert!(drain(&mut d).is_empty(), "no WbAck may be sent while the transfer is in flight");
+        d.handle_message(11, NodeId(1), DirMsg::PutM { addr: A, data: 7 })
+            .unwrap();
+        assert!(
+            drain(&mut d).is_empty(),
+            "no WbAck may be sent while the transfer is in flight"
+        );
         // Transfer completes; the deferred PutM is now recognised as stale.
-        d.handle_message(20, NodeId(2), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(20, NodeId(2), DirMsg::FinalAck { addr: A })
+            .unwrap();
         let out = drain(&mut d);
-        assert_eq!(out, vec![OutMsg { dst: NodeId(1), msg: DirMsg::WbAck { addr: A } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                dst: NodeId(1),
+                msg: DirMsg::WbAck { addr: A }
+            }]
+        );
         assert_eq!(d.stats().stale_writebacks.get(), 1);
         // Memory was NOT updated with the stale data.
         assert_eq!(d.memory().peek(A), 0);
@@ -677,18 +778,29 @@ mod tests {
     #[test]
     fn speculative_variant_acknowledges_racing_writeback_immediately() {
         let mut d = dir(ProtocolVariant::Speculative);
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
-        d.handle_message(10, NodeId(2), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
+        d.handle_message(10, NodeId(2), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(11, NodeId(1), DirMsg::PutM { addr: A, data: 7 }).unwrap();
+        d.handle_message(11, NodeId(1), DirMsg::PutM { addr: A, data: 7 })
+            .unwrap();
         let out = drain(&mut d);
-        assert_eq!(out, vec![OutMsg { dst: NodeId(1), msg: DirMsg::WbAck { addr: A } }]);
+        assert_eq!(
+            out,
+            vec![OutMsg {
+                dst: NodeId(1),
+                msg: DirMsg::WbAck { addr: A }
+            }]
+        );
         assert_eq!(d.stats().stale_writebacks.get(), 1);
         assert!(d.is_busy(A), "the in-flight GetM transaction is unaffected");
         // The GetM transaction still completes normally afterwards.
-        d.handle_message(20, NodeId(2), DirMsg::FinalAck { addr: A }).unwrap();
+        d.handle_message(20, NodeId(2), DirMsg::FinalAck { addr: A })
+            .unwrap();
         assert_eq!(
             d.state_of(A),
             DirState::Owned {
@@ -701,19 +813,33 @@ mod tests {
     #[test]
     fn final_ack_from_the_wrong_node_is_an_error() {
         let mut d = dir(ProtocolVariant::Full);
-        d.handle_message(0, NodeId(1), DirMsg::GetS { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetS { addr: A })
+            .unwrap();
         drain(&mut d);
-        assert!(d.handle_message(1, NodeId(2), DirMsg::FinalAck { addr: A }).is_err());
-        assert!(d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: BlockAddr(0x999) }).is_err());
+        assert!(d
+            .handle_message(1, NodeId(2), DirMsg::FinalAck { addr: A })
+            .is_err());
+        assert!(d
+            .handle_message(
+                1,
+                NodeId(1),
+                DirMsg::FinalAck {
+                    addr: BlockAddr(0x999)
+                }
+            )
+            .is_err());
     }
 
     #[test]
     fn memory_write_log_captures_writebacks() {
         let mut d = dir(ProtocolVariant::Full);
-        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A }).unwrap();
+        d.handle_message(0, NodeId(1), DirMsg::GetM { addr: A })
+            .unwrap();
         drain(&mut d);
-        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A }).unwrap();
-        d.handle_message(2, NodeId(1), DirMsg::PutM { addr: A, data: 42 }).unwrap();
+        d.handle_message(1, NodeId(1), DirMsg::FinalAck { addr: A })
+            .unwrap();
+        d.handle_message(2, NodeId(1), DirMsg::PutM { addr: A, data: 42 })
+            .unwrap();
         let log = d.take_write_log();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].addr, A);

@@ -199,7 +199,10 @@ mod tests {
             .class(),
             MsgClass::Response
         );
-        assert_eq!(DirMsg::AckCount { addr: a, acks: 0 }.class(), MsgClass::Response);
+        assert_eq!(
+            DirMsg::AckCount { addr: a, acks: 0 }.class(),
+            MsgClass::Response
+        );
         assert_eq!(DirMsg::InvAck { addr: a }.class(), MsgClass::Response);
         assert_eq!(DirMsg::FinalAck { addr: a }.class(), MsgClass::FinalAck);
     }

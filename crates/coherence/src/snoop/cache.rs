@@ -151,8 +151,14 @@ impl SnoopCacheController {
             node,
             num_nodes: config.num_nodes,
             variant,
-            l1: CacheArray::new(CacheGeometry::from_capacity(config.l1_bytes, config.l1_ways)),
-            l2: CacheArray::new(CacheGeometry::from_capacity(config.l2_bytes, config.l2_ways)),
+            l1: CacheArray::new(CacheGeometry::from_capacity(
+                config.l1_bytes,
+                config.l1_ways,
+            )),
+            l2: CacheArray::new(CacheGeometry::from_capacity(
+                config.l2_bytes,
+                config.l2_ways,
+            )),
             l1_hit_cycles: config.l1_hit_cycles,
             l2_hit_cycles: config.l2_hit_cycles,
             demand: None,
@@ -276,7 +282,8 @@ impl SnoopCacheController {
                         deferred: Vec::new(),
                         ownership_promised: false,
                     });
-                    self.outgoing_bus.push_back(SnoopRequest::GetM { addr: req.addr });
+                    self.outgoing_bus
+                        .push_back(SnoopRequest::GetM { addr: req.addr });
                     return SnoopAccessOutcome::MissIssued;
                 }
             }
@@ -339,7 +346,11 @@ impl SnoopCacheController {
                         }
                     }
                 }
-                if self.demand.as_ref().is_some_and(|d| d.ordered && d.data.is_some()) {
+                if self
+                    .demand
+                    .as_ref()
+                    .is_some_and(|d| d.ordered && d.data.is_some())
+                {
                     self.complete_demand(now);
                 }
                 Ok(None)
@@ -464,7 +475,10 @@ impl SnoopCacheController {
                 && demand.access == CpuAccess::Store
                 && !demand.ownership_promised
             {
-                demand.deferred.push(DeferredForward { requestor, exclusive });
+                demand.deferred.push(DeferredForward {
+                    requestor,
+                    exclusive,
+                });
                 if exclusive {
                     demand.ownership_promised = true;
                 }
@@ -481,11 +495,7 @@ impl SnoopCacheController {
     }
 
     /// Handles a message from the data network.
-    pub fn handle_data(
-        &mut self,
-        now: Cycle,
-        msg: SnoopDataMsg,
-    ) -> Result<(), ProtocolError> {
+    pub fn handle_data(&mut self, now: Cycle, msg: SnoopDataMsg) -> Result<(), ProtocolError> {
         match msg {
             SnoopDataMsg::Data { addr, data } => {
                 let Some(demand) = self.demand.as_mut() else {
@@ -540,7 +550,8 @@ impl SnoopCacheController {
                                 state: WbState::Owner,
                             },
                         );
-                        self.outgoing_bus.push_back(SnoopRequest::PutM { addr: victim.addr });
+                        self.outgoing_bus
+                            .push_back(SnoopRequest::PutM { addr: victim.addr });
                     }
                     SnoopCacheState::S => {}
                 }
@@ -634,11 +645,16 @@ mod tests {
 
     /// Drives a controller to own block A in state M with the given value.
     fn make_owner(c: &mut SnoopCacheController, value: u64) {
-        assert_eq!(c.cpu_request(0, store(A, value)), SnoopAccessOutcome::MissIssued);
+        assert_eq!(
+            c.cpu_request(0, store(A, value)),
+            SnoopAccessOutcome::MissIssued
+        );
         assert_eq!(c.pop_bus_request(), Some(SnoopRequest::GetM { addr: A }));
         // Own GetM observed; memory will supply data.
-        c.observe_snoop(5, NodeId(1), SnoopRequest::GetM { addr: A }).unwrap();
-        c.handle_data(10, SnoopDataMsg::Data { addr: A, data: 0 }).unwrap();
+        c.observe_snoop(5, NodeId(1), SnoopRequest::GetM { addr: A })
+            .unwrap();
+        c.handle_data(10, SnoopDataMsg::Data { addr: A, data: 0 })
+            .unwrap();
         let done = c.take_completed().unwrap();
         assert_eq!(done.value, value);
         assert_eq!(c.cached_value(A), Some((SnoopCacheState::M, value)));
@@ -652,9 +668,11 @@ mod tests {
         // Data cannot complete the miss before the request is ordered...
         // (in this model data only ever arrives afterwards, but the ordering
         // flag is still tracked explicitly).
-        c.observe_snoop(3, NodeId(1), SnoopRequest::GetS { addr: A }).unwrap();
+        c.observe_snoop(3, NodeId(1), SnoopRequest::GetS { addr: A })
+            .unwrap();
         assert!(c.take_completed().is_none());
-        c.handle_data(9, SnoopDataMsg::Data { addr: A, data: 77 }).unwrap();
+        c.handle_data(9, SnoopDataMsg::Data { addr: A, data: 77 })
+            .unwrap();
         let done = c.take_completed().unwrap();
         assert_eq!(done.value, 77);
         assert_eq!(done.latency, 9);
@@ -665,7 +683,8 @@ mod tests {
     fn owner_serves_foreign_gets_and_downgrades_to_owned() {
         let mut c = ctrl(ProtocolVariant::Full);
         make_owner(&mut c, 42);
-        c.observe_snoop(20, NodeId(2), SnoopRequest::GetS { addr: A }).unwrap();
+        c.observe_snoop(20, NodeId(2), SnoopRequest::GetS { addr: A })
+            .unwrap();
         let out = c.pop_data_message().unwrap();
         assert_eq!(out.dst, NodeId(2));
         assert_eq!(out.msg, SnoopDataMsg::Data { addr: A, data: 42 });
@@ -676,7 +695,8 @@ mod tests {
     fn owner_serves_foreign_getm_and_invalidates() {
         let mut c = ctrl(ProtocolVariant::Full);
         make_owner(&mut c, 42);
-        c.observe_snoop(20, NodeId(2), SnoopRequest::GetM { addr: A }).unwrap();
+        c.observe_snoop(20, NodeId(2), SnoopRequest::GetM { addr: A })
+            .unwrap();
         let out = c.pop_data_message().unwrap();
         assert_eq!(out.msg, SnoopDataMsg::Data { addr: A, data: 42 });
         assert_eq!(c.cached_value(A), None);
@@ -688,12 +708,18 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         c.cpu_request(0, load(A));
         c.pop_bus_request();
-        c.observe_snoop(1, NodeId(1), SnoopRequest::GetS { addr: A }).unwrap();
-        c.handle_data(2, SnoopDataMsg::Data { addr: A, data: 5 }).unwrap();
+        c.observe_snoop(1, NodeId(1), SnoopRequest::GetS { addr: A })
+            .unwrap();
+        c.handle_data(2, SnoopDataMsg::Data { addr: A, data: 5 })
+            .unwrap();
         c.take_completed();
-        c.observe_snoop(10, NodeId(3), SnoopRequest::GetM { addr: A }).unwrap();
+        c.observe_snoop(10, NodeId(3), SnoopRequest::GetM { addr: A })
+            .unwrap();
         assert_eq!(c.cached_value(A), None);
-        assert!(c.pop_data_message().is_none(), "an S copy never supplies data");
+        assert!(
+            c.pop_data_message().is_none(),
+            "an S copy never supplies data"
+        );
     }
 
     #[test]
@@ -704,7 +730,8 @@ mod tests {
         assert_eq!(c.pop_bus_request(), Some(SnoopRequest::PutM { addr: A }));
         // A request to the block stalls while the writeback is pending.
         assert_eq!(c.cpu_request(25, load(A)), SnoopAccessOutcome::Stall);
-        c.observe_snoop(30, NodeId(1), SnoopRequest::PutM { addr: A }).unwrap();
+        c.observe_snoop(30, NodeId(1), SnoopRequest::PutM { addr: A })
+            .unwrap();
         let wb = c.pop_data_message().unwrap();
         assert_eq!(wb.dst, A.home_node(16));
         assert_eq!(wb.msg, SnoopDataMsg::WbData { addr: A, data: 7 });
@@ -718,14 +745,16 @@ mod tests {
         make_owner(&mut c, 9);
         c.force_evict(20, A);
         c.pop_bus_request();
-        c.observe_snoop(25, NodeId(2), SnoopRequest::GetM { addr: A }).unwrap();
+        c.observe_snoop(25, NodeId(2), SnoopRequest::GetM { addr: A })
+            .unwrap();
         assert_eq!(
             c.pop_data_message().unwrap().msg,
             SnoopDataMsg::Data { addr: A, data: 9 }
         );
         // Our own PutM is then ordered: it is stale, no writeback data goes to
         // memory.
-        c.observe_snoop(30, NodeId(1), SnoopRequest::PutM { addr: A }).unwrap();
+        c.observe_snoop(30, NodeId(1), SnoopRequest::PutM { addr: A })
+            .unwrap();
         assert!(c.pop_data_message().is_none());
     }
 
@@ -739,7 +768,8 @@ mod tests {
             make_owner(&mut c, 9);
             c.force_evict(20, A);
             c.pop_bus_request();
-            c.observe_snoop(25, NodeId(2), SnoopRequest::GetM { addr: A }).unwrap();
+            c.observe_snoop(25, NodeId(2), SnoopRequest::GetM { addr: A })
+                .unwrap();
             c.pop_data_message();
             let second = c
                 .observe_snoop(26, NodeId(3), SnoopRequest::GetM { addr: A })
@@ -764,12 +794,17 @@ mod tests {
         let mut c = ctrl(ProtocolVariant::Full);
         make_owner(&mut c, 10);
         // Downgrade to O by serving a foreign GetS.
-        c.observe_snoop(20, NodeId(2), SnoopRequest::GetS { addr: A }).unwrap();
+        c.observe_snoop(20, NodeId(2), SnoopRequest::GetS { addr: A })
+            .unwrap();
         c.pop_data_message();
         // Upgrade back to M.
-        assert_eq!(c.cpu_request(30, store(A, 11)), SnoopAccessOutcome::MissIssued);
+        assert_eq!(
+            c.cpu_request(30, store(A, 11)),
+            SnoopAccessOutcome::MissIssued
+        );
         assert_eq!(c.pop_bus_request(), Some(SnoopRequest::GetM { addr: A }));
-        c.observe_snoop(35, NodeId(1), SnoopRequest::GetM { addr: A }).unwrap();
+        c.observe_snoop(35, NodeId(1), SnoopRequest::GetM { addr: A })
+            .unwrap();
         let done = c.take_completed().expect("upgrade fills from its own data");
         assert_eq!(done.value, 11);
         assert_eq!(c.cached_value(A), Some((SnoopCacheState::M, 11)));
@@ -781,15 +816,23 @@ mod tests {
         // Our GetM is ordered but the data has not arrived yet.
         c.cpu_request(0, store(A, 50));
         c.pop_bus_request();
-        c.observe_snoop(5, NodeId(1), SnoopRequest::GetM { addr: A }).unwrap();
+        c.observe_snoop(5, NodeId(1), SnoopRequest::GetM { addr: A })
+            .unwrap();
         // Two requests ordered after ours: a GetS (we stay owner) then a GetM
         // (ownership moves on). A further GetS is the next owner's problem.
-        c.observe_snoop(6, NodeId(2), SnoopRequest::GetS { addr: A }).unwrap();
-        c.observe_snoop(7, NodeId(3), SnoopRequest::GetM { addr: A }).unwrap();
-        c.observe_snoop(8, NodeId(4), SnoopRequest::GetS { addr: A }).unwrap();
-        assert!(c.pop_data_message().is_none(), "nothing can be served before the fill");
+        c.observe_snoop(6, NodeId(2), SnoopRequest::GetS { addr: A })
+            .unwrap();
+        c.observe_snoop(7, NodeId(3), SnoopRequest::GetM { addr: A })
+            .unwrap();
+        c.observe_snoop(8, NodeId(4), SnoopRequest::GetS { addr: A })
+            .unwrap();
+        assert!(
+            c.pop_data_message().is_none(),
+            "nothing can be served before the fill"
+        );
         // The fill arrives.
-        c.handle_data(10, SnoopDataMsg::Data { addr: A, data: 1 }).unwrap();
+        c.handle_data(10, SnoopDataMsg::Data { addr: A, data: 1 })
+            .unwrap();
         let done = c.take_completed().unwrap();
         assert_eq!(done.value, 50);
         let first = c.pop_data_message().unwrap();
@@ -807,10 +850,13 @@ mod tests {
     #[test]
     fn late_or_duplicate_data_is_ignored() {
         let mut c = ctrl(ProtocolVariant::Full);
-        c.handle_data(0, SnoopDataMsg::Data { addr: A, data: 3 }).unwrap();
+        c.handle_data(0, SnoopDataMsg::Data { addr: A, data: 3 })
+            .unwrap();
         assert!(c.take_completed().is_none());
         // Writeback data addressed to memory is a protocol error at a cache.
-        assert!(c.handle_data(0, SnoopDataMsg::WbData { addr: A, data: 3 }).is_err());
+        assert!(c
+            .handle_data(0, SnoopDataMsg::WbData { addr: A, data: 3 })
+            .is_err());
     }
 
     #[test]

@@ -212,7 +212,8 @@ mod tests {
         m.pop_data_message();
         m.observe_snoop(5, NodeId(3), SnoopRequest::PutM { addr: A });
         assert_eq!(m.owner_of(A), None);
-        m.handle_data(6, SnoopDataMsg::WbData { addr: A, data: 99 }).unwrap();
+        m.handle_data(6, SnoopDataMsg::WbData { addr: A, data: 99 })
+            .unwrap();
         assert_eq!(m.memory().peek(A), 99);
         assert_eq!(m.stats().writebacks.get(), 1);
         // A subsequent reader gets the written-back value from memory.
@@ -231,7 +232,11 @@ mod tests {
         // Ownership moves to node 5 before node 3's PutM is ordered.
         m.observe_snoop(1, NodeId(5), SnoopRequest::GetM { addr: A });
         m.observe_snoop(2, NodeId(3), SnoopRequest::PutM { addr: A });
-        assert_eq!(m.owner_of(A), Some(NodeId(5)), "node 5 must remain the owner");
+        assert_eq!(
+            m.owner_of(A),
+            Some(NodeId(5)),
+            "node 5 must remain the owner"
+        );
         assert_eq!(m.stats().stale_writebacks.get(), 1);
     }
 
@@ -247,8 +252,16 @@ mod tests {
     fn misdirected_data_messages_are_errors() {
         let mut m = mem();
         assert!(m
-            .handle_data(0, SnoopDataMsg::WbData { addr: BlockAddr(1), data: 1 })
+            .handle_data(
+                0,
+                SnoopDataMsg::WbData {
+                    addr: BlockAddr(1),
+                    data: 1
+                }
+            )
             .is_err());
-        assert!(m.handle_data(0, SnoopDataMsg::Data { addr: A, data: 1 }).is_err());
+        assert!(m
+            .handle_data(0, SnoopDataMsg::Data { addr: A, data: 1 })
+            .is_err());
     }
 }

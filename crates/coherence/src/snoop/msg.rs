@@ -30,9 +30,9 @@ impl SnoopRequest {
     #[must_use]
     pub fn addr(&self) -> BlockAddr {
         match *self {
-            SnoopRequest::GetS { addr } | SnoopRequest::GetM { addr } | SnoopRequest::PutM { addr } => {
-                addr
-            }
+            SnoopRequest::GetS { addr }
+            | SnoopRequest::GetM { addr }
+            | SnoopRequest::PutM { addr } => addr,
         }
     }
 }
@@ -93,6 +93,9 @@ mod tests {
         assert_eq!(SnoopRequest::PutM { addr: a }.addr(), a);
         assert_eq!(SnoopDataMsg::Data { addr: a, data: 0 }.addr(), a);
         assert_eq!(SnoopDataMsg::WbData { addr: a, data: 0 }.addr(), a);
-        assert_eq!(SnoopDataMsg::Data { addr: a, data: 0 }.size(), MessageSize::Data);
+        assert_eq!(
+            SnoopDataMsg::Data { addr: a, data: 0 }.size(),
+            MessageSize::Data
+        );
     }
 }

@@ -1,0 +1,225 @@
+//! Offline compatibility stub for the subset of [`criterion`] the workspace's
+//! microbenchmarks use.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements a small wall-clock measurement harness behind the same
+//! source-level API (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `iter`/`iter_batched`). It reports the mean, minimum and maximum iteration
+//! time, plus throughput when [`Throughput`] was configured — no statistics
+//! beyond that, and no HTML reports. Swapping the path dependency for the
+//! crates.io release requires no source changes in the benches.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// this stub always runs one setup per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Measures `routine` directly, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            let out = routine();
+            self.samples.push(t.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs built by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.samples.push(t.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput/sample
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets how many samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&self.name, id, &b.samples, self.throughput);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        report("", id, &b.samples, None);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if samples.is_empty() {
+        println!("{full}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    print!(
+        "{full}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
+        samples.len()
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / mean.as_secs_f64();
+            print!("  [{per_sec:.0} elem/s]");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            print!("  [{per_sec:.1} MiB/s]");
+        }
+        None => {}
+    }
+    println!();
+}
+
+/// Prevents the optimizer from eliding a value (mirrors
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a group runner callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running every [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benchmarks_run_and_report() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || (0u64..100).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn plain_iter_records_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 5);
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline compatibility stub for the subset of [`proptest`] the workspace's
+//! property tests use.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements a small, deterministic property-testing engine behind the same
+//! source-level API the tests were written against:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0u64..32`, `-1e6f64..1e6`, `1usize..16`, …),
+//! * tuple strategies,
+//! * [`collection::vec`] and [`prelude::any`] for `bool` and `u64`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! generated inputs' case number so the failure is reproducible (generation
+//! is seeded from the test name and is fully deterministic). Swapping the
+//! path dependency for the crates.io release requires no source changes in
+//! the tests.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Failure raised by [`prop_assert!`] / [`prop_assert_eq!`] inside a
+/// property test body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError { msg }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic generator driving input generation (xorshift64*).
+///
+/// Seeded from the test's name so every run of a given test explores the
+/// same sequence of cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, folded into a non-zero xorshift seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Run-time configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 32 keeps the heavier simulation
+        // properties fast while still exercising a meaningful input spread.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its implementations for ranges and tuples.
+
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Mirrors `proptest::strategy::Strategy` in spirit; generation is a
+    /// plain function of the [`TestRng`] with no shrinking.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            self.start + rng.below(u64::from(self.end - self.start)) as u32
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// Strategy returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose elements come from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length drawn from `size`.
+    ///
+    /// Panics if `size` is empty, matching real proptest's rejection of
+    /// impossible size ranges at strategy construction.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec size range must be non-empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+
+    /// Returns the canonical strategy for `T` (full value range).
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let ($($arg,)*) = ($($strat.generate(&mut rng),)*);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 1usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..4).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_size_and_element_ranges(
+            xs in crate::collection::vec((0u64..32, 1u64..1000), 0..30),
+        ) {
+            prop_assert!(xs.len() < 30);
+            for (a, v) in xs {
+                prop_assert!(a < 32);
+                prop_assert!((1..1000).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

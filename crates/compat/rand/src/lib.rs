@@ -1,0 +1,52 @@
+//! Offline compatibility stub for the parts of [`rand` 0.8] that the
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the *trait surface* it needs — just [`RngCore`] and [`Error`] — so
+//! that `specsim_base::DetRng` can advertise `rand` compatibility. Code
+//! written against this stub is source-compatible with the real `rand` 0.8:
+//! swapping the path dependency for the crates.io release requires no source
+//! changes.
+//!
+//! [`rand` 0.8]: https://docs.rs/rand/0.8
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations (mirrors `rand::Error`).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static description.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -64,12 +64,25 @@ pub struct SystemConfig {
     pub max_outstanding: usize,
 }
 
+impl Default for SystemConfig {
+    /// The paper's primary evaluated machine: the speculative directory
+    /// system of Section 3.1 (Table 2 memory parameters, 3.2 GB/s links,
+    /// adaptive routing) running the OLTP workload with seed 1.
+    fn default() -> Self {
+        Self::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::GB_3_2, 1)
+    }
+}
+
 impl SystemConfig {
     /// The paper's baseline directory-protocol system: 16 nodes, adaptive
     /// routing isolated from deadlock concerns by full buffering
     /// (footnote 1), speculative reliance on point-to-point ordering.
     #[must_use]
-    pub fn directory_speculative(workload: WorkloadKind, bandwidth: LinkBandwidth, seed: u64) -> Self {
+    pub fn directory_speculative(
+        workload: WorkloadKind,
+        bandwidth: LinkBandwidth,
+        seed: u64,
+    ) -> Self {
         Self {
             memory: MemorySystemConfig {
                 link_bandwidth: bandwidth,
@@ -144,7 +157,8 @@ impl SystemConfig {
             FlowControl::VirtualChannels {
                 channels_per_network,
             } => {
-                let mut c = NetConfig::conventional(self.memory.num_nodes, self.memory.link_bandwidth);
+                let mut c =
+                    NetConfig::conventional(self.memory.num_nodes, self.memory.link_bandwidth);
                 c.flow_control = FlowControl::VirtualChannels {
                     channels_per_network,
                 };
@@ -181,7 +195,8 @@ mod tests {
 
     #[test]
     fn presets_match_the_papers_three_designs() {
-        let spec = SystemConfig::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::MB_400, 1);
+        let spec =
+            SystemConfig::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::MB_400, 1);
         assert_eq!(spec.protocol, ProtocolVariant::Speculative);
         assert_eq!(spec.routing, RoutingPolicy::Adaptive);
         assert_eq!(spec.flow_control, FlowControl::WorstCaseBuffering);
@@ -190,22 +205,32 @@ mod tests {
         assert_eq!(base.protocol, ProtocolVariant::Full);
         assert_eq!(base.routing, RoutingPolicy::Static);
 
-        let net = SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 16, 1);
+        let net =
+            SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 16, 1);
         assert_eq!(
             net.flow_control,
-            FlowControl::SharedBuffers { buffers_per_port: 16 }
+            FlowControl::SharedBuffers {
+                buffers_per_port: 16
+            }
         );
     }
 
     #[test]
     fn net_config_follows_the_routing_and_flow_control_choices() {
-        let cfg = SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::MB_400, 8, 3);
+        let cfg =
+            SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::MB_400, 8, 3);
         let net = cfg.net_config();
         assert_eq!(net.routing, RoutingPolicy::Adaptive);
-        assert_eq!(net.flow_control, FlowControl::SharedBuffers { buffers_per_port: 8 });
+        assert_eq!(
+            net.flow_control,
+            FlowControl::SharedBuffers {
+                buffers_per_port: 8
+            }
+        );
         assert_eq!(net.num_nodes, 16);
 
-        let mut base = SystemConfig::directory_baseline(WorkloadKind::Jbb, LinkBandwidth::MB_400, 3);
+        let mut base =
+            SystemConfig::directory_baseline(WorkloadKind::Jbb, LinkBandwidth::MB_400, 3);
         base.routing = RoutingPolicy::Adaptive;
         assert_eq!(base.net_config().routing, RoutingPolicy::Adaptive);
     }

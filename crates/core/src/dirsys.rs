@@ -9,9 +9,7 @@
 
 use std::collections::VecDeque;
 
-use specsim_base::{
-    BlockAddr, Cycle, CycleDelta, DetRng, FlowControl, NodeId, RoutingPolicy,
-};
+use specsim_base::{BlockAddr, Cycle, CycleDelta, DetRng, FlowControl, NodeId, RoutingPolicy};
 use specsim_coherence::dir::{
     AccessOutcome, CacheState, DirCacheController, DirMsg, DirectoryController, OutMsg,
 };
@@ -332,10 +330,10 @@ impl DirectorySystem {
                 }
                 // A completed store modifies cached state that SafetyNet must
                 // be able to undo: account one log entry at this node.
-                if done.access == CpuAccess::Store {
-                    if self.safetynet.log_writes(NodeId::from(i), 1) == LogOutcome::Full {
-                        self.safetynet.note_log_stall();
-                    }
+                if done.access == CpuAccess::Store
+                    && self.safetynet.log_writes(NodeId::from(i), 1) == LogOutcome::Full
+                {
+                    self.safetynet.note_log_stall();
                 }
             }
         }
@@ -356,7 +354,9 @@ impl DirectorySystem {
                         let delay = match m.msg {
                             DirMsg::Data { .. } => {
                                 self.cfg.memory.dram_access_cycles
-                                    + self.perturb_rng.next_below(self.cfg.perturbation_cycles.max(1))
+                                    + self
+                                        .perturb_rng
+                                        .next_below(self.cfg.perturbation_cycles.max(1))
                             }
                             _ => DIRECTORY_LATENCY,
                         };
@@ -554,11 +554,8 @@ mod tests {
     use specsim_workloads::WorkloadKind;
 
     fn small_config(protocol: ProtocolVariant, routing: RoutingPolicy) -> SystemConfig {
-        let mut cfg = SystemConfig::directory_speculative(
-            WorkloadKind::Jbb,
-            LinkBandwidth::GB_3_2,
-            7,
-        );
+        let mut cfg =
+            SystemConfig::directory_speculative(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 7);
         cfg.protocol = protocol;
         cfg.routing = routing;
         // Small caches keep the checkpoint snapshots cheap in unit tests.
@@ -570,9 +567,14 @@ mod tests {
 
     #[test]
     fn full_protocol_static_routing_makes_progress_and_stays_coherent() {
-        let mut sys = DirectorySystem::new(small_config(ProtocolVariant::Full, RoutingPolicy::Static));
+        let mut sys =
+            DirectorySystem::new(small_config(ProtocolVariant::Full, RoutingPolicy::Static));
         let metrics = sys.run_for(30_000).expect("no protocol errors");
-        assert!(metrics.ops_completed > 1_000, "only {} ops", metrics.ops_completed);
+        assert!(
+            metrics.ops_completed > 1_000,
+            "only {} ops",
+            metrics.ops_completed
+        );
         assert!(metrics.misses > 10);
         assert_eq!(metrics.recoveries, 0);
         assert_eq!(metrics.total_reorder_fraction(), 0.0);
@@ -625,7 +627,8 @@ mod tests {
 
     #[test]
     fn ops_throughput_scales_with_run_length() {
-        let mut sys = DirectorySystem::new(small_config(ProtocolVariant::Full, RoutingPolicy::Static));
+        let mut sys =
+            DirectorySystem::new(small_config(ProtocolVariant::Full, RoutingPolicy::Static));
         let m1 = sys.run_for(10_000).unwrap();
         let m2 = sys.run_for(10_000).unwrap();
         assert!(m2.ops_completed > m1.ops_completed);

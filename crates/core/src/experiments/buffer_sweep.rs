@@ -73,7 +73,10 @@ impl BufferSweep {
         let mut rows = vec![BufferSweepRow {
             buffers_per_port: None,
             normalized_performance: Measurement::from_samples(
-                &base_runs.iter().map(|r| r.throughput() / denom).collect::<Vec<_>>(),
+                &base_runs
+                    .iter()
+                    .map(|r| r.throughput() / denom)
+                    .collect::<Vec<_>>(),
             ),
             deadlock_recoveries: 0,
         }];

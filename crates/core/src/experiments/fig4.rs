@@ -84,9 +84,8 @@ impl Fig4Data {
             let baseline = throughput_measurement(&baseline_runs);
             for rate in RECOVERY_RATES_PER_SECOND {
                 let mut cfg = base_cfg.clone();
-                if rate > 0 {
-                    cfg.inject_recovery_every =
-                        Some((Self::CYCLES_PER_SCALED_SECOND / rate).max(1));
+                if let Some(per) = Self::CYCLES_PER_SCALED_SECOND.checked_div(rate) {
+                    cfg.inject_recovery_every = Some(per.max(1));
                 }
                 let runs = measure_directory(&cfg, scale)?;
                 let samples: Vec<f64> = runs
@@ -163,7 +162,10 @@ mod tests {
             seeds: 1,
         })
         .expect("no protocol errors");
-        assert_eq!(data.rows.len(), ALL_WORKLOADS.len() * RECOVERY_RATES_PER_SECOND.len());
+        assert_eq!(
+            data.rows.len(),
+            ALL_WORKLOADS.len() * RECOVERY_RATES_PER_SECOND.len()
+        );
         for row in &data.rows {
             // At the highest scaled rate the directly simulated performance
             // degrades heavily (the scaled second compresses the recovery

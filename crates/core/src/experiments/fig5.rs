@@ -67,8 +67,10 @@ impl Fig5Data {
             let denom = static_throughput.mean.max(f64::MIN_POSITIVE);
             let static_norm: Vec<f64> =
                 static_runs.iter().map(|r| r.throughput() / denom).collect();
-            let adaptive_norm: Vec<f64> =
-                adaptive_runs.iter().map(|r| r.throughput() / denom).collect();
+            let adaptive_norm: Vec<f64> = adaptive_runs
+                .iter()
+                .map(|r| r.throughput() / denom)
+                .collect();
             rows.push(Fig5Row {
                 workload,
                 static_normalized: Measurement::from_samples(&static_norm),
@@ -134,7 +136,11 @@ mod tests {
         assert_eq!(data.rows.len(), ALL_WORKLOADS.len());
         for r in &data.rows {
             assert!((r.static_normalized.mean - 1.0).abs() < 1e-9);
-            assert!(r.adaptive_normalized.mean > 0.3, "{}", r.adaptive_normalized.mean);
+            assert!(
+                r.adaptive_normalized.mean > 0.3,
+                "{}",
+                r.adaptive_normalized.mean
+            );
             assert!(r.static_link_utilization >= 0.0 && r.static_link_utilization <= 1.0);
         }
         assert!(data.render().contains("Figure 5"));

@@ -118,7 +118,10 @@ pub fn measure_directory(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
     });
     results.into_iter().collect()
 }
@@ -142,7 +145,10 @@ pub fn measure_snooping(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
     });
     results.into_iter().collect()
 }
@@ -169,7 +175,10 @@ mod tests {
 
     #[test]
     fn scale_seed_list_is_deterministic_and_distinct() {
-        let s = ExperimentScale { cycles: 1, seeds: 4 };
+        let s = ExperimentScale {
+            cycles: 1,
+            seeds: 4,
+        };
         assert_eq!(s.seed_list(10), vec![11, 12, 13, 14]);
     }
 

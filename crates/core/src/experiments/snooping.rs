@@ -14,9 +14,9 @@
 //! were ever reached.
 
 use specsim_base::{BlockAddr, MemorySystemConfig, NodeId, ProtocolVariant};
+use specsim_coherence::snoop::msg::SnoopDataMsg;
 use specsim_coherence::snoop::{SnoopCacheController, SnoopRequest};
 use specsim_coherence::types::{CpuAccess, CpuRequest, MisSpecKind, ProtocolError};
-use specsim_coherence::snoop::msg::SnoopDataMsg;
 use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
 
 use crate::experiments::runner::{
@@ -137,8 +137,7 @@ impl SnoopingComparison {
         let second = cache
             .observe_snoop(5, NodeId(3), SnoopRequest::GetM { addr })
             .expect("second foreign GetM");
-        first.is_none()
-            && second.is_some_and(|m| m.kind == MisSpecKind::WritebackDoubleRace)
+        first.is_none() && second.is_some_and(|m| m.kind == MisSpecKind::WritebackDoubleRace)
     }
 
     /// Renders the comparison as a text table.
@@ -148,7 +147,11 @@ impl SnoopingComparison {
         out.push_str("Speculatively simplified snooping protocol vs. fully designed protocol\n");
         out.push_str(&format!(
             "directed corner-case detection check: {}\n",
-            if self.directed_case_detected { "DETECTED (as designed)" } else { "NOT DETECTED (bug!)" }
+            if self.directed_case_detected {
+                "DETECTED (as designed)"
+            } else {
+                "NOT DETECTED (bug!)"
+            }
         ));
         out.push_str(
             "workload  speculative/full    corner-case recoveries  bus requests  stores\n",

@@ -65,7 +65,8 @@ pub fn measure_table1(
     ));
 
     // Design 3: simplified interconnect (shared buffers, adequate size).
-    let mut net_cfg = SystemConfig::simplified_interconnect(workload, LinkBandwidth::GB_3_2, 16, 7300);
+    let mut net_cfg =
+        SystemConfig::simplified_interconnect(workload, LinkBandwidth::GB_3_2, 16, 7300);
     net_cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
     let net_runs = measure_directory(&net_cfg, scale)?;
     out.push((
@@ -157,9 +158,7 @@ pub fn render_table2() -> String {
         "Miss From Memory                {} ns (uncontended, 2-hop)\n",
         specsim_base::time::cycles_to_ns(c.memory_latency_cycles)
     ));
-    out.push_str(
-        "Interconnection Networks        link bandwidth = 400MB/sec to 3.2 GB/sec\n",
-    );
+    out.push_str("Interconnection Networks        link bandwidth = 400MB/sec to 3.2 GB/sec\n");
     out.push_str(&format!(
         "Checkpoint Log Buffer           {} kbytes total, {} byte entries\n",
         c.safetynet.log_buffer_bytes / 1024,
@@ -180,7 +179,9 @@ pub fn render_table2() -> String {
 /// measured traffic from a short run of each.
 pub fn render_table3(scale: ExperimentScale) -> Result<String, ProtocolError> {
     let mut out = String::new();
-    out.push_str("Table 3: Workloads (synthetic stand-ins for the Wisconsin Commercial Workload Suite)\n\n");
+    out.push_str(
+        "Table 3: Workloads (synthetic stand-ins for the Wisconsin Commercial Workload Suite)\n\n",
+    );
     for workload in ALL_WORKLOADS {
         let p = workload.params();
         let mut cfg = SystemConfig::directory_baseline(workload, LinkBandwidth::GB_3_2, 9000);
@@ -208,8 +209,16 @@ pub fn render_table3(scale: ExperimentScale) -> Result<String, ProtocolError> {
             scale.cycles,
             runs.len(),
             ops,
-            if ops == 0 { 0.0 } else { stores as f64 * 100.0 / ops as f64 },
-            if ops == 0 { 0.0 } else { misses as f64 * 100.0 / ops as f64 },
+            if ops == 0 {
+                0.0
+            } else {
+                stores as f64 * 100.0 / ops as f64
+            },
+            if ops == 0 {
+                0.0
+            } else {
+                misses as f64 * 100.0 / ops as f64
+            },
         ));
     }
     Ok(out)

@@ -170,7 +170,10 @@ mod tests {
         m.count_misspeculation(MisSpecKind::TransactionTimeout);
         m.count_misspeculation(MisSpecKind::ForwardedRequestToInvalidCache);
         assert_eq!(m.misspeculations_of(MisSpecKind::TransactionTimeout), 2);
-        assert_eq!(m.misspeculations_of(MisSpecKind::ForwardedRequestToInvalidCache), 1);
+        assert_eq!(
+            m.misspeculations_of(MisSpecKind::ForwardedRequestToInvalidCache),
+            1
+        );
         assert_eq!(m.misspeculations_of(MisSpecKind::WritebackDoubleRace), 0);
     }
 

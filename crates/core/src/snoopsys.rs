@@ -281,10 +281,21 @@ impl SnoopingSystem {
                 let Some(out) = self.arch.caches[i].pop_data_message() else {
                     break;
                 };
-                if self.arch.data_net.can_inject(node, VirtualNetwork::Response) {
+                if self
+                    .arch
+                    .data_net
+                    .can_inject(node, VirtualNetwork::Response)
+                {
                     self.arch
                         .data_net
-                        .inject(now, node, out.dst, VirtualNetwork::Response, MessageSize::Data, out.msg)
+                        .inject(
+                            now,
+                            node,
+                            out.dst,
+                            VirtualNetwork::Response,
+                            MessageSize::Data,
+                            out.msg,
+                        )
                         .expect("injection checked");
                 } else {
                     // Worst-case buffering never rejects, but keep the message
@@ -300,16 +311,30 @@ impl SnoopingSystem {
                     break;
                 };
                 let delay = self.cfg.memory.dram_access_cycles
-                    + self.perturb_rng.next_below(self.cfg.perturbation_cycles.max(1));
+                    + self
+                        .perturb_rng
+                        .next_below(self.cfg.perturbation_cycles.max(1));
                 self.arch.mem_outboxes[i].push_back((now + delay, out));
             }
             while let Some(&(ready, out)) = self.arch.mem_outboxes[i].front() {
-                if ready > now || !self.arch.data_net.can_inject(node, VirtualNetwork::Response) {
+                if ready > now
+                    || !self
+                        .arch
+                        .data_net
+                        .can_inject(node, VirtualNetwork::Response)
+                {
                     break;
                 }
                 self.arch
                     .data_net
-                    .inject(now, node, out.dst, VirtualNetwork::Response, MessageSize::Data, out.msg)
+                    .inject(
+                        now,
+                        node,
+                        out.dst,
+                        VirtualNetwork::Response,
+                        MessageSize::Data,
+                        out.msg,
+                    )
                     .expect("injection checked");
                 self.arch.mem_outboxes[i].pop_front();
             }

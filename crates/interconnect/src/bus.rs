@@ -58,9 +58,16 @@ impl<P: Clone> OrderedBus<P> {
     /// `arbitration_interval` cycles (the bus bandwidth limit) and a granted
     /// request is observed by every node `broadcast_latency` cycles later.
     #[must_use]
-    pub fn new(num_nodes: usize, arbitration_interval: CycleDelta, broadcast_latency: CycleDelta) -> Self {
+    pub fn new(
+        num_nodes: usize,
+        arbitration_interval: CycleDelta,
+        broadcast_latency: CycleDelta,
+    ) -> Self {
         assert!(num_nodes > 0, "bus needs at least one node");
-        assert!(arbitration_interval > 0, "arbitration interval must be positive");
+        assert!(
+            arbitration_interval > 0,
+            "arbitration interval must be positive"
+        );
         Self {
             num_nodes,
             arbitration_interval,
@@ -270,7 +277,10 @@ mod tests {
             }
         }
         let order = first_999.expect("node 3's request was starved");
-        assert!(order < 4, "round robin should grant node 3 quickly, order {order}");
+        assert!(
+            order < 4,
+            "round robin should grant node 3 quickly, order {order}"
+        );
     }
 
     #[test]

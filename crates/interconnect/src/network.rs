@@ -123,7 +123,7 @@ impl<P> Network<P> {
 
     /// Changes the routing policy at runtime. This is the forward-progress
     /// knob of Section 3.1: after a recovery the system "selectively
-    /// disable[s] adaptive routing during re-execution".
+    /// disable\[s\] adaptive routing during re-execution".
     pub fn set_routing(&mut self, routing: RoutingPolicy) {
         self.routing = routing;
     }
@@ -515,7 +515,11 @@ mod tests {
     /// Ticks the network (draining every ejection queue each cycle, as live
     /// endpoints would) until the fabric is empty or `max_cycles` elapse.
     /// Returns the final cycle and every packet delivered while draining.
-    fn run_until_drained(net: &mut Net, start: Cycle, max_cycles: u64) -> (Cycle, Vec<Packet<u64>>) {
+    fn run_until_drained(
+        net: &mut Net,
+        start: Cycle,
+        max_cycles: u64,
+    ) -> (Cycle, Vec<Packet<u64>>) {
         let mut now = start;
         let mut delivered = drain_all_ejections(net);
         while net.in_flight() > 0 && now < start + max_cycles {
@@ -570,8 +574,11 @@ mod tests {
 
     #[test]
     fn static_routing_preserves_point_to_point_order() {
-        let mut net: Net =
-            Network::new(NetConfig::full_buffering(16, LinkBandwidth::MB_400, RoutingPolicy::Static));
+        let mut net: Net = Network::new(NetConfig::full_buffering(
+            16,
+            LinkBandwidth::MB_400,
+            RoutingPolicy::Static,
+        ));
         let mut now = 0;
         let mut sent = 0u64;
         // Keep a stream of messages flowing from node 0 to node 10 while
@@ -594,7 +601,14 @@ mod tests {
             let src = NodeId::from((rng.next_below(16)) as usize);
             let dst = NodeId::from((rng.next_below(16)) as usize);
             if src != dst && net.can_inject(src, VirtualNetwork::Response) {
-                let _ = net.inject(now, src, dst, VirtualNetwork::Response, MessageSize::Data, 0);
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Response,
+                    MessageSize::Data,
+                    0,
+                );
             }
             net.tick(now);
             for i in 0..16 {
@@ -675,14 +689,24 @@ mod tests {
             let src = NodeId::from(rng.next_below(16) as usize);
             let dst = NodeId::from(rng.next_below(16) as usize);
             if src != dst {
-                let _ = net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Control, 0);
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Request,
+                    MessageSize::Control,
+                    0,
+                );
             }
             net.tick(now);
             if net.is_stalled(now) {
                 break;
             }
         }
-        assert!(net.is_stalled(now), "expected a stall with undrained endpoints");
+        assert!(
+            net.is_stalled(now),
+            "expected a stall with undrained endpoints"
+        );
         assert!(net.in_flight() > 0);
         // Recovery drains everything and clears the stall.
         let dropped = net.drain(now);
@@ -704,7 +728,14 @@ mod tests {
         let mut net: Net = Network::new(NetConfig::speculative(4, LinkBandwidth::MB_400, 1));
         // Saturate node 0's injection queue (capacity 1) without ticking.
         assert!(net
-            .inject(0, NodeId(0), NodeId(3), VirtualNetwork::Request, MessageSize::Data, 0)
+            .inject(
+                0,
+                NodeId(0),
+                NodeId(3),
+                VirtualNetwork::Request,
+                MessageSize::Data,
+                0
+            )
             .is_ok());
         assert!(!net.can_inject(NodeId(0), VirtualNetwork::Request));
         let err = net.inject(
@@ -749,7 +780,14 @@ mod tests {
             let src = NodeId::from(rng.next_below(16) as usize);
             let dst = NodeId::from(rng.next_below(16) as usize);
             if src != dst && net.can_inject(src, VirtualNetwork::Response) {
-                let _ = net.inject(now, src, dst, VirtualNetwork::Response, MessageSize::Data, 0);
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Response,
+                    MessageSize::Data,
+                    0,
+                );
             }
             net.tick(now);
             for i in 0..16 {

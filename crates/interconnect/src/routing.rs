@@ -93,7 +93,13 @@ mod tests {
         let mut congestion = [0usize; 4];
         congestion[Direction::East.index()] = 10;
         congestion[Direction::North.index()] = 1;
-        let c = route_candidates(&t, RoutingPolicy::Adaptive, NodeId(0), NodeId(5), &congestion);
+        let c = route_candidates(
+            &t,
+            RoutingPolicy::Adaptive,
+            NodeId(0),
+            NodeId(5),
+            &congestion,
+        );
         assert_eq!(c.directions[0], Direction::North);
         assert_eq!(c.directions.len(), 2);
         assert!(c.adaptive);

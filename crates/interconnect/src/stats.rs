@@ -95,7 +95,10 @@ mod tests {
         s.record_delivery(VirtualNetwork::Response, 120);
         s.record_delivery(VirtualNetwork::Response, 80);
         assert_eq!(s.delivered.get(), 2);
-        assert_eq!(s.delivered_per_vnet[VirtualNetwork::Response.index()].get(), 2);
+        assert_eq!(
+            s.delivered_per_vnet[VirtualNetwork::Response.index()].get(),
+            2
+        );
         assert!((s.mean_latency() - 100.0).abs() < 1e-12);
     }
 

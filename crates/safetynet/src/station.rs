@@ -115,7 +115,8 @@ impl<S: Clone> SafetyNet<S> {
     pub fn take_checkpoint(&mut self, now: Cycle, state: S) {
         let id = self.next_id;
         self.next_id += 1;
-        self.checkpoints.push_back(Checkpoint { id, at: now, state });
+        self.checkpoints
+            .push_back(Checkpoint { id, at: now, state });
         self.last_checkpoint_at = now;
         self.stats.checkpoints_taken += 1;
         for log in &mut self.logs {
@@ -206,8 +207,7 @@ impl<S: Clone> SafetyNet<S> {
             checkpoint_id: point.id,
             checkpoint_cycle: point.at,
             lost_work_cycles: now.saturating_sub(point.at),
-            recovery_latency_cycles: self.cfg.register_checkpoint_cycles
-                + RECOVERY_RESTORE_CYCLES,
+            recovery_latency_cycles: self.cfg.register_checkpoint_cycles + RECOVERY_RESTORE_CYCLES,
         };
         self.stats.recovery.record(&outcome);
         (point.state, outcome)

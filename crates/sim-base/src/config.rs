@@ -407,6 +407,9 @@ mod tests {
             .label(),
             "shared-buffers"
         );
-        assert_eq!(FlowControl::WorstCaseBuffering.label(), "worst-case-buffering");
+        assert_eq!(
+            FlowControl::WorstCaseBuffering.label(),
+            "worst-case-buffering"
+        );
     }
 }

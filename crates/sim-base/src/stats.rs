@@ -365,7 +365,7 @@ mod tests {
         assert_eq!(h.bucket(1), 1);
         assert_eq!(h.bucket(4), 1);
         assert_eq!(h.overflow(), 2);
-        assert!((h.mean() - (0 + 5 + 9 + 10 + 49 + 50 + 1000) as f64 / 7.0).abs() < 1e-9);
+        assert!((h.mean() - (5 + 9 + 10 + 49 + 50 + 1000) as f64 / 7.0).abs() < 1e-9);
     }
 
     #[test]

@@ -72,7 +72,8 @@ impl WorkloadGenerator {
     pub fn new(kind: WorkloadKind, node: NodeId, seed: u64) -> Self {
         // Mix the node into the seed so each node has an independent stream
         // that is still fully determined by the top-level seed.
-        let rng = DetRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.index() as u64 + 1)));
+        let rng =
+            DetRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.index() as u64 + 1)));
         Self {
             kind,
             params: kind.params(),
@@ -257,7 +258,10 @@ mod tests {
         for _ in 0..5000 {
             let op = g.next_op();
             if op.req.access == CpuAccess::Store {
-                assert!(seen.insert(op.req.store_value), "store values must be unique");
+                assert!(
+                    seen.insert(op.req.store_value),
+                    "store values must be unique"
+                );
                 assert_eq!(op.req.store_value >> 40, 3); // node index + 1
             }
         }

@@ -278,7 +278,10 @@ mod tests {
         p.note_miss_issued(now);
         assert!(p.is_waiting());
         assert_eq!(p.waiting_since(), Some(now));
-        assert!(p.poll(now + 500).is_none(), "blocking processor issues nothing while waiting");
+        assert!(
+            p.poll(now + 500).is_none(),
+            "blocking processor issues nothing while waiting"
+        );
         p.note_miss_completed(now + 700, false);
         assert_eq!(p.ops_completed(), 1);
         assert_eq!(p.stats().miss_wait_cycles, 700);
@@ -296,7 +299,9 @@ mod tests {
             }
         };
         p.note_stall();
-        let again = p.poll(now + 1).expect("request must be re-presented after a stall");
+        let again = p
+            .poll(now + 1)
+            .expect("request must be re-presented after a stall");
         assert_eq!(first, again);
         assert_eq!(p.stats().stall_retries, 1);
     }
@@ -328,7 +333,11 @@ mod tests {
         }
         assert_eq!(p.ops_completed(), ops_at_snap + 5);
         p.restore(now, snap);
-        assert_eq!(p.ops_completed(), ops_at_snap, "speculative work must be discarded");
+        assert_eq!(
+            p.ops_completed(),
+            ops_at_snap,
+            "speculative work must be discarded"
+        );
         assert!(!p.is_waiting());
     }
 

@@ -33,8 +33,13 @@ fn main() {
     let mut spec_static = speculative.clone();
     spec_static.routing = RoutingPolicy::Static;
 
-    println!("Section 3.1 study: {} at {} MB/s links, {} cycles x {} runs",
-        workload.label(), bandwidth.megabytes_per_second, scale.cycles, scale.seeds);
+    println!(
+        "Section 3.1 study: {} at {} MB/s links, {} cycles x {} runs",
+        workload.label(),
+        bandwidth.megabytes_per_second,
+        scale.cycles,
+        scale.seeds
+    );
     println!();
 
     let base_runs = measure_directory(&conventional, scale).expect("baseline runs");

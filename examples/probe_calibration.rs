@@ -8,7 +8,11 @@ use specsim_base::{LinkBandwidth, ProtocolVariant, RoutingPolicy};
 use specsim_workloads::WorkloadKind;
 
 fn main() {
-    for (label, l2) in [("64KB L2", 64 * 1024usize), ("256KB L2", 256 * 1024), ("4MB L2", 4 << 20)] {
+    for (label, l2) in [
+        ("64KB L2", 64 * 1024usize),
+        ("256KB L2", 256 * 1024),
+        ("4MB L2", 4 << 20),
+    ] {
         let mut cfg =
             SystemConfig::directory_speculative(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 7);
         cfg.protocol = ProtocolVariant::Full;

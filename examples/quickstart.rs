@@ -31,9 +31,15 @@ fn main() {
     println!("=====================================");
     println!("simulated cycles        : {}", metrics.cycles);
     println!("memory ops completed    : {}", metrics.ops_completed);
-    println!("  loads / stores        : {} / {}", metrics.loads, metrics.stores);
+    println!(
+        "  loads / stores        : {} / {}",
+        metrics.loads, metrics.stores
+    );
     println!("coherence transactions  : {}", metrics.misses);
-    println!("mean miss latency       : {:.0} cycles", metrics.mean_miss_latency());
+    println!(
+        "mean miss latency       : {:.0} cycles",
+        metrics.mean_miss_latency()
+    );
     println!("messages delivered      : {}", metrics.messages_delivered);
     println!(
         "reordered on FwdRequest : {:.4}% (the virtual network whose order matters)",
@@ -45,12 +51,17 @@ fn main() {
     );
     println!("checkpoints taken       : {}", metrics.checkpoints);
     println!("mis-speculation recoveries: {}", metrics.recoveries);
-    println!("link utilization        : {:.1}%", metrics.link_utilization * 100.0);
+    println!(
+        "link utilization        : {:.1}%",
+        metrics.link_utilization * 100.0
+    );
     println!();
     println!(
         "throughput              : {:.2} memory ops per kilo-cycle",
         metrics.throughput()
     );
-    system.verify_coherence().expect("coherence invariants hold");
+    system
+        .verify_coherence()
+        .expect("coherence invariants hold");
     println!("coherence invariants    : OK");
 }

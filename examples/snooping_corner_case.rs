@@ -20,15 +20,17 @@ fn main() {
 
     println!("Directed corner case (one cache controller):");
     if SnoopingComparison::directed_corner_case_detected() {
-        println!("  speculative variant detected the writeback double race -> would trigger recovery");
+        println!(
+            "  speculative variant detected the writeback double race -> would trigger recovery"
+        );
     } else {
         println!("  ERROR: detection failed");
     }
     println!();
 
     let workloads: Vec<WorkloadKind> = ALL_WORKLOADS.to_vec();
-    let cmp = SnoopingComparison::run_for_workloads(&workloads, scale)
-        .expect("snooping runs completed");
+    let cmp =
+        SnoopingComparison::run_for_workloads(&workloads, scale).expect("snooping runs completed");
     print!("{}", cmp.render());
     println!();
     println!("Every workload runs to completion with zero corner-case recoveries, so the");

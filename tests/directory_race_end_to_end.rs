@@ -64,7 +64,9 @@ impl TestBench {
     fn deliver(&mut self, src: NodeId, m: OutMsg) -> Option<MisSpecKind> {
         match m.msg.class() {
             MsgClass::Request | MsgClass::FinalAck => {
-                self.dir.handle_message(0, src, m.msg).expect("directory handles message");
+                self.dir
+                    .handle_message(0, src, m.msg)
+                    .expect("directory handles message");
                 None
             }
             _ => self
@@ -148,14 +150,24 @@ fn set_up_race(variant: ProtocolVariant) -> (TestBench, Vec<OutMsg>) {
 #[test]
 fn speculative_variant_survives_the_race_when_ordering_holds() {
     let (mut bench, to_p1) = set_up_race(ProtocolVariant::Speculative);
-    assert_eq!(to_p1.len(), 2, "speculative directory sends FwdGetM and WbAck immediately");
+    assert_eq!(
+        to_p1.len(),
+        2,
+        "speculative directory sends FwdGetM and WbAck immediately"
+    );
     // In-order delivery: FwdGetM first, WbAck second.
     for m in to_p1 {
-        assert!(bench.deliver(HOME, m.clone()).is_none(), "no mis-speculation in order");
+        assert!(
+            bench.deliver(HOME, m).is_none(),
+            "no mis-speculation in order"
+        );
     }
     bench.run_to_quiescence();
     // P2 ends up owning the block with P1's data handed over, then stores.
-    let (_, value) = bench.cache(P2).cached_value(BLOCK).expect("P2 owns the block");
+    let (_, value) = bench
+        .cache(P2)
+        .cached_value(BLOCK)
+        .expect("P2 owns the block");
     assert_eq!(value, 88);
     assert!(bench.cache(P1).cached_value(BLOCK).is_none());
 }
@@ -166,9 +178,9 @@ fn speculative_variant_detects_the_race_when_the_network_reorders() {
     assert_eq!(to_p1.len(), 2);
     // Adaptive routing delivers the WbAck before the FwdGetM.
     to_p1.reverse();
-    let first = bench.deliver(HOME, to_p1[0].clone());
+    let first = bench.deliver(HOME, to_p1[0]);
     assert!(first.is_none(), "the WbAck itself is handled normally");
-    let second = bench.deliver(HOME, to_p1[1].clone());
+    let second = bench.deliver(HOME, to_p1[1]);
     assert_eq!(
         second,
         Some(MisSpecKind::ForwardedRequestToInvalidCache),
@@ -187,7 +199,10 @@ fn full_variant_defers_the_writeback_so_no_reordering_window_exists() {
         assert!(bench.deliver(HOME, m).is_none());
     }
     bench.run_to_quiescence();
-    let (_, value) = bench.cache(P2).cached_value(BLOCK).expect("P2 owns the block");
+    let (_, value) = bench
+        .cache(P2)
+        .cached_value(BLOCK)
+        .expect("P2 owns the block");
     assert_eq!(value, 88);
     // P1's writeback has been acknowledged (stale) and its buffer retired: a
     // new request from P1 can start cleanly.

@@ -24,11 +24,25 @@ fn run(policy: RoutingPolicy, seed: u64) -> (u64, u64) {
         let hot_src = NodeId::from([1usize, 2, 3][rng.next_below(3) as usize]);
         let hot_dst = NodeId::from([2usize, 6, 10][rng.next_below(3) as usize]);
         if hot_src != hot_dst && net.in_flight() < 120 {
-            let _ = net.inject(now, hot_src, hot_dst, VirtualNetwork::Response, MessageSize::Data, 0);
+            let _ = net.inject(
+                now,
+                hot_src,
+                hot_dst,
+                VirtualNetwork::Response,
+                MessageSize::Data,
+                0,
+            );
         }
         if now % 50 == 0 && net.can_inject(src, VirtualNetwork::ForwardedRequest) {
-            net.inject(now, src, dst, VirtualNetwork::ForwardedRequest, MessageSize::Control, sent)
-                .unwrap();
+            net.inject(
+                now,
+                src,
+                dst,
+                VirtualNetwork::ForwardedRequest,
+                MessageSize::Control,
+                sent,
+            )
+            .unwrap();
             sent += 1;
         }
         net.tick(now);
@@ -46,7 +60,10 @@ fn run(policy: RoutingPolicy, seed: u64) -> (u64, u64) {
     assert_eq!(net.in_flight(), 0, "network failed to drain");
     let delivered = net.ordering().delivered(VirtualNetwork::ForwardedRequest);
     assert_eq!(delivered, sent, "all observed-stream messages must arrive");
-    (delivered, net.ordering().reordered(VirtualNetwork::ForwardedRequest))
+    (
+        delivered,
+        net.ordering().reordered(VirtualNetwork::ForwardedRequest),
+    )
 }
 
 #[test]
@@ -54,7 +71,10 @@ fn static_routing_never_violates_point_to_point_order() {
     for seed in 1..=5 {
         let (delivered, reordered) = run(RoutingPolicy::Static, seed);
         assert!(delivered > 50);
-        assert_eq!(reordered, 0, "static routing must preserve ordering (seed {seed})");
+        assert_eq!(
+            reordered, 0,
+            "static routing must preserve ordering (seed {seed})"
+        );
     }
 }
 

@@ -31,7 +31,14 @@ fn scenario(use_virtual_networks: bool) -> bool {
         // queues for both processors are full of requests").
         for (src, dst) in [(a, b), (b, a)] {
             while net.can_inject(src, VirtualNetwork::Request) {
-                let _ = net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Control, REQ);
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Request,
+                    MessageSize::Control,
+                    REQ,
+                );
             }
         }
         for node in [a, b] {

@@ -124,13 +124,18 @@ fn small_buffer_interconnect_recovers_from_deadlock_and_keeps_going() {
     // Section 4 end-to-end: with very small shared buffers the network can
     // wedge; the transaction timeout fires, SafetyNet recovers, slow-start
     // drains the congestion, and the system continues to make progress.
-    let mut cfg = SystemConfig::simplified_interconnect(WorkloadKind::Oltp, LinkBandwidth::GB_3_2, 2, 5);
+    let mut cfg =
+        SystemConfig::simplified_interconnect(WorkloadKind::Oltp, LinkBandwidth::GB_3_2, 2, 5);
     cfg.memory.l1_bytes = 32 * 1024;
     cfg.memory.l2_bytes = 256 * 1024;
     cfg.memory.safetynet.checkpoint_interval_cycles = 2_000;
     let mut sys = DirectorySystem::new(cfg);
     let m = sys.run_for(120_000).expect("no protocol errors");
-    assert!(m.ops_completed > 500, "system must keep making progress, got {}", m.ops_completed);
+    assert!(
+        m.ops_completed > 500,
+        "system must keep making progress, got {}",
+        m.ops_completed
+    );
     sys.verify_coherence().unwrap();
 }
 
@@ -149,6 +154,9 @@ fn ample_buffer_interconnect_never_times_out() {
 
 #[test]
 fn experiment_scale_override_is_respected() {
-    let scale = ExperimentScale { cycles: 1234, seeds: 2 };
+    let scale = ExperimentScale {
+        cycles: 1234,
+        seeds: 2,
+    };
     assert_eq!(scale.seed_list(7), vec![8, 9]);
 }

@@ -9,7 +9,8 @@ use specsim_base::{LinkBandwidth, RoutingPolicy};
 use specsim_workloads::WorkloadKind;
 
 fn cfg(seed: u64, inject: Option<u64>) -> SystemConfig {
-    let mut cfg = SystemConfig::directory_speculative(WorkloadKind::Barnes, LinkBandwidth::GB_3_2, seed);
+    let mut cfg =
+        SystemConfig::directory_speculative(WorkloadKind::Barnes, LinkBandwidth::GB_3_2, seed);
     cfg.routing = RoutingPolicy::Static; // keep the run fully deterministic
     cfg.memory.l1_bytes = 16 * 1024;
     cfg.memory.l2_bytes = 128 * 1024;

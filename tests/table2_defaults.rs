@@ -15,7 +15,10 @@ fn default_memory_system_matches_table_2() {
     assert_eq!(c.l2_ways, 4);
     assert_eq!(c.memory_bytes, 2 * 1024 * 1024 * 1024);
     assert_eq!(specsim_base::BLOCK_SIZE_BYTES, 64);
-    assert_eq!(specsim_base::time::cycles_to_ns(c.memory_latency_cycles), 180);
+    assert_eq!(
+        specsim_base::time::cycles_to_ns(c.memory_latency_cycles),
+        180
+    );
     assert_eq!(c.safetynet.log_buffer_bytes, 512 * 1024);
     assert_eq!(c.safetynet.log_entry_bytes, 72);
     assert_eq!(c.safetynet.checkpoint_interval_cycles, 100_000);
@@ -42,6 +45,9 @@ fn rendered_table_2_contains_every_row() {
         "100000 cycles (directory), 3000 requests (snooping)",
         "100 cycles",
     ] {
-        assert!(table.contains(needle), "Table 2 rendering missing: {needle}\n{table}");
+        assert!(
+            table.contains(needle),
+            "Table 2 rendering missing: {needle}\n{table}"
+        );
     }
 }
