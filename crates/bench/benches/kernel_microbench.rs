@@ -1,79 +1,189 @@
-//! Criterion microbenchmarks of the simulation kernel itself: how fast the
+//! Microbenchmarks of the simulation kernel itself: how fast the
 //! interconnect and the full directory system simulate, per simulated cycle.
 //! These are engineering benchmarks for the simulator (not paper artifacts);
 //! they make regressions in simulator throughput visible.
+//!
+//! Three cases bracket the kernel:
+//!
+//! * `torus_1000_cycles_random_traffic` — a saturated network; the
+//!   active-switch worklist must not cost anything when every switch is busy.
+//! * `torus_20000_cycles_sparse_traffic` — one injection per 100 cycles; the
+//!   worklist kernel skips the idle switches, which is where the active-set
+//!   design wins.
+//! * `oltp_5000_cycles` — the full directory system on a live workload.
+//!
+//! Each case is measured once with a plain wall-clock sample loop that both
+//! prints a console report and feeds `BENCH_kernel.json` (`name → ns per
+//! simulated cycle`), so successive commits leave a machine-readable perf
+//! trajectory. Set `SPECSIM_BENCH_QUICK=1` (as CI does) to cut sample counts.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
+
 use specsim::{DirectorySystem, SystemConfig};
 use specsim_base::{DetRng, LinkBandwidth, MessageSize, NodeId, RoutingPolicy};
 use specsim_net::{NetConfig, Network, VirtualNetwork};
 use specsim_workloads::WorkloadKind;
 
-fn bench_network_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network");
-    group.throughput(Throughput::Elements(1_000));
-    group.bench_function("torus_1000_cycles_random_traffic", |b| {
-        b.iter_batched(
-            || {
-                let net: Network<u64> = Network::new(NetConfig::full_buffering(
-                    16,
-                    LinkBandwidth::GB_3_2,
-                    RoutingPolicy::Adaptive,
-                ));
-                (net, DetRng::new(7))
-            },
-            |(mut net, mut rng)| {
-                for now in 1..=1_000u64 {
-                    let src = NodeId::from(rng.next_below(16) as usize);
-                    let dst = NodeId::from(rng.next_below(16) as usize);
-                    if src != dst {
-                        let _ = net.inject(
-                            now,
-                            src,
-                            dst,
-                            VirtualNetwork::Request,
-                            MessageSize::Control,
-                            now,
-                        );
-                    }
-                    net.tick(now);
-                    for n in 0..16 {
-                        while net.eject_any(NodeId::from(n)).is_some() {}
-                    }
-                }
-                net.in_flight()
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+const SATURATED_CYCLES: u64 = 1_000;
+const SPARSE_CYCLES: u64 = 20_000;
+const DIRECTORY_CYCLES: u64 = 5_000;
+
+fn saturated_setup() -> (Network<u64>, DetRng) {
+    let net: Network<u64> = Network::new(NetConfig::full_buffering(
+        16,
+        LinkBandwidth::GB_3_2,
+        RoutingPolicy::Adaptive,
+    ));
+    (net, DetRng::new(7))
 }
 
-fn bench_directory_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("directory_system");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(5_000));
-    group.bench_function("oltp_5000_cycles", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = SystemConfig::directory_speculative(
-                    WorkloadKind::Oltp,
-                    LinkBandwidth::GB_3_2,
-                    11,
+/// Saturated random traffic: one injection attempt per cycle, endpoints
+/// drained every cycle.
+fn run_saturated((mut net, mut rng): (Network<u64>, DetRng)) -> usize {
+    for now in 1..=SATURATED_CYCLES {
+        let src = NodeId::from(rng.next_below(16) as usize);
+        let dst = NodeId::from(rng.next_below(16) as usize);
+        if src != dst {
+            let _ = net.inject(
+                now,
+                src,
+                dst,
+                VirtualNetwork::Request,
+                MessageSize::Control,
+                now,
+            );
+        }
+        net.tick(now);
+        for n in 0..16 {
+            while net.eject_any(NodeId::from(n)).is_some() {}
+        }
+    }
+    net.in_flight()
+}
+
+fn sparse_setup() -> (Network<u64>, DetRng) {
+    let net: Network<u64> = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+    (net, DetRng::new(11))
+}
+
+/// Idle/sparse traffic: one injection per 100 cycles. Almost every switch is
+/// idle almost every cycle, so this case measures the cost of simulating
+/// quiescence.
+fn run_sparse((mut net, mut rng): (Network<u64>, DetRng)) -> usize {
+    for now in 1..=SPARSE_CYCLES {
+        if now % 100 == 1 {
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            if src != dst {
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Request,
+                    MessageSize::Data,
+                    now,
                 );
-                cfg.memory.safetynet.checkpoint_interval_cycles = 10_000;
-                DirectorySystem::new(cfg)
-            },
-            |mut sys| {
-                sys.run_for(5_000)
-                    .expect("no protocol errors")
-                    .ops_completed
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+            }
+        }
+        net.tick(now);
+        for n in 0..16 {
+            while net.eject_any(NodeId::from(n)).is_some() {}
+        }
+    }
+    net.in_flight()
 }
 
-criterion_group!(benches, bench_network_tick, bench_directory_system);
-criterion_main!(benches);
+fn directory_setup() -> DirectorySystem {
+    let mut cfg =
+        SystemConfig::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::GB_3_2, 11);
+    cfg.memory.safetynet.checkpoint_interval_cycles = 10_000;
+    DirectorySystem::new(cfg)
+}
+
+fn run_directory(mut sys: DirectorySystem) -> u64 {
+    sys.run_for(DIRECTORY_CYCLES)
+        .expect("no protocol errors")
+        .ops_completed
+}
+
+/// Times `routine` on fresh inputs `samples` times (only the routine is
+/// timed), prints a console report, and returns the best nanoseconds per
+/// simulated cycle (minimum over samples, the standard noise-robust
+/// microbenchmark statistic).
+fn ns_per_cycle<I, O>(
+    name: &str,
+    samples: usize,
+    cycles: u64,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> O,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let input = setup();
+        let t = Instant::now();
+        let out = routine(input);
+        let elapsed = t.elapsed().as_nanos() as f64;
+        std::hint::black_box(out);
+        best = best.min(elapsed / cycles as f64);
+        total += elapsed / cycles as f64;
+    }
+    let mean = total / samples as f64;
+    let sim_cycles_per_sec = 1e9 / mean;
+    println!(
+        "{name}: {best:.2} ns/cycle min (mean {mean:.2}, n={samples})  \
+         [{sim_cycles_per_sec:.0} simulated cycles/s]"
+    );
+    best
+}
+
+/// Writes the perf trajectory as a flat `name → ns/cycle` JSON object.
+fn write_bench_json(entries: &[(&str, f64)]) {
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {ns:.2}{comma}\n"));
+    }
+    json.push_str("}\n");
+    let path = "BENCH_kernel.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}:\n{json}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("SPECSIM_BENCH_QUICK").is_ok();
+    let (net_samples, dir_samples) = if quick { (3, 2) } else { (20, 10) };
+
+    let saturated = "network/torus_1000_cycles_random_traffic";
+    let sparse = "network/torus_20000_cycles_sparse_traffic";
+    let dirsys = "directory_system/oltp_5000_cycles";
+    let entries = [
+        (
+            saturated,
+            ns_per_cycle(
+                saturated,
+                net_samples,
+                SATURATED_CYCLES,
+                saturated_setup,
+                run_saturated,
+            ),
+        ),
+        (
+            sparse,
+            ns_per_cycle(sparse, net_samples, SPARSE_CYCLES, sparse_setup, run_sparse),
+        ),
+        (
+            dirsys,
+            ns_per_cycle(
+                dirsys,
+                dir_samples,
+                DIRECTORY_CYCLES,
+                directory_setup,
+                run_directory,
+            ),
+        ),
+    ];
+    write_bench_json(&entries);
+}

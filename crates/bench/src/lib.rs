@@ -39,4 +39,43 @@ mod tests {
         let t = start("smoke", ExperimentScale::quick());
         finish(t);
     }
+
+    /// `from_env` is what every bench target calls; until now it was only
+    /// exercised indirectly via `cargo bench`. The cases run in one test
+    /// function because they share process-global environment variables.
+    #[test]
+    fn experiment_scale_reads_the_environment() {
+        let defaults = ExperimentScale::default();
+
+        // Unset variables fall back to the defaults.
+        std::env::remove_var("SPECSIM_CYCLES");
+        std::env::remove_var("SPECSIM_SEEDS");
+        assert_eq!(ExperimentScale::from_env(), defaults);
+
+        // Valid overrides are applied, independently of each other.
+        std::env::set_var("SPECSIM_CYCLES", "123456");
+        assert_eq!(
+            ExperimentScale::from_env(),
+            ExperimentScale {
+                cycles: 123_456,
+                seeds: defaults.seeds
+            }
+        );
+        std::env::set_var("SPECSIM_SEEDS", "7");
+        assert_eq!(
+            ExperimentScale::from_env(),
+            ExperimentScale {
+                cycles: 123_456,
+                seeds: 7
+            }
+        );
+
+        // Unparsable values are ignored, not propagated as zero or a panic.
+        std::env::set_var("SPECSIM_CYCLES", "a lot");
+        std::env::set_var("SPECSIM_SEEDS", "-3");
+        assert_eq!(ExperimentScale::from_env(), defaults);
+
+        std::env::remove_var("SPECSIM_CYCLES");
+        std::env::remove_var("SPECSIM_SEEDS");
+    }
 }

@@ -212,17 +212,29 @@ impl DirectorySystem {
 
     fn tick_processors(&mut self, now: Cycle) {
         let limit = self.outstanding_limit();
-        let mut outstanding = self
-            .arch
-            .caches
-            .iter()
-            .filter(|c| c.has_outstanding_demand())
-            .count();
+        // Demand census for the slow-start governor, computed lazily on the
+        // first cycle a processor actually presents a request: on quiescent
+        // cycles (every processor mid-think or blocked on a miss) the whole
+        // per-cache scan is skipped.
+        let mut outstanding: Option<usize> = None;
         for i in 0..self.arch.procs.len() {
+            // Per-node wake-up cycle: a thinking processor sleeps until its
+            // think time elapses, a blocked one until its miss completes.
+            match self.arch.procs[i].ready_at() {
+                Some(ready) if ready <= now => {}
+                _ => continue,
+            }
             let Some(req) = self.arch.procs[i].poll(now) else {
                 continue;
             };
-            if outstanding >= limit {
+            let outstanding = outstanding.get_or_insert_with(|| {
+                self.arch
+                    .caches
+                    .iter()
+                    .filter(|c| c.has_outstanding_demand())
+                    .count()
+            });
+            if *outstanding >= limit {
                 // Slow-start governor: hold back new transactions.
                 continue;
             }
@@ -234,7 +246,7 @@ impl DirectorySystem {
                 }
                 AccessOutcome::MissIssued => {
                     proc.note_miss_issued(now);
-                    outstanding += 1;
+                    *outstanding += 1;
                 }
                 AccessOutcome::Stall => proc.note_stall(),
             }
@@ -258,6 +270,10 @@ impl DirectorySystem {
         ];
         for node_idx in 0..n {
             let node = NodeId::from(node_idx);
+            // Idle-inbox skip: nothing was delivered to this endpoint.
+            if !self.arch.net.has_ejectable(node) {
+                continue;
+            }
             let mut budget = INGEST_BUDGET;
             while budget > 0 {
                 let packet = if vc_mode {
@@ -342,6 +358,14 @@ impl DirectorySystem {
     fn pump_outboxes(&mut self, now: Cycle) {
         let n = self.arch.procs.len();
         for i in 0..n {
+            // Idle-outbox skip: no controller output queued and no staged
+            // message waiting out its latency timer.
+            if self.arch.caches[i].outgoing_len() == 0
+                && self.arch.dirs[i].outgoing_len() == 0
+                && self.arch.outboxes[i].is_empty()
+            {
+                continue;
+            }
             for _ in 0..DRAIN_BUDGET {
                 match self.arch.caches[i].pop_outgoing() {
                     Some(m) => self.arch.outboxes[i].push_back((now + CACHE_RESPONSE_LATENCY, m)),

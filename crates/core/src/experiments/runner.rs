@@ -100,57 +100,70 @@ impl Measurement {
     }
 }
 
-/// Runs the directory system once per seed (in parallel) and returns the
-/// per-run metrics in seed order.
+/// Runs one independent simulation per seed, sharded over at most
+/// `available_parallelism` scoped worker threads instead of one thread per
+/// seed (large `SPECSIM_SEEDS` sweeps would otherwise oversubscribe the
+/// machine). Each worker owns a contiguous slice of the result vector, so
+/// results land in seed order and every run is a pure function of its seed —
+/// the output is identical to running the seeds sequentially.
+fn run_seeds_sharded<T, F>(seeds: &[u64], run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, seeds.len().max(1));
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(seeds.len(), || None);
+    let chunk = seeds.len().div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (seed_chunk, slot_chunk) in seeds.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let run = &run;
+            scope.spawn(move || {
+                for (&seed, slot) in seed_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(run(seed));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs the directory system once per seed (sharded across worker threads)
+/// and returns the per-run metrics in seed order.
 pub fn measure_directory(
     cfg: &SystemConfig,
     scale: ExperimentScale,
 ) -> Result<Vec<RunMetrics>, ProtocolError> {
     let seeds = scale.seed_list(cfg.seed);
-    let results: Vec<Result<RunMetrics, ProtocolError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let run_cfg = cfg.with_seed(seed);
-                scope.spawn(move || {
-                    let mut sys = DirectorySystem::new(run_cfg);
-                    sys.run_for(scale.cycles)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
+    run_seeds_sharded(&seeds, |seed| {
+        let mut sys = DirectorySystem::new(cfg.with_seed(seed));
+        sys.run_for(scale.cycles)
+    })
+    .into_iter()
+    .collect()
 }
 
-/// Runs the snooping system once per seed (in parallel) and returns the
-/// per-run metrics in seed order.
+/// Runs the snooping system once per seed (sharded across worker threads)
+/// and returns the per-run metrics in seed order.
 pub fn measure_snooping(
     cfg: &SnoopSystemConfig,
     scale: ExperimentScale,
 ) -> Result<Vec<RunMetrics>, ProtocolError> {
     let seeds = scale.seed_list(cfg.seed);
-    let results: Vec<Result<RunMetrics, ProtocolError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let mut run_cfg = cfg.clone();
-                run_cfg.seed = seed;
-                scope.spawn(move || {
-                    let mut sys = SnoopingSystem::new(run_cfg);
-                    sys.run_for(scale.cycles)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
+    run_seeds_sharded(&seeds, |seed| {
+        let mut run_cfg = cfg.clone();
+        run_cfg.seed = seed;
+        let mut sys = SnoopingSystem::new(run_cfg);
+        sys.run_for(scale.cycles)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Convenience: the throughput measurement over a set of per-run metrics.
@@ -185,5 +198,17 @@ mod tests {
     #[test]
     fn quick_scale_is_smaller_than_default() {
         assert!(ExperimentScale::quick().cycles < ExperimentScale::default().cycles);
+    }
+
+    #[test]
+    fn sharded_runner_returns_results_in_seed_order() {
+        // More seeds than cores: several seeds share a worker, and the
+        // result order must still follow the seed list.
+        let seeds: Vec<u64> = (0..37).collect();
+        let results = run_seeds_sharded(&seeds, |seed| seed * 10);
+        assert_eq!(results, seeds.iter().map(|s| s * 10).collect::<Vec<_>>());
+        // Degenerate cases.
+        assert!(run_seeds_sharded(&[], |seed: u64| seed).is_empty());
+        assert_eq!(run_seeds_sharded(&[5], |seed| seed + 1), vec![6]);
     }
 }

@@ -234,17 +234,24 @@ impl SnoopingSystem {
 
     fn tick_processors(&mut self, now: Cycle) {
         let limit = self.outstanding_limit();
-        let mut outstanding = self
-            .arch
-            .caches
-            .iter()
-            .filter(|c| c.has_outstanding_demand())
-            .count();
+        // Lazily computed demand census; see DirectorySystem::tick_processors.
+        let mut outstanding: Option<usize> = None;
         for i in 0..self.arch.procs.len() {
+            match self.arch.procs[i].ready_at() {
+                Some(ready) if ready <= now => {}
+                _ => continue,
+            }
             let Some(req) = self.arch.procs[i].poll(now) else {
                 continue;
             };
-            if outstanding >= limit {
+            let outstanding = outstanding.get_or_insert_with(|| {
+                self.arch
+                    .caches
+                    .iter()
+                    .filter(|c| c.has_outstanding_demand())
+                    .count()
+            });
+            if *outstanding >= limit {
                 continue;
             }
             let outcome = self.arch.caches[i].cpu_request(now, req);
@@ -256,7 +263,7 @@ impl SnoopingSystem {
                 }
                 SnoopAccessOutcome::MissIssued => {
                     proc.note_miss_issued(now);
-                    outstanding += 1;
+                    *outstanding += 1;
                 }
                 SnoopAccessOutcome::Stall => proc.note_stall(),
             }
@@ -266,6 +273,14 @@ impl SnoopingSystem {
     fn pump_controllers(&mut self, now: Cycle) {
         for i in 0..self.arch.procs.len() {
             let node = NodeId::from(i);
+            // Idle-outbox skip: no cache or memory output queued and no data
+            // response waiting out its DRAM latency.
+            if self.arch.caches[i].outgoing_len() == 0
+                && self.arch.memories[i].outgoing_len() == 0
+                && self.arch.mem_outboxes[i].is_empty()
+            {
+                continue;
+            }
             // Address-network requests.
             for _ in 0..DRAIN_BUDGET {
                 match self.arch.caches[i].pop_bus_request() {
@@ -344,6 +359,10 @@ impl SnoopingSystem {
     fn deliver_snoops(&mut self, now: Cycle) {
         for i in 0..self.arch.procs.len() {
             let node = NodeId::from(i);
+            // Idle-inbox skip: no snoop broadcast is waiting at this node.
+            if self.arch.bus.snoop_len(node) == 0 {
+                continue;
+            }
             for _ in 0..SNOOP_BUDGET {
                 let Some(delivery) = self.arch.bus.pop_snoop(node) else {
                     break;
@@ -367,6 +386,10 @@ impl SnoopingSystem {
     fn deliver_data(&mut self, now: Cycle) {
         for i in 0..self.arch.procs.len() {
             let node = NodeId::from(i);
+            // Idle-inbox skip: nothing on the data network for this node.
+            if !self.arch.data_net.has_ejectable(node) {
+                continue;
+            }
             for _ in 0..DATA_INGEST_BUDGET {
                 let Some(packet) = self.arch.data_net.eject_any(node) else {
                     break;

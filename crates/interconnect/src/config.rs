@@ -27,7 +27,15 @@ pub struct NetConfig {
     pub ejection_queue_depth: usize,
     /// Depth of each endpoint injection queue.
     pub injection_queue_depth: usize,
+    /// Quiet cycles the progress watchdog tolerates before reporting a stall
+    /// (see [`crate::ProgressWatchdog`]).
+    pub stall_threshold: u64,
 }
+
+/// Default progress-watchdog threshold: long enough that back-pressure waves
+/// under saturation never trip it, short enough that experiments notice a
+/// true deadlock quickly.
+pub const DEFAULT_STALL_THRESHOLD: u64 = 10_000;
 
 impl NetConfig {
     /// A configuration mirroring the paper's conventional (non-speculative)
@@ -46,6 +54,7 @@ impl NetConfig {
             vc_buffer_depth: 4,
             ejection_queue_depth: 8,
             injection_queue_depth: 8,
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
         }
     }
 
@@ -67,6 +76,7 @@ impl NetConfig {
             vc_buffer_depth: buffers_per_port,
             ejection_queue_depth: buffers_per_port,
             injection_queue_depth: buffers_per_port,
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
         }
     }
 
@@ -90,6 +100,7 @@ impl NetConfig {
             vc_buffer_depth: 4,
             ejection_queue_depth: 8,
             injection_queue_depth: 8,
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
         }
     }
 

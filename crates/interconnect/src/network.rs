@@ -1,7 +1,26 @@
 //! The assembled torus network: injection, cycle-by-cycle switching,
 //! delivery, ordering accounting and recovery draining.
+//!
+//! # Active-set kernel
+//!
+//! The per-cycle work is driven by worklists instead of exhaustive scans:
+//!
+//! * **Forwarding** visits only switches on an [`ActiveSet`] worklist. A
+//!   switch is on the worklist iff it holds at least one queued packet
+//!   (injection, link delivery and forwarding maintain per-port and
+//!   per-switch queue counters incrementally). Fairness is unchanged: the
+//!   per-cycle rotation and the per-switch/per-port round-robin pointers
+//!   advance exactly as in the exhaustive scan, so the packet schedule — and
+//!   therefore every metric — is bit-identical.
+//! * **Link delivery** pops ripe arrivals from a due-cycle calendar
+//!   (`ArrivalCalendar`) instead of polling every link every cycle. Within
+//!   one link arrivals are FIFO with non-decreasing due cycles, and arrivals
+//!   on different links land in different buffers, so delivery state is
+//!   independent of the order the calendar drains a cycle's batch in.
 
-use specsim_base::{Cycle, CycleDelta, MessageSize, MsgQueue, NodeId, RoutingPolicy};
+use std::collections::BTreeMap;
+
+use specsim_base::{ActiveSet, Cycle, CycleDelta, MessageSize, MsgQueue, NodeId, RoutingPolicy};
 
 use crate::config::{BufferLayout, NetConfig};
 use crate::deadlock::ProgressWatchdog;
@@ -46,6 +65,37 @@ enum MoveAction {
     },
 }
 
+/// Due-cycle index over every in-transit link arrival: `due[cycle]` lists the
+/// `(switch, link direction)` pairs whose front in-transit entry arrives at
+/// `cycle`. `deliver_phase` pops only ripe batches instead of polling all
+/// `4 × num_nodes` links every cycle.
+#[derive(Debug, Clone, Default)]
+struct ArrivalCalendar {
+    due: BTreeMap<Cycle, Vec<(u32, u8)>>,
+}
+
+impl ArrivalCalendar {
+    fn schedule(&mut self, arrival: Cycle, switch: usize, dir: usize) {
+        self.due
+            .entry(arrival)
+            .or_default()
+            .push((switch as u32, dir as u8));
+    }
+
+    /// Removes and returns the earliest batch due at or before `now`.
+    fn pop_ripe(&mut self, now: Cycle) -> Option<Vec<(u32, u8)>> {
+        let (&cycle, _) = self.due.first_key_value()?;
+        if cycle > now {
+            return None;
+        }
+        self.due.remove(&cycle)
+    }
+
+    fn clear(&mut self) {
+        self.due.clear();
+    }
+}
+
 /// A 2D-torus interconnection network carrying packets with payload type `P`.
 ///
 /// The network is advanced by calling [`Network::tick`] once per cycle.
@@ -61,10 +111,22 @@ pub struct Network<P> {
     switches: Vec<Switch<P>>,
     eject: Vec<Vec<MsgQueue<Packet<P>>>>,
     eject_rr: Vec<usize>,
+    /// Messages currently waiting in each node's ejection queues (incremental
+    /// mirror of the queue lengths; lets endpoints skip idle nodes in O(1)).
+    eject_pending: Vec<usize>,
     ordering: OrderingTracker,
     stats: NetStats,
     watchdog: ProgressWatchdog,
     in_flight: usize,
+    /// Worklist of switches holding at least one queued packet.
+    active: ActiveSet,
+    /// Due-cycle index over in-transit link arrivals.
+    arrivals: ArrivalCalendar,
+    /// Forwarding rounds executed so far. Every switch's port round-robin
+    /// pointer advances by exactly one per round whether or not the switch
+    /// moved anything, so the per-switch pointer of the old exhaustive scan
+    /// is equivalent to this single shared counter (mod the port count).
+    forward_rounds: u64,
 }
 
 impl<P> Network<P> {
@@ -95,10 +157,14 @@ impl<P> Network<P> {
             switches,
             eject,
             eject_rr: vec![0; cfg.num_nodes],
+            eject_pending: vec![0; cfg.num_nodes],
             ordering: OrderingTracker::new(),
             stats: NetStats::new(num_links),
-            watchdog: ProgressWatchdog::new(10_000),
+            watchdog: ProgressWatchdog::new(cfg.stall_threshold),
             in_flight: 0,
+            active: ActiveSet::new(cfg.num_nodes),
+            arrivals: ArrivalCalendar::default(),
+            forward_rounds: 0,
             cfg,
         }
     }
@@ -163,10 +229,14 @@ impl<P> Network<P> {
             payload,
         };
         let b = self.layout.injection_buffer_index(vnet);
-        self.switches[src.index()].ports[Direction::Local.index()].buffers[b]
+        let sw = &mut self.switches[src.index()];
+        sw.ports[Direction::Local.index()].buffers[b]
             .queue
             .push(packet)
             .unwrap_or_else(|_| panic!("injection space was checked"));
+        sw.ports[Direction::Local.index()].queued += 1;
+        sw.queued_total += 1;
+        self.active.insert(src.index());
         self.stats.injected.incr();
         self.in_flight += 1;
         Ok(())
@@ -190,7 +260,15 @@ impl<P> Network<P> {
     /// Total messages waiting in `node`'s ejection queues.
     #[must_use]
     pub fn ejection_len(&self, node: NodeId) -> usize {
-        self.eject[node.index()].iter().map(MsgQueue::len).sum()
+        self.eject_pending[node.index()]
+    }
+
+    /// True when at least one delivered packet is waiting in `node`'s
+    /// ejection queues. O(1); system layers use this to skip ingest polling
+    /// for idle endpoints.
+    #[must_use]
+    pub fn has_ejectable(&self, node: NodeId) -> bool {
+        self.eject_pending[node.index()] > 0
     }
 
     /// Removes the next packet from `node`'s ejection queue for a specific
@@ -199,7 +277,11 @@ impl<P> Network<P> {
     /// [`Network::eject_any`]).
     pub fn eject_from(&mut self, node: NodeId, vnet: VirtualNetwork) -> Option<Packet<P>> {
         let q = self.layout.ejection_index(vnet);
-        self.eject[node.index()][q].pop()
+        let p = self.eject[node.index()][q].pop();
+        if p.is_some() {
+            self.eject_pending[node.index()] -= 1;
+        }
+        p
     }
 
     /// Peeks the next packet that [`Network::eject_from`] would return.
@@ -213,15 +295,19 @@ impl<P> Network<P> {
     /// rotating across queues for fairness.
     pub fn eject_any(&mut self, node: NodeId) -> Option<Packet<P>> {
         let i = node.index();
+        if self.eject_pending[i] == 0 {
+            return None;
+        }
         let n = self.eject[i].len();
         for k in 0..n {
             let q = (self.eject_rr[i] + k) % n;
             if let Some(p) = self.eject[i][q].pop() {
                 self.eject_rr[i] = (q + 1) % n;
+                self.eject_pending[i] -= 1;
                 return Some(p);
             }
         }
-        None
+        unreachable!("eject_pending said a packet was waiting")
     }
 
     /// Peeks the packet at the head of `node`'s single shared ejection queue
@@ -272,7 +358,8 @@ impl<P> Network<P> {
     }
 
     /// Sets how many quiet cycles the progress watchdog tolerates before
-    /// reporting a stall.
+    /// reporting a stall, overriding [`NetConfig::stall_threshold`] on a live
+    /// network.
     pub fn set_stall_threshold(&mut self, threshold: u64) {
         self.watchdog = ProgressWatchdog::new(threshold);
     }
@@ -297,61 +384,115 @@ impl<P> Network<P> {
                 q.clear();
             }
         }
+        self.eject_pending.fill(0);
         self.in_flight = 0;
+        self.active.clear();
+        self.arrivals.clear();
         self.watchdog.reset(now);
         dropped
     }
 
     fn deliver_phase(&mut self, now: Cycle) {
-        for i in 0..self.switches.len() {
-            for d in LINK_DIRECTIONS {
-                let di = d.index();
-                let node = self.switches[i].node;
-                let j = self.torus.neighbor(node, d).index();
-                let opp = d.opposite().index();
-                loop {
-                    let ready = matches!(
-                        self.switches[i].links[di].in_transit.front(),
-                        Some(t) if t.arrival <= now
-                    );
-                    if !ready {
-                        break;
-                    }
-                    let InTransit {
-                        target_buffer,
-                        packet,
-                        ..
-                    } = self.switches[i].links[di].in_transit.pop_front().unwrap();
-                    self.switches[j].ports[opp].buffers[target_buffer].accept_reserved(packet);
-                    self.watchdog.record_progress(now);
-                }
+        while let Some(batch) = self.arrivals.pop_ripe(now) {
+            for (si, di) in batch {
+                let i = si as usize;
+                let d = LINK_DIRECTIONS[di as usize];
+                let InTransit {
+                    arrival,
+                    target_buffer,
+                    packet,
+                } = self.switches[i].links[d.index()]
+                    .in_transit
+                    .pop_front()
+                    .expect("calendar entry without an in-transit message");
+                debug_assert!(arrival <= now, "calendar delivered an unripe arrival");
+                let j = self.torus.neighbor(self.switches[i].node, d).index();
+                let port = &mut self.switches[j].ports[d.opposite().index()];
+                port.buffers[target_buffer].accept_reserved(packet);
+                port.queued += 1;
+                self.switches[j].queued_total += 1;
+                self.active.insert(j);
+                self.watchdog.record_progress(now);
             }
         }
     }
 
     fn forward_phase(&mut self, now: Cycle) {
+        // The port round-robin pointer advances once per round on every
+        // switch (active or not), exactly as the exhaustive scan did.
+        let start_port = (self.forward_rounds % ALL_PORTS.len() as u64) as usize;
+        self.forward_rounds += 1;
+        let mut remaining = self.active.len();
+        if remaining == 0 {
+            return;
+        }
         let n = self.switches.len();
         let rotation = (now as usize) % n.max(1);
         for k in 0..n {
             let i = (k + rotation) % n;
-            self.forward_switch(i, now);
+            if !self.active.contains(i) {
+                continue;
+            }
+            self.forward_switch(i, now, start_port);
+            // Forwarding can only deactivate the switch being processed, so
+            // once every switch that was active at the start of the phase has
+            // been visited the scan can stop early.
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
         }
     }
 
-    fn forward_switch(&mut self, i: usize, now: Cycle) {
-        let start_port = self.switches[i].rr_port;
+    fn forward_switch(&mut self, i: usize, now: Cycle, start_port: usize) {
+        // Congestion inputs (link state, downstream occupancy) are immutable
+        // during the read-only planning pass, so the four-direction metric is
+        // computed at most once per applied move instead of once per queued
+        // packet; it must be refreshed after a move, which the subsequent
+        // ports of this switch observe exactly as the exhaustive scan did.
+        let mut congestion: Option<[usize; 4]> = None;
         for pk in 0..ALL_PORTS.len() {
             let p = (start_port + pk) % ALL_PORTS.len();
-            if let Some(decision) = self.plan_port_move(i, p, now) {
+            if self.switches[i].ports[p].queued == 0 {
+                continue;
+            }
+            let c = *congestion
+                .get_or_insert_with(|| Self::congestion_of(&self.switches, &self.torus, i, now));
+            if let Some(decision) = self.plan_port_move(i, p, now, &c) {
                 self.apply_move(i, p, decision, now);
+                congestion = None;
             }
         }
-        self.switches[i].rr_port = (start_port + 1) % ALL_PORTS.len();
+    }
+
+    /// The adaptive-routing congestion metric for each outgoing direction of
+    /// switch `i`: messages on the link, the link-busy flag, and the
+    /// occupancy of the downstream input port.
+    fn congestion_of(switches: &[Switch<P>], torus: &Torus, i: usize, now: Cycle) -> [usize; 4] {
+        let sw = &switches[i];
+        let mut congestion = [0usize; 4];
+        for d in LINK_DIRECTIONS {
+            let di = d.index();
+            let j = torus.neighbor(sw.node, d).index();
+            let opp = d.opposite().index();
+            congestion[di] = sw.links[di].in_transit.len()
+                + usize::from(!sw.links[di].is_free(now))
+                + switches[j].ports[opp].occupancy();
+        }
+        congestion
     }
 
     /// Read-only pass: decide which (if any) packet of input port `p` of
-    /// switch `i` can move this cycle, and where to.
-    fn plan_port_move(&self, i: usize, p: usize, now: Cycle) -> Option<MoveDecision> {
+    /// switch `i` can move this cycle, and where to. `congestion` is the
+    /// per-direction congestion metric, computed once per switch visit (its
+    /// inputs cannot change during planning).
+    fn plan_port_move(
+        &self,
+        i: usize,
+        p: usize,
+        now: Cycle,
+        congestion: &[usize; 4],
+    ) -> Option<MoveDecision> {
         let sw = &self.switches[i];
         let port = &sw.ports[p];
         let nb = port.buffers.len();
@@ -372,18 +513,7 @@ impl<P> Network<P> {
                 }
                 continue; // head blocked on ejection space; try other buffers
             }
-            // Congestion metric per direction: messages on the link, link
-            // busy flag, and occupancy of the downstream input port.
-            let mut congestion = [0usize; 4];
-            for d in LINK_DIRECTIONS {
-                let di = d.index();
-                let j = self.torus.neighbor(sw.node, d).index();
-                let opp = d.opposite().index();
-                congestion[di] = sw.links[di].in_transit.len()
-                    + usize::from(!sw.links[di].is_free(now))
-                    + self.switches[j].ports[opp].occupancy();
-            }
-            let cands = route_candidates(&self.torus, self.routing, sw.node, pkt.dst, &congestion);
+            let cands = route_candidates(&self.torus, self.routing, sw.node, pkt.dst, congestion);
             let current_vc = self.layout.vc_of_buffer(b);
             let serialization = self.cfg.link_bandwidth.serialization_cycles(pkt.bytes());
 
@@ -459,6 +589,7 @@ impl<P> Network<P> {
                 self.eject[i][queue]
                     .push(pkt)
                     .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
+                self.eject_pending[i] += 1;
                 self.in_flight = self.in_flight.saturating_sub(1);
                 self.watchdog.record_progress(now);
             }
@@ -485,13 +616,46 @@ impl<P> Network<P> {
                         packet: pkt,
                     });
                 }
+                self.arrivals.schedule(arrival, i, dir.index());
                 self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
                 self.stats.hops.incr();
                 self.watchdog.record_progress(now);
             }
         }
+        let sw = &mut self.switches[i];
+        sw.ports[p].queued -= 1;
+        sw.queued_total -= 1;
+        if sw.queued_total == 0 {
+            self.active.remove(i);
+        }
         let port = &mut self.switches[i].ports[p];
         port.rr_next = (decision.buffer + 1) % port.buffers.len();
+    }
+}
+
+impl<P> Network<P> {
+    /// Checks the incremental worklist bookkeeping (per-port and per-switch
+    /// queued counters, active-set membership, per-node ejection counts)
+    /// against a full scan of the underlying queues. Test support; O(network).
+    #[cfg(test)]
+    fn assert_worklist_invariants(&self) {
+        for (i, sw) in self.switches.iter().enumerate() {
+            let mut total = 0;
+            for port in &sw.ports {
+                assert_eq!(port.queued, port.queued_scan(), "port counter at {i}");
+                total += port.queued;
+            }
+            assert_eq!(sw.queued_total, total, "switch counter at {i}");
+            assert_eq!(
+                self.active.contains(i),
+                total > 0,
+                "active-set membership at {i}"
+            );
+        }
+        for (i, queues) in self.eject.iter().enumerate() {
+            let scan: usize = queues.iter().map(MsgQueue::len).sum();
+            assert_eq!(self.eject_pending[i], scan, "ejection count at node {i}");
+        }
     }
 }
 
@@ -713,6 +877,72 @@ mod tests {
         assert!(dropped > 0);
         assert_eq!(net.in_flight(), 0);
         assert!(!net.is_stalled(now + 1));
+    }
+
+    #[test]
+    fn worklist_counters_stay_consistent_under_traffic() {
+        let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
+        cfg.routing = RoutingPolicy::Adaptive;
+        let mut net: Net = Network::new(cfg);
+        let mut rng = DetRng::new(23);
+        let mut now = 0;
+        for step in 0..600u64 {
+            now += 1;
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            if src != dst && net.can_inject(src, VirtualNetwork::Request) {
+                net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Data, 0)
+                    .unwrap();
+            }
+            net.tick(now);
+            // Drain endpoints only intermittently so ejection queues back up.
+            if step % 7 == 0 {
+                for i in 0..16 {
+                    while net.eject_any(NodeId::from(i)).is_some() {}
+                }
+            }
+            net.assert_worklist_invariants();
+        }
+        // Recovery drain must reset every counter and the calendar.
+        net.drain(now);
+        net.assert_worklist_invariants();
+        assert_eq!(net.in_flight(), 0);
+        for i in 0..16 {
+            assert!(!net.has_ejectable(NodeId::from(i)));
+        }
+        // The network still works after a drain.
+        net.inject(
+            now,
+            NodeId(0),
+            NodeId(9),
+            VirtualNetwork::Response,
+            MessageSize::Control,
+            5,
+        )
+        .unwrap();
+        let (_, delivered) = run_until_drained(&mut net, now, 10_000);
+        assert_eq!(delivered.len(), 1);
+        net.assert_worklist_invariants();
+    }
+
+    #[test]
+    fn stall_threshold_comes_from_the_config() {
+        let mut cfg = NetConfig::speculative(16, LinkBandwidth::GB_3_2, 2);
+        cfg.stall_threshold = 500;
+        let mut net: Net = Network::new(cfg);
+        net.inject(
+            0,
+            NodeId(0),
+            NodeId(3),
+            VirtualNetwork::Request,
+            MessageSize::Control,
+            0,
+        )
+        .unwrap();
+        // Nothing moves (no ticks): the watchdog trips after the configured
+        // threshold rather than the 10_000-cycle default.
+        assert!(!net.is_stalled(499));
+        assert!(net.is_stalled(500));
     }
 
     #[test]

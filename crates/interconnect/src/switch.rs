@@ -71,10 +71,16 @@ impl<P> InputBuffer<P> {
 
 /// One input port of a switch: a set of buffers plus a round-robin pointer
 /// for fair selection among them.
+///
+/// `queued` mirrors the total number of messages in the port's buffer queues.
+/// It is maintained incrementally by [`crate::network::Network`] (inject,
+/// link delivery, forward/eject, drain) and feeds the active-switch worklist,
+/// so the per-cycle kernel never scans buffers of idle ports.
 #[derive(Debug, Clone)]
 pub(crate) struct InputPort<P> {
     pub buffers: Vec<InputBuffer<P>>,
     pub rr_next: usize,
+    pub queued: usize,
 }
 
 impl<P> InputPort<P> {
@@ -85,6 +91,7 @@ impl<P> InputPort<P> {
         Self {
             buffers,
             rr_next: 0,
+            queued: 0,
         }
     }
 
@@ -93,8 +100,9 @@ impl<P> InputPort<P> {
         self.buffers.iter().map(InputBuffer::occupancy).sum()
     }
 
-    /// Total messages actually queued (excluding reservations).
-    pub fn queued(&self) -> usize {
+    /// Total messages actually queued (excluding reservations), recomputed
+    /// from the buffers (diagnostic ground truth for the `queued` counter).
+    pub fn queued_scan(&self) -> usize {
         self.buffers.iter().map(|b| b.queue.len()).sum()
     }
 }
@@ -143,6 +151,10 @@ impl<P> OutLink<P> {
 
 /// One switch of the torus: five input ports (four link directions plus the
 /// local injection port) and four outgoing links.
+///
+/// `queued_total` is the sum of the ports' `queued` counters; a switch is on
+/// the network's active-switch worklist iff it is non-zero. Like the per-port
+/// counters it is maintained by [`crate::network::Network`].
 #[derive(Debug, Clone)]
 pub(crate) struct Switch<P> {
     pub node: NodeId,
@@ -151,8 +163,8 @@ pub(crate) struct Switch<P> {
     pub ports: Vec<InputPort<P>>,
     /// Outgoing links indexed by [`Direction::index`] (no local link).
     pub links: Vec<OutLink<P>>,
-    /// Round-robin pointer over input ports for fair arbitration.
-    pub rr_port: usize,
+    /// Total messages queued across all input ports.
+    pub queued_total: usize,
 }
 
 impl<P> Switch<P> {
@@ -168,14 +180,14 @@ impl<P> Switch<P> {
             node,
             ports,
             links: LINK_DIRECTIONS.iter().map(|_| OutLink::new()).collect(),
-            rr_port: 0,
+            queued_total: 0,
         }
     }
 
     /// Total messages queued or in flight at this switch (all ports and
-    /// links).
+    /// links), recomputed from the underlying queues.
     pub fn occupancy(&self) -> usize {
-        self.ports.iter().map(InputPort::queued).sum::<usize>()
+        self.ports.iter().map(InputPort::queued_scan).sum::<usize>()
             + self.links.iter().map(|l| l.in_transit.len()).sum::<usize>()
     }
 
@@ -187,10 +199,12 @@ impl<P> Switch<P> {
             for buffer in &mut port.buffers {
                 dropped += buffer.clear();
             }
+            port.queued = 0;
         }
         for link in &mut self.links {
             dropped += link.clear();
         }
+        self.queued_total = 0;
         dropped
     }
 }

@@ -1,0 +1,130 @@
+//! Active-set worklists for cycle-driven kernels.
+//!
+//! A cycle-driven simulator spends most of its time scanning components that
+//! have nothing to do: an idle switch has no queued packets, a quiescent
+//! controller has empty mailboxes. An [`ActiveSet`] tracks which small-integer
+//! indices (switches, nodes) are *active* so the per-cycle loop can skip the
+//! rest. Membership updates are O(1) and the structure is `Clone`, so it can
+//! live inside checkpointable architectural state.
+//!
+//! Iteration order is the caller's responsibility (simulators usually need a
+//! rotating round-robin order for fairness); [`ActiveSet::contains`] is a
+//! plain slice index, so scanning all indices in the desired order and
+//! testing membership is cheap and keeps the schedule deterministic.
+
+/// A set of indices in `0..capacity` with O(1) insert/remove/contains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSet {
+    member: Vec<bool>,
+    count: usize,
+}
+
+impl ActiveSet {
+    /// Creates an empty set over the index range `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            member: vec![false; capacity],
+            count: 0,
+        }
+    }
+
+    /// The index range this set covers.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Number of active indices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no index is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True when `index` is active.
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        self.member[index]
+    }
+
+    /// Marks `index` active; returns true if it was previously inactive.
+    pub fn insert(&mut self, index: usize) -> bool {
+        if self.member[index] {
+            return false;
+        }
+        self.member[index] = true;
+        self.count += 1;
+        true
+    }
+
+    /// Marks `index` inactive; returns true if it was previously active.
+    pub fn remove(&mut self, index: usize) -> bool {
+        if !self.member[index] {
+            return false;
+        }
+        self.member[index] = false;
+        self.count -= 1;
+        true
+    }
+
+    /// Deactivates every index.
+    pub fn clear(&mut self) {
+        self.member.fill(false);
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = ActiveSet::new(8);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "double insert is a no-op");
+        assert!(s.insert(7));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(7) && !s.contains(0));
+        assert!(s.remove(3));
+        assert!(!s.remove(3), "double remove is a no-op");
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = ActiveSet::new(4);
+        for i in 0..4 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 4);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn clone_preserves_membership() {
+        let mut s = ActiveSet::new(4);
+        s.insert(1);
+        let c = s.clone();
+        assert_eq!(s, c);
+        s.remove(1);
+        assert!(c.contains(1), "clone is independent");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_panics() {
+        let s = ActiveSet::new(2);
+        let _ = s.contains(5);
+    }
+}

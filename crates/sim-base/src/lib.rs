@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod active;
 pub mod config;
 pub mod ids;
 pub mod msgsize;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use active::ActiveSet;
 pub use config::{
     FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant, RoutingPolicy,
     SafetyNetConfig, BLOCK_SIZE_BYTES,

@@ -112,6 +112,20 @@ impl Processor {
         }
     }
 
+    /// The earliest cycle at which [`Processor::poll`] can return a request:
+    /// the end of the current think time, or `None` while a miss is
+    /// outstanding (the processor blocks until the completion wakes it).
+    /// System layers use this as the per-node wake-up cycle, skipping the
+    /// poll entirely during quiescent stretches.
+    #[must_use]
+    pub fn ready_at(&self) -> Option<Cycle> {
+        match self.phase {
+            Phase::Thinking { until, .. } => Some(until),
+            Phase::Ready { .. } => Some(0),
+            Phase::WaitingMiss { .. } => None,
+        }
+    }
+
     /// Returns the request the processor wants to present to its cache
     /// controller this cycle, if any.
     #[must_use]

@@ -1,0 +1,323 @@
+//! Metrics-equivalence goldens for the active-set simulation kernel.
+//!
+//! The worklist-driven kernel (active-switch worklist in `Network::tick`,
+//! due-cycle indexed link arrivals, idle-node skipping in the full-system
+//! `step` loops, sharded experiment runner) is required to be *bit-identical*
+//! to the exhaustive-scan kernel it replaced: same seeds must produce the
+//! same `RunMetrics`, the same packet delivery order and the same
+//! mis-speculation counts.
+//!
+//! The golden digests below were captured by running the pre-worklist kernel
+//! over these exact scenarios (set `SPECSIM_PRINT_GOLDENS=1` to reprint
+//! them). Any divergence — a skipped switch that should have forwarded, a
+//! stale congestion value, a reordered delivery — changes a digest.
+
+use specsim::{DirectorySystem, RunMetrics, SnoopSystemConfig, SnoopingSystem, SystemConfig};
+use specsim_base::{DetRng, LinkBandwidth, MessageSize, NodeId, ProtocolVariant, RoutingPolicy};
+use specsim_net::{NetConfig, Network, Packet, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
+use specsim_workloads::WorkloadKind;
+
+/// FNV-1a, the classic 64-bit fold; stable across platforms and runs.
+#[derive(Debug)]
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) -> &mut Self {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+}
+
+fn metrics_digest(m: &RunMetrics) -> u64 {
+    let mut d = Digest::new();
+    d.u64(m.cycles)
+        .u64(m.ops_completed)
+        .u64(m.loads)
+        .u64(m.stores)
+        .u64(m.misses)
+        .u64(m.miss_wait_cycles)
+        .u64(m.messages_delivered)
+        .f64(m.link_utilization)
+        .u64(m.recoveries)
+        .u64(m.injected_recoveries)
+        .u64(m.lost_work_cycles)
+        .u64(m.recovery_latency_cycles)
+        .u64(m.checkpoints)
+        .u64(m.log_entries)
+        .u64(m.log_stall_cycles)
+        .u64(m.bus_requests);
+    for i in 0..4 {
+        d.u64(m.delivered_per_vnet[i]).u64(m.reordered_per_vnet[i]);
+    }
+    for (kind, count) in &m.misspeculations {
+        for byte in format!("{kind:?}").bytes() {
+            d.u64(u64::from(byte));
+        }
+        d.u64(*count);
+    }
+    d.0
+}
+
+fn packet_digest(d: &mut Digest, p: &Packet<u64>) {
+    d.u64(p.src.index() as u64)
+        .u64(p.dst.index() as u64)
+        .u64(p.vnet.index() as u64)
+        .u64(p.seq)
+        .u64(p.injected_at)
+        .u64(p.payload);
+}
+
+/// Runs a network scenario: per-cycle injections from `inject`, draining
+/// every ejection queue each cycle, then draining the fabric. The digest
+/// covers the full delivery stream (order included) and the end-state stats.
+fn net_digest(
+    mut net: Network<u64>,
+    cycles: u64,
+    mut inject: impl FnMut(&mut Network<u64>, u64),
+) -> u64 {
+    let mut d = Digest::new();
+    let mut now = 0;
+    for _ in 0..cycles {
+        now += 1;
+        inject(&mut net, now);
+        net.tick(now);
+        for i in 0..net.num_nodes() {
+            while let Some(p) = net.eject_any(NodeId::from(i)) {
+                packet_digest(&mut d, &p);
+            }
+        }
+    }
+    let drain_limit = now + 200_000;
+    while net.in_flight() > 0 && now < drain_limit {
+        now += 1;
+        net.tick(now);
+        for i in 0..net.num_nodes() {
+            while let Some(p) = net.eject_any(NodeId::from(i)) {
+                packet_digest(&mut d, &p);
+            }
+        }
+    }
+    d.u64(now)
+        .u64(net.in_flight() as u64)
+        .u64(net.stats().injected.get())
+        .u64(net.stats().delivered.get())
+        .u64(net.stats().hops.get())
+        .u64(net.stats().injection_rejects.get())
+        .f64(net.stats().mean_latency())
+        .f64(net.mean_link_utilization(now))
+        .u64(net.ordering().total_delivered())
+        .u64(net.ordering().total_reordered());
+    for occ in net.occupancy_snapshot() {
+        d.u64(occ as u64);
+    }
+    d.0
+}
+
+fn check(name: &str, golden: u64, actual: u64) {
+    if std::env::var("SPECSIM_PRINT_GOLDENS").is_ok() {
+        println!(
+            "const GOLDEN_{}: u64 = 0x{actual:016x};",
+            name.to_uppercase()
+        );
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{name}: kernel diverged from the pre-worklist golden \
+         (got 0x{actual:016x}, expected 0x{golden:016x})"
+    );
+}
+
+fn small_dir_config(protocol: ProtocolVariant, routing: RoutingPolicy) -> SystemConfig {
+    let mut cfg = SystemConfig::directory_speculative(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 7);
+    cfg.protocol = protocol;
+    cfg.routing = routing;
+    cfg.memory.l1_bytes = 16 * 1024;
+    cfg.memory.l2_bytes = 64 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    cfg
+}
+
+const GOLDEN_DIR_FULL_STATIC: u64 = 0xe2b0f51f322a5989;
+const GOLDEN_DIR_SPEC_ADAPTIVE: u64 = 0x809e1db7e1398146;
+const GOLDEN_SNOOP_SPECULATIVE: u64 = 0x446c9db652d6be93;
+const GOLDEN_NET_RANDOM_VC: u64 = 0x3bfa005977349aef;
+const GOLDEN_NET_SPARSE: u64 = 0x4a22326da1ed99b2;
+const GOLDEN_NET_SHARED_BACKPRESSURE: u64 = 0x2c01eb76454eea7a;
+const GOLDEN_RUNNER_DIRECTORY: u64 = 0xfcd6cfe5acc64fbb;
+
+#[test]
+fn directory_full_static_metrics_match_golden() {
+    let mut sys = DirectorySystem::new(small_dir_config(
+        ProtocolVariant::Full,
+        RoutingPolicy::Static,
+    ));
+    let m = sys.run_for(20_000).expect("no protocol errors");
+    check(
+        "dir_full_static",
+        GOLDEN_DIR_FULL_STATIC,
+        metrics_digest(&m),
+    );
+}
+
+#[test]
+fn directory_speculative_adaptive_with_recoveries_matches_golden() {
+    let mut cfg = small_dir_config(ProtocolVariant::Speculative, RoutingPolicy::Adaptive);
+    cfg.inject_recovery_every = Some(9_000);
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(25_000).expect("no protocol errors");
+    check(
+        "dir_spec_adaptive",
+        GOLDEN_DIR_SPEC_ADAPTIVE,
+        metrics_digest(&m),
+    );
+}
+
+#[test]
+fn snooping_speculative_metrics_match_golden() {
+    let mut cfg = SnoopSystemConfig::new(WorkloadKind::Apache, ProtocolVariant::Speculative, 11);
+    cfg.memory.l1_bytes = 16 * 1024;
+    cfg.memory.l2_bytes = 64 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_requests = 200;
+    let mut sys = SnoopingSystem::new(cfg);
+    let m = sys.run_for(20_000).expect("no protocol errors");
+    check(
+        "snoop_speculative",
+        GOLDEN_SNOOP_SPECULATIVE,
+        metrics_digest(&m),
+    );
+}
+
+#[test]
+fn network_random_vc_traffic_delivery_stream_matches_golden() {
+    let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
+    cfg.routing = RoutingPolicy::Adaptive;
+    let net: Network<u64> = Network::new(cfg);
+    let mut rng = DetRng::new(99);
+    let mut injected = 0u64;
+    let digest = net_digest(net, 2_000, |net, now| {
+        for _ in 0..4 {
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            let vnet = ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
+            if net.can_inject(src, vnet) {
+                net.inject(now, src, dst, vnet, MessageSize::Control, injected)
+                    .unwrap();
+                injected += 1;
+            }
+        }
+    });
+    check("net_random_vc", GOLDEN_NET_RANDOM_VC, digest);
+}
+
+#[test]
+fn network_sparse_traffic_delivery_stream_matches_golden() {
+    let net: Network<u64> = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+    let mut rng = DetRng::new(3);
+    let mut injected = 0u64;
+    let digest = net_digest(net, 20_000, |net, now| {
+        // One injection per 100 cycles: the idle-switch case the worklist
+        // kernel accelerates. Skipping must not change delivery behaviour.
+        if now % 100 != 1 {
+            return;
+        }
+        let src = NodeId::from(rng.next_below(16) as usize);
+        let dst = NodeId::from(rng.next_below(16) as usize);
+        if src != dst {
+            net.inject(
+                now,
+                src,
+                dst,
+                VirtualNetwork::Request,
+                MessageSize::Data,
+                injected,
+            )
+            .unwrap();
+            injected += 1;
+        }
+    });
+    check("net_sparse", GOLDEN_NET_SPARSE, digest);
+}
+
+#[test]
+fn network_shared_buffer_backpressure_matches_golden() {
+    // Tiny shared buffers, random traffic, endpoints that drain only every
+    // 16th cycle: heavy back-pressure, rejects and head-of-line blocking.
+    let net: Network<u64> = Network::new(NetConfig::speculative(16, LinkBandwidth::MB_400, 2));
+    let mut d = Digest::new();
+    let mut rng = DetRng::new(17);
+    let mut net = net;
+    let mut now = 0;
+    for _ in 0..5_000u64 {
+        now += 1;
+        let src = NodeId::from(rng.next_below(16) as usize);
+        let dst = NodeId::from(rng.next_below(16) as usize);
+        if src != dst {
+            let _ = net.inject(
+                now,
+                src,
+                dst,
+                VirtualNetwork::Request,
+                MessageSize::Control,
+                now,
+            );
+        }
+        net.tick(now);
+        if now % 16 == 0 {
+            for i in 0..16 {
+                while let Some(p) = net.eject_any(NodeId::from(i)) {
+                    packet_digest(&mut d, &p);
+                }
+            }
+        }
+    }
+    d.u64(net.in_flight() as u64)
+        .u64(net.stats().injected.get())
+        .u64(net.stats().delivered.get())
+        .u64(net.stats().injection_rejects.get())
+        .u64(net.drain(now) as u64);
+    check(
+        "net_shared_backpressure",
+        GOLDEN_NET_SHARED_BACKPRESSURE,
+        d.0,
+    );
+}
+
+#[test]
+fn sharded_runner_preserves_per_seed_results_and_order() {
+    use specsim::experiments::{measure_directory, ExperimentScale};
+    let mut cfg = small_dir_config(ProtocolVariant::Speculative, RoutingPolicy::Adaptive);
+    cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    let scale = ExperimentScale {
+        cycles: 10_000,
+        seeds: 3,
+    };
+    let runs = measure_directory(&cfg, scale).expect("no protocol errors");
+    assert_eq!(runs.len(), 3);
+    let mut d = Digest::new();
+    for m in &runs {
+        d.u64(metrics_digest(m));
+    }
+    // The threaded runner must equal running each seed sequentially.
+    for (i, seed) in scale.seed_list(cfg.seed).into_iter().enumerate() {
+        let mut sys = DirectorySystem::new(cfg.with_seed(seed));
+        let m = sys.run_for(scale.cycles).expect("no protocol errors");
+        assert_eq!(
+            metrics_digest(&m),
+            metrics_digest(&runs[i]),
+            "threaded run for seed {seed} diverged from the sequential run"
+        );
+    }
+    check("runner_directory", GOLDEN_RUNNER_DIRECTORY, d.0);
+}
