@@ -3,11 +3,11 @@
 
 use specsim_base::{BlockAddr, Cycle, NodeId};
 
-/// A set of nodes, stored as a bitmask (the simulator supports up to 64
-/// nodes; the paper's target system has 16). Used for directory sharer lists
-/// and invalidation fan-out.
+/// A set of nodes, stored as a bitmask (the simulator supports up to 128
+/// nodes, the top of the node-count scaling sweep; the paper's target system
+/// has 16). Used for directory sharer lists and invalidation fan-out.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub struct NodeSet(u64);
+pub struct NodeSet(u128);
 
 impl NodeSet {
     /// The empty set.
@@ -26,13 +26,13 @@ impl NodeSet {
 
     /// Adds a node to the set.
     pub fn insert(&mut self, node: NodeId) {
-        assert!(node.index() < 64, "NodeSet supports at most 64 nodes");
+        assert!(node.index() < 128, "NodeSet supports at most 128 nodes");
         self.0 |= 1 << node.index();
     }
 
     /// Removes a node from the set.
     pub fn remove(&mut self, node: NodeId) {
-        if node.index() < 64 {
+        if node.index() < 128 {
             self.0 &= !(1 << node.index());
         }
     }
@@ -40,7 +40,7 @@ impl NodeSet {
     /// True when the node is a member.
     #[must_use]
     pub fn contains(&self, node: NodeId) -> bool {
-        node.index() < 64 && (self.0 >> node.index()) & 1 == 1
+        node.index() < 128 && (self.0 >> node.index()) & 1 == 1
     }
 
     /// Number of members.
@@ -55,9 +55,19 @@ impl NodeSet {
         self.0 == 0
     }
 
-    /// Iterates the members in ascending node order.
-    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..64u16).filter(|i| (self.0 >> i) & 1 == 1).map(NodeId)
+    /// Iterates the members in ascending node order. O(|members|): each step
+    /// jumps to the next set bit and clears it, rather than testing all 128
+    /// positions (this sits on the directory invalidation fan-out hot path).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + 'static {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u16;
+            bits &= bits - 1;
+            Some(NodeId(i))
+        })
     }
 
     /// The set with `node` removed (non-mutating).
@@ -220,10 +230,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64")]
-    fn nodeset_rejects_out_of_range() {
+    fn nodeset_covers_the_128_node_scaling_sweep() {
         let mut s = NodeSet::empty();
         s.insert(NodeId(64));
+        s.insert(NodeId(127));
+        assert!(s.contains(NodeId(64)) && s.contains(NodeId(127)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(64), NodeId(127)]);
+        s.remove(NodeId(127));
+        assert!(!s.contains(NodeId(127)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn nodeset_rejects_out_of_range() {
+        let mut s = NodeSet::empty();
+        s.insert(NodeId(128));
     }
 
     #[test]

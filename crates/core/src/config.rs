@@ -175,9 +175,20 @@ impl SystemConfig {
                 self.routing,
             ),
         };
+        cfg.torus_dims = self.memory.torus_dims;
         cfg.routing = self.routing;
         cfg.switch_latency = self.memory.switch_latency_cycles;
         cfg
+    }
+
+    /// Returns a copy scaled to `num_nodes` nodes (squarest-torus dims are
+    /// re-derived). This is the knob the node-count scaling sweep turns.
+    #[must_use]
+    pub fn with_nodes(&self, num_nodes: usize) -> Self {
+        let mut c = self.clone();
+        c.memory.num_nodes = num_nodes;
+        c.memory.torus_dims = None;
+        c
     }
 
     /// Returns a copy with a different seed (used for perturbed re-runs).

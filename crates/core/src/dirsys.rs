@@ -1,7 +1,8 @@
-//! The full directory-protocol system: 16 processors with two-level caches,
-//! a directory/memory controller per node, the 2D-torus interconnect, and
-//! SafetyNet checkpoint/recovery — the target machine of Sections 3.1, 4 and
-//! 5 of the paper.
+//! The full directory-protocol system: one processor with two-level caches
+//! and a directory/memory controller per node, the 2D-torus interconnect,
+//! and SafetyNet checkpoint/recovery — the target machine of Sections 3.1, 4
+//! and 5 of the paper (16 nodes on a 4×4 torus; the node-count scaling sweep
+//! grows the same system to rectangular tori up to 16×8).
 //!
 //! The system is advanced one cycle at a time by [`DirectorySystem::step`];
 //! [`DirectorySystem::run_for`] runs a full experiment window and returns the

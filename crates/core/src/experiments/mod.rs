@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod reorder;
 pub mod runner;
+pub mod scaling;
 pub mod snooping;
 pub mod tables;
 
@@ -20,5 +21,6 @@ pub use fig4::{Fig4Data, Fig4Row};
 pub use fig5::{Fig5Data, Fig5Row};
 pub use reorder::{ReorderData, ReorderRow};
 pub use runner::{measure_directory, measure_snooping, ExperimentScale, Measurement};
+pub use scaling::{ScalingConfig, ScalingData, ScalingRow};
 pub use snooping::{SnoopingComparison, SnoopingRow};
 pub use tables::{render_table1, render_table2, render_table3};

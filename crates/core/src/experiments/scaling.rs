@@ -1,0 +1,299 @@
+//! Node-count scaling sweep.
+//!
+//! The paper's Table 2 machines are fixed 16-node 4×4 tori; this experiment
+//! opens the scaling axis. It runs the speculative directory system under
+//! OLTP-class traffic on machines from 8 to 128 nodes (squarest rectangular
+//! tori: 4×2 up to 16×8), under both routing policies, and records for each
+//! design point:
+//!
+//! * **throughput** — committed memory operations per kilo-cycle
+//!   (mean ± std over perturbed seeds, Section 5.2 methodology),
+//! * **mis-speculation rate** — detected mis-speculations per million
+//!   simulated cycles,
+//! * **ns per simulated cycle** — wall-clock nanoseconds the simulator
+//!   spends per simulated cycle at this machine size (an engineering metric:
+//!   it tracks how the active-set kernel scales with node count). The
+//!   throughput/mis-speculation statistics come from the perturbed-seed
+//!   sharded runner; the timing comes from one dedicated *unsharded* run per
+//!   design point, so the number reflects kernel speed rather than how many
+//!   seeds happened to overlap on idle host cores.
+//!
+//! The `scaling_sweep` bench binary renders the table and writes the rows as
+//! machine-readable `BENCH_scaling.json`, giving the perf trajectory a
+//! node-count axis alongside `BENCH_kernel.json`.
+
+use std::time::Instant;
+
+use specsim_base::{squarest_torus_dims, LinkBandwidth, RoutingPolicy};
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::WorkloadKind;
+
+use crate::config::SystemConfig;
+use crate::dirsys::DirectorySystem;
+use crate::experiments::runner::{
+    measure_directory, throughput_measurement, ExperimentScale, Measurement,
+};
+use crate::metrics::RunMetrics;
+
+/// The node counts the full sweep visits (8 → 128, doubling).
+pub const FULL_NODE_COUNTS: [usize; 5] = [8, 16, 32, 64, 128];
+
+/// What to sweep: which machine sizes, and how long/often to run each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalingConfig {
+    /// Machine sizes to visit (each must have a `W × H` torus
+    /// factorisation with both dimensions ≥ 2).
+    pub node_counts: Vec<usize>,
+    /// Cycles and perturbed seeds per design point.
+    pub scale: ExperimentScale,
+    /// Link bandwidth of every machine in the sweep.
+    pub bandwidth: LinkBandwidth,
+}
+
+impl Default for ScalingConfig {
+    /// The full sweep: 8 → 128 nodes at the environment-controlled scale
+    /// (`SPECSIM_CYCLES` / `SPECSIM_SEEDS`).
+    fn default() -> Self {
+        Self {
+            node_counts: FULL_NODE_COUNTS.to_vec(),
+            scale: ExperimentScale::from_env(),
+            bandwidth: LinkBandwidth::GB_3_2,
+        }
+    }
+}
+
+impl ScalingConfig {
+    /// A CI-sized sweep: small machines, few seeds, short runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            node_counts: vec![8, 16, 32],
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 2,
+            },
+            bandwidth: LinkBandwidth::GB_3_2,
+        }
+    }
+}
+
+/// One design point of the sweep: a machine size × routing policy.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Torus width (X-ring length).
+    pub width: usize,
+    /// Torus height (Y-ring length).
+    pub height: usize,
+    /// Routing policy of this design point.
+    pub routing: RoutingPolicy,
+    /// Committed operations per kilo-cycle, over the perturbed seeds.
+    pub throughput: Measurement,
+    /// Detected mis-speculations per million simulated cycles.
+    pub misspec_per_mcycle: Measurement,
+    /// Wall-clock nanoseconds per simulated cycle of one dedicated
+    /// unsharded run (lower is better; comparable across machines and seed
+    /// counts).
+    pub ns_per_cycle: f64,
+}
+
+/// The completed sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingData {
+    /// One row per (node count, routing policy), node counts in sweep order
+    /// with static before adaptive.
+    pub rows: Vec<ScalingRow>,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Perturbed seeds per design point.
+    pub seeds: u64,
+}
+
+/// Mis-speculations per million simulated cycles in one run.
+fn misspec_rate(m: &RunMetrics) -> f64 {
+    let total: u64 = m.misspeculations.iter().map(|(_, n)| n).sum();
+    if m.cycles == 0 {
+        0.0
+    } else {
+        total as f64 * 1e6 / m.cycles as f64
+    }
+}
+
+/// Runs the sweep: every node count under both routing policies, each design
+/// point through the perturbed-seed sharded runner.
+pub fn run(cfg: &ScalingConfig) -> Result<ScalingData, ProtocolError> {
+    let mut rows = Vec::with_capacity(cfg.node_counts.len() * 2);
+    for &n in &cfg.node_counts {
+        let (width, height) = squarest_torus_dims(n).unwrap_or_else(|| {
+            panic!("scaling sweep node count {n} has no W x H torus factorisation")
+        });
+        for routing in [RoutingPolicy::Static, RoutingPolicy::Adaptive] {
+            let mut sys_cfg =
+                SystemConfig::directory_speculative(WorkloadKind::Oltp, cfg.bandwidth, 1)
+                    .with_nodes(n);
+            sys_cfg.routing = routing;
+            let runs = measure_directory(&sys_cfg, cfg.scale)?;
+            let rates: Vec<f64> = runs.iter().map(misspec_rate).collect();
+            // The simulator-speed metric times one dedicated run outside the
+            // sharded runner: dividing the sharded wall time by total cycles
+            // would measure host parallelism (seeds overlap on idle cores),
+            // making rows incomparable across machines and seed counts.
+            let timing_seed = cfg.scale.seed_list(sys_cfg.seed)[0];
+            let mut timed = DirectorySystem::new(sys_cfg.with_seed(timing_seed));
+            let started = Instant::now();
+            timed.run_for(cfg.scale.cycles)?;
+            let wall_ns = started.elapsed().as_nanos() as f64;
+            rows.push(ScalingRow {
+                num_nodes: n,
+                width,
+                height,
+                routing,
+                throughput: throughput_measurement(&runs),
+                misspec_per_mcycle: Measurement::from_samples(&rates),
+                ns_per_cycle: wall_ns / cfg.scale.cycles.max(1) as f64,
+            });
+        }
+    }
+    Ok(ScalingData {
+        rows,
+        cycles: cfg.scale.cycles,
+        seeds: cfg.scale.seeds,
+    })
+}
+
+impl ScalingData {
+    /// Renders the sweep as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Node-count scaling sweep (OLTP, speculative directory; \
+             {} cycles x {} seeds per point)\n",
+            self.cycles, self.seeds
+        ));
+        out.push_str("nodes  torus  routing   ops/kcycle        misspec/Mcycle    ns/sim-cycle\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>5}  {:>2}x{:<2}  {:<8}  {:<16}  {:<16}  {:>10.1}\n",
+                r.num_nodes,
+                r.width,
+                r.height,
+                r.routing.label(),
+                r.throughput.display(),
+                r.misspec_per_mcycle.display(),
+                r.ns_per_cycle,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the sweep as machine-readable JSON (the
+    /// `BENCH_scaling.json` payload): run parameters plus one object per
+    /// design point.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        json.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"nodes\": {}, \"width\": {}, \"height\": {}, \
+                 \"routing\": \"{}\", \
+                 \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
+                 \"misspec_per_mcycle_mean\": {:.6}, \
+                 \"misspec_per_mcycle_std\": {:.6}, \
+                 \"ns_per_cycle\": {:.2}}}{comma}\n",
+                r.num_nodes,
+                r.width,
+                r.height,
+                r.routing.label(),
+                r.throughput.mean,
+                r.throughput.std_dev,
+                r.misspec_per_mcycle.mean,
+                r.misspec_per_mcycle.std_dev,
+                r.ns_per_cycle,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_covers_8_to_128_under_both_policies() {
+        let cfg = ScalingConfig::default();
+        assert_eq!(cfg.node_counts, vec![8, 16, 32, 64, 128]);
+        // Every size factors into a valid rectangular torus.
+        for &n in &cfg.node_counts {
+            assert!(squarest_torus_dims(n).is_some(), "{n} nodes");
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_produces_a_row_per_size_and_policy() {
+        let cfg = ScalingConfig {
+            node_counts: vec![8, 16],
+            scale: ExperimentScale {
+                cycles: 4_000,
+                seeds: 2,
+            },
+            bandwidth: LinkBandwidth::GB_3_2,
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 4);
+        assert_eq!(
+            (
+                data.rows[0].num_nodes,
+                data.rows[0].width,
+                data.rows[0].height
+            ),
+            (8, 4, 2)
+        );
+        assert_eq!(data.rows[0].routing, RoutingPolicy::Static);
+        assert_eq!(data.rows[1].routing, RoutingPolicy::Adaptive);
+        assert_eq!(
+            (
+                data.rows[2].num_nodes,
+                data.rows[2].width,
+                data.rows[2].height
+            ),
+            (16, 4, 4)
+        );
+        for r in &data.rows {
+            assert_eq!(r.throughput.runs, 2);
+            assert!(
+                r.throughput.mean > 0.0,
+                "work must complete at {} nodes",
+                r.num_nodes
+            );
+            assert!(r.ns_per_cycle > 0.0);
+            assert!(r.misspec_per_mcycle.mean >= 0.0);
+        }
+        let txt = data.render();
+        assert!(txt.contains("4x2") && txt.contains("adaptive"));
+        let json = data.to_json();
+        assert!(json.contains("\"nodes\": 8") && json.contains("\"routing\": \"static\""));
+        assert!(json.contains("\"ns_per_cycle\""));
+    }
+
+    #[test]
+    fn misspec_rate_is_per_million_cycles() {
+        let mut m = RunMetrics {
+            cycles: 500_000,
+            ..RunMetrics::default()
+        };
+        assert_eq!(misspec_rate(&m), 0.0);
+        m.count_misspeculation(specsim_coherence::MisSpecKind::TransactionTimeout);
+        m.count_misspeculation(specsim_coherence::MisSpecKind::TransactionTimeout);
+        assert!((misspec_rate(&m) - 4.0).abs() < 1e-12);
+        m.cycles = 0;
+        assert_eq!(misspec_rate(&m), 0.0);
+    }
+}

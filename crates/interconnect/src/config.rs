@@ -8,8 +8,13 @@ use crate::topology::Direction;
 /// Configuration of one interconnection network instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetConfig {
-    /// Number of nodes / switches (must be a perfect square).
+    /// Number of nodes / switches. Must have a `W × H` torus factorisation
+    /// with both dimensions ≥ 2 (see [`specsim_base::squarest_torus_dims`]).
     pub num_nodes: usize,
+    /// Explicit `(width, height)` of the torus; `None` derives the squarest
+    /// factorisation of [`Self::num_nodes`]. When set, `width × height` must
+    /// equal `num_nodes`.
+    pub torus_dims: Option<(usize, usize)>,
     /// Routing policy (static dimension-order or minimal adaptive).
     pub routing: RoutingPolicy,
     /// Deadlock-avoidance strategy (virtual channels, shared buffers, or
@@ -45,6 +50,7 @@ impl NetConfig {
     pub fn conventional(num_nodes: usize, link_bandwidth: LinkBandwidth) -> Self {
         Self {
             num_nodes,
+            torus_dims: None,
             routing: RoutingPolicy::Static,
             flow_control: FlowControl::VirtualChannels {
                 channels_per_network: 2,
@@ -69,6 +75,7 @@ impl NetConfig {
     ) -> Self {
         Self {
             num_nodes,
+            torus_dims: None,
             routing: RoutingPolicy::Adaptive,
             flow_control: FlowControl::SharedBuffers { buffers_per_port },
             link_bandwidth,
@@ -93,6 +100,7 @@ impl NetConfig {
     ) -> Self {
         Self {
             num_nodes,
+            torus_dims: None,
             routing,
             flow_control: FlowControl::WorstCaseBuffering,
             link_bandwidth,

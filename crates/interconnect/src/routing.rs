@@ -123,6 +123,26 @@ mod tests {
     }
 
     #[test]
+    fn rectangular_torus_routes_respect_per_axis_rings() {
+        // 8×2: node 0 at (0,0), node 12 at (4,1).
+        let t = Torus::rectangular(8, 2);
+        // DOR travels X first: 4 hops East (tie on the half-ring goes
+        // positive), then one hop on the length-2 Y ring.
+        let c = route_candidates(&t, RoutingPolicy::Static, NodeId(0), NodeId(12), &[0; 4]);
+        assert_eq!(c.directions, vec![Direction::East]);
+        // Adaptive offers both productive axes.
+        let c = route_candidates(&t, RoutingPolicy::Adaptive, NodeId(0), NodeId(12), &[0; 4]);
+        assert_eq!(c.directions.len(), 2);
+        for d in &c.directions {
+            let next = t.neighbor(NodeId(0), *d);
+            assert_eq!(
+                t.distance(next, NodeId(12)),
+                t.distance(NodeId(0), NodeId(12)) - 1
+            );
+        }
+    }
+
+    #[test]
     fn adaptive_candidates_are_all_productive() {
         let t = t4();
         for from in 0..16usize {

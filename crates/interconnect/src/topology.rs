@@ -1,18 +1,22 @@
-//! 2D bidirectional torus topology.
+//! 2D bidirectional rectangular torus topology.
 //!
 //! The target system (Section 3.1) connects its 16 nodes with a 4×4
 //! two-dimensional torus: every switch has four neighbours (east, west,
 //! north, south) with wrap-around links, plus a local port to its node's
-//! network interface.
+//! network interface. The model generalises the paper's square machine to a
+//! `width × height` rectangular torus so scaling experiments can sweep node
+//! counts that have no integer square root (8 = 4×2, 32 = 8×4, 128 = 16×8).
+//! Each axis is an independent ring: X rings have length `width`, Y rings
+//! length `height`, and the dateline virtual-channel rule applies per ring.
 
-use specsim_base::NodeId;
+use specsim_base::{squarest_torus_dims, NodeId};
 
 /// A switch coordinate in the torus: `x` grows eastward, `y` grows northward.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
-    /// Column index, `0..side`.
+    /// Column index, `0..width`.
     pub x: usize,
-    /// Row index, `0..side`.
+    /// Row index, `0..height`.
     pub y: usize,
 }
 
@@ -73,35 +77,65 @@ impl Direction {
     }
 }
 
-/// A square 2D torus of `side × side` switches, one per node.
+/// A rectangular 2D torus of `width × height` switches, one per node.
+///
+/// Both dimensions must be at least 2: a 1-wide ring degenerates (a switch
+/// would be its own east and west neighbour) and breaks both dimension-order
+/// routing and the dateline rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Torus {
-    side: usize,
+    width: usize,
+    height: usize,
 }
 
 impl Torus {
-    /// Creates a torus for `num_nodes` nodes; `num_nodes` must be a perfect
-    /// square (the 16-node target machine is 4×4).
+    /// Creates the squarest torus for `num_nodes` nodes (the 16-node target
+    /// machine is 4×4; 32 nodes form an 8×4 torus). Panics when `num_nodes`
+    /// has no `W × H` factorisation with both dimensions ≥ 2 (zero, primes).
     #[must_use]
     pub fn new(num_nodes: usize) -> Self {
-        let side = (num_nodes as f64).sqrt().round() as usize;
-        assert!(
-            side * side == num_nodes && side > 0,
-            "torus requires a positive perfect-square node count, got {num_nodes}"
-        );
-        Self { side }
+        let (width, height) = squarest_torus_dims(num_nodes).unwrap_or_else(|| {
+            panic!(
+                "torus requires a node count with a W x H factorisation \
+                 (both >= 2), got {num_nodes}"
+            )
+        });
+        Self { width, height }
     }
 
-    /// Side length of the torus.
+    /// Creates a torus with explicit dimensions. Panics when either dimension
+    /// is a degenerate ring of length < 2.
     #[must_use]
-    pub fn side(&self) -> usize {
-        self.side
+    pub fn rectangular(width: usize, height: usize) -> Self {
+        assert!(
+            width >= 2 && height >= 2,
+            "torus rings must have length >= 2, got {width}x{height}"
+        );
+        Self { width, height }
+    }
+
+    /// Length of the X rings (number of columns).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Length of the Y rings (number of rows).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Both dimensions as `(width, height)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
     }
 
     /// Total number of switches/nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.side * self.side
+        self.width * self.height
     }
 
     /// Coordinate of a node's switch.
@@ -110,16 +144,19 @@ impl Torus {
         let i = node.index();
         assert!(i < self.num_nodes(), "node {node} outside torus");
         Coord {
-            x: i % self.side,
-            y: i / self.side,
+            x: i % self.width,
+            y: i / self.width,
         }
     }
 
     /// Node at a coordinate.
     #[must_use]
     pub fn node_at(&self, c: Coord) -> NodeId {
-        assert!(c.x < self.side && c.y < self.side, "coordinate off torus");
-        NodeId::from(c.y * self.side + c.x)
+        assert!(
+            c.x < self.width && c.y < self.height,
+            "coordinate off torus"
+        );
+        NodeId::from(c.y * self.width + c.x)
     }
 
     /// The neighbour reached by leaving `node` in direction `dir`
@@ -127,23 +164,23 @@ impl Torus {
     #[must_use]
     pub fn neighbor(&self, node: NodeId, dir: Direction) -> NodeId {
         let c = self.coord(node);
-        let s = self.side;
+        let (w, h) = (self.width, self.height);
         let n = match dir {
             Direction::East => Coord {
-                x: (c.x + 1) % s,
+                x: (c.x + 1) % w,
                 y: c.y,
             },
             Direction::West => Coord {
-                x: (c.x + s - 1) % s,
+                x: (c.x + w - 1) % w,
                 y: c.y,
             },
             Direction::North => Coord {
                 x: c.x,
-                y: (c.y + 1) % s,
+                y: (c.y + 1) % h,
             },
             Direction::South => Coord {
                 x: c.x,
-                y: (c.y + s - 1) % s,
+                y: (c.y + h - 1) % h,
             },
             Direction::Local => c,
         };
@@ -151,20 +188,33 @@ impl Torus {
     }
 
     /// Signed shortest offset from `from` to `to` along one ring of length
-    /// `side`: positive means travel in the increasing direction. Ties (exact
+    /// `len`: positive means travel in the increasing direction. Ties (exact
     /// half-way) are resolved to the positive direction.
-    fn ring_offset(&self, from: usize, to: usize) -> isize {
-        let s = self.side as isize;
+    fn ring_offset(len: usize, from: usize, to: usize) -> isize {
+        let s = len as isize;
         let mut d = to as isize - from as isize;
-        if d > s / 2 {
+        // Compare doubled offsets so the half-way cases are exact for odd
+        // ring lengths too (`s / 2` truncates: on a 5-ring, -2 is strictly
+        // shorter than +3 and must not be treated as a tie).
+        if 2 * d > s {
             d -= s;
-        } else if d < -(s / 2) {
+        } else if 2 * d < -s {
             d += s;
-        } else if d == -(s / 2) {
+        } else if 2 * d == -s {
             // Exactly half-way: prefer the positive direction for determinism.
             d = s / 2;
         }
         d
+    }
+
+    /// The signed shortest X-ring offset from `a` to `b`.
+    fn dx(&self, a: Coord, b: Coord) -> isize {
+        Self::ring_offset(self.width, a.x, b.x)
+    }
+
+    /// The signed shortest Y-ring offset from `a` to `b`.
+    fn dy(&self, a: Coord, b: Coord) -> isize {
+        Self::ring_offset(self.height, a.y, b.y)
     }
 
     /// The productive directions from `from` towards `to`: the set of
@@ -175,8 +225,8 @@ impl Torus {
         let a = self.coord(from);
         let b = self.coord(to);
         let mut dirs = Vec::with_capacity(2);
-        let dx = self.ring_offset(a.x, b.x);
-        let dy = self.ring_offset(a.y, b.y);
+        let dx = self.dx(a, b);
+        let dy = self.dy(a, b);
         if dx > 0 {
             dirs.push(Direction::East);
         } else if dx < 0 {
@@ -195,7 +245,7 @@ impl Torus {
     pub fn distance(&self, from: NodeId, to: NodeId) -> usize {
         let a = self.coord(from);
         let b = self.coord(to);
-        (self.ring_offset(a.x, b.x).unsigned_abs()) + (self.ring_offset(a.y, b.y).unsigned_abs())
+        self.dx(a, b).unsigned_abs() + self.dy(a, b).unsigned_abs()
     }
 
     /// The dimension-order (X then Y) next hop from `from` towards `to`;
@@ -204,14 +254,14 @@ impl Torus {
     pub fn dimension_order_direction(&self, from: NodeId, to: NodeId) -> Direction {
         let a = self.coord(from);
         let b = self.coord(to);
-        let dx = self.ring_offset(a.x, b.x);
+        let dx = self.dx(a, b);
         if dx > 0 {
             return Direction::East;
         }
         if dx < 0 {
             return Direction::West;
         }
-        let dy = self.ring_offset(a.y, b.y);
+        let dy = self.dy(a, b);
         if dy > 0 {
             return Direction::North;
         }
@@ -225,14 +275,15 @@ impl Torus {
     /// wrap-around edge of its ring. Used by dateline virtual-channel
     /// allocation: a packet that crosses the dateline must move to the
     /// higher-numbered virtual channel to break the ring's cyclic dependency.
+    /// Each axis has its own ring length, so the dateline sits at
+    /// `width - 1 → 0` on X rings and `height - 1 → 0` on Y rings.
     #[must_use]
     pub fn crosses_dateline(&self, node: NodeId, dir: Direction) -> bool {
         let c = self.coord(node);
-        let s = self.side;
         match dir {
-            Direction::East => c.x == s - 1,
+            Direction::East => c.x == self.width - 1,
             Direction::West => c.x == 0,
-            Direction::North => c.y == s - 1,
+            Direction::North => c.y == self.height - 1,
             Direction::South => c.y == 0,
             Direction::Local => false,
         }
@@ -258,6 +309,16 @@ mod tests {
     }
 
     #[test]
+    fn square_factorisation_recovers_the_papers_machine() {
+        let t = t4();
+        assert_eq!(t.dims(), (4, 4));
+        assert_eq!(t.num_nodes(), 16);
+        assert_eq!(Torus::new(8).dims(), (4, 2));
+        assert_eq!(Torus::new(32).dims(), (8, 4));
+        assert_eq!(Torus::new(128).dims(), (16, 8));
+    }
+
+    #[test]
     fn neighbors_wrap_around() {
         let t = t4();
         // Node 0 is at (0,0).
@@ -266,6 +327,18 @@ mod tests {
         assert_eq!(t.neighbor(NodeId(0), Direction::East), NodeId(1));
         assert_eq!(t.neighbor(NodeId(0), Direction::North), NodeId(4));
         assert_eq!(t.neighbor(NodeId(0), Direction::Local), NodeId(0));
+    }
+
+    #[test]
+    fn rectangular_neighbors_wrap_per_axis() {
+        // 4×2: row 0 is nodes 0..4, row 1 is nodes 4..8.
+        let t = Torus::rectangular(4, 2);
+        assert_eq!(t.neighbor(NodeId(0), Direction::West), NodeId(3));
+        assert_eq!(t.neighbor(NodeId(0), Direction::East), NodeId(1));
+        // The Y ring has length 2: North and South from any node coincide.
+        assert_eq!(t.neighbor(NodeId(0), Direction::North), NodeId(4));
+        assert_eq!(t.neighbor(NodeId(0), Direction::South), NodeId(4));
+        assert_eq!(t.neighbor(NodeId(7), Direction::East), NodeId(4));
     }
 
     #[test]
@@ -288,6 +361,19 @@ mod tests {
         assert_eq!(t.distance(NodeId(0), NodeId(3)), 1); // wrap
         assert_eq!(t.distance(NodeId(0), NodeId(15)), 2); // (3,3) via wraps
         assert_eq!(t.distance(NodeId(0), NodeId(10)), 4); // (2,2): 2+2
+    }
+
+    #[test]
+    fn rectangular_distance_uses_per_axis_ring_lengths() {
+        let t = Torus::rectangular(8, 4);
+        // (0,0) to (4,0): exactly half the X ring, 4 hops either way.
+        assert_eq!(t.distance(NodeId(0), NodeId(4)), 4);
+        // (0,0) to (7,0): 1 hop across the X wrap.
+        assert_eq!(t.distance(NodeId(0), NodeId(7)), 1);
+        // (0,0) to (0,3): 1 hop across the Y wrap (ring length 4).
+        assert_eq!(t.distance(NodeId(0), NodeId(24)), 1);
+        // (0,0) to (4,2): 4 + 2.
+        assert_eq!(t.distance(NodeId(0), NodeId(20)), 6);
     }
 
     #[test]
@@ -341,9 +427,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "perfect-square")]
-    fn non_square_node_count_panics() {
-        let _ = Torus::new(12);
+    fn rectangular_datelines_sit_at_each_axis_edge() {
+        let t = Torus::rectangular(8, 4);
+        assert!(t.crosses_dateline(NodeId(7), Direction::East)); // x = 7
+        assert!(!t.crosses_dateline(NodeId(3), Direction::East)); // x = 3
+        assert!(t.crosses_dateline(NodeId(24), Direction::North)); // y = 3
+        assert!(!t.crosses_dateline(NodeId(8), Direction::North)); // y = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "factorisation")]
+    fn zero_node_count_panics() {
+        let _ = Torus::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factorisation")]
+    fn prime_node_count_panics() {
+        let _ = Torus::new(13);
+    }
+
+    #[test]
+    #[should_panic(expected = "length >= 2")]
+    fn one_wide_ring_panics() {
+        let _ = Torus::rectangular(8, 1);
     }
 
     proptest! {
@@ -365,6 +472,85 @@ mod tests {
                 hops += 1;
             }
             prop_assert_eq!(hops, t.distance(f, d));
+        }
+
+        // Rectangular-torus invariants over arbitrary 2 ≤ W, H ≤ 12 and node
+        // pairs (`from_raw`/`to_raw` are reduced modulo the node count so the
+        // pair is always on the torus).
+        #[test]
+        fn rect_neighbor_opposite_is_inverse(
+            w in 2usize..13, h in 2usize..13, raw in 0usize..144
+        ) {
+            let t = Torus::rectangular(w, h);
+            let n = NodeId::from(raw % t.num_nodes());
+            for dir in LINK_DIRECTIONS {
+                let m = t.neighbor(n, dir);
+                prop_assert_eq!(t.neighbor(m, dir.opposite()), n);
+            }
+        }
+
+        #[test]
+        fn rect_distance_is_sum_of_minimal_ring_offsets(
+            w in 2usize..13, h in 2usize..13,
+            from_raw in 0usize..144, to_raw in 0usize..144
+        ) {
+            let t = Torus::rectangular(w, h);
+            let f = NodeId::from(from_raw % t.num_nodes());
+            let d = NodeId::from(to_raw % t.num_nodes());
+            let (a, b) = (t.coord(f), t.coord(d));
+            let ring_min = |len: usize, p: usize, q: usize| {
+                let fwd = (q + len - p) % len;
+                fwd.min(len - fwd)
+            };
+            let expected = ring_min(w, a.x, b.x) + ring_min(h, a.y, b.y);
+            prop_assert_eq!(t.distance(f, d), expected);
+            // Distance is symmetric even when a tie-broken half-ring offset
+            // routes the two directions differently.
+            prop_assert_eq!(t.distance(d, f), expected);
+        }
+
+        #[test]
+        fn rect_dimension_order_reaches_destination_in_distance_hops(
+            w in 2usize..13, h in 2usize..13,
+            from_raw in 0usize..144, to_raw in 0usize..144
+        ) {
+            let t = Torus::rectangular(w, h);
+            let f = NodeId::from(from_raw % t.num_nodes());
+            let d = NodeId::from(to_raw % t.num_nodes());
+            let mut cur = f;
+            let mut hops = 0;
+            while cur != d {
+                let dir = t.dimension_order_direction(cur, d);
+                prop_assert!(dir != Direction::Local);
+                cur = t.neighbor(cur, dir);
+                hops += 1;
+                prop_assert!(hops <= t.num_nodes(), "DOR route does not terminate");
+            }
+            prop_assert_eq!(hops, t.distance(f, d));
+            prop_assert_eq!(
+                t.dimension_order_direction(d, d),
+                Direction::Local
+            );
+        }
+
+        #[test]
+        fn rect_productive_directions_strictly_reduce_distance(
+            w in 2usize..13, h in 2usize..13,
+            from_raw in 0usize..144, to_raw in 0usize..144
+        ) {
+            let t = Torus::rectangular(w, h);
+            let f = NodeId::from(from_raw % t.num_nodes());
+            let d = NodeId::from(to_raw % t.num_nodes());
+            let dirs = t.productive_directions(f, d);
+            if f == d {
+                prop_assert!(dirs.is_empty());
+            } else {
+                prop_assert!(!dirs.is_empty());
+            }
+            for dir in dirs {
+                let next = t.neighbor(f, dir);
+                prop_assert_eq!(t.distance(next, d) + 1, t.distance(f, d));
+            }
         }
     }
 }

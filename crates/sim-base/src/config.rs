@@ -13,6 +13,32 @@ use crate::time::{ns_to_cycles, CycleDelta};
 /// Coherence block (cache line) size in bytes — Table 2: "64 byte blocks".
 pub const BLOCK_SIZE_BYTES: usize = 64;
 
+/// The squarest `(width, height)` factorisation of `num_nodes` with
+/// `width >= height >= 2`, or `None` when no such factorisation exists
+/// (zero, one, and prime node counts only factor as degenerate 1-wide rings,
+/// on which dimension-order routing and the dateline rule break down).
+///
+/// The paper's 16-node machine derives to 4×4; 8 nodes form a 4×2 torus and
+/// 32 nodes an 8×4 torus.
+#[must_use]
+pub fn squarest_torus_dims(num_nodes: usize) -> Option<(usize, usize)> {
+    if num_nodes < 4 {
+        return None;
+    }
+    let mut height = (num_nodes as f64).sqrt() as usize;
+    // Float truncation can land one off for large perfect squares.
+    while (height + 1) * (height + 1) <= num_nodes {
+        height += 1;
+    }
+    while height >= 2 {
+        if num_nodes % height == 0 {
+            return Some((num_nodes / height, height));
+        }
+        height -= 1;
+    }
+    None
+}
+
 /// How messages are routed through the torus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoutingPolicy {
@@ -210,6 +236,12 @@ pub struct MemorySystemConfig {
     /// Number of nodes (processor + caches + memory slice + NI). Table 2 /
     /// Section 5.1: 16.
     pub num_nodes: usize,
+    /// Explicit `(width, height)` of the 2D torus. `None` (the default)
+    /// derives the squarest factorisation of [`Self::num_nodes`] via
+    /// [`squarest_torus_dims`]; set it to pick an elongated machine (e.g.
+    /// `16×2` instead of `8×4` for 32 nodes). When set, `width × height`
+    /// must equal `num_nodes` and both dimensions must be ≥ 2.
+    pub torus_dims: Option<(usize, usize)>,
     /// L1 cache capacity in bytes (instruction and data each; we model the
     /// unified miss stream). Table 2: 128 KB.
     pub l1_bytes: usize,
@@ -244,6 +276,7 @@ impl Default for MemorySystemConfig {
     fn default() -> Self {
         Self {
             num_nodes: 16,
+            torus_dims: None,
             l1_bytes: 128 * 1024,
             l1_ways: 4,
             l1_hit_cycles: 2,
@@ -279,18 +312,46 @@ impl MemorySystemConfig {
         self.memory_bytes / BLOCK_SIZE_BYTES as u64
     }
 
-    /// Side length of the 2D torus for this node count (the paper's 16-node
-    /// machine is a 4×4 torus). Panics if `num_nodes` is not a perfect
-    /// square, because the network model only supports square tori.
+    /// The `(width, height)` of the 2D torus: the explicit
+    /// [`Self::torus_dims`] when set, otherwise the squarest factorisation of
+    /// [`Self::num_nodes`]. Panics on configurations [`Self::validate`]
+    /// rejects (zero/prime node counts, dims that do not multiply out to
+    /// `num_nodes`, 1-wide rings).
+    #[must_use]
+    pub fn torus_dims(&self) -> (usize, usize) {
+        if let Some((w, h)) = self.torus_dims {
+            assert!(
+                w * h == self.num_nodes && w >= 2 && h >= 2,
+                "torus_dims {w}x{h} invalid for {} nodes",
+                self.num_nodes
+            );
+            return (w, h);
+        }
+        squarest_torus_dims(self.num_nodes).unwrap_or_else(|| {
+            panic!(
+                "num_nodes = {} has no W x H torus factorisation (both >= 2)",
+                self.num_nodes
+            )
+        })
+    }
+
+    /// Side length of the 2D torus, **square machines only** (the paper's
+    /// 16-node machine is a 4×4 torus).
+    ///
+    /// Deprecation shim: the topology is rectangular since the node-count
+    /// scaling work — new code should use [`Self::torus_dims`]. This keeps
+    /// working (and returns the side) exactly when the resolved torus is
+    /// square, and panics for rectangular machines where a single "side" no
+    /// longer exists.
     #[must_use]
     pub fn torus_side(&self) -> usize {
-        let side = (self.num_nodes as f64).sqrt().round() as usize;
+        let (w, h) = self.torus_dims();
         assert_eq!(
-            side * side,
-            self.num_nodes,
-            "num_nodes must be a perfect square to form a 2D torus"
+            w, h,
+            "torus_side() is only meaningful on square tori; this machine \
+             is {w}x{h} — use torus_dims()"
         );
-        side
+        w
     }
 
     /// Sanity-checks the configuration, returning a list of human-readable
@@ -300,14 +361,24 @@ impl MemorySystemConfig {
         let mut problems = Vec::new();
         if self.num_nodes == 0 {
             problems.push("num_nodes must be positive".to_string());
-        } else {
-            let side = (self.num_nodes as f64).sqrt().round() as usize;
-            if side * side != self.num_nodes {
+        } else if let Some((w, h)) = self.torus_dims {
+            if w * h != self.num_nodes {
                 problems.push(format!(
-                    "num_nodes = {} is not a perfect square (required for a 2D torus)",
+                    "torus_dims {w}x{h} does not cover num_nodes = {}",
                     self.num_nodes
                 ));
+            } else if w < 2 || h < 2 {
+                problems.push(format!(
+                    "torus_dims {w}x{h} contains a degenerate 1-wide ring \
+                     (dimension-order routing breaks; both dims must be >= 2)"
+                ));
             }
+        } else if squarest_torus_dims(self.num_nodes).is_none() {
+            problems.push(format!(
+                "num_nodes = {} has no W x H torus factorisation with both \
+                 dimensions >= 2 (zero/prime node counts are unsupported)",
+                self.num_nodes
+            ));
         }
         if self.l1_bytes % (BLOCK_SIZE_BYTES * self.l1_ways) != 0 {
             problems.push("L1 size must be a multiple of block size × associativity".to_string());
@@ -359,13 +430,84 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         let mut c = MemorySystemConfig {
-            num_nodes: 15,
+            num_nodes: 13, // prime: only factors as a 1-wide ring
             ..MemorySystemConfig::default()
         };
         assert!(!c.validate().is_empty());
         c.num_nodes = 16;
         c.l2_bytes = 64 * 1024; // smaller than L1
         assert!(!c.validate().is_empty());
+    }
+
+    #[test]
+    fn squarest_factorisation_derivation() {
+        assert_eq!(squarest_torus_dims(16), Some((4, 4)));
+        assert_eq!(squarest_torus_dims(32), Some((8, 4)));
+        assert_eq!(squarest_torus_dims(8), Some((4, 2)));
+        assert_eq!(squarest_torus_dims(64), Some((8, 8)));
+        assert_eq!(squarest_torus_dims(128), Some((16, 8)));
+        assert_eq!(squarest_torus_dims(12), Some((4, 3)));
+        assert_eq!(squarest_torus_dims(6), Some((3, 2)));
+        // No W×H factorisation with both dims >= 2.
+        assert_eq!(squarest_torus_dims(0), None);
+        assert_eq!(squarest_torus_dims(1), None);
+        assert_eq!(squarest_torus_dims(2), None);
+        assert_eq!(squarest_torus_dims(3), None);
+        assert_eq!(squarest_torus_dims(7), None);
+        assert_eq!(squarest_torus_dims(13), None);
+    }
+
+    #[test]
+    fn validate_rejects_zero_nodes_and_one_wide_rings() {
+        let mut c = MemorySystemConfig {
+            num_nodes: 0,
+            ..MemorySystemConfig::default()
+        };
+        assert!(!c.validate().is_empty(), "0 nodes must be rejected");
+        // Explicit 1-wide ring.
+        c.num_nodes = 8;
+        c.torus_dims = Some((8, 1));
+        assert!(!c.validate().is_empty(), "1-wide ring must be rejected");
+        // Explicit dims that do not cover the node count.
+        c.torus_dims = Some((4, 4));
+        assert!(!c.validate().is_empty(), "dims must cover num_nodes");
+        // A valid rectangular machine passes.
+        c.torus_dims = Some((4, 2));
+        assert!(c.validate().is_empty());
+        c.torus_dims = None;
+        assert!(c.validate().is_empty());
+    }
+
+    #[test]
+    fn torus_dims_resolution_prefers_explicit_dims() {
+        let mut c = MemorySystemConfig {
+            num_nodes: 32,
+            ..MemorySystemConfig::default()
+        };
+        assert_eq!(c.torus_dims(), (8, 4), "squarest derivation");
+        c.torus_dims = Some((16, 2));
+        assert_eq!(c.torus_dims(), (16, 2), "explicit dims win");
+    }
+
+    #[test]
+    fn torus_side_shim_works_only_on_square_machines() {
+        let c = MemorySystemConfig::default();
+        assert_eq!(c.torus_side(), 4);
+        let c64 = MemorySystemConfig {
+            num_nodes: 64,
+            ..MemorySystemConfig::default()
+        };
+        assert_eq!(c64.torus_side(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "square tori")]
+    fn torus_side_shim_panics_on_rectangular_machines() {
+        let c = MemorySystemConfig {
+            num_nodes: 8, // derives 4×2
+            ..MemorySystemConfig::default()
+        };
+        let _ = c.torus_side();
     }
 
     #[test]

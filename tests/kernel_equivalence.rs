@@ -7,10 +7,15 @@
 //! same `RunMetrics`, the same packet delivery order and the same
 //! mis-speculation counts.
 //!
-//! The golden digests below were captured by running the pre-worklist kernel
-//! over these exact scenarios (set `SPECSIM_PRINT_GOLDENS=1` to reprint
-//! them). Any divergence — a skipped switch that should have forwarded, a
-//! stale congestion value, a reordered delivery — changes a digest.
+//! The 16-node golden digests below were captured by running the
+//! pre-worklist kernel over these exact scenarios (set
+//! `SPECSIM_PRINT_GOLDENS=1` to reprint them); the rectangular-torus
+//! refactor and the sparse worklist iterator were both required to leave
+//! them byte-for-byte unchanged. The `RECT` goldens pin the first
+//! rectangular machines (4×2 and 8×4, both routing policies) so later
+//! topology work cannot silently change their schedules either. Any
+//! divergence — a skipped switch that should have forwarded, a stale
+//! congestion value, a reordered delivery — changes a digest.
 
 use specsim::{DirectorySystem, RunMetrics, SnoopSystemConfig, SnoopingSystem, SystemConfig};
 use specsim_base::{DetRng, LinkBandwidth, MessageSize, NodeId, ProtocolVariant, RoutingPolicy};
@@ -149,6 +154,29 @@ fn small_dir_config(protocol: ProtocolVariant, routing: RoutingPolicy) -> System
     cfg
 }
 
+/// Random all-vnet traffic on a rectangular machine, shared scenario for the
+/// rectangular-torus goldens: `num_nodes` picks the torus (squarest
+/// factorisation, e.g. 8 → 4×2, 32 → 8×4).
+fn rect_net_digest(num_nodes: usize, routing: RoutingPolicy, seed: u64) -> u64 {
+    let mut cfg = NetConfig::conventional(num_nodes, LinkBandwidth::GB_3_2);
+    cfg.routing = routing;
+    let net: Network<u64> = Network::new(cfg);
+    let mut rng = DetRng::new(seed);
+    let mut injected = 0u64;
+    net_digest(net, 2_000, |net, now| {
+        for _ in 0..3 {
+            let src = NodeId::from(rng.next_below(num_nodes as u64) as usize);
+            let dst = NodeId::from(rng.next_below(num_nodes as u64) as usize);
+            let vnet = ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
+            if net.can_inject(src, vnet) {
+                net.inject(now, src, dst, vnet, MessageSize::Control, injected)
+                    .unwrap();
+                injected += 1;
+            }
+        }
+    })
+}
+
 const GOLDEN_DIR_FULL_STATIC: u64 = 0xe2b0f51f322a5989;
 const GOLDEN_DIR_SPEC_ADAPTIVE: u64 = 0x809e1db7e1398146;
 const GOLDEN_SNOOP_SPECULATIVE: u64 = 0x446c9db652d6be93;
@@ -156,6 +184,79 @@ const GOLDEN_NET_RANDOM_VC: u64 = 0x3bfa005977349aef;
 const GOLDEN_NET_SPARSE: u64 = 0x4a22326da1ed99b2;
 const GOLDEN_NET_SHARED_BACKPRESSURE: u64 = 0x2c01eb76454eea7a;
 const GOLDEN_RUNNER_DIRECTORY: u64 = 0xfcd6cfe5acc64fbb;
+const GOLDEN_NET_RECT_4X2_STATIC: u64 = 0x0bae37f9e1d36ec5;
+const GOLDEN_NET_RECT_4X2_ADAPTIVE: u64 = 0x244c41a271063181;
+const GOLDEN_NET_RECT_8X4_STATIC: u64 = 0xd3624b137c031aec;
+const GOLDEN_NET_RECT_8X4_ADAPTIVE: u64 = 0x60c2e4394622c6d1;
+const GOLDEN_DIR_RECT_4X2: u64 = 0x3163d46007748ba6;
+
+#[test]
+fn rectangular_4x2_network_matches_golden_under_both_policies() {
+    check(
+        "net_rect_4x2_static",
+        GOLDEN_NET_RECT_4X2_STATIC,
+        rect_net_digest(8, RoutingPolicy::Static, 21),
+    );
+    check(
+        "net_rect_4x2_adaptive",
+        GOLDEN_NET_RECT_4X2_ADAPTIVE,
+        rect_net_digest(8, RoutingPolicy::Adaptive, 21),
+    );
+}
+
+#[test]
+fn rectangular_8x4_network_matches_golden_under_both_policies() {
+    check(
+        "net_rect_8x4_static",
+        GOLDEN_NET_RECT_8X4_STATIC,
+        rect_net_digest(32, RoutingPolicy::Static, 33),
+    );
+    check(
+        "net_rect_8x4_adaptive",
+        GOLDEN_NET_RECT_8X4_ADAPTIVE,
+        rect_net_digest(32, RoutingPolicy::Adaptive, 33),
+    );
+}
+
+#[test]
+fn rectangular_4x2_directory_system_matches_golden() {
+    let mut cfg = small_dir_config(ProtocolVariant::Speculative, RoutingPolicy::Adaptive);
+    cfg.memory.num_nodes = 8; // derives a 4×2 torus
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(20_000).expect("no protocol errors");
+    check("dir_rect_4x2", GOLDEN_DIR_RECT_4X2, metrics_digest(&m));
+}
+
+#[test]
+fn explicit_square_dims_match_the_derived_square_schedule() {
+    // `torus_dims: Some((4, 4))` must be byte-for-byte the same machine as
+    // the derived default for 16 nodes.
+    let run = |dims: Option<(usize, usize)>| {
+        let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
+        cfg.torus_dims = dims;
+        cfg.routing = RoutingPolicy::Adaptive;
+        let net: Network<u64> = Network::new(cfg);
+        let mut rng = DetRng::new(5);
+        let mut injected = 0u64;
+        net_digest(net, 1_000, |net, now| {
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            if net.can_inject(src, VirtualNetwork::Request) {
+                net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Request,
+                    MessageSize::Control,
+                    injected,
+                )
+                .unwrap();
+                injected += 1;
+            }
+        })
+    };
+    assert_eq!(run(None), run(Some((4, 4))));
+}
 
 #[test]
 fn directory_full_static_metrics_match_golden() {
