@@ -2,9 +2,10 @@
 //! simplified (no virtual channel) network versus shared buffer size, with
 //! deadlock recoveries, compared against worst-case buffering.
 
+use specsim::experiments::scaling::workloads_from_env;
 use specsim::experiments::{BufferSweep, ExperimentScale};
 use specsim_bench::{finish, start};
-use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
+use specsim_workloads::WorkloadKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -13,12 +14,9 @@ fn main() {
         scale,
     );
     // The headline sweep runs OLTP (the most network-intensive workload);
-    // set SPECSIM_ALL_WORKLOADS=1 to sweep every workload.
-    let workloads: Vec<WorkloadKind> = if std::env::var("SPECSIM_ALL_WORKLOADS").is_ok() {
-        ALL_WORKLOADS.to_vec()
-    } else {
-        vec![WorkloadKind::Oltp]
-    };
+    // set SPECSIM_ALL_WORKLOADS=1 to sweep every workload (same semantics as
+    // the scaling sweep: unset or `0` means OLTP only).
+    let workloads: Vec<WorkloadKind> = workloads_from_env();
     for workload in workloads {
         match BufferSweep::run(workload, scale) {
             Ok(sweep) => println!("{}", sweep.render()),

@@ -6,7 +6,8 @@
 //! `BENCH_kernel.json`, so the perf trajectory across commits has a
 //! node-count axis. Set `SPECSIM_BENCH_QUICK=1` (as CI does) for a small
 //! sweep (8/16/32 nodes, two seeds); the full sweep size is controlled by
-//! `SPECSIM_CYCLES` / `SPECSIM_SEEDS` as usual.
+//! `SPECSIM_CYCLES` / `SPECSIM_SEEDS` as usual, and `SPECSIM_ALL_WORKLOADS=1`
+//! sweeps every Table 3 workload generator instead of OLTP only.
 
 use specsim::experiments::scaling;
 use specsim::experiments::ScalingConfig;
@@ -20,8 +21,9 @@ fn main() {
     };
     let t = start("Node-count scaling sweep (rectangular tori)", cfg.scale);
     println!(
-        "machines: {:?} nodes, static + adaptive routing\n",
-        cfg.node_counts
+        "machines: {:?} nodes, workloads: {:?}, static + adaptive routing\n",
+        cfg.node_counts,
+        cfg.workloads.iter().map(|w| w.label()).collect::<Vec<_>>()
     );
     match scaling::run(&cfg) {
         Ok(data) => {

@@ -1,0 +1,48 @@
+//! Snooping data-network bandwidth sweep: the speculative snooping system
+//! with its point-to-point data torus running at 400/800/1600/3200 MB/s
+//! links, recording throughput, miss latency and per-fabric data-network
+//! stats.
+//!
+//! Besides the console table the run writes `BENCH_snoop_bandwidth.json`
+//! next to `BENCH_kernel.json` and `BENCH_scaling.json`, giving the perf
+//! trajectory a snooping bandwidth axis. Set `SPECSIM_BENCH_QUICK=1` (as CI
+//! does) for a small sweep (all four bandwidth points, static routing, two
+//! seeds); the full sweep adds adaptive routing and is controlled by
+//! `SPECSIM_CYCLES` / `SPECSIM_SEEDS` as usual.
+
+use specsim::experiments::snoop_bandwidth;
+use specsim::experiments::SnoopBandwidthConfig;
+use specsim_bench::{finish, start};
+
+fn main() {
+    let cfg = if std::env::var("SPECSIM_BENCH_QUICK").is_ok() {
+        SnoopBandwidthConfig::quick()
+    } else {
+        SnoopBandwidthConfig::default()
+    };
+    let t = start(
+        "Snooping data-network bandwidth sweep (400 MB/s -> 3.2 GB/s)",
+        cfg.scale,
+    );
+    println!(
+        "bandwidths: {:?} MB/s, routings: {:?}\n",
+        cfg.bandwidths
+            .iter()
+            .map(|b| b.megabytes_per_second)
+            .collect::<Vec<_>>(),
+        cfg.routings.iter().map(|r| r.label()).collect::<Vec<_>>()
+    );
+    match snoop_bandwidth::run(&cfg) {
+        Ok(data) => {
+            println!("{}", data.render());
+            let json = data.to_json();
+            let path = "BENCH_snoop_bandwidth.json";
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        Err(e) => eprintln!("protocol error during snoop bandwidth sweep: {e}"),
+    }
+    finish(t);
+}

@@ -4,23 +4,29 @@
 //! and 5 of the paper (16 nodes on a 4×4 torus; the node-count scaling sweep
 //! grows the same system to rectangular tori up to 16×8).
 //!
+//! The per-cycle machinery (processor ticking with idle-skip, checkpointing,
+//! recovery and forward-progress orchestration, metrics) is the shared
+//! [`SystemEngine`]; this module contributes the directory-protocol
+//! [`ProtocolNode`] implementation — the torus fabric, the cache/directory
+//! controllers and the virtual-network plumbing between them.
+//!
 //! The system is advanced one cycle at a time by [`DirectorySystem::step`];
 //! [`DirectorySystem::run_for`] runs a full experiment window and returns the
 //! collected [`RunMetrics`].
-
-use std::collections::VecDeque;
 
 use specsim_base::{BlockAddr, Cycle, CycleDelta, DetRng, FlowControl, NodeId, RoutingPolicy};
 use specsim_coherence::dir::{
     AccessOutcome, CacheState, DirCacheController, DirMsg, DirectoryController, OutMsg,
 };
-use specsim_coherence::types::{CpuAccess, MisSpecKind, MisSpeculation, MsgClass, ProtocolError};
+use specsim_coherence::types::{CpuRequest, MisSpecKind, MsgClass, ProtocolError};
 use specsim_net::{Network, VirtualNetwork};
-use specsim_safetynet::{LogOutcome, SafetyNet};
+use specsim_safetynet::SafetyNet;
 use specsim_workloads::{Processor, WorkloadGenerator};
 
-use crate::config::SystemConfig;
-use crate::framework::ForwardProgressMode;
+use crate::config::{ForwardProgressConfig, SystemConfig};
+use crate::engine::{
+    EngineAccess, EngineCtx, ForwardProgressMode, ProtocolNode, StagedOutbox, SystemEngine,
+};
 use crate::metrics::RunMetrics;
 
 /// Messages a node may ingest from the network per cycle.
@@ -36,39 +42,302 @@ const CACHE_RESPONSE_LATENCY: CycleDelta = 4;
 /// Latency charged on directory responses that do not access DRAM.
 const DIRECTORY_LATENCY: CycleDelta = 16;
 
-/// Why a recovery was performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RecoveryCause {
-    MisSpeculation(MisSpecKind),
-    Injected,
-}
-
 /// The architectural state of the machine — everything SafetyNet must be able
 /// to restore: caches, directories/memories, processors (with their workload
 /// positions), the interconnect contents and the per-node staging outboxes.
 #[derive(Debug, Clone)]
-struct ArchState {
+pub(crate) struct ArchState {
     net: Network<DirMsg>,
     caches: Vec<DirCacheController>,
     dirs: Vec<DirectoryController>,
     procs: Vec<Processor>,
-    outboxes: Vec<VecDeque<(Cycle, OutMsg)>>,
+    outboxes: Vec<StagedOutbox<OutMsg>>,
+}
+
+/// Maps a protocol message class to its virtual network (Section 3.1:
+/// one virtual network per message class).
+fn vnet_of(class: MsgClass) -> VirtualNetwork {
+    match class {
+        MsgClass::Request => VirtualNetwork::Request,
+        MsgClass::Forwarded => VirtualNetwork::ForwardedRequest,
+        MsgClass::Response => VirtualNetwork::Response,
+        MsgClass::FinalAck => VirtualNetwork::FinalAck,
+    }
+}
+
+/// The directory-protocol half of the machine: everything the shared
+/// [`SystemEngine`] delegates to a [`ProtocolNode`].
+#[derive(Debug)]
+pub(crate) struct DirProtocol {
+    cfg: SystemConfig,
+}
+
+impl DirProtocol {
+    fn ingest_messages(
+        &mut self,
+        arch: &mut ArchState,
+        now: Cycle,
+        ctx: &mut EngineCtx<'_, ArchState>,
+    ) {
+        let n = arch.procs.len();
+        let vc_mode = matches!(self.cfg.flow_control, FlowControl::VirtualChannels { .. });
+        // In virtual-channel mode the endpoint has one ejection queue per
+        // class; responses are served first, which is exactly how virtual
+        // networks break the request-response endpoint dependency. With
+        // shared buffering there is a single FIFO: if its head cannot be
+        // ingested the whole queue waits — the endpoint-deadlock dependency
+        // of Figure 2.
+        const PRIORITY: [VirtualNetwork; 4] = [
+            VirtualNetwork::Response,
+            VirtualNetwork::FinalAck,
+            VirtualNetwork::ForwardedRequest,
+            VirtualNetwork::Request,
+        ];
+        for node_idx in 0..n {
+            let node = NodeId::from(node_idx);
+            // Idle-inbox skip: nothing was delivered to this endpoint.
+            if !arch.net.has_ejectable(node) {
+                continue;
+            }
+            let mut budget = INGEST_BUDGET;
+            while budget > 0 {
+                let packet = if vc_mode {
+                    let mut found = None;
+                    for vn in PRIORITY {
+                        if let Some(p) = arch.net.peek_from(node, vn) {
+                            if Self::can_ingest(arch, node_idx, p.payload.class()) {
+                                found = Some(vn);
+                                break;
+                            }
+                        }
+                    }
+                    found.and_then(|vn| arch.net.eject_from(node, vn))
+                } else {
+                    match arch.net.peek_any(node) {
+                        Some(p) if Self::can_ingest(arch, node_idx, p.payload.class()) => {
+                            arch.net.eject_any(node)
+                        }
+                        _ => None,
+                    }
+                };
+                let Some(packet) = packet else { break };
+                budget -= 1;
+                Self::dispatch(arch, ctx, now, node_idx, packet.src, packet.payload);
+            }
+        }
+    }
+
+    fn can_ingest(arch: &ArchState, node_idx: usize, class: MsgClass) -> bool {
+        match class {
+            MsgClass::Request | MsgClass::FinalAck => {
+                arch.dirs[node_idx].outgoing_len() < CONTROLLER_OUTPUT_LIMIT
+            }
+            MsgClass::Forwarded | MsgClass::Response => {
+                arch.caches[node_idx].outgoing_len() < CONTROLLER_OUTPUT_LIMIT
+            }
+        }
+    }
+
+    fn dispatch(
+        arch: &mut ArchState,
+        ctx: &mut EngineCtx<'_, ArchState>,
+        now: Cycle,
+        node_idx: usize,
+        src: NodeId,
+        msg: DirMsg,
+    ) {
+        match msg.class() {
+            MsgClass::Request | MsgClass::FinalAck => {
+                if let Err(e) = arch.dirs[node_idx].handle_message(now, src, msg) {
+                    ctx.note_error(e);
+                }
+            }
+            MsgClass::Forwarded | MsgClass::Response => {
+                match arch.caches[node_idx].handle_message(now, msg) {
+                    Ok(Some(misspec)) => ctx.note_misspeculation(misspec),
+                    Ok(None) => {}
+                    Err(e) => ctx.note_error(e),
+                }
+            }
+        }
+    }
+
+    fn pump_outboxes(
+        &mut self,
+        arch: &mut ArchState,
+        now: Cycle,
+        ctx: &mut EngineCtx<'_, ArchState>,
+    ) {
+        let ArchState {
+            net,
+            caches,
+            dirs,
+            outboxes,
+            ..
+        } = arch;
+        for i in 0..caches.len() {
+            // Idle-outbox skip: no controller output queued and no staged
+            // message waiting out its latency timer.
+            if caches[i].outgoing_len() == 0
+                && dirs[i].outgoing_len() == 0
+                && outboxes[i].is_empty()
+            {
+                continue;
+            }
+            for _ in 0..DRAIN_BUDGET {
+                match caches[i].pop_outgoing() {
+                    Some(m) => outboxes[i].stage(now + CACHE_RESPONSE_LATENCY, m),
+                    None => break,
+                }
+            }
+            for _ in 0..DRAIN_BUDGET {
+                match dirs[i].pop_outgoing() {
+                    Some(m) => {
+                        let delay = match m.msg {
+                            DirMsg::Data { .. } => {
+                                self.cfg.memory.dram_access_cycles
+                                    + ctx.perturbation(self.cfg.perturbation_cycles)
+                            }
+                            _ => DIRECTORY_LATENCY,
+                        };
+                        outboxes[i].stage(now + delay, m);
+                    }
+                    None => break,
+                }
+            }
+            // Inject ready messages in FIFO order (per-source protocol order
+            // is preserved; the network may still reorder in flight under
+            // adaptive routing, which is the point of Section 3.1).
+            let node = NodeId::from(i);
+            outboxes[i].pump(now, |m| {
+                let vnet = vnet_of(m.msg.class());
+                if !net.can_inject(node, vnet) {
+                    return false;
+                }
+                net.inject(now, node, m.dst, vnet, m.msg.size(), m.msg)
+                    .expect("injection checked");
+                true
+            });
+        }
+    }
+}
+
+impl ProtocolNode for DirProtocol {
+    type Arch = ArchState;
+
+    fn procs(arch: &ArchState) -> &[Processor] {
+        &arch.procs
+    }
+
+    fn procs_mut(arch: &mut ArchState) -> &mut [Processor] {
+        &mut arch.procs
+    }
+
+    fn outstanding_demand(arch: &ArchState) -> usize {
+        arch.caches
+            .iter()
+            .filter(|c| c.has_outstanding_demand())
+            .count()
+    }
+
+    fn cpu_request(arch: &mut ArchState, i: usize, now: Cycle, req: CpuRequest) -> EngineAccess {
+        match arch.caches[i].cpu_request(now, req) {
+            AccessOutcome::L1Hit { latency, .. } | AccessOutcome::L2Hit { latency, .. } => {
+                EngineAccess::Hit { latency }
+            }
+            AccessOutcome::MissIssued => EngineAccess::MissIssued,
+            AccessOutcome::Stall => EngineAccess::Stall,
+        }
+    }
+
+    fn exchange(&mut self, arch: &mut ArchState, now: Cycle, ctx: &mut EngineCtx<'_, ArchState>) {
+        self.ingest_messages(arch, now, ctx);
+        {
+            let ArchState { procs, caches, .. } = arch;
+            ctx.deliver_completions(now, procs, |i| {
+                caches[i].take_completed().map(|done| done.access)
+            });
+        }
+        self.pump_outboxes(arch, now, ctx);
+        arch.net.tick(now);
+    }
+
+    fn drain_write_log(arch: &mut ArchState, i: usize) -> usize {
+        arch.dirs[i].take_write_log().len()
+    }
+
+    fn checkpoint_due(
+        &self,
+        _arch: &ArchState,
+        safetynet: &SafetyNet<ArchState>,
+        now: Cycle,
+    ) -> bool {
+        // The directory system checkpoints on the cycle clock (Table 2:
+        // every 100 000 cycles).
+        safetynet.should_checkpoint(now)
+    }
+
+    fn on_checkpoint_taken(&mut self, _arch: &ArchState) {}
+
+    fn timeout_addr(arch: &ArchState, i: usize) -> BlockAddr {
+        arch.caches[i].outstanding_addr().unwrap_or(BlockAddr(0))
+    }
+
+    fn after_recovery_restore(&mut self, _arch: &mut ArchState) {}
+
+    fn misspec_forward_progress(
+        &mut self,
+        arch: &mut ArchState,
+        kind: MisSpecKind,
+        resume_at: Cycle,
+        fp: &ForwardProgressConfig,
+    ) -> ForwardProgressMode {
+        match kind {
+            MisSpecKind::ForwardedRequestToInvalidCache => {
+                if fp.disable_adaptive_cycles > 0 && self.cfg.routing == RoutingPolicy::Adaptive {
+                    arch.net.set_routing(RoutingPolicy::Static);
+                    ForwardProgressMode::AdaptiveRoutingDisabled {
+                        until: resume_at + fp.disable_adaptive_cycles,
+                    }
+                } else {
+                    ForwardProgressMode::Normal
+                }
+            }
+            MisSpecKind::TransactionTimeout | MisSpecKind::WritebackDoubleRace => {
+                if fp.slow_start_cycles > 0 {
+                    ForwardProgressMode::SlowStart {
+                        until: resume_at + fp.slow_start_cycles,
+                        max_outstanding: fp.slow_start_max_outstanding,
+                    }
+                } else {
+                    ForwardProgressMode::Normal
+                }
+            }
+        }
+    }
+
+    fn on_adaptive_window_expired(&mut self, arch: &mut ArchState) {
+        arch.net.set_routing(self.cfg.routing);
+    }
+
+    fn normal_outstanding_limit(&self) -> usize {
+        self.cfg.max_outstanding
+    }
+
+    fn collect_protocol_metrics(&self, arch: &ArchState, now: Cycle, m: &mut RunMetrics) {
+        m.messages_delivered = arch.net.stats().delivered.get();
+        for vn in specsim_net::ALL_VIRTUAL_NETWORKS {
+            m.delivered_per_vnet[vn.index()] = arch.net.ordering().delivered(vn);
+            m.reordered_per_vnet[vn.index()] = arch.net.ordering().reordered(vn);
+        }
+        m.link_utilization = arch.net.mean_link_utilization(now);
+    }
 }
 
 /// The assembled directory-protocol multiprocessor.
 #[derive(Debug)]
 pub struct DirectorySystem {
-    cfg: SystemConfig,
-    now: Cycle,
-    arch: ArchState,
-    safetynet: SafetyNet<ArchState>,
-    fp_mode: ForwardProgressMode,
-    resume_at: Cycle,
-    next_injected_recovery: Option<Cycle>,
-    pending_misspec: Option<MisSpeculation>,
-    protocol_error: Option<ProtocolError>,
-    perturb_rng: DetRng,
-    metrics: RunMetrics,
+    pub(crate) engine: SystemEngine<DirProtocol>,
 }
 
 impl DirectorySystem {
@@ -96,444 +365,66 @@ impl DirectorySystem {
             caches,
             dirs,
             procs,
-            outboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            outboxes: (0..n).map(|_| StagedOutbox::default()).collect(),
         };
-        let safetynet = SafetyNet::new(cfg.memory.safetynet.clone(), n, arch.clone(), 0);
-        let next_injected_recovery = cfg.inject_recovery_every.map(|i| i.max(1));
         let perturb_rng = seed_rng.fork();
-        Self {
-            cfg,
-            now: 0,
+        let engine = SystemEngine::new(
+            DirProtocol { cfg: cfg.clone() },
             arch,
-            safetynet,
-            fp_mode: ForwardProgressMode::Normal,
-            resume_at: 0,
-            next_injected_recovery,
-            pending_misspec: None,
-            protocol_error: None,
+            cfg.memory.safetynet.clone(),
+            cfg.forward_progress,
+            cfg.inject_recovery_every,
             perturb_rng,
-            metrics: RunMetrics::default(),
-        }
+        );
+        Self { engine }
     }
 
     /// The configuration this system was built from.
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
-        &self.cfg
+        &self.engine.protocol().cfg
     }
 
     /// Current simulated cycle.
     #[must_use]
     pub fn now(&self) -> Cycle {
-        self.now
+        self.engine.now()
     }
 
     /// The forward-progress mode currently in force.
     #[must_use]
     pub fn forward_progress_mode(&self) -> ForwardProgressMode {
-        self.fp_mode
+        self.engine.forward_progress_mode()
     }
 
     /// Memory operations committed so far across all processors.
     #[must_use]
     pub fn ops_completed(&self) -> u64 {
-        self.arch.procs.iter().map(Processor::ops_completed).sum()
+        self.engine.ops_completed()
     }
 
     /// Maps a protocol message class to its virtual network (Section 3.1:
     /// one virtual network per message class).
     #[must_use]
     pub fn vnet_of(class: MsgClass) -> VirtualNetwork {
-        match class {
-            MsgClass::Request => VirtualNetwork::Request,
-            MsgClass::Forwarded => VirtualNetwork::ForwardedRequest,
-            MsgClass::Response => VirtualNetwork::Response,
-            MsgClass::FinalAck => VirtualNetwork::FinalAck,
-        }
+        vnet_of(class)
     }
 
     /// Runs the system for `cycles` cycles and returns the metrics collected
     /// so far. Returns an error if a transition occurred that the fully
     /// designed protocol considers impossible (a simulator bug).
     pub fn run_for(&mut self, cycles: CycleDelta) -> Result<RunMetrics, ProtocolError> {
-        let end = self.now + cycles;
-        while self.now < end {
-            self.step()?;
-        }
-        Ok(self.collect_metrics())
+        self.engine.run_for(cycles)
     }
 
     /// Advances the system by one cycle.
     pub fn step(&mut self) -> Result<(), ProtocolError> {
-        if let Some(e) = self.protocol_error.take() {
-            return Err(e);
-        }
-        self.now += 1;
-        let now = self.now;
-        if now < self.resume_at {
-            // The recovery procedure is still restoring state; no forward
-            // progress during these cycles.
-            return Ok(());
-        }
-        self.update_forward_progress(now);
-        self.tick_processors(now);
-        self.ingest_messages(now);
-        self.deliver_completions(now);
-        self.pump_outboxes(now);
-        self.arch.net.tick(now);
-        self.safetynet_tick(now);
-        self.check_recovery(now);
-        if let Some(e) = self.protocol_error.take() {
-            return Err(e);
-        }
-        Ok(())
-    }
-
-    fn update_forward_progress(&mut self, now: Cycle) {
-        match self.fp_mode {
-            ForwardProgressMode::AdaptiveRoutingDisabled { until } if now >= until => {
-                self.arch.net.set_routing(self.cfg.routing);
-                self.fp_mode = ForwardProgressMode::Normal;
-            }
-            ForwardProgressMode::SlowStart { until, .. } if now >= until => {
-                self.fp_mode = ForwardProgressMode::Normal;
-            }
-            _ => {}
-        }
-    }
-
-    fn outstanding_limit(&self) -> usize {
-        match self.fp_mode {
-            ForwardProgressMode::SlowStart {
-                max_outstanding, ..
-            } => max_outstanding.max(1),
-            _ => self.cfg.max_outstanding,
-        }
-    }
-
-    fn tick_processors(&mut self, now: Cycle) {
-        let limit = self.outstanding_limit();
-        // Demand census for the slow-start governor, computed lazily on the
-        // first cycle a processor actually presents a request: on quiescent
-        // cycles (every processor mid-think or blocked on a miss) the whole
-        // per-cache scan is skipped.
-        let mut outstanding: Option<usize> = None;
-        for i in 0..self.arch.procs.len() {
-            // Per-node wake-up cycle: a thinking processor sleeps until its
-            // think time elapses, a blocked one until its miss completes.
-            match self.arch.procs[i].ready_at() {
-                Some(ready) if ready <= now => {}
-                _ => continue,
-            }
-            let Some(req) = self.arch.procs[i].poll(now) else {
-                continue;
-            };
-            let outstanding = outstanding.get_or_insert_with(|| {
-                self.arch
-                    .caches
-                    .iter()
-                    .filter(|c| c.has_outstanding_demand())
-                    .count()
-            });
-            if *outstanding >= limit {
-                // Slow-start governor: hold back new transactions.
-                continue;
-            }
-            let outcome = self.arch.caches[i].cpu_request(now, req);
-            let proc = &mut self.arch.procs[i];
-            match outcome {
-                AccessOutcome::L1Hit { latency, .. } | AccessOutcome::L2Hit { latency, .. } => {
-                    proc.note_hit(now, latency, req.access == CpuAccess::Store);
-                }
-                AccessOutcome::MissIssued => {
-                    proc.note_miss_issued(now);
-                    *outstanding += 1;
-                }
-                AccessOutcome::Stall => proc.note_stall(),
-            }
-        }
-    }
-
-    fn ingest_messages(&mut self, now: Cycle) {
-        let n = self.arch.procs.len();
-        let vc_mode = matches!(self.cfg.flow_control, FlowControl::VirtualChannels { .. });
-        // In virtual-channel mode the endpoint has one ejection queue per
-        // class; responses are served first, which is exactly how virtual
-        // networks break the request-response endpoint dependency. With
-        // shared buffering there is a single FIFO: if its head cannot be
-        // ingested the whole queue waits — the endpoint-deadlock dependency
-        // of Figure 2.
-        const PRIORITY: [VirtualNetwork; 4] = [
-            VirtualNetwork::Response,
-            VirtualNetwork::FinalAck,
-            VirtualNetwork::ForwardedRequest,
-            VirtualNetwork::Request,
-        ];
-        for node_idx in 0..n {
-            let node = NodeId::from(node_idx);
-            // Idle-inbox skip: nothing was delivered to this endpoint.
-            if !self.arch.net.has_ejectable(node) {
-                continue;
-            }
-            let mut budget = INGEST_BUDGET;
-            while budget > 0 {
-                let packet = if vc_mode {
-                    let mut found = None;
-                    for vn in PRIORITY {
-                        if let Some(p) = self.arch.net.peek_from(node, vn) {
-                            if self.can_ingest(node_idx, p.payload.class()) {
-                                found = Some(vn);
-                                break;
-                            }
-                        }
-                    }
-                    found.and_then(|vn| self.arch.net.eject_from(node, vn))
-                } else {
-                    match self.arch.net.peek_any(node) {
-                        Some(p) if self.can_ingest(node_idx, p.payload.class()) => {
-                            self.arch.net.eject_any(node)
-                        }
-                        _ => None,
-                    }
-                };
-                let Some(packet) = packet else { break };
-                budget -= 1;
-                self.dispatch(now, node_idx, packet.src, packet.payload);
-            }
-        }
-    }
-
-    fn can_ingest(&self, node_idx: usize, class: MsgClass) -> bool {
-        match class {
-            MsgClass::Request | MsgClass::FinalAck => {
-                self.arch.dirs[node_idx].outgoing_len() < CONTROLLER_OUTPUT_LIMIT
-            }
-            MsgClass::Forwarded | MsgClass::Response => {
-                self.arch.caches[node_idx].outgoing_len() < CONTROLLER_OUTPUT_LIMIT
-            }
-        }
-    }
-
-    fn dispatch(&mut self, now: Cycle, node_idx: usize, src: NodeId, msg: DirMsg) {
-        match msg.class() {
-            MsgClass::Request | MsgClass::FinalAck => {
-                if let Err(e) = self.arch.dirs[node_idx].handle_message(now, src, msg) {
-                    self.protocol_error.get_or_insert(e);
-                }
-            }
-            MsgClass::Forwarded | MsgClass::Response => {
-                match self.arch.caches[node_idx].handle_message(now, msg) {
-                    Ok(Some(misspec)) => {
-                        self.pending_misspec.get_or_insert(misspec);
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        self.protocol_error.get_or_insert(e);
-                    }
-                }
-            }
-        }
-    }
-
-    fn deliver_completions(&mut self, now: Cycle) {
-        for i in 0..self.arch.procs.len() {
-            if let Some(done) = self.arch.caches[i].take_completed() {
-                // After a recovery the restored cache controller may complete
-                // a transaction whose requesting instruction was rolled back
-                // (the processor re-executes from the register checkpoint);
-                // such completions update the cache but wake nobody.
-                if self.arch.procs[i].is_waiting() {
-                    self.arch.procs[i].note_miss_completed(now, done.access == CpuAccess::Store);
-                }
-                // A completed store modifies cached state that SafetyNet must
-                // be able to undo: account one log entry at this node.
-                if done.access == CpuAccess::Store
-                    && self.safetynet.log_writes(NodeId::from(i), 1) == LogOutcome::Full
-                {
-                    self.safetynet.note_log_stall();
-                }
-            }
-        }
-    }
-
-    fn pump_outboxes(&mut self, now: Cycle) {
-        let n = self.arch.procs.len();
-        for i in 0..n {
-            // Idle-outbox skip: no controller output queued and no staged
-            // message waiting out its latency timer.
-            if self.arch.caches[i].outgoing_len() == 0
-                && self.arch.dirs[i].outgoing_len() == 0
-                && self.arch.outboxes[i].is_empty()
-            {
-                continue;
-            }
-            for _ in 0..DRAIN_BUDGET {
-                match self.arch.caches[i].pop_outgoing() {
-                    Some(m) => self.arch.outboxes[i].push_back((now + CACHE_RESPONSE_LATENCY, m)),
-                    None => break,
-                }
-            }
-            for _ in 0..DRAIN_BUDGET {
-                match self.arch.dirs[i].pop_outgoing() {
-                    Some(m) => {
-                        let delay = match m.msg {
-                            DirMsg::Data { .. } => {
-                                self.cfg.memory.dram_access_cycles
-                                    + self
-                                        .perturb_rng
-                                        .next_below(self.cfg.perturbation_cycles.max(1))
-                            }
-                            _ => DIRECTORY_LATENCY,
-                        };
-                        self.arch.outboxes[i].push_back((now + delay, m));
-                    }
-                    None => break,
-                }
-            }
-            // Inject ready messages in FIFO order (per-source protocol order
-            // is preserved; the network may still reorder in flight under
-            // adaptive routing, which is the point of Section 3.1).
-            while let Some(&(ready, m)) = self.arch.outboxes[i].front() {
-                if ready > now {
-                    break;
-                }
-                let vnet = Self::vnet_of(m.msg.class());
-                let node = NodeId::from(i);
-                if !self.arch.net.can_inject(node, vnet) {
-                    break;
-                }
-                self.arch
-                    .net
-                    .inject(now, node, m.dst, vnet, m.msg.size(), m.msg)
-                    .expect("injection checked");
-                self.arch.outboxes[i].pop_front();
-            }
-        }
-    }
-
-    fn safetynet_tick(&mut self, now: Cycle) {
-        for i in 0..self.arch.dirs.len() {
-            let log = self.arch.dirs[i].take_write_log();
-            if !log.is_empty()
-                && self.safetynet.log_writes(NodeId::from(i), log.len()) == LogOutcome::Full
-            {
-                self.safetynet.note_log_stall();
-            }
-        }
-        self.safetynet.advance(now);
-        if self.safetynet.should_checkpoint(now) && self.safetynet.can_checkpoint() {
-            let snapshot = self.arch.clone();
-            self.safetynet.take_checkpoint(now, snapshot);
-        }
-    }
-
-    fn check_recovery(&mut self, now: Cycle) {
-        // Transaction timeout (Section 4): the requestor of a transaction
-        // that does not complete within three checkpoint intervals declares a
-        // deadlock mis-speculation. The processor-side timer restarts after a
-        // recovery (the processor re-executes from its register checkpoint).
-        if self.pending_misspec.is_none() {
-            let timeout = self.cfg.memory.safetynet.transaction_timeout_cycles();
-            for (i, proc) in self.arch.procs.iter().enumerate() {
-                if let Some(since) = proc.waiting_since() {
-                    if now.saturating_sub(since) >= timeout {
-                        let addr = self.arch.caches[i]
-                            .outstanding_addr()
-                            .unwrap_or(BlockAddr(0));
-                        self.pending_misspec = Some(MisSpeculation {
-                            kind: MisSpecKind::TransactionTimeout,
-                            node: NodeId::from(i),
-                            addr,
-                            at: now,
-                        });
-                        break;
-                    }
-                }
-            }
-        }
-        if let Some(ms) = self.pending_misspec.take() {
-            self.metrics.count_misspeculation(ms.kind);
-            self.metrics.recoveries += 1;
-            self.perform_recovery(now, RecoveryCause::MisSpeculation(ms.kind));
-            return;
-        }
-        if let Some(next) = self.next_injected_recovery {
-            if now >= next {
-                let interval = self
-                    .cfg
-                    .inject_recovery_every
-                    .expect("injection interval configured");
-                self.metrics.injected_recoveries += 1;
-                self.next_injected_recovery = Some(now + interval);
-                self.perform_recovery(now, RecoveryCause::Injected);
-            }
-        }
-    }
-
-    fn perform_recovery(&mut self, now: Cycle, cause: RecoveryCause) {
-        let (state, outcome) = self.safetynet.recover(now);
-        self.arch = state;
-        // Processors resume from their register checkpoints at the restored
-        // workload position.
-        for proc in &mut self.arch.procs {
-            let snap = proc.snapshot();
-            proc.restore(now + outcome.recovery_latency_cycles, snap);
-        }
-        self.metrics.lost_work_cycles += outcome.lost_work_cycles;
-        self.metrics.recovery_latency_cycles += outcome.recovery_latency_cycles;
-        self.resume_at = now + outcome.recovery_latency_cycles;
-        self.pending_misspec = None;
-        // Forward progress (Section 2, feature 4): alter the timing of the
-        // re-execution so the same rare event cannot immediately recur.
-        let fp = self.cfg.forward_progress;
-        match cause {
-            RecoveryCause::MisSpeculation(MisSpecKind::ForwardedRequestToInvalidCache) => {
-                if fp.disable_adaptive_cycles > 0 && self.cfg.routing == RoutingPolicy::Adaptive {
-                    self.arch.net.set_routing(RoutingPolicy::Static);
-                    self.fp_mode = ForwardProgressMode::AdaptiveRoutingDisabled {
-                        until: self.resume_at + fp.disable_adaptive_cycles,
-                    };
-                }
-            }
-            RecoveryCause::MisSpeculation(
-                MisSpecKind::TransactionTimeout | MisSpecKind::WritebackDoubleRace,
-            ) => {
-                if fp.slow_start_cycles > 0 {
-                    self.fp_mode = ForwardProgressMode::SlowStart {
-                        until: self.resume_at + fp.slow_start_cycles,
-                        max_outstanding: fp.slow_start_max_outstanding,
-                    };
-                }
-            }
-            RecoveryCause::Injected => {}
-        }
+        self.engine.step()
     }
 
     /// Gathers the run metrics from every component.
     pub fn collect_metrics(&mut self) -> RunMetrics {
-        let mut m = self.metrics.clone();
-        m.cycles = self.now;
-        m.ops_completed = self.ops_completed();
-        m.loads = self.arch.procs.iter().map(|p| p.stats().loads).sum();
-        m.stores = self.arch.procs.iter().map(|p| p.stats().stores).sum();
-        m.misses = self.arch.procs.iter().map(|p| p.stats().misses).sum();
-        m.miss_wait_cycles = self
-            .arch
-            .procs
-            .iter()
-            .map(|p| p.stats().miss_wait_cycles)
-            .sum();
-        m.messages_delivered = self.arch.net.stats().delivered.get();
-        for vn in specsim_net::ALL_VIRTUAL_NETWORKS {
-            m.delivered_per_vnet[vn.index()] = self.arch.net.ordering().delivered(vn);
-            m.reordered_per_vnet[vn.index()] = self.arch.net.ordering().reordered(vn);
-        }
-        m.link_utilization = self.arch.net.mean_link_utilization(self.now);
-        m.checkpoints = self.safetynet.stats().checkpoints_taken;
-        m.log_entries = self.safetynet.stats().entries_logged;
-        m.log_stall_cycles = self.safetynet.stats().log_stall_cycles;
-        self.metrics = m.clone();
-        m
+        self.engine.collect_metrics()
     }
 
     /// Checks the fundamental coherence invariants over the current stable
@@ -542,9 +433,10 @@ impl DirectorySystem {
     /// the first violation found.
     pub fn verify_coherence(&self) -> Result<(), String> {
         use std::collections::HashMap;
+        let arch = self.engine.arch();
         let mut owners: HashMap<BlockAddr, (NodeId, u64)> = HashMap::new();
         let mut copies: HashMap<BlockAddr, Vec<(NodeId, u64)>> = HashMap::new();
-        for cache in &self.arch.caches {
+        for cache in &arch.caches {
             for (addr, state, data) in cache.resident_lines() {
                 copies.entry(addr).or_default().push((cache.node(), data));
                 if matches!(state, CacheState::M | CacheState::O) {

@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod reorder;
 pub mod runner;
 pub mod scaling;
+pub mod snoop_bandwidth;
 pub mod snooping;
 pub mod tables;
 
@@ -22,5 +23,6 @@ pub use fig5::{Fig5Data, Fig5Row};
 pub use reorder::{ReorderData, ReorderRow};
 pub use runner::{measure_directory, measure_snooping, ExperimentScale, Measurement};
 pub use scaling::{ScalingConfig, ScalingData, ScalingRow};
+pub use snoop_bandwidth::{SnoopBandwidthConfig, SnoopBandwidthData, SnoopBandwidthRow};
 pub use snooping::{SnoopingComparison, SnoopingRow};
 pub use tables::{render_table1, render_table2, render_table3};

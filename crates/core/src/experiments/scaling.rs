@@ -21,12 +21,16 @@
 //! The `scaling_sweep` bench binary renders the table and writes the rows as
 //! machine-readable `BENCH_scaling.json`, giving the perf trajectory a
 //! node-count axis alongside `BENCH_kernel.json`.
+//!
+//! By default the sweep runs OLTP only; set the `SPECSIM_ALL_WORKLOADS`
+//! environment variable (to anything but `0`) to sweep every Table 3
+//! workload generator at every design point.
 
 use std::time::Instant;
 
 use specsim_base::{squarest_torus_dims, LinkBandwidth, RoutingPolicy};
 use specsim_coherence::types::ProtocolError;
-use specsim_workloads::WorkloadKind;
+use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
 
 use crate::config::SystemConfig;
 use crate::dirsys::DirectorySystem;
@@ -38,12 +42,34 @@ use crate::metrics::RunMetrics;
 /// The node counts the full sweep visits (8 → 128, doubling).
 pub const FULL_NODE_COUNTS: [usize; 5] = [8, 16, 32, 64, 128];
 
-/// What to sweep: which machine sizes, and how long/often to run each.
+/// The workloads the sweep visits, controlled by the
+/// `SPECSIM_ALL_WORKLOADS` environment variable: unset (or `0`) sweeps OLTP
+/// only, anything else sweeps every Table 3 workload generator.
+#[must_use]
+pub fn workloads_from_env() -> Vec<WorkloadKind> {
+    workloads_from_flag(std::env::var("SPECSIM_ALL_WORKLOADS").ok().as_deref())
+}
+
+/// The pure half of [`workloads_from_env`]: maps the flag's value (`None`
+/// when unset) to the workload list.
+#[must_use]
+pub fn workloads_from_flag(flag: Option<&str>) -> Vec<WorkloadKind> {
+    match flag {
+        Some(v) if !v.is_empty() && v != "0" => ALL_WORKLOADS.to_vec(),
+        _ => vec![WorkloadKind::Oltp],
+    }
+}
+
+/// What to sweep: which machine sizes and workloads, and how long/often to
+/// run each.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScalingConfig {
     /// Machine sizes to visit (each must have a `W × H` torus
     /// factorisation with both dimensions ≥ 2).
     pub node_counts: Vec<usize>,
+    /// Workloads to run at every design point (default: OLTP, or all of
+    /// Table 3 under `SPECSIM_ALL_WORKLOADS` — see [`workloads_from_env`]).
+    pub workloads: Vec<WorkloadKind>,
     /// Cycles and perturbed seeds per design point.
     pub scale: ExperimentScale,
     /// Link bandwidth of every machine in the sweep.
@@ -52,10 +78,11 @@ pub struct ScalingConfig {
 
 impl Default for ScalingConfig {
     /// The full sweep: 8 → 128 nodes at the environment-controlled scale
-    /// (`SPECSIM_CYCLES` / `SPECSIM_SEEDS`).
+    /// (`SPECSIM_CYCLES` / `SPECSIM_SEEDS` / `SPECSIM_ALL_WORKLOADS`).
     fn default() -> Self {
         Self {
             node_counts: FULL_NODE_COUNTS.to_vec(),
+            workloads: workloads_from_env(),
             scale: ExperimentScale::from_env(),
             bandwidth: LinkBandwidth::GB_3_2,
         }
@@ -63,11 +90,13 @@ impl Default for ScalingConfig {
 }
 
 impl ScalingConfig {
-    /// A CI-sized sweep: small machines, few seeds, short runs.
+    /// A CI-sized sweep: small machines, few seeds, short runs (still
+    /// honouring `SPECSIM_ALL_WORKLOADS`).
     #[must_use]
     pub fn quick() -> Self {
         Self {
             node_counts: vec![8, 16, 32],
+            workloads: workloads_from_env(),
             scale: ExperimentScale {
                 cycles: 20_000,
                 seeds: 2,
@@ -77,7 +106,8 @@ impl ScalingConfig {
     }
 }
 
-/// One design point of the sweep: a machine size × routing policy.
+/// One design point of the sweep: a machine size × workload × routing
+/// policy.
 #[derive(Debug, Clone)]
 pub struct ScalingRow {
     /// Number of nodes.
@@ -86,6 +116,8 @@ pub struct ScalingRow {
     pub width: usize,
     /// Torus height (Y-ring length).
     pub height: usize,
+    /// Workload of this design point.
+    pub workload: WorkloadKind,
     /// Routing policy of this design point.
     pub routing: RoutingPolicy,
     /// Committed operations per kilo-cycle, over the perturbed seeds.
@@ -101,8 +133,8 @@ pub struct ScalingRow {
 /// The completed sweep.
 #[derive(Debug, Clone)]
 pub struct ScalingData {
-    /// One row per (node count, routing policy), node counts in sweep order
-    /// with static before adaptive.
+    /// One row per (node count, workload, routing policy), node counts in
+    /// sweep order, workloads nested inside, static before adaptive.
     pub rows: Vec<ScalingRow>,
     /// Simulated cycles per run.
     pub cycles: u64,
@@ -120,39 +152,43 @@ fn misspec_rate(m: &RunMetrics) -> f64 {
     }
 }
 
-/// Runs the sweep: every node count under both routing policies, each design
-/// point through the perturbed-seed sharded runner.
+/// Runs the sweep: every node count under every configured workload and
+/// both routing policies, each design point through the perturbed-seed
+/// sharded runner.
 pub fn run(cfg: &ScalingConfig) -> Result<ScalingData, ProtocolError> {
-    let mut rows = Vec::with_capacity(cfg.node_counts.len() * 2);
+    let mut rows = Vec::with_capacity(cfg.node_counts.len() * cfg.workloads.len() * 2);
     for &n in &cfg.node_counts {
         let (width, height) = squarest_torus_dims(n).unwrap_or_else(|| {
             panic!("scaling sweep node count {n} has no W x H torus factorisation")
         });
-        for routing in [RoutingPolicy::Static, RoutingPolicy::Adaptive] {
-            let mut sys_cfg =
-                SystemConfig::directory_speculative(WorkloadKind::Oltp, cfg.bandwidth, 1)
-                    .with_nodes(n);
-            sys_cfg.routing = routing;
-            let runs = measure_directory(&sys_cfg, cfg.scale)?;
-            let rates: Vec<f64> = runs.iter().map(misspec_rate).collect();
-            // The simulator-speed metric times one dedicated run outside the
-            // sharded runner: dividing the sharded wall time by total cycles
-            // would measure host parallelism (seeds overlap on idle cores),
-            // making rows incomparable across machines and seed counts.
-            let timing_seed = cfg.scale.seed_list(sys_cfg.seed)[0];
-            let mut timed = DirectorySystem::new(sys_cfg.with_seed(timing_seed));
-            let started = Instant::now();
-            timed.run_for(cfg.scale.cycles)?;
-            let wall_ns = started.elapsed().as_nanos() as f64;
-            rows.push(ScalingRow {
-                num_nodes: n,
-                width,
-                height,
-                routing,
-                throughput: throughput_measurement(&runs),
-                misspec_per_mcycle: Measurement::from_samples(&rates),
-                ns_per_cycle: wall_ns / cfg.scale.cycles.max(1) as f64,
-            });
+        for &workload in &cfg.workloads {
+            for routing in [RoutingPolicy::Static, RoutingPolicy::Adaptive] {
+                let mut sys_cfg =
+                    SystemConfig::directory_speculative(workload, cfg.bandwidth, 1).with_nodes(n);
+                sys_cfg.routing = routing;
+                let runs = measure_directory(&sys_cfg, cfg.scale)?;
+                let rates: Vec<f64> = runs.iter().map(misspec_rate).collect();
+                // The simulator-speed metric times one dedicated run outside
+                // the sharded runner: dividing the sharded wall time by total
+                // cycles would measure host parallelism (seeds overlap on
+                // idle cores), making rows incomparable across machines and
+                // seed counts.
+                let timing_seed = cfg.scale.seed_list(sys_cfg.seed)[0];
+                let mut timed = DirectorySystem::new(sys_cfg.with_seed(timing_seed));
+                let started = Instant::now();
+                timed.run_for(cfg.scale.cycles)?;
+                let wall_ns = started.elapsed().as_nanos() as f64;
+                rows.push(ScalingRow {
+                    num_nodes: n,
+                    width,
+                    height,
+                    workload,
+                    routing,
+                    throughput: throughput_measurement(&runs),
+                    misspec_per_mcycle: Measurement::from_samples(&rates),
+                    ns_per_cycle: wall_ns / cfg.scale.cycles.max(1) as f64,
+                });
+            }
         }
     }
     Ok(ScalingData {
@@ -168,17 +204,20 @@ impl ScalingData {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "Node-count scaling sweep (OLTP, speculative directory; \
+            "Node-count scaling sweep (speculative directory; \
              {} cycles x {} seeds per point)\n",
             self.cycles, self.seeds
         ));
-        out.push_str("nodes  torus  routing   ops/kcycle        misspec/Mcycle    ns/sim-cycle\n");
+        out.push_str(
+            "nodes  torus  workload   routing   ops/kcycle        misspec/Mcycle    ns/sim-cycle\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:>5}  {:>2}x{:<2}  {:<8}  {:<16}  {:<16}  {:>10.1}\n",
+                "{:>5}  {:>2}x{:<2}  {:<9}  {:<8}  {:<16}  {:<16}  {:>10.1}\n",
                 r.num_nodes,
                 r.width,
                 r.height,
+                r.workload.label(),
                 r.routing.label(),
                 r.throughput.display(),
                 r.misspec_per_mcycle.display(),
@@ -201,7 +240,7 @@ impl ScalingData {
             let comma = if i + 1 == self.rows.len() { "" } else { "," };
             json.push_str(&format!(
                 "    {{\"nodes\": {}, \"width\": {}, \"height\": {}, \
-                 \"routing\": \"{}\", \
+                 \"workload\": \"{}\", \"routing\": \"{}\", \
                  \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
                  \"misspec_per_mcycle_mean\": {:.6}, \
                  \"misspec_per_mcycle_std\": {:.6}, \
@@ -209,6 +248,7 @@ impl ScalingData {
                 r.num_nodes,
                 r.width,
                 r.height,
+                r.workload.label(),
                 r.routing.label(),
                 r.throughput.mean,
                 r.throughput.std_dev,
@@ -237,9 +277,43 @@ mod tests {
     }
 
     #[test]
+    fn workload_list_follows_the_flag_value() {
+        // The pure flag parser is tested directly: mutating the
+        // process-global environment would race sibling tests that read it
+        // (ScalingConfig::default() calls workloads_from_env()).
+        assert_eq!(workloads_from_flag(None), vec![WorkloadKind::Oltp]);
+        assert_eq!(workloads_from_flag(Some("")), vec![WorkloadKind::Oltp]);
+        assert_eq!(workloads_from_flag(Some("0")), vec![WorkloadKind::Oltp]);
+        assert_eq!(workloads_from_flag(Some("1")), ALL_WORKLOADS.to_vec());
+        assert_eq!(workloads_from_flag(Some("yes")), ALL_WORKLOADS.to_vec());
+    }
+
+    #[test]
+    fn multi_workload_sweep_produces_a_row_per_size_workload_and_policy() {
+        let cfg = ScalingConfig {
+            node_counts: vec![8],
+            workloads: vec![WorkloadKind::Oltp, WorkloadKind::Barnes],
+            scale: ExperimentScale {
+                cycles: 3_000,
+                seeds: 1,
+            },
+            bandwidth: LinkBandwidth::GB_3_2,
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 4); // 1 size x 2 workloads x 2 policies
+        assert_eq!(data.rows[0].workload, WorkloadKind::Oltp);
+        assert_eq!(data.rows[2].workload, WorkloadKind::Barnes);
+        let json = data.to_json();
+        assert!(json.contains("\"workload\": \"oltp\""));
+        assert!(json.contains("\"workload\": \"barnes\""));
+        assert!(data.render().contains("barnes"));
+    }
+
+    #[test]
     fn tiny_sweep_produces_a_row_per_size_and_policy() {
         let cfg = ScalingConfig {
             node_counts: vec![8, 16],
+            workloads: vec![WorkloadKind::Oltp],
             scale: ExperimentScale {
                 cycles: 4_000,
                 seeds: 2,

@@ -1,0 +1,268 @@
+//! Snooping-system data-network bandwidth sweep.
+//!
+//! The paper's Fig. 5 studies link bandwidth (400 MB/s vs. 3.2 GB/s) on the
+//! directory machine; Table 2's snooping machine has the same link-bandwidth
+//! range on its *data* network, but the paper never sweeps it. With the data
+//! network modelled as a real torus ([`crate::SnoopSystemConfig::data_net`])
+//! the axis opens on the snooping side too: this experiment runs the
+//! snooping system across data-network link bandwidths spanning
+//! 400 MB/s → 3.2 GB/s (under both routing policies, since the data network
+//! is unordered and may route adaptively — only the address bus carries the
+//! total order) and records, per design point:
+//!
+//! * **throughput** — committed memory operations per kilo-cycle
+//!   (mean ± std over perturbed seeds, Section 5.2 methodology),
+//! * **mean miss latency** — cycles a processor waits per demand miss; the
+//!   quantity data-network contention inflates at low bandwidth,
+//! * **data-network stats** — mean in-fabric latency of data packets and
+//!   mean link utilization of the data torus (per-fabric stats; the address
+//!   bus is reported separately as ordered requests).
+//!
+//! The `snoop_bandwidth_sweep` bench binary renders the table and writes the
+//! rows as machine-readable `BENCH_snoop_bandwidth.json`.
+
+use specsim_base::{LinkBandwidth, ProtocolVariant, RoutingPolicy};
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::WorkloadKind;
+
+use crate::experiments::runner::{
+    measure_snooping, throughput_measurement, ExperimentScale, Measurement,
+};
+use crate::snoopsys::SnoopSystemConfig;
+
+/// The bandwidths the full sweep visits (the Table 2 range, doubling from
+/// 400 MB/s to 3.2 GB/s).
+pub const FULL_BANDWIDTHS: [LinkBandwidth; 4] = [
+    LinkBandwidth::MB_400,
+    LinkBandwidth::MB_800,
+    LinkBandwidth::GB_1_6,
+    LinkBandwidth::GB_3_2,
+];
+
+/// What to sweep: which bandwidths and routing policies, and how long/often
+/// to run each design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnoopBandwidthConfig {
+    /// Data-network link bandwidths to visit.
+    pub bandwidths: Vec<LinkBandwidth>,
+    /// Data-network routing policies to visit (the data network is
+    /// unordered, so adaptive routing is legal on it).
+    pub routings: Vec<RoutingPolicy>,
+    /// Workload to run at every design point.
+    pub workload: WorkloadKind,
+    /// Cycles and perturbed seeds per design point.
+    pub scale: ExperimentScale,
+}
+
+impl Default for SnoopBandwidthConfig {
+    /// The full sweep: four bandwidths × both routing policies at the
+    /// environment-controlled scale (`SPECSIM_CYCLES` / `SPECSIM_SEEDS`).
+    fn default() -> Self {
+        Self {
+            bandwidths: FULL_BANDWIDTHS.to_vec(),
+            routings: vec![RoutingPolicy::Static, RoutingPolicy::Adaptive],
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale::from_env(),
+        }
+    }
+}
+
+impl SnoopBandwidthConfig {
+    /// A CI-sized sweep: all four bandwidth points (the axis is the point of
+    /// the artifact) but static routing only, few seeds, short runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            bandwidths: FULL_BANDWIDTHS.to_vec(),
+            routings: vec![RoutingPolicy::Static],
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 2,
+            },
+        }
+    }
+}
+
+/// One design point of the sweep: a data-network bandwidth × routing policy.
+#[derive(Debug, Clone)]
+pub struct SnoopBandwidthRow {
+    /// Data-network link bandwidth of this design point.
+    pub bandwidth: LinkBandwidth,
+    /// Data-network routing policy of this design point.
+    pub routing: RoutingPolicy,
+    /// Committed operations per kilo-cycle, over the perturbed seeds.
+    pub throughput: Measurement,
+    /// Mean demand-miss latency in cycles, over the perturbed seeds.
+    pub miss_latency: Measurement,
+    /// Mean in-fabric latency of data-network packets (cycles, averaged over
+    /// runs).
+    pub data_latency_cycles: f64,
+    /// Mean link utilization of the data torus (0..1, averaged over runs).
+    pub data_link_utilization: f64,
+    /// Address-network requests ordered, summed over runs (the other
+    /// fabric's traffic volume, for scale).
+    pub bus_requests: u64,
+}
+
+/// The completed sweep.
+#[derive(Debug, Clone)]
+pub struct SnoopBandwidthData {
+    /// One row per (bandwidth, routing), bandwidths in sweep order with the
+    /// routing policies nested inside.
+    pub rows: Vec<SnoopBandwidthRow>,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Perturbed seeds per design point.
+    pub seeds: u64,
+    /// Workload used.
+    pub workload: WorkloadKind,
+}
+
+/// Runs the sweep: every bandwidth under every configured routing policy,
+/// each design point through the perturbed-seed sharded runner.
+pub fn run(cfg: &SnoopBandwidthConfig) -> Result<SnoopBandwidthData, ProtocolError> {
+    let mut rows = Vec::with_capacity(cfg.bandwidths.len() * cfg.routings.len());
+    for &bandwidth in &cfg.bandwidths {
+        for &routing in &cfg.routings {
+            let mut sys_cfg =
+                SnoopSystemConfig::new(cfg.workload, ProtocolVariant::Speculative, 4000)
+                    .with_data_bandwidth(bandwidth);
+            sys_cfg.data_net.routing = routing;
+            sys_cfg.memory.safetynet.checkpoint_interval_requests = 500;
+            let runs = measure_snooping(&sys_cfg, cfg.scale)?;
+            let miss_latencies: Vec<f64> = runs.iter().map(|r| r.mean_miss_latency()).collect();
+            let n = runs.len().max(1) as f64;
+            rows.push(SnoopBandwidthRow {
+                bandwidth,
+                routing,
+                throughput: throughput_measurement(&runs),
+                miss_latency: Measurement::from_samples(&miss_latencies),
+                data_latency_cycles: runs.iter().map(|r| r.data_mean_latency_cycles).sum::<f64>()
+                    / n,
+                data_link_utilization: runs.iter().map(|r| r.data_link_utilization).sum::<f64>()
+                    / n,
+                bus_requests: runs.iter().map(|r| r.bus_requests).sum(),
+            });
+        }
+    }
+    Ok(SnoopBandwidthData {
+        rows,
+        cycles: cfg.scale.cycles,
+        seeds: cfg.scale.seeds,
+        workload: cfg.workload,
+    })
+}
+
+impl SnoopBandwidthData {
+    /// Renders the sweep as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Snooping data-network bandwidth sweep ({}, speculative snooping; \
+             {} cycles x {} seeds per point)\n",
+            self.workload.label(),
+            self.cycles,
+            self.seeds
+        ));
+        out.push_str(
+            "MB/s   routing   ops/kcycle        miss latency (cyc)  data latency  data util\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>5}  {:<8}  {:<16}  {:<18}  {:>12.1}  {:>8.1}%\n",
+                r.bandwidth.megabytes_per_second,
+                r.routing.label(),
+                r.throughput.display(),
+                r.miss_latency.display(),
+                r.data_latency_cycles,
+                r.data_link_utilization * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the sweep as machine-readable JSON (the
+    /// `BENCH_snoop_bandwidth.json` payload): run parameters plus one object
+    /// per design point.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        json.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        json.push_str(&format!("  \"workload\": \"{}\",\n", self.workload.label()));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"mb_per_s\": {}, \"routing\": \"{}\", \
+                 \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
+                 \"miss_latency_mean\": {:.6}, \"miss_latency_std\": {:.6}, \
+                 \"data_latency_cycles\": {:.6}, \
+                 \"data_link_utilization\": {:.6}, \
+                 \"bus_requests\": {}}}{comma}\n",
+                r.bandwidth.megabytes_per_second,
+                r.routing.label(),
+                r.throughput.mean,
+                r.throughput.std_dev,
+                r.miss_latency.mean,
+                r.miss_latency.std_dev,
+                r.data_latency_cycles,
+                r.data_link_utilization,
+                r.bus_requests,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_spans_the_table_2_bandwidth_range() {
+        let cfg = SnoopBandwidthConfig::default();
+        assert!(cfg.bandwidths.len() >= 4);
+        assert_eq!(cfg.bandwidths.first(), Some(&LinkBandwidth::MB_400));
+        assert_eq!(cfg.bandwidths.last(), Some(&LinkBandwidth::GB_3_2));
+        // Quick mode keeps every bandwidth point (the artifact's axis).
+        assert_eq!(SnoopBandwidthConfig::quick().bandwidths.len(), 4);
+    }
+
+    #[test]
+    fn tiny_sweep_separates_the_bandwidth_endpoints() {
+        let cfg = SnoopBandwidthConfig {
+            bandwidths: vec![LinkBandwidth::MB_400, LinkBandwidth::GB_3_2],
+            routings: vec![RoutingPolicy::Static],
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale {
+                cycles: 15_000,
+                seeds: 1,
+            },
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2);
+        let slow = &data.rows[0];
+        let fast = &data.rows[1];
+        assert_eq!(slow.bandwidth, LinkBandwidth::MB_400);
+        assert_eq!(fast.bandwidth, LinkBandwidth::GB_3_2);
+        // The low-bandwidth machine must show clearly higher miss latency
+        // and no better throughput (Fig. 5's premise, snooping side).
+        assert!(
+            slow.miss_latency.mean > fast.miss_latency.mean,
+            "miss latency: {} vs {}",
+            slow.miss_latency.mean,
+            fast.miss_latency.mean
+        );
+        assert!(slow.throughput.mean <= fast.throughput.mean);
+        assert!(slow.data_latency_cycles > fast.data_latency_cycles);
+        let txt = data.render();
+        assert!(txt.contains("400") && txt.contains("3200"));
+        let json = data.to_json();
+        assert!(json.contains("\"mb_per_s\": 400") && json.contains("\"mb_per_s\": 3200"));
+        assert!(json.contains("\"miss_latency_mean\""));
+    }
+}

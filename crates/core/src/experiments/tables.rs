@@ -13,9 +13,10 @@ use specsim_net::VirtualNetwork;
 use specsim_workloads::{WorkloadKind, ALL_WORKLOADS};
 
 use crate::config::SystemConfig;
+use crate::engine::MeasuredCharacterization;
 use crate::experiments::runner::{measure_directory, measure_snooping, ExperimentScale};
 use crate::experiments::snooping::SnoopingComparison;
-use crate::framework::{MeasuredCharacterization, SpeculativeDesign};
+use crate::framework::SpeculativeDesign;
 use crate::snoopsys::SnoopSystemConfig;
 
 /// Measures the characterization numbers for Table 1's three designs.

@@ -8,12 +8,12 @@
 //! 3. **recovery** (SafetyNet in all three designs), and
 //! 4. **guaranteed forward progress**.
 //!
-//! This module gives those features first-class types so that the three
-//! concrete designs (speculative directory protocol, speculative snooping
-//! protocol, speculative interconnect) can be described, configured and —
-//! via the Table 1 bench — characterised from measured runs.
-
-use specsim_base::CycleDelta;
+//! This module keeps the qualitative Table 1 description of the three
+//! concrete designs; the runtime machinery the framework implies — the
+//! forward-progress modes and the per-run measured characterization — lives
+//! with the shared step loop in [`crate::engine`]
+//! ([`crate::engine::ForwardProgressMode`],
+//! [`crate::engine::MeasuredCharacterization`]).
 
 /// The three applications of speculation for simplicity the paper develops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,53 +115,6 @@ impl SpeculativeDesign {
     }
 }
 
-/// The forward-progress mode a system is currently operating in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ForwardProgressMode {
-    /// Normal, fully speculative operation.
-    Normal,
-    /// Adaptive routing disabled until the given cycle (directory design).
-    AdaptiveRoutingDisabled {
-        /// Cycle at which adaptive routing is re-enabled.
-        until: CycleDelta,
-    },
-    /// Slow-start: outstanding transactions restricted until the given cycle
-    /// (snooping and interconnect designs).
-    SlowStart {
-        /// Cycle at which normal concurrency resumes.
-        until: CycleDelta,
-        /// Maximum transactions outstanding while in slow-start.
-        max_outstanding: usize,
-    },
-}
-
-/// Measured characterization of one design, filled in by short simulations
-/// and printed by the Table 1 bench alongside the qualitative rows.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct MeasuredCharacterization {
-    /// Events that could have mis-speculated (e.g. messages on the ordered
-    /// virtual network, writebacks, transactions).
-    pub exposure_events: u64,
-    /// Mis-speculations actually detected.
-    pub misspeculations: u64,
-    /// Recoveries performed.
-    pub recoveries: u64,
-    /// Mean cost of a recovery in cycles (lost work + recovery latency).
-    pub mean_recovery_cost_cycles: f64,
-}
-
-impl MeasuredCharacterization {
-    /// Mis-speculations per exposure event (0 when there was no exposure).
-    #[must_use]
-    pub fn misspeculation_rate(&self) -> f64 {
-        if self.exposure_events == 0 {
-            0.0
-        } else {
-            self.misspeculations as f64 / self.exposure_events as f64
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,17 +142,5 @@ mod tests {
         assert!(SpeculativeDesign::InterconnectDeadlock
             .detection_mechanism()
             .contains("timeout"));
-    }
-
-    #[test]
-    fn misspeculation_rate_is_guarded_against_zero_exposure() {
-        let m = MeasuredCharacterization::default();
-        assert_eq!(m.misspeculation_rate(), 0.0);
-        let m = MeasuredCharacterization {
-            exposure_events: 1000,
-            misspeculations: 2,
-            ..Default::default()
-        };
-        assert!((m.misspeculation_rate() - 0.002).abs() < 1e-12);
     }
 }

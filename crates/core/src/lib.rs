@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod dirsys;
+pub mod engine;
 pub mod experiments;
 pub mod framework;
 pub mod metrics;
@@ -33,6 +34,10 @@ pub mod snoopsys;
 
 pub use config::{ForwardProgressConfig, SystemConfig};
 pub use dirsys::DirectorySystem;
-pub use framework::{ForwardProgressMode, MeasuredCharacterization, SpeculativeDesign};
+pub use engine::{
+    EngineAccess, EngineCtx, EngineProbe, ForwardProgressMode, MeasuredCharacterization,
+    ProtocolNode, StagedOutbox, SystemEngine,
+};
+pub use framework::SpeculativeDesign;
 pub use metrics::RunMetrics;
 pub use snoopsys::{SnoopSystemConfig, SnoopingSystem};

@@ -46,6 +46,16 @@ pub struct RunMetrics {
     pub log_stall_cycles: u64,
     /// Address-network requests ordered (snooping system only).
     pub bus_requests: u64,
+    /// Messages delivered by the point-to-point data network (snooping
+    /// system's second fabric; the directory system has a single fabric and
+    /// reports it via [`RunMetrics::messages_delivered`]).
+    pub data_messages_delivered: u64,
+    /// Mean in-fabric latency of data-network deliveries in cycles
+    /// (snooping system only).
+    pub data_mean_latency_cycles: f64,
+    /// Mean link utilization of the data network over the run, 0..1
+    /// (snooping system only).
+    pub data_link_utilization: f64,
 }
 
 impl RunMetrics {

@@ -1,23 +1,38 @@
 //! The full broadcast-snooping system of Section 3.2: 16 processors with
 //! caches snooping a totally ordered address network, per-node home memory
 //! controllers, a point-to-point data network and SafetyNet.
-
-use std::collections::VecDeque;
+//!
+//! The machine has **two fabrics** (Table 2): the totally ordered broadcast
+//! **address network** ([`specsim_net::OrderedBus`]), which orders coherence
+//! requests and is the protocol's logical time base, and a separate
+//! point-to-point **data network** — a full [`specsim_net::Network`] torus
+//! instance carrying owner→requestor and memory→requestor block transfers as
+//! routed, size-accounted packets. The data torus is configured through
+//! [`SnoopSystemConfig::data_net`] (link bandwidth, torus dims, routing
+//! policy), which opens the snooping side of the paper's bandwidth axis
+//! (Fig. 5 evaluates 400 MB/s and 3.2 GB/s links); the bus keeps total order
+//! for addresses only — the data network is unordered and may be adaptive.
+//!
+//! The per-cycle machinery is the shared [`SystemEngine`]; this module
+//! contributes the snooping [`ProtocolNode`] implementation.
 
 use specsim_base::{
-    Cycle, CycleDelta, DetRng, LinkBandwidth, MemorySystemConfig, MessageSize, NodeId,
+    BlockAddr, Cycle, CycleDelta, DetRng, LinkBandwidth, MemorySystemConfig, NodeId,
     ProtocolVariant, RoutingPolicy,
 };
+use specsim_coherence::snoop::msg::SnoopDataOut;
 use specsim_coherence::snoop::{
     SnoopAccessOutcome, SnoopCacheController, SnoopDataMsg, SnoopMemoryController, SnoopRequest,
 };
-use specsim_coherence::types::{CpuAccess, MisSpecKind, MisSpeculation, ProtocolError};
+use specsim_coherence::types::{CpuRequest, MisSpecKind, ProtocolError};
 use specsim_net::{NetConfig, Network, OrderedBus, VirtualNetwork};
-use specsim_safetynet::{LogOutcome, SafetyNet};
+use specsim_safetynet::SafetyNet;
 use specsim_workloads::{Processor, WorkloadGenerator, WorkloadKind};
 
 use crate::config::ForwardProgressConfig;
-use crate::framework::ForwardProgressMode;
+use crate::engine::{
+    EngineAccess, EngineCtx, ForwardProgressMode, ProtocolNode, StagedOutbox, SystemEngine,
+};
 use crate::metrics::RunMetrics;
 
 /// Snoops each node consumes from the address network per cycle.
@@ -43,6 +58,13 @@ pub struct SnoopSystemConfig {
     pub bus_arbitration_interval: CycleDelta,
     /// Cycles from a grant to every node observing the request.
     pub bus_broadcast_latency: CycleDelta,
+    /// The point-to-point data-network fabric: a torus instance whose link
+    /// bandwidth, routing policy and buffering are the snooping system's
+    /// bandwidth-experiment knobs. `num_nodes` and `torus_dims` are always
+    /// taken from [`Self::memory`] (see [`Self::data_net_config`]); the
+    /// default is a worst-case-buffered static torus at the memory system's
+    /// link bandwidth.
+    pub data_net: NetConfig,
     /// Forward-progress measures (slow-start) after recoveries.
     pub forward_progress: ForwardProgressConfig,
     /// If set, inject a recovery every this many cycles (Figure 4 stress
@@ -58,23 +80,51 @@ impl SnoopSystemConfig {
     /// variant.
     #[must_use]
     pub fn new(workload: WorkloadKind, protocol: ProtocolVariant, seed: u64) -> Self {
+        let memory = MemorySystemConfig::default();
+        let data_net = NetConfig::full_buffering(
+            memory.num_nodes,
+            memory.link_bandwidth,
+            RoutingPolicy::Static,
+        );
         Self {
-            memory: MemorySystemConfig::default(),
+            memory,
             protocol,
             workload,
             seed,
             bus_arbitration_interval: 8,
             bus_broadcast_latency: 64,
+            data_net,
             forward_progress: ForwardProgressConfig::default(),
             inject_recovery_every: None,
             perturbation_cycles: 4,
         }
     }
+
+    /// Returns a copy whose data network runs at `bandwidth` (the snooping
+    /// half of the paper's 400 MB/s → 3.2 GB/s link-bandwidth axis).
+    #[must_use]
+    pub fn with_data_bandwidth(&self, bandwidth: LinkBandwidth) -> Self {
+        let mut c = self.clone();
+        c.data_net.link_bandwidth = bandwidth;
+        c
+    }
+
+    /// The data-network configuration actually instantiated: a copy of
+    /// [`Self::data_net`] with the machine geometry (`num_nodes`,
+    /// `torus_dims`) forced to match [`Self::memory`], so the two can never
+    /// disagree about the machine size.
+    #[must_use]
+    pub fn data_net_config(&self) -> NetConfig {
+        let mut net = self.data_net.clone();
+        net.num_nodes = self.memory.num_nodes;
+        net.torus_dims = self.memory.torus_dims;
+        net
+    }
 }
 
 /// Architectural state restored by SafetyNet recovery.
 #[derive(Debug, Clone)]
-struct ArchState {
+pub(crate) struct ArchState {
     bus: OrderedBus<SnoopRequest>,
     data_net: Network<SnoopDataMsg>,
     caches: Vec<SnoopCacheController>,
@@ -82,24 +132,276 @@ struct ArchState {
     procs: Vec<Processor>,
     /// Memory-controller data responses waiting out their DRAM access
     /// latency before entering the data network.
-    mem_outboxes: Vec<VecDeque<(Cycle, specsim_coherence::snoop::msg::SnoopDataOut)>>,
+    mem_outboxes: Vec<StagedOutbox<SnoopDataOut>>,
+}
+
+/// The snooping-protocol half of the machine: the ordered address network,
+/// the data torus, and the cache/home-memory controllers.
+#[derive(Debug)]
+pub(crate) struct SnoopProtocol {
+    cfg: SnoopSystemConfig,
+    requests_at_last_checkpoint: u64,
+}
+
+impl SnoopProtocol {
+    fn pump_controllers(
+        &mut self,
+        arch: &mut ArchState,
+        now: Cycle,
+        ctx: &mut EngineCtx<'_, ArchState>,
+    ) {
+        let ArchState {
+            bus,
+            data_net,
+            caches,
+            memories,
+            mem_outboxes,
+            ..
+        } = arch;
+        for i in 0..caches.len() {
+            let node = NodeId::from(i);
+            // Idle-outbox skip: no cache or memory output queued and no data
+            // response waiting out its DRAM latency.
+            if caches[i].outgoing_len() == 0
+                && memories[i].outgoing_len() == 0
+                && mem_outboxes[i].is_empty()
+            {
+                continue;
+            }
+            // Address-network requests.
+            for _ in 0..DRAIN_BUDGET {
+                match caches[i].pop_bus_request() {
+                    Some(req) => {
+                        bus.request(node, req);
+                        ctx.metrics().bus_requests += 1;
+                    }
+                    None => break,
+                }
+            }
+            // Data-network messages from caches (responses, writeback data).
+            // Back-pressure is checked *before* popping: with a bounded
+            // data-fabric configuration the message must stay queued in the
+            // controller, not be dropped (the default worst-case buffering
+            // never rejects).
+            for _ in 0..DRAIN_BUDGET {
+                if !data_net.can_inject(node, VirtualNetwork::Response) {
+                    break;
+                }
+                let Some(out) = caches[i].pop_data_message() else {
+                    break;
+                };
+                data_net
+                    .inject(
+                        now,
+                        node,
+                        out.dst,
+                        VirtualNetwork::Response,
+                        out.msg.size(),
+                        out.msg,
+                    )
+                    .expect("injection checked");
+            }
+            // Data-network messages from memory controllers wait out the DRAM
+            // access latency (plus the small pseudo-random perturbation of the
+            // Section 5.2 methodology) in a staging outbox before injection.
+            for _ in 0..DRAIN_BUDGET {
+                let Some(out) = memories[i].pop_data_message() else {
+                    break;
+                };
+                let delay = self.cfg.memory.dram_access_cycles
+                    + ctx.perturbation(self.cfg.perturbation_cycles);
+                mem_outboxes[i].stage(now + delay, out);
+            }
+            mem_outboxes[i].pump(now, |out| {
+                if !data_net.can_inject(node, VirtualNetwork::Response) {
+                    return false;
+                }
+                data_net
+                    .inject(
+                        now,
+                        node,
+                        out.dst,
+                        VirtualNetwork::Response,
+                        out.msg.size(),
+                        out.msg,
+                    )
+                    .expect("injection checked");
+                true
+            });
+        }
+    }
+
+    fn deliver_snoops(
+        &mut self,
+        arch: &mut ArchState,
+        now: Cycle,
+        ctx: &mut EngineCtx<'_, ArchState>,
+    ) {
+        for i in 0..arch.procs.len() {
+            let node = NodeId::from(i);
+            // Idle-inbox skip: no snoop broadcast is waiting at this node.
+            if arch.bus.snoop_len(node) == 0 {
+                continue;
+            }
+            for _ in 0..SNOOP_BUDGET {
+                let Some(delivery) = arch.bus.pop_snoop(node) else {
+                    break;
+                };
+                // Both the cache and the home memory controller observe the
+                // same, totally ordered, request stream.
+                arch.memories[i].observe_snoop(now, delivery.src, delivery.payload);
+                match arch.caches[i].observe_snoop(now, delivery.src, delivery.payload) {
+                    Ok(Some(misspec)) => ctx.note_misspeculation(misspec),
+                    Ok(None) => {}
+                    Err(e) => ctx.note_error(e),
+                }
+            }
+        }
+    }
+
+    fn deliver_data(
+        &mut self,
+        arch: &mut ArchState,
+        now: Cycle,
+        ctx: &mut EngineCtx<'_, ArchState>,
+    ) {
+        for i in 0..arch.procs.len() {
+            let node = NodeId::from(i);
+            // Idle-inbox skip: nothing on the data network for this node.
+            if !arch.data_net.has_ejectable(node) {
+                continue;
+            }
+            for _ in 0..DATA_INGEST_BUDGET {
+                let Some(packet) = arch.data_net.eject_any(node) else {
+                    break;
+                };
+                let result = match packet.payload {
+                    SnoopDataMsg::WbData { .. } => {
+                        arch.memories[i].handle_data(now, packet.payload)
+                    }
+                    SnoopDataMsg::Data { .. } => arch.caches[i].handle_data(now, packet.payload),
+                };
+                if let Err(e) = result {
+                    ctx.note_error(e);
+                }
+            }
+        }
+    }
+}
+
+impl ProtocolNode for SnoopProtocol {
+    type Arch = ArchState;
+
+    fn procs(arch: &ArchState) -> &[Processor] {
+        &arch.procs
+    }
+
+    fn procs_mut(arch: &mut ArchState) -> &mut [Processor] {
+        &mut arch.procs
+    }
+
+    fn outstanding_demand(arch: &ArchState) -> usize {
+        arch.caches
+            .iter()
+            .filter(|c| c.has_outstanding_demand())
+            .count()
+    }
+
+    fn cpu_request(arch: &mut ArchState, i: usize, now: Cycle, req: CpuRequest) -> EngineAccess {
+        match arch.caches[i].cpu_request(now, req) {
+            SnoopAccessOutcome::L1Hit { latency, .. }
+            | SnoopAccessOutcome::L2Hit { latency, .. } => EngineAccess::Hit { latency },
+            SnoopAccessOutcome::MissIssued => EngineAccess::MissIssued,
+            SnoopAccessOutcome::Stall => EngineAccess::Stall,
+        }
+    }
+
+    fn exchange(&mut self, arch: &mut ArchState, now: Cycle, ctx: &mut EngineCtx<'_, ArchState>) {
+        self.pump_controllers(arch, now, ctx);
+        arch.bus.tick(now);
+        self.deliver_snoops(arch, now, ctx);
+        arch.data_net.tick(now);
+        self.deliver_data(arch, now, ctx);
+        let ArchState { procs, caches, .. } = arch;
+        ctx.deliver_completions(now, procs, |i| {
+            caches[i].take_completed().map(|done| done.access)
+        });
+    }
+
+    fn drain_write_log(arch: &mut ArchState, i: usize) -> usize {
+        arch.memories[i].take_write_log().len()
+    }
+
+    fn checkpoint_due(
+        &self,
+        arch: &ArchState,
+        _safetynet: &SafetyNet<ArchState>,
+        _now: Cycle,
+    ) -> bool {
+        // The snooping system's checkpoints use the totally ordered address
+        // network as their logical time base: one checkpoint every
+        // `checkpoint_interval_requests` ordered requests (Table 2).
+        arch.bus
+            .granted()
+            .saturating_sub(self.requests_at_last_checkpoint)
+            >= self.cfg.memory.safetynet.checkpoint_interval_requests
+    }
+
+    fn on_checkpoint_taken(&mut self, arch: &ArchState) {
+        self.requests_at_last_checkpoint = arch.bus.granted();
+    }
+
+    fn timeout_addr(_arch: &ArchState, _i: usize) -> BlockAddr {
+        BlockAddr(0)
+    }
+
+    fn after_recovery_restore(&mut self, arch: &mut ArchState) {
+        self.requests_at_last_checkpoint = arch.bus.granted();
+    }
+
+    fn misspec_forward_progress(
+        &mut self,
+        _arch: &mut ArchState,
+        _kind: MisSpecKind,
+        resume_at: Cycle,
+        fp: &ForwardProgressConfig,
+    ) -> ForwardProgressMode {
+        // Section 3.2 / Section 4: restrict outstanding transactions after
+        // recovery; the corner case (and deadlock) need at least two
+        // concurrent transactions to recur.
+        if fp.slow_start_cycles > 0 {
+            ForwardProgressMode::SlowStart {
+                until: resume_at + fp.slow_start_cycles,
+                max_outstanding: fp.slow_start_max_outstanding,
+            }
+        } else {
+            ForwardProgressMode::Normal
+        }
+    }
+
+    fn on_adaptive_window_expired(&mut self, _arch: &mut ArchState) {
+        // The snooping design never disables adaptive routing (its address
+        // order comes from the bus, not the torus).
+    }
+
+    fn normal_outstanding_limit(&self) -> usize {
+        usize::MAX
+    }
+
+    fn collect_protocol_metrics(&self, arch: &ArchState, now: Cycle, m: &mut RunMetrics) {
+        m.messages_delivered = arch.data_net.stats().delivered.get();
+        m.bus_requests = arch.bus.granted();
+        // Per-fabric stats of the second interconnect: the data torus.
+        m.data_messages_delivered = arch.data_net.stats().delivered.get();
+        m.data_mean_latency_cycles = arch.data_net.stats().mean_latency();
+        m.data_link_utilization = arch.data_net.mean_link_utilization(now);
+    }
 }
 
 /// The assembled broadcast-snooping multiprocessor.
 #[derive(Debug)]
 pub struct SnoopingSystem {
-    cfg: SnoopSystemConfig,
-    now: Cycle,
-    arch: ArchState,
-    safetynet: SafetyNet<ArchState>,
-    requests_at_last_checkpoint: u64,
-    fp_mode: ForwardProgressMode,
-    resume_at: Cycle,
-    next_injected_recovery: Option<Cycle>,
-    pending_misspec: Option<MisSpeculation>,
-    protocol_error: Option<ProtocolError>,
-    perturb_rng: DetRng,
-    metrics: RunMetrics,
+    pub(crate) engine: SystemEngine<SnoopProtocol>,
 }
 
 impl SnoopingSystem {
@@ -122,415 +424,67 @@ impl SnoopingSystem {
             .map(|i| SnoopMemoryController::new(NodeId::from(i), n))
             .collect();
         let bus = OrderedBus::new(n, cfg.bus_arbitration_interval, cfg.bus_broadcast_latency);
-        // The data network is not under test in the snooping experiments; use
-        // the deadlock-free worst-case-buffering configuration.
-        let data_net = Network::new(NetConfig::full_buffering(
-            n,
-            LinkBandwidth::GB_3_2,
-            RoutingPolicy::Static,
-        ));
+        let data_net = Network::new(cfg.data_net_config());
         let arch = ArchState {
             bus,
             data_net,
             caches,
             memories,
             procs,
-            mem_outboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            mem_outboxes: (0..n).map(|_| StagedOutbox::default()).collect(),
         };
-        let safetynet = SafetyNet::new(cfg.memory.safetynet.clone(), n, arch.clone(), 0);
-        let next_injected_recovery = cfg.inject_recovery_every.map(|i| i.max(1));
         let perturb_rng = seed_rng.fork();
-        Self {
-            cfg,
-            now: 0,
+        let engine = SystemEngine::new(
+            SnoopProtocol {
+                cfg: cfg.clone(),
+                requests_at_last_checkpoint: 0,
+            },
             arch,
-            safetynet,
-            requests_at_last_checkpoint: 0,
-            fp_mode: ForwardProgressMode::Normal,
-            resume_at: 0,
-            next_injected_recovery,
-            pending_misspec: None,
-            protocol_error: None,
+            cfg.memory.safetynet.clone(),
+            cfg.forward_progress,
+            cfg.inject_recovery_every,
             perturb_rng,
-            metrics: RunMetrics::default(),
-        }
+        );
+        Self { engine }
     }
 
     /// The configuration this system was built from.
     #[must_use]
     pub fn config(&self) -> &SnoopSystemConfig {
-        &self.cfg
+        &self.engine.protocol().cfg
     }
 
     /// Current simulated cycle.
     #[must_use]
     pub fn now(&self) -> Cycle {
-        self.now
+        self.engine.now()
     }
 
     /// The forward-progress mode currently in force.
     #[must_use]
     pub fn forward_progress_mode(&self) -> ForwardProgressMode {
-        self.fp_mode
+        self.engine.forward_progress_mode()
     }
 
     /// Memory operations committed so far across all processors.
     #[must_use]
     pub fn ops_completed(&self) -> u64 {
-        self.arch.procs.iter().map(Processor::ops_completed).sum()
+        self.engine.ops_completed()
     }
 
     /// Runs the system for `cycles` cycles and returns the metrics so far.
     pub fn run_for(&mut self, cycles: CycleDelta) -> Result<RunMetrics, ProtocolError> {
-        let end = self.now + cycles;
-        while self.now < end {
-            self.step()?;
-        }
-        Ok(self.collect_metrics())
+        self.engine.run_for(cycles)
     }
 
     /// Advances the system by one cycle.
     pub fn step(&mut self) -> Result<(), ProtocolError> {
-        if let Some(e) = self.protocol_error.take() {
-            return Err(e);
-        }
-        self.now += 1;
-        let now = self.now;
-        if now < self.resume_at {
-            return Ok(());
-        }
-        self.update_forward_progress(now);
-        self.tick_processors(now);
-        self.pump_controllers(now);
-        self.arch.bus.tick(now);
-        self.deliver_snoops(now);
-        self.arch.data_net.tick(now);
-        self.deliver_data(now);
-        self.deliver_completions(now);
-        self.safetynet_tick(now);
-        self.check_recovery(now);
-        if let Some(e) = self.protocol_error.take() {
-            return Err(e);
-        }
-        Ok(())
-    }
-
-    fn update_forward_progress(&mut self, now: Cycle) {
-        if let ForwardProgressMode::SlowStart { until, .. } = self.fp_mode {
-            if now >= until {
-                self.fp_mode = ForwardProgressMode::Normal;
-            }
-        }
-    }
-
-    fn outstanding_limit(&self) -> usize {
-        match self.fp_mode {
-            ForwardProgressMode::SlowStart {
-                max_outstanding, ..
-            } => max_outstanding.max(1),
-            _ => usize::MAX,
-        }
-    }
-
-    fn tick_processors(&mut self, now: Cycle) {
-        let limit = self.outstanding_limit();
-        // Lazily computed demand census; see DirectorySystem::tick_processors.
-        let mut outstanding: Option<usize> = None;
-        for i in 0..self.arch.procs.len() {
-            match self.arch.procs[i].ready_at() {
-                Some(ready) if ready <= now => {}
-                _ => continue,
-            }
-            let Some(req) = self.arch.procs[i].poll(now) else {
-                continue;
-            };
-            let outstanding = outstanding.get_or_insert_with(|| {
-                self.arch
-                    .caches
-                    .iter()
-                    .filter(|c| c.has_outstanding_demand())
-                    .count()
-            });
-            if *outstanding >= limit {
-                continue;
-            }
-            let outcome = self.arch.caches[i].cpu_request(now, req);
-            let proc = &mut self.arch.procs[i];
-            match outcome {
-                SnoopAccessOutcome::L1Hit { latency, .. }
-                | SnoopAccessOutcome::L2Hit { latency, .. } => {
-                    proc.note_hit(now, latency, req.access == CpuAccess::Store);
-                }
-                SnoopAccessOutcome::MissIssued => {
-                    proc.note_miss_issued(now);
-                    *outstanding += 1;
-                }
-                SnoopAccessOutcome::Stall => proc.note_stall(),
-            }
-        }
-    }
-
-    fn pump_controllers(&mut self, now: Cycle) {
-        for i in 0..self.arch.procs.len() {
-            let node = NodeId::from(i);
-            // Idle-outbox skip: no cache or memory output queued and no data
-            // response waiting out its DRAM latency.
-            if self.arch.caches[i].outgoing_len() == 0
-                && self.arch.memories[i].outgoing_len() == 0
-                && self.arch.mem_outboxes[i].is_empty()
-            {
-                continue;
-            }
-            // Address-network requests.
-            for _ in 0..DRAIN_BUDGET {
-                match self.arch.caches[i].pop_bus_request() {
-                    Some(req) => {
-                        self.arch.bus.request(node, req);
-                        self.metrics.bus_requests += 1;
-                    }
-                    None => break,
-                }
-            }
-            // Data-network messages from caches (responses, writeback data).
-            for _ in 0..DRAIN_BUDGET {
-                let Some(out) = self.arch.caches[i].pop_data_message() else {
-                    break;
-                };
-                if self
-                    .arch
-                    .data_net
-                    .can_inject(node, VirtualNetwork::Response)
-                {
-                    self.arch
-                        .data_net
-                        .inject(
-                            now,
-                            node,
-                            out.dst,
-                            VirtualNetwork::Response,
-                            MessageSize::Data,
-                            out.msg,
-                        )
-                        .expect("injection checked");
-                } else {
-                    // Worst-case buffering never rejects, but keep the message
-                    // if it ever does.
-                    break;
-                }
-            }
-            // Data-network messages from memory controllers wait out the DRAM
-            // access latency (plus the small pseudo-random perturbation of the
-            // Section 5.2 methodology) in a staging outbox before injection.
-            for _ in 0..DRAIN_BUDGET {
-                let Some(out) = self.arch.memories[i].pop_data_message() else {
-                    break;
-                };
-                let delay = self.cfg.memory.dram_access_cycles
-                    + self
-                        .perturb_rng
-                        .next_below(self.cfg.perturbation_cycles.max(1));
-                self.arch.mem_outboxes[i].push_back((now + delay, out));
-            }
-            while let Some(&(ready, out)) = self.arch.mem_outboxes[i].front() {
-                if ready > now
-                    || !self
-                        .arch
-                        .data_net
-                        .can_inject(node, VirtualNetwork::Response)
-                {
-                    break;
-                }
-                self.arch
-                    .data_net
-                    .inject(
-                        now,
-                        node,
-                        out.dst,
-                        VirtualNetwork::Response,
-                        MessageSize::Data,
-                        out.msg,
-                    )
-                    .expect("injection checked");
-                self.arch.mem_outboxes[i].pop_front();
-            }
-        }
-    }
-
-    fn deliver_snoops(&mut self, now: Cycle) {
-        for i in 0..self.arch.procs.len() {
-            let node = NodeId::from(i);
-            // Idle-inbox skip: no snoop broadcast is waiting at this node.
-            if self.arch.bus.snoop_len(node) == 0 {
-                continue;
-            }
-            for _ in 0..SNOOP_BUDGET {
-                let Some(delivery) = self.arch.bus.pop_snoop(node) else {
-                    break;
-                };
-                // Both the cache and the home memory controller observe the
-                // same, totally ordered, request stream.
-                self.arch.memories[i].observe_snoop(now, delivery.src, delivery.payload);
-                match self.arch.caches[i].observe_snoop(now, delivery.src, delivery.payload) {
-                    Ok(Some(misspec)) => {
-                        self.pending_misspec.get_or_insert(misspec);
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        self.protocol_error.get_or_insert(e);
-                    }
-                }
-            }
-        }
-    }
-
-    fn deliver_data(&mut self, now: Cycle) {
-        for i in 0..self.arch.procs.len() {
-            let node = NodeId::from(i);
-            // Idle-inbox skip: nothing on the data network for this node.
-            if !self.arch.data_net.has_ejectable(node) {
-                continue;
-            }
-            for _ in 0..DATA_INGEST_BUDGET {
-                let Some(packet) = self.arch.data_net.eject_any(node) else {
-                    break;
-                };
-                let result = match packet.payload {
-                    SnoopDataMsg::WbData { .. } => {
-                        self.arch.memories[i].handle_data(now, packet.payload)
-                    }
-                    SnoopDataMsg::Data { .. } => {
-                        self.arch.caches[i].handle_data(now, packet.payload)
-                    }
-                };
-                if let Err(e) = result {
-                    self.protocol_error.get_or_insert(e);
-                }
-            }
-        }
-    }
-
-    fn deliver_completions(&mut self, now: Cycle) {
-        for i in 0..self.arch.procs.len() {
-            if let Some(done) = self.arch.caches[i].take_completed() {
-                // See DirectorySystem::deliver_completions: completions for
-                // rolled-back requests update the cache but wake nobody.
-                if self.arch.procs[i].is_waiting() {
-                    self.arch.procs[i].note_miss_completed(now, done.access == CpuAccess::Store);
-                }
-                if done.access == CpuAccess::Store
-                    && self.safetynet.log_writes(NodeId::from(i), 1) == LogOutcome::Full
-                {
-                    self.safetynet.note_log_stall();
-                }
-            }
-        }
-    }
-
-    fn safetynet_tick(&mut self, now: Cycle) {
-        for i in 0..self.arch.memories.len() {
-            let log = self.arch.memories[i].take_write_log();
-            if !log.is_empty()
-                && self.safetynet.log_writes(NodeId::from(i), log.len()) == LogOutcome::Full
-            {
-                self.safetynet.note_log_stall();
-            }
-        }
-        self.safetynet.advance(now);
-        // The snooping system's checkpoints use the totally ordered address
-        // network as their logical time base: one checkpoint every
-        // `checkpoint_interval_requests` ordered requests (Table 2).
-        let granted = self.arch.bus.granted();
-        if granted.saturating_sub(self.requests_at_last_checkpoint)
-            >= self.cfg.memory.safetynet.checkpoint_interval_requests
-            && self.safetynet.can_checkpoint()
-        {
-            self.requests_at_last_checkpoint = granted;
-            let snapshot = self.arch.clone();
-            self.safetynet.take_checkpoint(now, snapshot);
-        }
-    }
-
-    fn check_recovery(&mut self, now: Cycle) {
-        if self.pending_misspec.is_none() {
-            let timeout = self.cfg.memory.safetynet.transaction_timeout_cycles();
-            for (i, proc) in self.arch.procs.iter().enumerate() {
-                if let Some(since) = proc.waiting_since() {
-                    if now.saturating_sub(since) >= timeout {
-                        self.pending_misspec = Some(MisSpeculation {
-                            kind: MisSpecKind::TransactionTimeout,
-                            node: NodeId::from(i),
-                            addr: specsim_base::BlockAddr(0),
-                            at: now,
-                        });
-                        break;
-                    }
-                }
-            }
-        }
-        if let Some(ms) = self.pending_misspec.take() {
-            self.metrics.count_misspeculation(ms.kind);
-            self.metrics.recoveries += 1;
-            self.perform_recovery(now, true);
-            return;
-        }
-        if let Some(next) = self.next_injected_recovery {
-            if now >= next {
-                let interval = self
-                    .cfg
-                    .inject_recovery_every
-                    .expect("injection interval configured");
-                self.metrics.injected_recoveries += 1;
-                self.next_injected_recovery = Some(now + interval);
-                self.perform_recovery(now, false);
-            }
-        }
-    }
-
-    fn perform_recovery(&mut self, now: Cycle, apply_slow_start: bool) {
-        let (state, outcome) = self.safetynet.recover(now);
-        self.arch = state;
-        for proc in &mut self.arch.procs {
-            let snap = proc.snapshot();
-            proc.restore(now + outcome.recovery_latency_cycles, snap);
-        }
-        self.requests_at_last_checkpoint = self.arch.bus.granted();
-        self.metrics.lost_work_cycles += outcome.lost_work_cycles;
-        self.metrics.recovery_latency_cycles += outcome.recovery_latency_cycles;
-        self.resume_at = now + outcome.recovery_latency_cycles;
-        self.pending_misspec = None;
-        let fp = self.cfg.forward_progress;
-        if apply_slow_start && fp.slow_start_cycles > 0 {
-            // Section 3.2 / Section 4: restrict outstanding transactions after
-            // recovery; the corner case (and deadlock) need at least two
-            // concurrent transactions to recur.
-            self.fp_mode = ForwardProgressMode::SlowStart {
-                until: self.resume_at + fp.slow_start_cycles,
-                max_outstanding: fp.slow_start_max_outstanding,
-            };
-        }
+        self.engine.step()
     }
 
     /// Gathers the run metrics from every component.
     pub fn collect_metrics(&mut self) -> RunMetrics {
-        let mut m = self.metrics.clone();
-        m.cycles = self.now;
-        m.ops_completed = self.ops_completed();
-        m.loads = self.arch.procs.iter().map(|p| p.stats().loads).sum();
-        m.stores = self.arch.procs.iter().map(|p| p.stats().stores).sum();
-        m.misses = self.arch.procs.iter().map(|p| p.stats().misses).sum();
-        m.miss_wait_cycles = self
-            .arch
-            .procs
-            .iter()
-            .map(|p| p.stats().miss_wait_cycles)
-            .sum();
-        m.messages_delivered = self.arch.data_net.stats().delivered.get();
-        m.bus_requests = self.arch.bus.granted();
-        m.checkpoints = self.safetynet.stats().checkpoints_taken;
-        m.log_entries = self.safetynet.stats().entries_logged;
-        m.log_stall_cycles = self.safetynet.stats().log_stall_cycles;
-        self.metrics = m.clone();
-        m
+        self.engine.collect_metrics()
     }
 
     /// Checks the single-owner invariant over the stable cache state.
@@ -538,7 +492,7 @@ impl SnoopingSystem {
         use specsim_coherence::snoop::cache::SnoopCacheState;
         use std::collections::HashMap;
         let mut owners: HashMap<u64, NodeId> = HashMap::new();
-        for cache in &self.arch.caches {
+        for cache in &self.engine.arch().caches {
             for (addr, state, _) in cache.resident_lines() {
                 if matches!(state, SnoopCacheState::M | SnoopCacheState::O) {
                     if let Some(other) = owners.insert(addr.0, cache.node()) {
@@ -606,5 +560,64 @@ mod tests {
         // handful of checkpoints.
         assert!(m.checkpoints >= 1, "checkpoints: {}", m.checkpoints);
         assert!(m.bus_requests >= 200 * m.checkpoints);
+    }
+
+    #[test]
+    fn data_net_geometry_always_follows_the_memory_config() {
+        let mut cfg = small_config(ProtocolVariant::Full);
+        cfg.memory.num_nodes = 32;
+        cfg.memory.torus_dims = Some((16, 2));
+        // Even though `data_net` was built for the 16-node default, the
+        // instantiated fabric follows the memory geometry.
+        let net = cfg.data_net_config();
+        assert_eq!(net.num_nodes, 32);
+        assert_eq!(net.torus_dims, Some((16, 2)));
+        let sys = SnoopingSystem::new(cfg);
+        assert_eq!(sys.engine.arch().data_net.torus().dims(), (16, 2));
+    }
+
+    #[test]
+    fn with_data_bandwidth_changes_only_the_data_fabric() {
+        let cfg = small_config(ProtocolVariant::Full);
+        let slow = cfg.with_data_bandwidth(LinkBandwidth::MB_400);
+        assert_eq!(slow.data_net.link_bandwidth, LinkBandwidth::MB_400);
+        assert_eq!(slow.memory.link_bandwidth, cfg.memory.link_bandwidth);
+        assert_eq!(slow.bus_arbitration_interval, cfg.bus_arbitration_interval);
+    }
+
+    #[test]
+    fn data_network_contention_raises_miss_latency_at_low_bandwidth() {
+        // The heart of the bandwidth axis: a 72-byte data packet occupies a
+        // 400 MB/s link for 720 cycles but a 3.2 GB/s link for only 90, so
+        // misses served across the data torus must take visibly longer on
+        // the slow machine, and throughput must not improve.
+        let run = |bw: LinkBandwidth| {
+            let mut sys =
+                SnoopingSystem::new(small_config(ProtocolVariant::Full).with_data_bandwidth(bw));
+            sys.run_for(30_000).expect("no protocol errors")
+        };
+        let slow = run(LinkBandwidth::MB_400);
+        let fast = run(LinkBandwidth::GB_3_2);
+        assert!(
+            slow.mean_miss_latency() > fast.mean_miss_latency() * 1.2,
+            "400 MB/s miss latency {:.0} should clearly exceed 3.2 GB/s {:.0}",
+            slow.mean_miss_latency(),
+            fast.mean_miss_latency()
+        );
+        assert!(slow.throughput() <= fast.throughput());
+        assert!(slow.data_mean_latency_cycles > fast.data_mean_latency_cycles);
+    }
+
+    #[test]
+    fn adaptive_data_torus_runs_coherently() {
+        // The data network is unordered, so adaptive routing is legal on it
+        // (only the address bus carries the total order).
+        let mut cfg = small_config(ProtocolVariant::Speculative);
+        cfg.data_net.routing = RoutingPolicy::Adaptive;
+        let mut sys = SnoopingSystem::new(cfg);
+        let m = sys.run_for(30_000).expect("no protocol errors");
+        assert!(m.ops_completed > 1_000);
+        assert!(m.data_messages_delivered > 0);
+        sys.verify_coherence().unwrap();
     }
 }

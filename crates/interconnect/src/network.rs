@@ -13,10 +13,12 @@
 //!   advance exactly as in the exhaustive scan, so the packet schedule — and
 //!   therefore every metric — is bit-identical.
 //! * **Link delivery** pops ripe arrivals from a due-cycle calendar
-//!   (`ArrivalCalendar`) instead of polling every link every cycle. Within
-//!   one link arrivals are FIFO with non-decreasing due cycles, and arrivals
-//!   on different links land in different buffers, so delivery state is
-//!   independent of the order the calendar drains a cycle's batch in.
+//!   (`ArrivalCalendar`, a ring-buffer timing wheel whose buckets and batch
+//!   scratch space are reused, so steady-state delivery allocates nothing)
+//!   instead of polling every link every cycle. Within one link arrivals are
+//!   FIFO with non-decreasing due cycles, and arrivals on different links
+//!   land in different buffers, so delivery state is independent of the
+//!   order the calendar drains a cycle's batch in.
 
 use std::collections::BTreeMap;
 
@@ -65,34 +67,109 @@ enum MoveAction {
     },
 }
 
-/// Due-cycle index over every in-transit link arrival: `due[cycle]` lists the
-/// `(switch, link direction)` pairs whose front in-transit entry arrives at
-/// `cycle`. `deliver_phase` pops only ripe batches instead of polling all
-/// `4 × num_nodes` links every cycle.
-#[derive(Debug, Clone, Default)]
+/// Number of buckets in the [`ArrivalCalendar`]'s timing wheel. Must be a
+/// power of two, and larger than the longest common scheduling horizon:
+/// serialization of a 72-byte data message at 400 MB/s is 720 cycles, plus
+/// the switch pipeline latency. Rarer horizons (custom slower links) spill
+/// into the overflow map.
+const WHEEL_BUCKETS: usize = 1024;
+
+/// Due-cycle index over every in-transit link arrival: the entries for cycle
+/// `c` list the `(switch, link direction)` pairs whose front in-transit
+/// entry arrives at `c`. `deliver_phase` pops only ripe batches instead of
+/// polling all `4 × num_nodes` links every cycle.
+///
+/// The index is a **ring-buffer timing wheel**: cycle `c` lives in bucket
+/// `c % WHEEL_BUCKETS`, and buckets are drained in place
+/// ([`Vec::drain`] keeps their allocation), so steady-state scheduling
+/// allocates nothing — unlike the `BTreeMap<Cycle, Vec>` predecessor, which
+/// allocated one fresh `Vec` per distinct due cycle. Arrivals beyond the
+/// wheel horizon (possible only with links slower than the Table 2 range)
+/// spill into a `BTreeMap` overflow. `next` is the lowest cycle not yet
+/// drained; because `next` is monotone and an entry overflows only when its
+/// cycle is at least `next + WHEEL_BUCKETS` away, all overflow entries for a
+/// cycle were scheduled before all wheel entries for it — draining
+/// overflow-first preserves exact schedule order.
+#[derive(Debug, Clone)]
 struct ArrivalCalendar {
-    due: BTreeMap<Cycle, Vec<(u32, u8)>>,
+    wheel: Vec<Vec<(u32, u8)>>,
+    overflow: BTreeMap<Cycle, Vec<(u32, u8)>>,
+    /// Lowest cycle not yet drained. Arrivals are always scheduled at or
+    /// after it (`pop_ripe_into` runs first in every tick and re-anchors it
+    /// to `now + 1` when the calendar is empty).
+    next: Cycle,
+    /// Entries currently indexed (wheel + overflow).
+    pending: usize,
+}
+
+impl Default for ArrivalCalendar {
+    fn default() -> Self {
+        Self {
+            wheel: vec![Vec::new(); WHEEL_BUCKETS],
+            overflow: BTreeMap::new(),
+            next: 0,
+            pending: 0,
+        }
+    }
 }
 
 impl ArrivalCalendar {
-    fn schedule(&mut self, arrival: Cycle, switch: usize, dir: usize) {
-        self.due
-            .entry(arrival)
-            .or_default()
-            .push((switch as u32, dir as u8));
+    fn bucket_of(cycle: Cycle) -> usize {
+        (cycle as usize) & (WHEEL_BUCKETS - 1)
     }
 
-    /// Removes and returns the earliest batch due at or before `now`.
-    fn pop_ripe(&mut self, now: Cycle) -> Option<Vec<(u32, u8)>> {
-        let (&cycle, _) = self.due.first_key_value()?;
-        if cycle > now {
-            return None;
+    fn schedule(&mut self, arrival: Cycle, switch: usize, dir: usize) {
+        debug_assert!(
+            arrival >= self.next,
+            "arrival {arrival} scheduled behind the drain cursor {}",
+            self.next
+        );
+        let entry = (switch as u32, dir as u8);
+        if arrival - self.next < WHEEL_BUCKETS as Cycle {
+            self.wheel[Self::bucket_of(arrival)].push(entry);
+        } else {
+            self.overflow.entry(arrival).or_default().push(entry);
         }
-        self.due.remove(&cycle)
+        self.pending += 1;
+    }
+
+    /// Fills `out` with the earliest batch due at or before `now` (replacing
+    /// its contents, keeping its allocation) and returns `true`, or returns
+    /// `false` when nothing is ripe. Within a batch, entries come out in
+    /// schedule order.
+    fn pop_ripe_into(&mut self, now: Cycle, out: &mut Vec<(u32, u8)>) -> bool {
+        out.clear();
+        if self.pending == 0 {
+            // Re-anchor the cursor so the wheel horizon always starts at the
+            // present when traffic resumes.
+            self.next = now + 1;
+            return false;
+        }
+        while self.next <= now {
+            let cycle = self.next;
+            if let Some((&c, _)) = self.overflow.first_key_value() {
+                if c == cycle {
+                    let far = self.overflow.remove(&c).expect("key just observed");
+                    out.extend_from_slice(&far);
+                }
+            }
+            // `append` empties the bucket while keeping its allocation.
+            out.append(&mut self.wheel[Self::bucket_of(cycle)]);
+            self.next += 1;
+            if !out.is_empty() {
+                self.pending -= out.len();
+                return true;
+            }
+        }
+        false
     }
 
     fn clear(&mut self) {
-        self.due.clear();
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.pending = 0;
     }
 }
 
@@ -122,6 +199,10 @@ pub struct Network<P> {
     active: ActiveSet,
     /// Due-cycle index over in-transit link arrivals.
     arrivals: ArrivalCalendar,
+    /// Reusable batch buffer for draining the calendar (the wheel's buckets
+    /// and this scratch space together make steady-state delivery
+    /// allocation-free).
+    arrival_scratch: Vec<(u32, u8)>,
     /// Forwarding rounds executed so far. Every switch's port round-robin
     /// pointer advances by exactly one per round whether or not the switch
     /// moved anything, so the per-switch pointer of the old exhaustive scan
@@ -175,6 +256,7 @@ impl<P> Network<P> {
             in_flight: 0,
             active: ActiveSet::new(cfg.num_nodes),
             arrivals: ArrivalCalendar::default(),
+            arrival_scratch: Vec::new(),
             forward_rounds: 0,
             cfg,
         }
@@ -404,8 +486,9 @@ impl<P> Network<P> {
     }
 
     fn deliver_phase(&mut self, now: Cycle) {
-        while let Some(batch) = self.arrivals.pop_ripe(now) {
-            for (si, di) in batch {
+        let mut batch = std::mem::take(&mut self.arrival_scratch);
+        while self.arrivals.pop_ripe_into(now, &mut batch) {
+            for &(si, di) in &batch {
                 let i = si as usize;
                 let d = LINK_DIRECTIONS[di as usize];
                 let InTransit {
@@ -426,6 +509,7 @@ impl<P> Network<P> {
                 self.watchdog.record_progress(now);
             }
         }
+        self.arrival_scratch = batch;
     }
 
     fn forward_phase(&mut self, now: Cycle) {
@@ -685,6 +769,101 @@ mod tests {
     use specsim_base::{DetRng, LinkBandwidth};
 
     type Net = Network<u64>;
+
+    /// Drains one batch from the calendar the way `deliver_phase` does.
+    fn pop_batch(cal: &mut ArrivalCalendar, now: Cycle) -> Option<Vec<(u32, u8)>> {
+        let mut out = Vec::new();
+        cal.pop_ripe_into(now, &mut out).then_some(out)
+    }
+
+    #[test]
+    fn calendar_drains_cycles_in_order_and_batches_in_schedule_order() {
+        let mut cal = ArrivalCalendar::default();
+        assert!(pop_batch(&mut cal, 0).is_none());
+        cal.schedule(5, 1, 0);
+        cal.schedule(3, 2, 1);
+        cal.schedule(5, 3, 2);
+        // Nothing ripe before cycle 3.
+        assert!(pop_batch(&mut cal, 2).is_none());
+        // Earliest cycle first; within a cycle, schedule order.
+        assert_eq!(pop_batch(&mut cal, 10), Some(vec![(2, 1)]));
+        assert_eq!(pop_batch(&mut cal, 10), Some(vec![(1, 0), (3, 2)]));
+        assert!(pop_batch(&mut cal, 10).is_none());
+        // Empty again: the cursor re-anchors and far-future cycles work.
+        cal.schedule(11, 4, 3);
+        assert!(pop_batch(&mut cal, 10).is_none());
+        assert_eq!(pop_batch(&mut cal, 11), Some(vec![(4, 3)]));
+    }
+
+    #[test]
+    fn calendar_overflow_beyond_the_wheel_horizon_is_preserved_in_order() {
+        let mut cal = ArrivalCalendar::default();
+        let far = WHEEL_BUCKETS as Cycle + 500;
+        // Scheduled while `next` is 0, so `far` lands in the overflow map...
+        cal.schedule(far, 9, 1);
+        cal.schedule(2, 1, 0);
+        // ...and an in-wheel entry for the same far cycle, scheduled later
+        // (after the cursor advanced), must drain *after* the overflow one.
+        assert_eq!(pop_batch(&mut cal, 2), Some(vec![(1, 0)]));
+        cal.schedule(far, 7, 2);
+        assert!(pop_batch(&mut cal, far - 1).is_none());
+        assert_eq!(pop_batch(&mut cal, far), Some(vec![(9, 1), (7, 2)]));
+        assert!(pop_batch(&mut cal, far + WHEEL_BUCKETS as Cycle).is_none());
+    }
+
+    #[test]
+    fn calendar_clear_discards_everything_but_keeps_working() {
+        let mut cal = ArrivalCalendar::default();
+        cal.schedule(4, 1, 0);
+        cal.schedule(WHEEL_BUCKETS as Cycle + 9, 2, 1);
+        cal.clear();
+        assert!(pop_batch(&mut cal, WHEEL_BUCKETS as Cycle * 2).is_none());
+        cal.schedule(WHEEL_BUCKETS as Cycle * 2 + 3, 5, 3);
+        assert_eq!(
+            pop_batch(&mut cal, WHEEL_BUCKETS as Cycle * 2 + 3),
+            Some(vec![(5, 3)])
+        );
+    }
+
+    #[test]
+    fn calendar_matches_a_btreemap_model_under_random_traffic() {
+        // Drive the wheel and the old BTreeMap<Cycle, Vec> representation
+        // with the same schedule/pop stream and require identical batches.
+        let mut cal = ArrivalCalendar::default();
+        let mut model: BTreeMap<Cycle, Vec<(u32, u8)>> = BTreeMap::new();
+        let mut rng = DetRng::new(71);
+        let mut now: Cycle = 0;
+        for _ in 0..3_000 {
+            now += 1 + rng.next_below(3);
+            // Drain everything ripe, comparing batch-for-batch (the model
+            // pops its earliest entry exactly like the old implementation).
+            loop {
+                let expected = match model.first_key_value() {
+                    Some((&c, _)) if c <= now => model.remove(&c),
+                    _ => None,
+                };
+                let got = pop_batch(&mut cal, now);
+                assert_eq!(got, expected, "divergence at cycle {now}");
+                if got.is_none() {
+                    break;
+                }
+            }
+            // Schedule a burst of arrivals, occasionally far enough out to
+            // exercise the overflow map.
+            for _ in 0..rng.next_below(4) {
+                let horizon = if rng.next_below(10) == 0 {
+                    WHEEL_BUCKETS as Cycle + rng.next_below(400)
+                } else {
+                    1 + rng.next_below(800)
+                };
+                let arrival = now + horizon;
+                let sw = rng.next_below(16) as u32;
+                let dir = rng.next_below(4) as u8;
+                cal.schedule(arrival, sw as usize, dir as usize);
+                model.entry(arrival).or_default().push((sw, dir));
+            }
+        }
+    }
 
     fn drain_all_ejections(net: &mut Net) -> Vec<Packet<u64>> {
         let mut out = Vec::new();

@@ -335,25 +335,6 @@ impl MemorySystemConfig {
         })
     }
 
-    /// Side length of the 2D torus, **square machines only** (the paper's
-    /// 16-node machine is a 4×4 torus).
-    ///
-    /// Deprecation shim: the topology is rectangular since the node-count
-    /// scaling work — new code should use [`Self::torus_dims`]. This keeps
-    /// working (and returns the side) exactly when the resolved torus is
-    /// square, and panics for rectangular machines where a single "side" no
-    /// longer exists.
-    #[must_use]
-    pub fn torus_side(&self) -> usize {
-        let (w, h) = self.torus_dims();
-        assert_eq!(
-            w, h,
-            "torus_side() is only meaningful on square tori; this machine \
-             is {w}x{h} — use torus_dims()"
-        );
-        w
-    }
-
     /// Sanity-checks the configuration, returning a list of human-readable
     /// problems (empty when the configuration is consistent).
     #[must_use]
@@ -423,7 +404,7 @@ mod tests {
         let c = MemorySystemConfig::default();
         assert_eq!(c.l1_sets(), 128 * 1024 / (64 * 4));
         assert_eq!(c.l2_sets(), 4 * 1024 * 1024 / (64 * 4));
-        assert_eq!(c.torus_side(), 4);
+        assert_eq!(c.torus_dims(), (4, 4));
         assert_eq!(c.memory_blocks(), 2 * 1024 * 1024 * 1024 / 64);
     }
 
@@ -490,24 +471,19 @@ mod tests {
     }
 
     #[test]
-    fn torus_side_shim_works_only_on_square_machines() {
+    fn torus_dims_answers_square_and_rectangular_machines_alike() {
         let c = MemorySystemConfig::default();
-        assert_eq!(c.torus_side(), 4);
+        assert_eq!(c.torus_dims(), (4, 4));
         let c64 = MemorySystemConfig {
             num_nodes: 64,
             ..MemorySystemConfig::default()
         };
-        assert_eq!(c64.torus_side(), 8);
-    }
-
-    #[test]
-    #[should_panic(expected = "square tori")]
-    fn torus_side_shim_panics_on_rectangular_machines() {
-        let c = MemorySystemConfig {
-            num_nodes: 8, // derives 4×2
+        assert_eq!(c64.torus_dims(), (8, 8));
+        let c8 = MemorySystemConfig {
+            num_nodes: 8,
             ..MemorySystemConfig::default()
         };
-        let _ = c.torus_side();
+        assert_eq!(c8.torus_dims(), (4, 2));
     }
 
     #[test]

@@ -120,6 +120,45 @@ fn snooping_system_runs_all_workloads_without_corner_case_recoveries() {
 }
 
 #[test]
+fn snooping_data_network_bandwidth_separates_miss_latency_end_to_end() {
+    // The snooping machine's second fabric (Table 2: a point-to-point data
+    // network beside the ordered address bus) is a real torus: data-network
+    // contention at 400 MB/s must visibly inflate miss latency and must not
+    // improve throughput relative to 3.2 GB/s links, across workloads.
+    for workload in [WorkloadKind::Oltp, WorkloadKind::Jbb] {
+        let run = |bw: LinkBandwidth| {
+            let mut cfg = SnoopSystemConfig::new(workload, ProtocolVariant::Speculative, 17)
+                .with_data_bandwidth(bw);
+            cfg.memory.l1_bytes = 32 * 1024;
+            cfg.memory.l2_bytes = 256 * 1024;
+            cfg.memory.safetynet.checkpoint_interval_requests = 300;
+            let mut sys = SnoopingSystem::new(cfg);
+            let m = sys.run_for(30_000).expect("no protocol errors");
+            sys.verify_coherence().unwrap();
+            m
+        };
+        let slow = run(LinkBandwidth::MB_400);
+        let fast = run(LinkBandwidth::GB_3_2);
+        assert!(
+            slow.mean_miss_latency() > fast.mean_miss_latency() * 1.2,
+            "{}: 400 MB/s miss latency {:.0} vs 3.2 GB/s {:.0}",
+            workload.label(),
+            slow.mean_miss_latency(),
+            fast.mean_miss_latency()
+        );
+        assert!(
+            slow.throughput() <= fast.throughput(),
+            "{}: contention must not speed the system up",
+            workload.label()
+        );
+        // Per-fabric stats: the slow data torus is busier per delivered
+        // message and in-fabric latency grows.
+        assert!(slow.data_mean_latency_cycles > fast.data_mean_latency_cycles);
+        assert!(slow.data_messages_delivered > 0 && fast.data_messages_delivered > 0);
+    }
+}
+
+#[test]
 fn small_buffer_interconnect_recovers_from_deadlock_and_keeps_going() {
     // Section 4 end-to-end: with very small shared buffers the network can
     // wedge; the transaction timeout fires, SafetyNet recovers, slow-start

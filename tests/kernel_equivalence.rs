@@ -189,6 +189,7 @@ const GOLDEN_NET_RECT_4X2_ADAPTIVE: u64 = 0x244c41a271063181;
 const GOLDEN_NET_RECT_8X4_STATIC: u64 = 0xd3624b137c031aec;
 const GOLDEN_NET_RECT_8X4_ADAPTIVE: u64 = 0x60c2e4394622c6d1;
 const GOLDEN_DIR_RECT_4X2: u64 = 0x3163d46007748ba6;
+const GOLDEN_SNOOP_DATA_TORUS_400: u64 = 0x084d1fa80ab27e48;
 
 #[test]
 fn rectangular_4x2_network_matches_golden_under_both_policies() {
@@ -298,6 +299,29 @@ fn snooping_speculative_metrics_match_golden() {
         GOLDEN_SNOOP_SPECULATIVE,
         metrics_digest(&m),
     );
+}
+
+#[test]
+fn snooping_with_slow_adaptive_data_torus_matches_golden() {
+    // Pins the snooping system's second fabric: a 400 MB/s adaptive data
+    // torus beside the ordered address bus. The digest extends the metrics
+    // digest with the per-fabric data-network stats so a schedule change in
+    // the data torus (routing, serialization, per-fabric accounting) cannot
+    // slip through.
+    let mut cfg = SnoopSystemConfig::new(WorkloadKind::Apache, ProtocolVariant::Speculative, 11)
+        .with_data_bandwidth(LinkBandwidth::MB_400);
+    cfg.data_net.routing = RoutingPolicy::Adaptive;
+    cfg.memory.l1_bytes = 16 * 1024;
+    cfg.memory.l2_bytes = 64 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_requests = 200;
+    let mut sys = SnoopingSystem::new(cfg);
+    let m = sys.run_for(20_000).expect("no protocol errors");
+    let mut d = Digest::new();
+    d.u64(metrics_digest(&m))
+        .u64(m.data_messages_delivered)
+        .f64(m.data_mean_latency_cycles)
+        .f64(m.data_link_utilization);
+    check("snoop_data_torus_400", GOLDEN_SNOOP_DATA_TORUS_400, d.0);
 }
 
 #[test]

@@ -25,7 +25,6 @@ fn default_system_config_matches_table_2_through_the_umbrella() {
     let m = &cfg.memory;
     assert_eq!(m.num_nodes, 16, "16-node machine");
     assert_eq!(m.torus_dims(), (4, 4), "4x4 2D torus");
-    assert_eq!(m.torus_side(), 4, "square-machine shim still answers");
     assert_eq!(BLOCK_SIZE_BYTES, 64, "64-byte coherence blocks");
     assert_eq!(m.l1_bytes, 128 * 1024, "128 KB L1");
     assert_eq!(m.l1_ways, 4, "4-way L1");
