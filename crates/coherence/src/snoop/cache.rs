@@ -204,6 +204,14 @@ impl SnoopCacheController {
         self.outgoing_data.pop_front()
     }
 
+    /// Peeks the message [`Self::pop_data_message`] would return, so the
+    /// system layer can check fabric space for exactly this message's
+    /// traffic class before committing to the pop.
+    #[must_use]
+    pub fn peek_data_message(&self) -> Option<&SnoopDataOut> {
+        self.outgoing_data.front()
+    }
+
     /// Number of queued outgoing messages (bus + data).
     #[must_use]
     pub fn outgoing_len(&self) -> usize {

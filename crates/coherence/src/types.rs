@@ -142,6 +142,12 @@ pub enum MisSpecKind {
     /// within three checkpoint intervals, indicating (endpoint or switch)
     /// deadlock in the unprotected network.
     TransactionTimeout,
+    /// Interconnect (Section 4, shared-pool buffers): the transaction
+    /// timeout fired *while the fabric's progress watchdog confirmed a
+    /// wedged network* — a detected buffer-dependency deadlock (Figures
+    /// 2–3), as opposed to a timeout caused by mere congestion. Recovery
+    /// re-executes with per-network reserved buffer slots.
+    BufferDeadlock,
 }
 
 impl MisSpecKind {
@@ -152,6 +158,7 @@ impl MisSpecKind {
             MisSpecKind::ForwardedRequestToInvalidCache => "fwd-to-invalid-cache",
             MisSpecKind::WritebackDoubleRace => "writeback-double-race",
             MisSpecKind::TransactionTimeout => "transaction-timeout",
+            MisSpecKind::BufferDeadlock => "buffer-deadlock",
         }
     }
 }
@@ -254,11 +261,12 @@ mod tests {
             MisSpecKind::ForwardedRequestToInvalidCache,
             MisSpecKind::WritebackDoubleRace,
             MisSpecKind::TransactionTimeout,
+            MisSpecKind::BufferDeadlock,
         ]
         .iter()
         .map(|k| k.label())
         .collect();
-        assert_eq!(labels.len(), 3);
+        assert_eq!(labels.len(), 4);
     }
 
     #[test]

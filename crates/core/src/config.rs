@@ -1,7 +1,8 @@
 //! Full-system configuration.
 
 use specsim_base::{
-    CycleDelta, FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant, RoutingPolicy,
+    BufferPolicy, CycleDelta, FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant,
+    RoutingPolicy,
 };
 use specsim_net::NetConfig;
 use specsim_workloads::WorkloadKind;
@@ -20,6 +21,16 @@ pub struct ForwardProgressConfig {
     /// Maximum coherence transactions allowed to be outstanding system-wide
     /// while in slow-start mode (the paper suggests one).
     pub slow_start_max_outstanding: usize,
+    /// Shared-pool interconnect (Section 4): after a buffer-deadlock
+    /// recovery, every node's slot pool reserves
+    /// [`Self::reserved_slots_per_network`] slots per virtual network for
+    /// this many cycles — the "revert to conservative" re-execution that
+    /// keeps the deadlocked buffer-dependency cycle from re-forming. `0`
+    /// disables the mechanism.
+    pub reserved_slot_cycles: CycleDelta,
+    /// Slots each virtual network is guaranteed while the reservation window
+    /// is active (clamped per node so four reservations fit the pool).
+    pub reserved_slots_per_network: usize,
 }
 
 impl Default for ForwardProgressConfig {
@@ -28,6 +39,8 @@ impl Default for ForwardProgressConfig {
             disable_adaptive_cycles: 200_000,
             slow_start_cycles: 200_000,
             slow_start_max_outstanding: 1,
+            reserved_slot_cycles: 200_000,
+            reserved_slots_per_network: 1,
         }
     }
 }
@@ -43,6 +56,13 @@ pub struct SystemConfig {
     pub routing: RoutingPolicy,
     /// Interconnect deadlock-avoidance strategy / buffering.
     pub flow_control: FlowControl,
+    /// How interconnect buffer capacity is provisioned:
+    /// [`BufferPolicy::VirtualNetworks`] (each buffer owns its depth —
+    /// today's behavior, bit-identical) or [`BufferPolicy::SharedPool`]
+    /// (all classes at a node draw from one slot pool; deadlock becomes
+    /// possible and is detected by transaction timeout — Section 4's third
+    /// case study).
+    pub buffer_policy: BufferPolicy,
     /// Workload to run.
     pub workload: WorkloadKind,
     /// Top-level seed; every generator, perturbation and arbitration draw is
@@ -91,6 +111,7 @@ impl SystemConfig {
             protocol: ProtocolVariant::Speculative,
             routing: RoutingPolicy::Adaptive,
             flow_control: FlowControl::WorstCaseBuffering,
+            buffer_policy: BufferPolicy::VirtualNetworks,
             workload,
             seed,
             forward_progress: ForwardProgressConfig::default(),
@@ -114,6 +135,7 @@ impl SystemConfig {
             flow_control: FlowControl::VirtualChannels {
                 channels_per_network: 2,
             },
+            buffer_policy: BufferPolicy::VirtualNetworks,
             workload,
             seed,
             forward_progress: ForwardProgressConfig::default(),
@@ -141,6 +163,7 @@ impl SystemConfig {
             protocol: ProtocolVariant::Speculative,
             routing: RoutingPolicy::Adaptive,
             flow_control: FlowControl::SharedBuffers { buffers_per_port },
+            buffer_policy: BufferPolicy::VirtualNetworks,
             workload,
             seed,
             forward_progress: ForwardProgressConfig::default(),
@@ -148,6 +171,62 @@ impl SystemConfig {
             perturbation_cycles: 4,
             max_outstanding: usize::MAX,
         }
+    }
+
+    /// The shared-pool interconnect of Section 4's third case study: the
+    /// virtual-network/channel *structure* of the conventional design (so
+    /// routing and fairness are unchanged) but every sizing analysis
+    /// replaced by one pool of `total_slots` message slots per node.
+    /// Deadlock is possible; it is detected by the transaction timeout
+    /// (three checkpoint intervals), confirmed by the fabric watchdog,
+    /// broken by SafetyNet recovery, and re-execution runs with per-network
+    /// reserved slots ([`ForwardProgressConfig::reserved_slots_per_network`]).
+    #[must_use]
+    pub fn shared_pool_interconnect(
+        workload: WorkloadKind,
+        bandwidth: LinkBandwidth,
+        total_slots: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            memory: MemorySystemConfig {
+                link_bandwidth: bandwidth,
+                ..MemorySystemConfig::default()
+            },
+            protocol: ProtocolVariant::Speculative,
+            routing: RoutingPolicy::Adaptive,
+            flow_control: FlowControl::VirtualChannels {
+                channels_per_network: 2,
+            },
+            buffer_policy: BufferPolicy::SharedPool { total_slots },
+            workload,
+            seed,
+            forward_progress: ForwardProgressConfig::default(),
+            inject_recovery_every: None,
+            perturbation_cycles: 4,
+            max_outstanding: usize::MAX,
+        }
+    }
+
+    /// Sanity-checks the configuration: the memory-system geometry plus the
+    /// interconnect buffer policy. Returns human-readable problems (empty
+    /// when consistent).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.memory.validate();
+        if let BufferPolicy::SharedPool { total_slots } = self.buffer_policy {
+            if total_slots == 0 {
+                problems.push("shared-pool buffer policy needs at least one slot".to_string());
+            }
+            let r = self.forward_progress.reserved_slots_per_network;
+            if self.forward_progress.reserved_slot_cycles > 0 && r > 0 && total_slots < 4 {
+                problems.push(format!(
+                    "a {total_slots}-slot pool cannot hold one reserved slot per \
+                     virtual network; the post-deadlock reservation would be inert"
+                ));
+            }
+        }
+        problems
     }
 
     /// The derived interconnect configuration.
@@ -178,6 +257,16 @@ impl SystemConfig {
         cfg.torus_dims = self.memory.torus_dims;
         cfg.routing = self.routing;
         cfg.switch_latency = self.memory.switch_latency_cycles;
+        cfg.buffer_policy = self.buffer_policy;
+        if matches!(self.buffer_policy, BufferPolicy::SharedPool { .. }) {
+            // The watchdog must be able to *confirm* a wedged fabric before
+            // the three-checkpoint-interval transaction timeout fires, so the
+            // engine can classify the timeout as a detected deadlock: give it
+            // one checkpoint interval of silence.
+            cfg.stall_threshold = cfg
+                .stall_threshold
+                .min(self.memory.safetynet.checkpoint_interval_cycles.max(1));
+        }
         cfg
     }
 
@@ -244,6 +333,53 @@ mod tests {
             SystemConfig::directory_baseline(WorkloadKind::Jbb, LinkBandwidth::MB_400, 3);
         base.routing = RoutingPolicy::Adaptive;
         assert_eq!(base.net_config().routing, RoutingPolicy::Adaptive);
+    }
+
+    #[test]
+    fn shared_pool_preset_pools_capacity_and_caps_the_stall_threshold() {
+        let cfg = SystemConfig::shared_pool_interconnect(
+            WorkloadKind::Oltp,
+            LinkBandwidth::MB_400,
+            24,
+            1,
+        );
+        assert_eq!(
+            cfg.buffer_policy,
+            BufferPolicy::SharedPool { total_slots: 24 }
+        );
+        assert_eq!(cfg.routing, RoutingPolicy::Adaptive);
+        assert!(cfg.validate().is_empty());
+        let net = cfg.net_config();
+        assert_eq!(net.pool_slots(), Some(24));
+        // The watchdog must confirm a wedge within one checkpoint interval,
+        // well before the three-interval transaction timeout fires (short
+        // experiment intervals tighten it; the Table 2 interval leaves the
+        // already-shorter default in place).
+        assert!(net.stall_threshold <= cfg.memory.safetynet.checkpoint_interval_cycles);
+        let mut short = cfg.clone();
+        short.memory.safetynet.checkpoint_interval_cycles = 2_000;
+        assert_eq!(short.net_config().stall_threshold, 2_000);
+        // Unpooled presets carry no pool.
+        let base =
+            SystemConfig::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::MB_400, 1);
+        assert_eq!(base.net_config().pool_slots(), None);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shared_pools() {
+        let mut cfg =
+            SystemConfig::shared_pool_interconnect(WorkloadKind::Oltp, LinkBandwidth::MB_400, 0, 1);
+        assert!(!cfg.validate().is_empty(), "0-slot pool must be rejected");
+        cfg.buffer_policy = BufferPolicy::SharedPool { total_slots: 3 };
+        assert!(
+            !cfg.validate().is_empty(),
+            "a pool too small for the reservation measure must be flagged"
+        );
+        cfg.forward_progress.reserved_slots_per_network = 0;
+        assert!(
+            cfg.validate().is_empty(),
+            "tiny pools are fine once the reservation measure is disabled"
+        );
     }
 
     #[test]

@@ -260,6 +260,7 @@ impl ProtocolNode for DirProtocol {
         }
         self.pump_outboxes(arch, now, ctx);
         arch.net.tick(now);
+        crate::engine::report_pooled_fabric_evidence(&arch.net, now, ctx);
     }
 
     fn drain_write_log(arch: &mut ArchState, i: usize) -> usize {
@@ -281,6 +282,10 @@ impl ProtocolNode for DirProtocol {
 
     fn timeout_addr(arch: &ArchState, i: usize) -> BlockAddr {
         arch.caches[i].outstanding_addr().unwrap_or(BlockAddr(0))
+    }
+
+    fn transaction_outstanding_since(arch: &ArchState, i: usize) -> Option<Cycle> {
+        arch.caches[i].outstanding_since()
     }
 
     fn after_recovery_restore(&mut self, _arch: &mut ArchState) {}
@@ -313,11 +318,18 @@ impl ProtocolNode for DirProtocol {
                     ForwardProgressMode::Normal
                 }
             }
+            MisSpecKind::BufferDeadlock => {
+                crate::engine::buffer_deadlock_forward_progress(&mut arch.net, resume_at, fp)
+            }
         }
     }
 
     fn on_adaptive_window_expired(&mut self, arch: &mut ArchState) {
         arch.net.set_routing(self.cfg.routing);
+    }
+
+    fn on_reserved_window_expired(&mut self, arch: &mut ArchState) {
+        arch.net.set_pool_reservation(0);
     }
 
     fn normal_outstanding_limit(&self) -> usize {
@@ -540,6 +552,45 @@ mod tests {
         // Execution continued after the rollback.
         sys.run_for(10_000).expect("no protocol errors");
         assert!(sys.ops_completed() > ops_after_recovery);
+    }
+
+    #[test]
+    fn buffer_deadlock_measure_reserves_pool_slots_and_expiry_lifts_them() {
+        // Drives the Section 4 forward-progress lifecycle deterministically:
+        // entering the measure partitions every node's pool into per-network
+        // reservations; once the window expires the engine calls back into
+        // the protocol and the pool returns to fully shared slots.
+        let mut cfg =
+            SystemConfig::shared_pool_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 64, 7);
+        cfg.memory.l1_bytes = 16 * 1024;
+        cfg.memory.l2_bytes = 64 * 1024;
+        cfg.forward_progress.reserved_slot_cycles = 2_000;
+        cfg.forward_progress.reserved_slots_per_network = 2;
+        let mut sys = DirectorySystem::new(cfg);
+        sys.run_for(1_000).expect("no protocol errors");
+        assert_eq!(sys.engine.arch().net.pool_reservation(), Some(0));
+        let mode = sys
+            .engine
+            .test_force_misspec_forward_progress(MisSpecKind::BufferDeadlock);
+        assert!(matches!(mode, ForwardProgressMode::ReservedSlots { .. }));
+        assert_eq!(sys.engine.arch().net.pool_reservation(), Some(2));
+        // The window expires mid-run; the engine lifts the reservation.
+        sys.run_for(3_000).expect("no protocol errors");
+        assert_eq!(sys.forward_progress_mode(), ForwardProgressMode::Normal);
+        assert_eq!(sys.engine.arch().net.pool_reservation(), Some(0));
+    }
+
+    #[test]
+    fn buffer_deadlock_measure_falls_back_to_slow_start_on_unpooled_nets() {
+        // A worst-case-buffered machine has no pool to reserve: the measure
+        // degrades to slow-start, never to a no-op.
+        let mut sys =
+            DirectorySystem::new(small_config(ProtocolVariant::Full, RoutingPolicy::Static));
+        sys.run_for(100).expect("no protocol errors");
+        let mode = sys
+            .engine
+            .test_force_misspec_forward_progress(MisSpecKind::BufferDeadlock);
+        assert!(matches!(mode, ForwardProgressMode::SlowStart { .. }));
     }
 
     #[test]

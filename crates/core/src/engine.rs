@@ -37,6 +37,7 @@ use std::collections::VecDeque;
 
 use specsim_base::{BlockAddr, Cycle, CycleDelta, DetRng, NodeId, SafetyNetConfig};
 use specsim_coherence::types::{CpuAccess, CpuRequest, MisSpecKind, MisSpeculation, ProtocolError};
+use specsim_net::Network;
 use specsim_safetynet::{LogOutcome, SafetyNet};
 use specsim_workloads::Processor;
 
@@ -60,6 +61,15 @@ pub enum ForwardProgressMode {
         until: CycleDelta,
         /// Maximum transactions outstanding while in slow-start.
         max_outstanding: usize,
+    },
+    /// Conservative re-execution after a buffer-deadlock recovery
+    /// (Section 4, shared-pool interconnect): part of each node's shared
+    /// slot pool is partitioned back into per-virtual-network reservations
+    /// until the given cycle, so the buffer-dependency cycle that deadlocked
+    /// cannot immediately re-form.
+    ReservedSlots {
+        /// Cycle at which the pool returns to fully shared slots.
+        until: CycleDelta,
     },
 }
 
@@ -183,6 +193,7 @@ pub struct EngineCtx<'a, A> {
     protocol_error: &'a mut Option<ProtocolError>,
     perturb_rng: &'a mut DetRng,
     metrics: &'a mut RunMetrics,
+    fabric_deadlocked: &'a mut bool,
 }
 
 impl<A: Clone> EngineCtx<'_, A> {
@@ -196,6 +207,18 @@ impl<A: Clone> EngineCtx<'_, A> {
     /// considers impossible); the step loop surfaces the first one.
     pub fn note_error(&mut self, e: ProtocolError) {
         self.protocol_error.get_or_insert(e);
+    }
+
+    /// Reports evidence, valid for the current cycle, that a fabric of this
+    /// protocol is buffer-constrained or wedged (a shared-pool network with
+    /// an exhausted slot pool, or whose progress watchdog tripped). The
+    /// engine's transaction-timeout detector uses this to classify a
+    /// coincident timeout as a [`MisSpecKind::BufferDeadlock`] — triggering
+    /// the buffer-reservation forward-progress measure — instead of a plain
+    /// congestion timeout. The report covers the current cycle only;
+    /// protocols re-report each cycle the condition persists.
+    pub fn report_fabric_deadlock(&mut self) {
+        *self.fabric_deadlocked = true;
     }
 
     /// One pseudo-random perturbation draw below `magnitude` (Section 5.2
@@ -237,6 +260,52 @@ impl<A: Clone> EngineCtx<'_, A> {
                 }
             }
         }
+    }
+}
+
+/// Shared per-cycle deadlock-evidence check for a protocol's pooled fabric:
+/// when `net` provisions buffers from shared slot pools and a pool is
+/// exhausted (or the progress watchdog confirms a fully wedged network),
+/// reports the evidence through [`EngineCtx::report_fabric_deadlock`] so a
+/// coincident transaction timeout is classified as a buffer deadlock. Both
+/// protocols call this from `exchange` right after ticking their torus.
+pub(crate) fn report_pooled_fabric_evidence<P, A: Clone>(
+    net: &Network<P>,
+    now: Cycle,
+    ctx: &mut EngineCtx<'_, A>,
+) {
+    if net.is_pooled() && (net.has_exhausted_pool() || net.is_stalled(now)) {
+        ctx.report_fabric_deadlock();
+    }
+}
+
+/// The shared buffer-deadlock forward-progress measure (Section 4's "revert
+/// to conservative" recipe): partitions part of every node's pool in `net`
+/// into per-virtual-network reservations and enters
+/// [`ForwardProgressMode::ReservedSlots`]. Falls back to slow-start when the
+/// measure is disabled or inert (unpooled fabric, or a pool too small to
+/// hold any reservation), and to [`ForwardProgressMode::Normal`] when
+/// slow-start is disabled too.
+pub(crate) fn buffer_deadlock_forward_progress<P>(
+    net: &mut Network<P>,
+    resume_at: Cycle,
+    fp: &ForwardProgressConfig,
+) -> ForwardProgressMode {
+    if fp.reserved_slot_cycles > 0
+        && fp.reserved_slots_per_network > 0
+        && net.set_pool_reservation(fp.reserved_slots_per_network)
+        && net.pool_reservation() > Some(0)
+    {
+        ForwardProgressMode::ReservedSlots {
+            until: resume_at + fp.reserved_slot_cycles,
+        }
+    } else if fp.slow_start_cycles > 0 {
+        ForwardProgressMode::SlowStart {
+            until: resume_at + fp.slow_start_cycles,
+            max_outstanding: fp.slow_start_max_outstanding,
+        }
+    } else {
+        ForwardProgressMode::Normal
     }
 }
 
@@ -294,6 +363,16 @@ pub trait ProtocolNode {
     /// The block to blame when node `i`'s transaction times out.
     fn timeout_addr(arch: &Self::Arch, i: usize) -> BlockAddr;
 
+    /// Cycle at which node `i`'s outstanding coherence transaction (if any)
+    /// was issued — the *requestor-side* timer of the Section 4 transaction
+    /// timeout ("the requestor of the transaction will timeout"). This
+    /// covers transactions orphaned by a rollback: the restored cache
+    /// controller still owns the transaction, but the processor that issued
+    /// it re-executes from its register checkpoint and is no longer waiting,
+    /// so the processor-side timer alone would let a wedged fabric stall the
+    /// machine forever.
+    fn transaction_outstanding_since(arch: &Self::Arch, i: usize) -> Option<Cycle>;
+
     /// Called after a SafetyNet rollback restored `arch` (re-anchor any
     /// protocol-side bookkeeping derived from the architectural state).
     fn after_recovery_restore(&mut self, arch: &mut Self::Arch);
@@ -314,6 +393,11 @@ pub trait ProtocolNode {
     /// Called when an [`ForwardProgressMode::AdaptiveRoutingDisabled`]
     /// window expires (the directory protocol re-enables adaptive routing).
     fn on_adaptive_window_expired(&mut self, arch: &mut Self::Arch);
+
+    /// Called when a [`ForwardProgressMode::ReservedSlots`] window expires
+    /// (the protocol lifts the per-network slot reservations its pooled
+    /// fabric re-executed under).
+    fn on_reserved_window_expired(&mut self, arch: &mut Self::Arch);
 
     /// The outstanding-transaction limit in normal (non-slow-start)
     /// operation.
@@ -343,6 +427,21 @@ pub struct SystemEngine<P: ProtocolNode> {
     perturb_rng: DetRng,
     metrics: RunMetrics,
     probe: EngineProbe,
+    /// Set (for the current cycle) by [`EngineCtx::report_fabric_deadlock`]
+    /// when a pooled fabric reports buffer exhaustion or a confirmed wedge.
+    fabric_deadlocked: bool,
+    /// Most recent cycle at which the fabric reported deadlock evidence. A
+    /// transaction timeout is classified as a buffer deadlock when evidence
+    /// appeared anywhere within the stuck transaction's timeout window (the
+    /// exhaustion that starves a message can ebb and flow while the
+    /// transaction stays stuck).
+    fabric_deadlock_at: Option<Cycle>,
+    /// Transaction timers restart after a recovery (Section 4: the
+    /// requestor's timer is re-armed when it re-executes): ages in the
+    /// timeout scan are measured from this cycle at the earliest, so a
+    /// transaction restored from a checkpoint gets a full fresh window
+    /// instead of timing out instantly on its pre-rollback issue cycle.
+    timeout_anchor: Cycle,
 }
 
 impl<P: ProtocolNode> SystemEngine<P> {
@@ -378,6 +477,9 @@ impl<P: ProtocolNode> SystemEngine<P> {
             perturb_rng,
             metrics: RunMetrics::default(),
             probe: EngineProbe::default(),
+            fabric_deadlocked: false,
+            fabric_deadlock_at: None,
+            timeout_anchor: 0,
         }
     }
 
@@ -445,6 +547,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         }
         self.update_forward_progress(now);
         self.tick_processors(now);
+        self.fabric_deadlocked = false;
         {
             let mut ctx = EngineCtx {
                 safetynet: &mut self.safetynet,
@@ -452,8 +555,12 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 protocol_error: &mut self.protocol_error,
                 perturb_rng: &mut self.perturb_rng,
                 metrics: &mut self.metrics,
+                fabric_deadlocked: &mut self.fabric_deadlocked,
             };
             self.protocol.exchange(&mut self.arch, now, &mut ctx);
+        }
+        if self.fabric_deadlocked {
+            self.fabric_deadlock_at = Some(now);
         }
         self.safetynet_tick(now);
         self.check_recovery(now);
@@ -470,6 +577,10 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 self.fp_mode = ForwardProgressMode::Normal;
             }
             ForwardProgressMode::SlowStart { until, .. } if now >= until => {
+                self.fp_mode = ForwardProgressMode::Normal;
+            }
+            ForwardProgressMode::ReservedSlots { until } if now >= until => {
+                self.protocol.on_reserved_window_expired(&mut self.arch);
                 self.fp_mode = ForwardProgressMode::Normal;
             }
             _ => {}
@@ -554,13 +665,36 @@ impl<P: ProtocolNode> SystemEngine<P> {
         // that does not complete within three checkpoint intervals declares a
         // deadlock mis-speculation. The processor-side timer restarts after a
         // recovery (the processor re-executes from its register checkpoint).
+        // When the protocol's pooled fabric reported a confirmed wedge this
+        // cycle ([`EngineCtx::report_fabric_deadlock`]), the timeout is a
+        // *detected buffer deadlock* rather than congestion, and the
+        // buffer-reservation forward-progress measure applies.
         if self.pending_misspec.is_none() {
             let timeout = self.safetynet.config().transaction_timeout_cycles();
+            let evidence_in_window = self
+                .fabric_deadlock_at
+                .is_some_and(|at| now.saturating_sub(at) <= timeout);
+            let kind = if evidence_in_window {
+                MisSpecKind::BufferDeadlock
+            } else {
+                MisSpecKind::TransactionTimeout
+            };
             for (i, proc) in P::procs(&self.arch).iter().enumerate() {
-                if let Some(since) = proc.waiting_since() {
+                // Requestor-side timer: the processor's wait, or the cache
+                // controller's outstanding transaction (which survives a
+                // rollback even though the restored processor re-executes
+                // and no longer waits).
+                let since = match (
+                    proc.waiting_since(),
+                    P::transaction_outstanding_since(&self.arch, i),
+                ) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(since) = since.map(|s| s.max(self.timeout_anchor)) {
                     if now.saturating_sub(since) >= timeout {
                         self.pending_misspec = Some(MisSpeculation {
-                            kind: MisSpecKind::TransactionTimeout,
+                            kind,
                             node: NodeId::from(i),
                             addr: P::timeout_addr(&self.arch, i),
                             at: now,
@@ -573,6 +707,9 @@ impl<P: ProtocolNode> SystemEngine<P> {
         if let Some(ms) = self.pending_misspec.take() {
             self.metrics.count_misspeculation(ms.kind);
             self.metrics.recoveries += 1;
+            if ms.kind == MisSpecKind::BufferDeadlock {
+                self.metrics.deadlock_recoveries += 1;
+            }
             self.perform_recovery(now, RecoveryCause::MisSpeculation(ms.kind));
             return;
         }
@@ -601,6 +738,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         self.metrics.lost_work_cycles += outcome.lost_work_cycles;
         self.metrics.recovery_latency_cycles += outcome.recovery_latency_cycles;
         self.resume_at = now + outcome.recovery_latency_cycles;
+        self.timeout_anchor = self.resume_at;
         self.pending_misspec = None;
         // Forward progress (Section 2, feature 4): alter the timing of the
         // re-execution so the same rare event cannot immediately recur.
@@ -615,6 +753,25 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 self.fp_mode = mode;
             }
         }
+    }
+
+    /// Test support: applies the protocol's forward-progress measure for
+    /// `kind` exactly as a mis-speculation recovery would (entry side
+    /// effects included), without performing the rollback itself. Lets unit
+    /// tests drive the mode lifecycle (entry → expiry hook) deterministically.
+    #[cfg(test)]
+    pub(crate) fn test_force_misspec_forward_progress(
+        &mut self,
+        kind: MisSpecKind,
+    ) -> ForwardProgressMode {
+        let resume = self.now;
+        let mode =
+            self.protocol
+                .misspec_forward_progress(&mut self.arch, kind, resume, &self.fp_cfg);
+        if mode != ForwardProgressMode::Normal {
+            self.fp_mode = mode;
+        }
+        mode
     }
 
     /// Gathers the run metrics: the protocol-independent half here, the

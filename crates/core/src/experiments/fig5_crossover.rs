@@ -1,0 +1,304 @@
+//! Fig. 5 crossover sweep: static vs. adaptive routing across a
+//! fine-grained link-bandwidth axis.
+//!
+//! The paper evaluates the speculative directory system at two operating
+//! points (400 MB/s, where adaptive routing wins on instantaneous link
+//! utilization, and 3.2 GB/s, where links are fast enough that routing
+//! freedom stops mattering). This sweep fills in the axis between them —
+//! 400 → 3200 MB/s in six steps, static and adaptive at every point — and
+//! locates the **crossover**: the bandwidth at which adaptive routing's
+//! advantage (normalized throughput ratio adaptive/static) decays to 1.0.
+//!
+//! The `fig5_crossover_sweep` bench renders the series and writes
+//! `BENCH_fig5_crossover.json`.
+
+use specsim_base::{LinkBandwidth, RoutingPolicy};
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::WorkloadKind;
+
+use crate::config::SystemConfig;
+use crate::experiments::runner::{
+    measure_directory, throughput_measurement, ExperimentScale, Measurement,
+};
+
+/// The six-step bandwidth axis of the crossover sweep (MB/s).
+pub const CROSSOVER_BANDWIDTHS: [LinkBandwidth; 6] = [
+    LinkBandwidth::MB_400,
+    LinkBandwidth::MB_800,
+    LinkBandwidth {
+        megabytes_per_second: 1200,
+    },
+    LinkBandwidth::GB_1_6,
+    LinkBandwidth {
+        megabytes_per_second: 2400,
+    },
+    LinkBandwidth::GB_3_2,
+];
+
+/// What to sweep and how long/often to run each design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig5CrossoverConfig {
+    /// Link bandwidths to visit, in ascending order.
+    pub bandwidths: Vec<LinkBandwidth>,
+    /// Workload to run at every design point.
+    pub workload: WorkloadKind,
+    /// Cycles and perturbed seeds per design point.
+    pub scale: ExperimentScale,
+}
+
+impl Default for Fig5CrossoverConfig {
+    fn default() -> Self {
+        Self {
+            bandwidths: CROSSOVER_BANDWIDTHS.to_vec(),
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale::from_env(),
+        }
+    }
+}
+
+impl Fig5CrossoverConfig {
+    /// A CI-sized sweep: the whole axis (locating the crossover is the
+    /// point), few seeds, short runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            bandwidths: CROSSOVER_BANDWIDTHS.to_vec(),
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 2,
+            },
+        }
+    }
+}
+
+/// One bandwidth point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig5CrossoverRow {
+    /// Link bandwidth of this design point.
+    pub bandwidth: LinkBandwidth,
+    /// Static-routing throughput (ops/kcycle) over the perturbed seeds.
+    pub static_throughput: Measurement,
+    /// Adaptive-routing throughput (ops/kcycle) over the perturbed seeds.
+    pub adaptive_throughput: Measurement,
+    /// Adaptive throughput normalized to static (the Fig. 5 quantity;
+    /// > 1.0 means adaptive wins at this bandwidth).
+    pub adaptive_over_static: f64,
+    /// Recoveries observed with adaptive routing, summed over runs.
+    pub adaptive_recoveries: u64,
+    /// Mean link utilization under static routing.
+    pub static_link_utilization: f64,
+}
+
+/// The completed sweep.
+#[derive(Debug, Clone)]
+pub struct Fig5CrossoverData {
+    /// One row per bandwidth, in sweep order.
+    pub rows: Vec<Fig5CrossoverRow>,
+    /// Workload used.
+    pub workload: WorkloadKind,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Perturbed seeds per design point.
+    pub seeds: u64,
+}
+
+/// Runs the sweep: both routing policies at every bandwidth, each design
+/// point through the perturbed-seed sharded runner.
+pub fn run(cfg: &Fig5CrossoverConfig) -> Result<Fig5CrossoverData, ProtocolError> {
+    let mut rows = Vec::with_capacity(cfg.bandwidths.len());
+    for &bandwidth in &cfg.bandwidths {
+        let mut static_cfg = SystemConfig::directory_speculative(cfg.workload, bandwidth, 5000);
+        static_cfg.routing = RoutingPolicy::Static;
+        static_cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+        let mut adaptive_cfg = static_cfg.clone();
+        adaptive_cfg.routing = RoutingPolicy::Adaptive;
+
+        let static_runs = measure_directory(&static_cfg, cfg.scale)?;
+        let adaptive_runs = measure_directory(&adaptive_cfg, cfg.scale)?;
+        let static_throughput = throughput_measurement(&static_runs);
+        let adaptive_throughput = throughput_measurement(&adaptive_runs);
+        let n = static_runs.len().max(1) as f64;
+        rows.push(Fig5CrossoverRow {
+            bandwidth,
+            adaptive_over_static: adaptive_throughput.mean
+                / static_throughput.mean.max(f64::MIN_POSITIVE),
+            static_throughput,
+            adaptive_throughput,
+            adaptive_recoveries: adaptive_runs.iter().map(|r| r.recoveries).sum(),
+            static_link_utilization: static_runs.iter().map(|r| r.link_utilization).sum::<f64>()
+                / n,
+        });
+    }
+    Ok(Fig5CrossoverData {
+        rows,
+        workload: cfg.workload,
+        cycles: cfg.scale.cycles,
+        seeds: cfg.scale.seeds,
+    })
+}
+
+impl Fig5CrossoverData {
+    /// The bandwidth (MB/s, linearly interpolated between sweep points) at
+    /// which the adaptive/static ratio first crosses 1.0 from above, or
+    /// `None` when one policy dominates across the whole axis.
+    #[must_use]
+    pub fn crossover_mb_per_s(&self) -> Option<f64> {
+        for pair in self.rows.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let (ra, rb) = (a.adaptive_over_static - 1.0, b.adaptive_over_static - 1.0);
+            if ra > 0.0 && rb <= 0.0 {
+                let xa = a.bandwidth.megabytes_per_second as f64;
+                let xb = b.bandwidth.megabytes_per_second as f64;
+                return Some(xa + (xb - xa) * ra / (ra - rb));
+            }
+        }
+        None
+    }
+
+    /// Renders the sweep as an aligned text table plus the located
+    /// crossover.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 5 crossover sweep ({}, speculative directory system; \
+             {} cycles x {} seeds per point)\n",
+            self.workload.label(),
+            self.cycles,
+            self.seeds
+        ));
+        out.push_str(
+            "MB/s   static ops/kcycle  adaptive ops/kcycle  adaptive/static  recoveries  static util\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>5}  {:<17}  {:<19}  {:>15.3}  {:>10}  {:>10.1}%\n",
+                r.bandwidth.megabytes_per_second,
+                r.static_throughput.display(),
+                r.adaptive_throughput.display(),
+                r.adaptive_over_static,
+                r.adaptive_recoveries,
+                r.static_link_utilization * 100.0,
+            ));
+        }
+        match self.crossover_mb_per_s() {
+            Some(x) => out.push_str(&format!(
+                "adaptive-over-static crossover located at ~{x:.0} MB/s\n"
+            )),
+            None => out.push_str("no crossover on this axis (one policy dominates)\n"),
+        }
+        out
+    }
+
+    /// Serialises the sweep as machine-readable JSON (the
+    /// `BENCH_fig5_crossover.json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"workload\": \"{}\",\n", self.workload.label()));
+        json.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        json.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        match self.crossover_mb_per_s() {
+            Some(x) => json.push_str(&format!("  \"crossover_mb_per_s\": {x:.1},\n")),
+            None => json.push_str("  \"crossover_mb_per_s\": null,\n"),
+        }
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"mb_per_s\": {}, \
+                 \"static_mean\": {:.6}, \"static_std\": {:.6}, \
+                 \"adaptive_mean\": {:.6}, \"adaptive_std\": {:.6}, \
+                 \"adaptive_over_static\": {:.6}, \
+                 \"adaptive_recoveries\": {}, \
+                 \"static_link_utilization\": {:.6}}}{comma}\n",
+                r.bandwidth.megabytes_per_second,
+                r.static_throughput.mean,
+                r.static_throughput.std_dev,
+                r.adaptive_throughput.mean,
+                r.adaptive_throughput.std_dev,
+                r.adaptive_over_static,
+                r.adaptive_recoveries,
+                r.static_link_utilization,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_spans_the_papers_range_in_six_steps() {
+        let cfg = Fig5CrossoverConfig::default();
+        assert_eq!(cfg.bandwidths.len(), 6);
+        assert_eq!(cfg.bandwidths.first(), Some(&LinkBandwidth::MB_400));
+        assert_eq!(cfg.bandwidths.last(), Some(&LinkBandwidth::GB_3_2));
+        let mbs: Vec<u64> = cfg
+            .bandwidths
+            .iter()
+            .map(|b| b.megabytes_per_second)
+            .collect();
+        let mut sorted = mbs.clone();
+        sorted.sort_unstable();
+        assert_eq!(mbs, sorted, "axis must be ascending");
+        assert_eq!(Fig5CrossoverConfig::quick().bandwidths.len(), 6);
+    }
+
+    #[test]
+    fn crossover_interpolates_the_sign_change() {
+        let row = |mb: u64, ratio: f64| Fig5CrossoverRow {
+            bandwidth: LinkBandwidth {
+                megabytes_per_second: mb,
+            },
+            static_throughput: Measurement::default(),
+            adaptive_throughput: Measurement::default(),
+            adaptive_over_static: ratio,
+            adaptive_recoveries: 0,
+            static_link_utilization: 0.0,
+        };
+        let data = Fig5CrossoverData {
+            rows: vec![row(400, 1.2), row(800, 1.1), row(1600, 0.9)],
+            workload: WorkloadKind::Oltp,
+            cycles: 0,
+            seeds: 0,
+        };
+        // Crossing between 800 (+0.1) and 1600 (-0.1): midpoint 1200.
+        let x = data.crossover_mb_per_s().expect("a crossover exists");
+        assert!((x - 1200.0).abs() < 1e-9, "got {x}");
+        let none = Fig5CrossoverData {
+            rows: vec![row(400, 1.2), row(1600, 1.05)],
+            ..data
+        };
+        assert_eq!(none.crossover_mb_per_s(), None);
+        assert!(none.render().contains("no crossover"));
+    }
+
+    #[test]
+    fn two_point_sweep_runs_and_serialises() {
+        let cfg = Fig5CrossoverConfig {
+            bandwidths: vec![LinkBandwidth::MB_400, LinkBandwidth::GB_3_2],
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale {
+                cycles: 15_000,
+                seeds: 1,
+            },
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2);
+        for r in &data.rows {
+            assert!(r.static_throughput.mean > 0.0);
+            assert!(r.adaptive_over_static > 0.0);
+        }
+        // Throughput must not degrade as links get faster.
+        assert!(data.rows[1].static_throughput.mean >= data.rows[0].static_throughput.mean);
+        let json = data.to_json();
+        assert!(json.contains("\"mb_per_s\": 400") && json.contains("\"mb_per_s\": 3200"));
+        assert!(json.contains("crossover_mb_per_s"));
+        assert!(data.render().contains("Fig. 5 crossover"));
+    }
+}

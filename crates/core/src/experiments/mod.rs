@@ -10,9 +10,11 @@
 pub mod buffer_sweep;
 pub mod fig4;
 pub mod fig5;
+pub mod fig5_crossover;
 pub mod reorder;
 pub mod runner;
 pub mod scaling;
+pub mod shared_buffer;
 pub mod snoop_bandwidth;
 pub mod snooping;
 pub mod tables;
@@ -20,9 +22,11 @@ pub mod tables;
 pub use buffer_sweep::{BufferSweep, BufferSweepRow};
 pub use fig4::{Fig4Data, Fig4Row};
 pub use fig5::{Fig5Data, Fig5Row};
+pub use fig5_crossover::{Fig5CrossoverConfig, Fig5CrossoverData, Fig5CrossoverRow};
 pub use reorder::{ReorderData, ReorderRow};
 pub use runner::{measure_directory, measure_snooping, ExperimentScale, Measurement};
 pub use scaling::{ScalingConfig, ScalingData, ScalingRow};
+pub use shared_buffer::{SharedBufferConfig, SharedBufferData, SharedBufferRow};
 pub use snoop_bandwidth::{SnoopBandwidthConfig, SnoopBandwidthData, SnoopBandwidthRow};
 pub use snooping::{SnoopingComparison, SnoopingRow};
 pub use tables::{render_table1, render_table2, render_table3};

@@ -1,0 +1,380 @@
+//! Shared-pool interconnect sweep (Section 4, third case study; Figs. 2–4).
+//!
+//! The boldest interconnect speculation replaces virtual-network/channel
+//! sizing analysis with one shared slot pool per node: any message class may
+//! use any slot, deadlock becomes possible (Figs. 2–3), detection is the
+//! three-checkpoint-interval transaction timeout, and SafetyNet recovery
+//! plus per-network reserved-slot re-execution restore forward progress.
+//!
+//! This experiment sweeps **pool size × routing policy × workload** on the
+//! directory system at the low-bandwidth operating point (400 MB/s, where
+//! buffer capacity binds) and compares each point against the
+//! conservatively-sized virtual-network baseline (the conventional
+//! per-class buffering of the same machine). Recorded per design point:
+//!
+//! * **throughput** (ops/kcycle, mean ± std over perturbed seeds) and the
+//!   same normalized to the virtual-network baseline under the same routing
+//!   policy and workload,
+//! * **deadlock recoveries** — transaction timeouts attributed to buffer
+//!   exhaustion ([`specsim_coherence::MisSpecKind::BufferDeadlock`]), and
+//!   **total recoveries**, summed over the perturbed runs,
+//! * the per-node **slot budget** of the virtual-network baseline, for
+//!   scale: a pool "sized near the common case" uses a small fraction of it.
+//!
+//! Reproducing the paper's claim (Fig. 4 economics): recovery is cheap and
+//! rare enough that a pool well below worst-case sizing matches or beats the
+//! conservatively-sized virtual networks, while grossly undersized pools
+//! show the sharp deadlock-driven dropoff.
+//!
+//! The `shared_buffer_sweep` bench renders the table and writes
+//! `BENCH_shared_buffer.json`.
+
+use specsim_base::{LinkBandwidth, RoutingPolicy};
+use specsim_coherence::types::{MisSpecKind, ProtocolError};
+use specsim_workloads::WorkloadKind;
+
+use crate::config::SystemConfig;
+use crate::experiments::runner::{
+    measure_directory, throughput_measurement, ExperimentScale, Measurement,
+};
+
+/// The pool sizes the full sweep visits (slots per node; for scale, the
+/// virtual-network baseline provisions 224 slots per node with static
+/// routing and 320 with adaptive — see [`vn_baseline_slots_per_node`]).
+pub const FULL_POOL_SIZES: [usize; 6] = [128, 64, 32, 16, 8, 4];
+
+/// Per-node slot budget of the conservatively-sized virtual-network
+/// baseline this sweep compares against: each of the four link ports holds
+/// one depth-4 buffer per (virtual network, virtual channel) pair, the
+/// local injection port holds the same buffers at the injection depth (8),
+/// and the endpoint has four depth-8 ejection queues. Static routing uses
+/// 2 virtual channels per network, adaptive 3 (the extra Duato channel),
+/// so the budgets differ: 224 vs. 320 slots per node.
+#[must_use]
+pub fn vn_baseline_slots_per_node(routing: RoutingPolicy) -> usize {
+    let channels_per_network = match routing {
+        RoutingPolicy::Static => 2,
+        RoutingPolicy::Adaptive => 3,
+    };
+    let buffers_per_port = 4 * channels_per_network;
+    4 * buffers_per_port * 4 + buffers_per_port * 8 + 4 * 8
+}
+
+/// What to sweep and how long/often to run each design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedBufferConfig {
+    /// Per-node pool sizes to visit.
+    pub pool_sizes: Vec<usize>,
+    /// Routing policies to visit (the speculative design prefers adaptive).
+    pub routings: Vec<RoutingPolicy>,
+    /// Workloads to run at every design point.
+    pub workloads: Vec<WorkloadKind>,
+    /// Link bandwidth (the paper's buffer discussion is at the low end).
+    pub bandwidth: LinkBandwidth,
+    /// Machine size. The paper's 16-node machine under our synthetic
+    /// workloads never pressures even an 8-slot pool; at 32 nodes the
+    /// longer paths and doubled traffic push undersized pools into the
+    /// deadlock regime, making the dropoff (and the detector) visible.
+    pub num_nodes: usize,
+    /// Cycles and perturbed seeds per design point.
+    pub scale: ExperimentScale,
+}
+
+impl Default for SharedBufferConfig {
+    /// The full sweep: six pool sizes × both routing policies × two
+    /// workloads at the environment-controlled scale.
+    fn default() -> Self {
+        Self {
+            pool_sizes: FULL_POOL_SIZES.to_vec(),
+            routings: vec![RoutingPolicy::Static, RoutingPolicy::Adaptive],
+            workloads: vec![WorkloadKind::Oltp, WorkloadKind::Jbb],
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 32,
+            scale: ExperimentScale::from_env(),
+        }
+    }
+}
+
+impl SharedBufferConfig {
+    /// A CI-sized sweep: the pool-size axis is the point of the artifact, so
+    /// every size is kept, but one routing policy, one workload, few seeds,
+    /// short runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            pool_sizes: FULL_POOL_SIZES.to_vec(),
+            routings: vec![RoutingPolicy::Adaptive],
+            workloads: vec![WorkloadKind::Oltp],
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 32,
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 2,
+            },
+        }
+    }
+}
+
+/// One design point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SharedBufferRow {
+    /// Workload of this design point.
+    pub workload: WorkloadKind,
+    /// Routing policy of this design point.
+    pub routing: RoutingPolicy,
+    /// Slots in each node's shared pool; `None` is the virtual-network
+    /// baseline (conservative per-class sizing, deadlock-free).
+    pub pool_slots: Option<usize>,
+    /// Committed operations per kilo-cycle over the perturbed seeds.
+    pub throughput: Measurement,
+    /// Throughput normalized to the virtual-network baseline with the same
+    /// workload and routing (baseline = 1.0).
+    pub normalized: Measurement,
+    /// Detected buffer-deadlock recoveries, summed over the perturbed runs.
+    pub deadlock_recoveries: u64,
+    /// All mis-speculation recoveries (deadlocks, congestion timeouts,
+    /// ordering races), summed over the perturbed runs.
+    pub recoveries: u64,
+}
+
+/// The completed sweep.
+#[derive(Debug, Clone)]
+pub struct SharedBufferData {
+    /// One row per (workload, routing, pool size), baselines first within
+    /// each (workload, routing) group.
+    pub rows: Vec<SharedBufferRow>,
+    /// Link bandwidth used.
+    pub bandwidth: LinkBandwidth,
+    /// Machine size (nodes).
+    pub num_nodes: usize,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Perturbed seeds per design point.
+    pub seeds: u64,
+}
+
+fn baseline_config(
+    cfg: &SharedBufferConfig,
+    workload: WorkloadKind,
+    routing: RoutingPolicy,
+) -> SystemConfig {
+    let mut sys = SystemConfig::directory_speculative(workload, cfg.bandwidth, 6000);
+    sys.flow_control = specsim_base::FlowControl::VirtualChannels {
+        channels_per_network: 2,
+    };
+    sys.routing = routing;
+    sys.memory.num_nodes = cfg.num_nodes;
+    sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys
+}
+
+fn pooled_config(
+    cfg: &SharedBufferConfig,
+    workload: WorkloadKind,
+    routing: RoutingPolicy,
+    slots: usize,
+) -> SystemConfig {
+    let mut sys = SystemConfig::shared_pool_interconnect(workload, cfg.bandwidth, slots, 6000);
+    sys.routing = routing;
+    sys.memory.num_nodes = cfg.num_nodes;
+    sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys
+}
+
+/// Runs the sweep: for every (workload, routing) pair, the virtual-network
+/// baseline followed by each pool size, every design point through the
+/// perturbed-seed sharded runner.
+pub fn run(cfg: &SharedBufferConfig) -> Result<SharedBufferData, ProtocolError> {
+    let mut rows = Vec::new();
+    for &workload in &cfg.workloads {
+        for &routing in &cfg.routings {
+            let base_cfg = baseline_config(cfg, workload, routing);
+            let base_runs = measure_directory(&base_cfg, cfg.scale)?;
+            let baseline = throughput_measurement(&base_runs);
+            let denom = baseline.mean.max(f64::MIN_POSITIVE);
+            let normalize = |runs: &[crate::metrics::RunMetrics]| {
+                Measurement::from_samples(
+                    &runs
+                        .iter()
+                        .map(|r| r.throughput() / denom)
+                        .collect::<Vec<_>>(),
+                )
+            };
+            rows.push(SharedBufferRow {
+                workload,
+                routing,
+                pool_slots: None,
+                throughput: baseline,
+                normalized: normalize(&base_runs),
+                deadlock_recoveries: 0,
+                recoveries: base_runs.iter().map(|r| r.recoveries).sum(),
+            });
+            for &slots in &cfg.pool_sizes {
+                let runs =
+                    measure_directory(&pooled_config(cfg, workload, routing, slots), cfg.scale)?;
+                rows.push(SharedBufferRow {
+                    workload,
+                    routing,
+                    pool_slots: Some(slots),
+                    throughput: throughput_measurement(&runs),
+                    normalized: normalize(&runs),
+                    deadlock_recoveries: runs
+                        .iter()
+                        .map(|r| r.misspeculations_of(MisSpecKind::BufferDeadlock))
+                        .sum(),
+                    recoveries: runs.iter().map(|r| r.recoveries).sum(),
+                });
+            }
+        }
+    }
+    Ok(SharedBufferData {
+        rows,
+        bandwidth: cfg.bandwidth,
+        num_nodes: cfg.num_nodes,
+        cycles: cfg.scale.cycles,
+        seeds: cfg.scale.seeds,
+    })
+}
+
+impl SharedBufferData {
+    /// Renders the sweep as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Shared-pool interconnect sweep ({} nodes, {} MB/s links; {} cycles x {} seeds \
+             per point; VN baseline provisions {} slots/node static, {} adaptive)\n",
+            self.num_nodes,
+            self.bandwidth.megabytes_per_second,
+            self.cycles,
+            self.seeds,
+            vn_baseline_slots_per_node(RoutingPolicy::Static),
+            vn_baseline_slots_per_node(RoutingPolicy::Adaptive)
+        ));
+        out.push_str(
+            "workload  routing   slots/node  ops/kcycle        normalized        deadlocks  recoveries\n",
+        );
+        for r in &self.rows {
+            let slots = match r.pool_slots {
+                Some(s) => s.to_string(),
+                None => "VN".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<9} {:<8}  {:>10}  {:<16}  {:<16}  {:>9}  {:>10}\n",
+                r.workload.label(),
+                r.routing.label(),
+                slots,
+                r.throughput.display(),
+                r.normalized.display(),
+                r.deadlock_recoveries,
+                r.recoveries,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the sweep as machine-readable JSON (the
+    /// `BENCH_shared_buffer.json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"mb_per_s\": {},\n",
+            self.bandwidth.megabytes_per_second
+        ));
+        json.push_str(&format!("  \"num_nodes\": {},\n", self.num_nodes));
+        json.push_str(&format!(
+            "  \"baseline_slots_per_node_static\": {},\n",
+            vn_baseline_slots_per_node(RoutingPolicy::Static)
+        ));
+        json.push_str(&format!(
+            "  \"baseline_slots_per_node_adaptive\": {},\n",
+            vn_baseline_slots_per_node(RoutingPolicy::Adaptive)
+        ));
+        json.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        json.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let slots = match r.pool_slots {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            };
+            json.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"routing\": \"{}\", \"pool_slots\": {slots}, \
+                 \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
+                 \"normalized_mean\": {:.6}, \"normalized_std\": {:.6}, \
+                 \"deadlock_recoveries\": {}, \"recoveries\": {}}}{comma}\n",
+                r.workload.label(),
+                r.routing.label(),
+                r.throughput.mean,
+                r.throughput.std_dev,
+                r.normalized.mean,
+                r.normalized.std_dev,
+                r.deadlock_recoveries,
+                r.recoveries,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_covers_the_dropoff_range() {
+        let cfg = SharedBufferConfig::default();
+        assert!(cfg.pool_sizes.contains(&16) && cfg.pool_sizes.contains(&8));
+        // Quick mode keeps every pool size (the artifact's axis).
+        assert_eq!(
+            SharedBufferConfig::quick().pool_sizes.len(),
+            FULL_POOL_SIZES.len()
+        );
+        // The VN budgets the sweep normalizes against: 4 link ports x
+        // (4 networks x VCs) x depth 4, a local port at injection depth 8,
+        // and 4 ejection queues of depth 8.
+        assert_eq!(vn_baseline_slots_per_node(RoutingPolicy::Static), 224);
+        assert_eq!(vn_baseline_slots_per_node(RoutingPolicy::Adaptive), 320);
+        assert!(
+            vn_baseline_slots_per_node(RoutingPolicy::Static) > *FULL_POOL_SIZES.first().unwrap()
+        );
+    }
+
+    #[test]
+    fn tiny_sweep_shows_pool_plateau_near_the_vn_baseline() {
+        let cfg = SharedBufferConfig {
+            pool_sizes: vec![64],
+            routings: vec![RoutingPolicy::Adaptive],
+            workloads: vec![WorkloadKind::Oltp],
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 16,
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 1,
+            },
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2);
+        let base = &data.rows[0];
+        let pooled = &data.rows[1];
+        assert_eq!(base.pool_slots, None);
+        assert!((base.normalized.mean - 1.0).abs() < 1e-9);
+        assert_eq!(pooled.pool_slots, Some(64));
+        // A pool at a quarter of the baseline budget stays close to (or
+        // above) it — the Section 4 claim at the plateau.
+        assert!(
+            pooled.normalized.mean > 0.8,
+            "64-slot pool fell to {} of the VN baseline",
+            pooled.normalized.mean
+        );
+        assert_eq!(pooled.deadlock_recoveries, 0);
+        let txt = data.render();
+        assert!(txt.contains("VN") && txt.contains("64"));
+        let json = data.to_json();
+        assert!(json.contains("\"pool_slots\": null") && json.contains("\"pool_slots\": 64"));
+    }
+}

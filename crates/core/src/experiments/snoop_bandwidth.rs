@@ -21,7 +21,7 @@
 //! The `snoop_bandwidth_sweep` bench binary renders the table and writes the
 //! rows as machine-readable `BENCH_snoop_bandwidth.json`.
 
-use specsim_base::{LinkBandwidth, ProtocolVariant, RoutingPolicy};
+use specsim_base::{CycleDelta, LinkBandwidth, ProtocolVariant, RoutingPolicy};
 use specsim_coherence::types::ProtocolError;
 use specsim_workloads::WorkloadKind;
 
@@ -39,6 +39,10 @@ pub const FULL_BANDWIDTHS: [LinkBandwidth; 4] = [
     LinkBandwidth::GB_3_2,
 ];
 
+/// The Table 2 machine's address-network arbitration interval (cycles
+/// between consecutive bus grants).
+pub const DEFAULT_BUS_INTERVAL: CycleDelta = 8;
+
 /// What to sweep: which bandwidths and routing policies, and how long/often
 /// to run each design point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +52,13 @@ pub struct SnoopBandwidthConfig {
     /// Data-network routing policies to visit (the data network is
     /// unordered, so adaptive routing is legal on it).
     pub routings: Vec<RoutingPolicy>,
+    /// Address-network arbitration intervals to visit (cycles between
+    /// consecutive bus grants). The default sweeps only the Table 2 machine
+    /// (8 cycles); adding larger intervals exposes the address-network
+    /// bottleneck the paper's snooping machines hit at scale — the bus
+    /// serializes every coherence request regardless of how fast the data
+    /// torus gets.
+    pub bus_intervals: Vec<CycleDelta>,
     /// Workload to run at every design point.
     pub workload: WorkloadKind,
     /// Cycles and perturbed seeds per design point.
@@ -61,6 +72,7 @@ impl Default for SnoopBandwidthConfig {
         Self {
             bandwidths: FULL_BANDWIDTHS.to_vec(),
             routings: vec![RoutingPolicy::Static, RoutingPolicy::Adaptive],
+            bus_intervals: vec![DEFAULT_BUS_INTERVAL],
             workload: WorkloadKind::Oltp,
             scale: ExperimentScale::from_env(),
         }
@@ -75,6 +87,7 @@ impl SnoopBandwidthConfig {
         Self {
             bandwidths: FULL_BANDWIDTHS.to_vec(),
             routings: vec![RoutingPolicy::Static],
+            bus_intervals: vec![DEFAULT_BUS_INTERVAL],
             workload: WorkloadKind::Oltp,
             scale: ExperimentScale {
                 cycles: 20_000,
@@ -84,13 +97,17 @@ impl SnoopBandwidthConfig {
     }
 }
 
-/// One design point of the sweep: a data-network bandwidth × routing policy.
+/// One design point of the sweep: a data-network bandwidth × routing policy
+/// × bus arbitration interval.
 #[derive(Debug, Clone)]
 pub struct SnoopBandwidthRow {
     /// Data-network link bandwidth of this design point.
     pub bandwidth: LinkBandwidth,
     /// Data-network routing policy of this design point.
     pub routing: RoutingPolicy,
+    /// Address-network arbitration interval (cycles/grant) of this design
+    /// point.
+    pub bus_interval: CycleDelta,
     /// Committed operations per kilo-cycle, over the perturbed seeds.
     pub throughput: Measurement,
     /// Mean demand-miss latency in cycles, over the perturbed seeds.
@@ -122,28 +139,39 @@ pub struct SnoopBandwidthData {
 /// Runs the sweep: every bandwidth under every configured routing policy,
 /// each design point through the perturbed-seed sharded runner.
 pub fn run(cfg: &SnoopBandwidthConfig) -> Result<SnoopBandwidthData, ProtocolError> {
-    let mut rows = Vec::with_capacity(cfg.bandwidths.len() * cfg.routings.len());
-    for &bandwidth in &cfg.bandwidths {
-        for &routing in &cfg.routings {
-            let mut sys_cfg =
-                SnoopSystemConfig::new(cfg.workload, ProtocolVariant::Speculative, 4000)
-                    .with_data_bandwidth(bandwidth);
-            sys_cfg.data_net.routing = routing;
-            sys_cfg.memory.safetynet.checkpoint_interval_requests = 500;
-            let runs = measure_snooping(&sys_cfg, cfg.scale)?;
-            let miss_latencies: Vec<f64> = runs.iter().map(|r| r.mean_miss_latency()).collect();
-            let n = runs.len().max(1) as f64;
-            rows.push(SnoopBandwidthRow {
-                bandwidth,
-                routing,
-                throughput: throughput_measurement(&runs),
-                miss_latency: Measurement::from_samples(&miss_latencies),
-                data_latency_cycles: runs.iter().map(|r| r.data_mean_latency_cycles).sum::<f64>()
-                    / n,
-                data_link_utilization: runs.iter().map(|r| r.data_link_utilization).sum::<f64>()
-                    / n,
-                bus_requests: runs.iter().map(|r| r.bus_requests).sum(),
-            });
+    let mut rows =
+        Vec::with_capacity(cfg.bandwidths.len() * cfg.routings.len() * cfg.bus_intervals.len());
+    for &bus_interval in &cfg.bus_intervals {
+        for &bandwidth in &cfg.bandwidths {
+            for &routing in &cfg.routings {
+                let mut sys_cfg =
+                    SnoopSystemConfig::new(cfg.workload, ProtocolVariant::Speculative, 4000)
+                        .with_data_bandwidth(bandwidth);
+                sys_cfg.data_net.routing = routing;
+                sys_cfg.bus_arbitration_interval = bus_interval;
+                sys_cfg.memory.safetynet.checkpoint_interval_requests = 500;
+                let runs = measure_snooping(&sys_cfg, cfg.scale)?;
+                let miss_latencies: Vec<f64> = runs.iter().map(|r| r.mean_miss_latency()).collect();
+                let n = runs.len().max(1) as f64;
+                rows.push(SnoopBandwidthRow {
+                    bandwidth,
+                    routing,
+                    bus_interval,
+                    throughput: throughput_measurement(&runs),
+                    miss_latency: Measurement::from_samples(&miss_latencies),
+                    data_latency_cycles: runs
+                        .iter()
+                        .map(|r| r.data_mean_latency_cycles)
+                        .sum::<f64>()
+                        / n,
+                    data_link_utilization: runs
+                        .iter()
+                        .map(|r| r.data_link_utilization)
+                        .sum::<f64>()
+                        / n,
+                    bus_requests: runs.iter().map(|r| r.bus_requests).sum(),
+                });
+            }
         }
     }
     Ok(SnoopBandwidthData {
@@ -167,13 +195,14 @@ impl SnoopBandwidthData {
             self.seeds
         ));
         out.push_str(
-            "MB/s   routing   ops/kcycle        miss latency (cyc)  data latency  data util\n",
+            "MB/s   routing   bus-int  ops/kcycle        miss latency (cyc)  data latency  data util\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:>5}  {:<8}  {:<16}  {:<18}  {:>12.1}  {:>8.1}%\n",
+                "{:>5}  {:<8}  {:>7}  {:<16}  {:<18}  {:>12.1}  {:>8.1}%\n",
                 r.bandwidth.megabytes_per_second,
                 r.routing.label(),
+                r.bus_interval,
                 r.throughput.display(),
                 r.miss_latency.display(),
                 r.data_latency_cycles,
@@ -196,7 +225,7 @@ impl SnoopBandwidthData {
         for (i, r) in self.rows.iter().enumerate() {
             let comma = if i + 1 == self.rows.len() { "" } else { "," };
             json.push_str(&format!(
-                "    {{\"mb_per_s\": {}, \"routing\": \"{}\", \
+                "    {{\"mb_per_s\": {}, \"routing\": \"{}\", \"bus_interval\": {}, \
                  \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
                  \"miss_latency_mean\": {:.6}, \"miss_latency_std\": {:.6}, \
                  \"data_latency_cycles\": {:.6}, \
@@ -204,6 +233,7 @@ impl SnoopBandwidthData {
                  \"bus_requests\": {}}}{comma}\n",
                 r.bandwidth.megabytes_per_second,
                 r.routing.label(),
+                r.bus_interval,
                 r.throughput.mean,
                 r.throughput.std_dev,
                 r.miss_latency.mean,
@@ -233,10 +263,45 @@ mod tests {
     }
 
     #[test]
+    fn bus_arbitration_axis_exposes_the_address_network_bottleneck() {
+        // Satellite of the shared-buffer PR: a slow bus (one grant per 64
+        // cycles) throttles ordered requests no matter how fast the data
+        // torus is — throughput must not improve and the bus must order
+        // clearly fewer requests per cycle than the Table 2 machine.
+        let cfg = SnoopBandwidthConfig {
+            bandwidths: vec![LinkBandwidth::GB_3_2],
+            routings: vec![RoutingPolicy::Static],
+            bus_intervals: vec![DEFAULT_BUS_INTERVAL, 64],
+            workload: WorkloadKind::Oltp,
+            scale: ExperimentScale {
+                cycles: 15_000,
+                seeds: 1,
+            },
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2);
+        let fast_bus = &data.rows[0];
+        let slow_bus = &data.rows[1];
+        assert_eq!(fast_bus.bus_interval, 8);
+        assert_eq!(slow_bus.bus_interval, 64);
+        assert!(
+            slow_bus.bus_requests < fast_bus.bus_requests,
+            "a 64-cycle bus must order fewer requests ({} vs {})",
+            slow_bus.bus_requests,
+            fast_bus.bus_requests
+        );
+        assert!(slow_bus.throughput.mean <= fast_bus.throughput.mean);
+        assert!(slow_bus.miss_latency.mean > fast_bus.miss_latency.mean);
+        let json = data.to_json();
+        assert!(json.contains("\"bus_interval\": 8") && json.contains("\"bus_interval\": 64"));
+    }
+
+    #[test]
     fn tiny_sweep_separates_the_bandwidth_endpoints() {
         let cfg = SnoopBandwidthConfig {
             bandwidths: vec![LinkBandwidth::MB_400, LinkBandwidth::GB_3_2],
             routings: vec![RoutingPolicy::Static],
+            bus_intervals: vec![DEFAULT_BUS_INTERVAL],
             workload: WorkloadKind::Oltp,
             scale: ExperimentScale {
                 cycles: 15_000,

@@ -39,5 +39,5 @@ pub use engine::{
     ProtocolNode, StagedOutbox, SystemEngine,
 };
 pub use framework::SpeculativeDesign;
-pub use metrics::RunMetrics;
+pub use metrics::{DataClass, RunMetrics, ALL_DATA_CLASSES};
 pub use snoopsys::{SnoopSystemConfig, SnoopingSystem};

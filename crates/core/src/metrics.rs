@@ -32,6 +32,11 @@ pub struct RunMetrics {
     pub misspeculations: Vec<(MisSpecKind, u64)>,
     /// Recoveries triggered by detected mis-speculations.
     pub recoveries: u64,
+    /// The subset of [`RunMetrics::recoveries`] caused by detected
+    /// buffer-dependency deadlocks ([`MisSpecKind::BufferDeadlock`]): the
+    /// transaction timeout fired while the shared-pool fabric's watchdog
+    /// confirmed a wedged network (Section 4's third case study).
+    pub deadlock_recoveries: u64,
     /// Recoveries injected artificially (the Figure 4 stress test).
     pub injected_recoveries: u64,
     /// Cycles of speculative work discarded by recoveries.
@@ -56,6 +61,46 @@ pub struct RunMetrics {
     /// Mean link utilization of the data network over the run, 0..1
     /// (snooping system only).
     pub data_link_utilization: f64,
+    /// Data-network deliveries by traffic class, indexed by
+    /// [`DataClass::index`]: owner/memory→requestor block transfers vs.
+    /// writeback data (snooping system only).
+    pub data_delivered_per_class: [u64; 2],
+    /// Mean in-fabric latency of data-network deliveries by traffic class,
+    /// in cycles, indexed like
+    /// [`RunMetrics::data_delivered_per_class`].
+    pub data_latency_per_class: [f64; 2],
+}
+
+/// Traffic classes of the snooping system's point-to-point data network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataClass {
+    /// Block data sent to a requestor by the owning cache or home memory.
+    OwnerTransfer,
+    /// Writeback data sent by an evicting owner to the block's home memory.
+    Writeback,
+}
+
+/// Both data-network traffic classes, in index order.
+pub const ALL_DATA_CLASSES: [DataClass; 2] = [DataClass::OwnerTransfer, DataClass::Writeback];
+
+impl DataClass {
+    /// Dense index of this class, `0..2`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            DataClass::OwnerTransfer => 0,
+            DataClass::Writeback => 1,
+        }
+    }
+
+    /// Short label for statistics output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DataClass::OwnerTransfer => "owner-transfer",
+            DataClass::Writeback => "writeback",
+        }
+    }
 }
 
 impl RunMetrics {
@@ -109,6 +154,15 @@ impl RunMetrics {
         } else {
             r as f64 / d as f64
         }
+    }
+
+    /// Deadlock mis-speculations detected
+    /// ([`MisSpecKind::BufferDeadlock`]); equals
+    /// [`RunMetrics::deadlock_recoveries`] since every detection triggers a
+    /// recovery.
+    #[must_use]
+    pub fn deadlocks_detected(&self) -> u64 {
+        self.misspeculations_of(MisSpecKind::BufferDeadlock)
     }
 
     /// Count of mis-speculations of a given kind.
@@ -185,6 +239,31 @@ mod tests {
             1
         );
         assert_eq!(m.misspeculations_of(MisSpecKind::WritebackDoubleRace), 0);
+    }
+
+    #[test]
+    fn deadlock_detection_counts_track_buffer_deadlock_misspecs() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.deadlocks_detected(), 0);
+        m.count_misspeculation(MisSpecKind::BufferDeadlock);
+        m.count_misspeculation(MisSpecKind::TransactionTimeout);
+        m.count_misspeculation(MisSpecKind::BufferDeadlock);
+        assert_eq!(m.deadlocks_detected(), 2);
+        assert_eq!(m.misspeculations_of(MisSpecKind::TransactionTimeout), 1);
+    }
+
+    #[test]
+    fn data_class_indices_and_labels_are_dense_and_distinct() {
+        let mut seen = [false; 2];
+        for c in ALL_DATA_CLASSES {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_ne!(
+            DataClass::OwnerTransfer.label(),
+            DataClass::Writeback.label()
+        );
     }
 
     #[test]

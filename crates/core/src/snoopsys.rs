@@ -33,7 +33,28 @@ use crate::config::ForwardProgressConfig;
 use crate::engine::{
     EngineAccess, EngineCtx, ForwardProgressMode, ProtocolNode, StagedOutbox, SystemEngine,
 };
-use crate::metrics::RunMetrics;
+use crate::metrics::{DataClass, RunMetrics, ALL_DATA_CLASSES};
+
+/// The traffic class of a data-network message (owner transfer vs.
+/// writeback), for per-class fabric statistics.
+fn data_class_of(msg: &SnoopDataMsg) -> DataClass {
+    match msg {
+        SnoopDataMsg::Data { .. } => DataClass::OwnerTransfer,
+        SnoopDataMsg::WbData { .. } => DataClass::Writeback,
+    }
+}
+
+/// The virtual-network tag a data class travels under. The data torus is
+/// unordered and (by default) unbuffered per class, so the tag never changes
+/// scheduling — it exists so the fabric's per-virtual-network statistics
+/// separate owner transfers from writebacks (and so a bounded/pooled data
+/// torus accounts the classes separately).
+fn data_vnet_of(class: DataClass) -> VirtualNetwork {
+    match class {
+        DataClass::OwnerTransfer => VirtualNetwork::Response,
+        DataClass::Writeback => VirtualNetwork::Request,
+    }
+}
 
 /// Snoops each node consumes from the address network per cycle.
 const SNOOP_BUDGET: usize = 2;
@@ -179,26 +200,24 @@ impl SnoopProtocol {
                 }
             }
             // Data-network messages from caches (responses, writeback data).
-            // Back-pressure is checked *before* popping: with a bounded
-            // data-fabric configuration the message must stay queued in the
-            // controller, not be dropped (the default worst-case buffering
-            // never rejects).
+            // Back-pressure is checked *before* popping — against the head
+            // message's own traffic class, so e.g. writeback back-pressure
+            // on a bounded/pooled fabric never blocks an injectable owner
+            // transfer (the message stays queued in the controller, never
+            // dropped; the default worst-case buffering never rejects).
             for _ in 0..DRAIN_BUDGET {
-                if !data_net.can_inject(node, VirtualNetwork::Response) {
-                    break;
-                }
-                let Some(out) = caches[i].pop_data_message() else {
+                let Some(vnet) = caches[i]
+                    .peek_data_message()
+                    .map(|out| data_vnet_of(data_class_of(&out.msg)))
+                else {
                     break;
                 };
+                if !data_net.can_inject(node, vnet) {
+                    break;
+                }
+                let out = caches[i].pop_data_message().expect("peeked message");
                 data_net
-                    .inject(
-                        now,
-                        node,
-                        out.dst,
-                        VirtualNetwork::Response,
-                        out.msg.size(),
-                        out.msg,
-                    )
+                    .inject(now, node, out.dst, vnet, out.msg.size(), out.msg)
                     .expect("injection checked");
             }
             // Data-network messages from memory controllers wait out the DRAM
@@ -213,18 +232,12 @@ impl SnoopProtocol {
                 mem_outboxes[i].stage(now + delay, out);
             }
             mem_outboxes[i].pump(now, |out| {
-                if !data_net.can_inject(node, VirtualNetwork::Response) {
+                let vnet = data_vnet_of(data_class_of(&out.msg));
+                if !data_net.can_inject(node, vnet) {
                     return false;
                 }
                 data_net
-                    .inject(
-                        now,
-                        node,
-                        out.dst,
-                        VirtualNetwork::Response,
-                        out.msg.size(),
-                        out.msg,
-                    )
+                    .inject(now, node, out.dst, vnet, out.msg.size(), out.msg)
                     .expect("injection checked");
                 true
             });
@@ -321,6 +334,8 @@ impl ProtocolNode for SnoopProtocol {
         arch.bus.tick(now);
         self.deliver_snoops(arch, now, ctx);
         arch.data_net.tick(now);
+        // A shared-pool data torus can wedge like any Section 4 fabric.
+        crate::engine::report_pooled_fabric_evidence(&arch.data_net, now, ctx);
         self.deliver_data(arch, now, ctx);
         let ArchState { procs, caches, .. } = arch;
         ctx.deliver_completions(now, procs, |i| {
@@ -355,17 +370,31 @@ impl ProtocolNode for SnoopProtocol {
         BlockAddr(0)
     }
 
+    fn transaction_outstanding_since(arch: &ArchState, i: usize) -> Option<Cycle> {
+        arch.caches[i].outstanding_since()
+    }
+
     fn after_recovery_restore(&mut self, arch: &mut ArchState) {
         self.requests_at_last_checkpoint = arch.bus.granted();
     }
 
     fn misspec_forward_progress(
         &mut self,
-        _arch: &mut ArchState,
-        _kind: MisSpecKind,
+        arch: &mut ArchState,
+        kind: MisSpecKind,
         resume_at: Cycle,
         fp: &ForwardProgressConfig,
     ) -> ForwardProgressMode {
+        // A buffer deadlock on a shared-pool data torus re-executes with
+        // per-network reserved slots (Section 4's conservative recipe,
+        // falling back to slow-start on unpooled fabrics).
+        if kind == MisSpecKind::BufferDeadlock {
+            return crate::engine::buffer_deadlock_forward_progress(
+                &mut arch.data_net,
+                resume_at,
+                fp,
+            );
+        }
         // Section 3.2 / Section 4: restrict outstanding transactions after
         // recovery; the corner case (and deadlock) need at least two
         // concurrent transactions to recur.
@@ -384,6 +413,10 @@ impl ProtocolNode for SnoopProtocol {
         // order comes from the bus, not the torus).
     }
 
+    fn on_reserved_window_expired(&mut self, arch: &mut ArchState) {
+        arch.data_net.set_pool_reservation(0);
+    }
+
     fn normal_outstanding_limit(&self) -> usize {
         usize::MAX
     }
@@ -395,6 +428,12 @@ impl ProtocolNode for SnoopProtocol {
         m.data_messages_delivered = arch.data_net.stats().delivered.get();
         m.data_mean_latency_cycles = arch.data_net.stats().mean_latency();
         m.data_link_utilization = arch.data_net.mean_link_utilization(now);
+        for class in ALL_DATA_CLASSES {
+            let vnet = data_vnet_of(class);
+            m.data_delivered_per_class[class.index()] =
+                arch.data_net.stats().delivered_per_vnet[vnet.index()].get();
+            m.data_latency_per_class[class.index()] = arch.data_net.stats().mean_latency_of(vnet);
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Network configuration and buffer layout.
 
-use specsim_base::{CycleDelta, FlowControl, LinkBandwidth, RoutingPolicy};
+use specsim_base::{BufferPolicy, CycleDelta, FlowControl, LinkBandwidth, RoutingPolicy};
 
 use crate::packet::VirtualNetwork;
 use crate::topology::Direction;
@@ -20,6 +20,13 @@ pub struct NetConfig {
     /// Deadlock-avoidance strategy (virtual channels, shared buffers, or
     /// worst-case buffering).
     pub flow_control: FlowControl,
+    /// How buffer capacity is provisioned. [`BufferPolicy::VirtualNetworks`]
+    /// keeps the per-buffer depths below (today's behavior, bit-identical);
+    /// [`BufferPolicy::SharedPool`] makes individual buffers unbounded and
+    /// bounds each node by one shared slot pool instead — the speculative
+    /// Section 4 design in which deadlock is possible (see
+    /// [`crate::SlotPool`]).
+    pub buffer_policy: BufferPolicy,
     /// Link bandwidth, which sets per-message serialization time.
     pub link_bandwidth: LinkBandwidth,
     /// Per-hop switch pipeline latency in cycles.
@@ -55,6 +62,7 @@ impl NetConfig {
             flow_control: FlowControl::VirtualChannels {
                 channels_per_network: 2,
             },
+            buffer_policy: BufferPolicy::VirtualNetworks,
             link_bandwidth,
             switch_latency: 8,
             vc_buffer_depth: 4,
@@ -78,6 +86,7 @@ impl NetConfig {
             torus_dims: None,
             routing: RoutingPolicy::Adaptive,
             flow_control: FlowControl::SharedBuffers { buffers_per_port },
+            buffer_policy: BufferPolicy::VirtualNetworks,
             link_bandwidth,
             switch_latency: 8,
             vc_buffer_depth: buffers_per_port,
@@ -103,12 +112,42 @@ impl NetConfig {
             torus_dims: None,
             routing,
             flow_control: FlowControl::WorstCaseBuffering,
+            buffer_policy: BufferPolicy::VirtualNetworks,
             link_bandwidth,
             switch_latency: 8,
             vc_buffer_depth: 4,
             ejection_queue_depth: 8,
             injection_queue_depth: 8,
             stall_threshold: DEFAULT_STALL_THRESHOLD,
+        }
+    }
+
+    /// The speculative shared-pool interconnect of Section 4's third case
+    /// study: the buffer *structure* of the conventional design (so routing
+    /// and fairness are unchanged) but all sizing analysis replaced by one
+    /// pool of `total_slots` message slots per node, from which every
+    /// virtual network and the ejection path draw. Deadlock is possible and
+    /// is detected by the coherence-transaction timeout, then broken by
+    /// SafetyNet recovery.
+    #[must_use]
+    pub fn shared_pool(
+        num_nodes: usize,
+        link_bandwidth: LinkBandwidth,
+        total_slots: usize,
+    ) -> Self {
+        let mut cfg = Self::conventional(num_nodes, link_bandwidth);
+        cfg.routing = RoutingPolicy::Adaptive;
+        cfg.buffer_policy = BufferPolicy::SharedPool { total_slots };
+        cfg
+    }
+
+    /// Slots in each node's shared pool when the policy is
+    /// [`BufferPolicy::SharedPool`], else `None`.
+    #[must_use]
+    pub fn pool_slots(&self) -> Option<usize> {
+        match self.buffer_policy {
+            BufferPolicy::SharedPool { total_slots } => Some(total_slots),
+            BufferPolicy::VirtualNetworks => None,
         }
     }
 
@@ -370,6 +409,20 @@ mod tests {
         assert_eq!(
             layout.ejection_index(VirtualNetwork::Response),
             layout.ejection_index(VirtualNetwork::Request)
+        );
+    }
+
+    #[test]
+    fn shared_pool_preset_keeps_the_vc_structure_but_pools_capacity() {
+        let cfg = NetConfig::shared_pool(16, LinkBandwidth::MB_400, 24);
+        assert_eq!(cfg.pool_slots(), Some(24));
+        assert_eq!(cfg.routing, RoutingPolicy::Adaptive);
+        // The buffer *structure* is the conventional adaptive VC layout
+        // (4 networks x 3 channels); only the capacity accounting changes.
+        assert_eq!(cfg.layout().buffers_per_port(), 12);
+        assert_eq!(
+            NetConfig::conventional(16, LinkBandwidth::MB_400).pool_slots(),
+            None
         );
     }
 

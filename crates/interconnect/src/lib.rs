@@ -14,6 +14,12 @@
 //! * a **shared-buffer mode** with no virtual channels/networks — the
 //!   speculatively simplified design of Section 4, in which deadlock is
 //!   possible and must be detected and recovered from,
+//! * a **shared-pool buffer policy** ([`specsim_base::BufferPolicy`]) that
+//!   keeps any buffer structure but replaces all per-class sizing with one
+//!   slot pool per node ([`SlotPool`]) — the Section 4 speculation proper:
+//!   buffer-dependency cycles can deadlock, detection is left to the
+//!   coherence-transaction timeout, and post-recovery re-execution can
+//!   reserve per-network slots as a forward-progress measure,
 //! * a **worst-case-buffering mode** used as the deadlock-free comparison
 //!   baseline in Section 5.3,
 //! * per-(source, destination, virtual-network) **sequence stamping and
@@ -36,6 +42,7 @@ pub mod deadlock;
 pub mod network;
 pub mod ordering;
 pub mod packet;
+pub mod pool;
 pub mod routing;
 pub mod stats;
 pub mod switch;
@@ -47,5 +54,6 @@ pub use deadlock::ProgressWatchdog;
 pub use network::{InjectError, Network};
 pub use ordering::OrderingTracker;
 pub use packet::{Packet, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
+pub use pool::SlotPool;
 pub use stats::NetStats;
 pub use topology::{Coord, Direction, Torus};

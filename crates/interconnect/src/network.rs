@@ -28,6 +28,7 @@ use crate::config::{BufferLayout, NetConfig};
 use crate::deadlock::ProgressWatchdog;
 use crate::ordering::OrderingTracker;
 use crate::packet::{Packet, VirtualNetwork};
+use crate::pool::SlotPool;
 use crate::routing::route_candidates;
 use crate::stats::NetStats;
 use crate::switch::{InTransit, Switch};
@@ -194,6 +195,17 @@ pub struct Network<P> {
     ordering: OrderingTracker,
     stats: NetStats,
     watchdog: ProgressWatchdog,
+    /// Per-node shared slot pools ([`specsim_base::BufferPolicy::SharedPool`]
+    /// only; `None` in virtual-network provisioning, whose behavior this
+    /// leaves bit-identical). A node's pool covers its switch input-port
+    /// buffers (including the injection port) and its ejection queues: a slot
+    /// is taken at injection or when a hop reserves downstream space, moves
+    /// with the packet from node to node, and is freed when the endpoint
+    /// drains the packet from an ejection queue.
+    pools: Option<Vec<SlotPool>>,
+    /// Number of pools currently at full occupancy (incremental mirror;
+    /// feeds the O(1) deadlock-evidence check [`Network::has_exhausted_pool`]).
+    full_pools: usize,
     in_flight: usize,
     /// Worklist of switches holding at least one queued packet.
     active: ActiveSet,
@@ -227,13 +239,17 @@ impl<P> Network<P> {
             None => Torus::new(cfg.num_nodes),
         };
         let layout = cfg.layout();
+        let pools = cfg
+            .pool_slots()
+            .map(|slots| vec![SlotPool::new(slots); cfg.num_nodes]);
+        let pooled = pools.is_some();
         let switches = (0..cfg.num_nodes)
-            .map(|i| Switch::new(NodeId::from(i), &layout))
+            .map(|i| Switch::new(NodeId::from(i), &layout, pooled))
             .collect();
         let eject = (0..cfg.num_nodes)
             .map(|_| {
                 (0..layout.ejection_queues())
-                    .map(|_| match layout.ejection_capacity() {
+                    .map(|_| match layout.ejection_capacity().filter(|_| !pooled) {
                         Some(c) => MsgQueue::bounded(c),
                         None => MsgQueue::unbounded(),
                     })
@@ -253,6 +269,8 @@ impl<P> Network<P> {
             ordering: OrderingTracker::new(),
             stats: NetStats::new(num_links),
             watchdog: ProgressWatchdog::new(cfg.stall_threshold),
+            pools,
+            full_pools: 0,
             in_flight: 0,
             active: ActiveSet::new(cfg.num_nodes),
             arrivals: ArrivalCalendar::default(),
@@ -287,12 +305,87 @@ impl<P> Network<P> {
         self.routing = routing;
     }
 
+    /// True when this network provisions buffers from shared per-node slot
+    /// pools (the speculative Section 4 design, in which deadlock is
+    /// possible).
+    #[must_use]
+    pub fn is_pooled(&self) -> bool {
+        self.pools.is_some()
+    }
+
+    /// Installs a per-virtual-network reservation of `r` slots in every
+    /// node's pool (the conservative forward-progress mode applied during
+    /// post-deadlock re-execution); `r = 0` returns to fully shared slots.
+    /// Returns `false` (and does nothing) when the network is not pooled.
+    pub fn set_pool_reservation(&mut self, r: usize) -> bool {
+        match &mut self.pools {
+            Some(pools) => {
+                for p in pools {
+                    p.set_reservation(r);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The per-virtual-network reservation currently in force (`None` when
+    /// the network is not pooled).
+    #[must_use]
+    pub fn pool_reservation(&self) -> Option<usize> {
+        self.pools.as_ref().map(|p| p[0].reservation())
+    }
+
+    /// Per-node pool occupancy (held slots), for diagnostics and tests.
+    /// Empty when the network is not pooled.
+    #[must_use]
+    pub fn pool_occupancy_snapshot(&self) -> Vec<usize> {
+        self.pools
+            .as_ref()
+            .map(|pools| pools.iter().map(SlotPool::occupancy).collect())
+            .unwrap_or_default()
+    }
+
+    fn pool_can(&self, node: usize, vnet: VirtualNetwork) -> bool {
+        self.pools
+            .as_ref()
+            .map_or(true, |p| p[node].can_acquire(vnet.index()))
+    }
+
+    fn pool_acquire(&mut self, node: usize, vnet: VirtualNetwork) {
+        if let Some(pools) = &mut self.pools {
+            pools[node].acquire(vnet.index());
+            if pools[node].occupancy() == pools[node].total() {
+                self.full_pools += 1;
+            }
+        }
+    }
+
+    fn pool_release(&mut self, node: usize, vnet: VirtualNetwork) {
+        if let Some(pools) = &mut self.pools {
+            if pools[node].occupancy() == pools[node].total() {
+                self.full_pools -= 1;
+            }
+            pools[node].release(vnet.index());
+        }
+    }
+
+    /// True when at least one node's shared pool is at full occupancy — the
+    /// evidence that ties a coherence-transaction timeout to buffer
+    /// exhaustion (a detected buffer-dependency deadlock) rather than plain
+    /// latency. Always `false` for unpooled networks.
+    #[must_use]
+    pub fn has_exhausted_pool(&self) -> bool {
+        self.full_pools > 0
+    }
+
     /// True when a packet of class `vnet` can be injected at `src` this
     /// cycle.
     #[must_use]
     pub fn can_inject(&self, src: NodeId, vnet: VirtualNetwork) -> bool {
         let b = self.layout.injection_buffer_index(vnet);
         self.switches[src.index()].ports[Direction::Local.index()].buffers[b].has_space()
+            && self.pool_can(src.index(), vnet)
     }
 
     /// Injects a packet. On success the packet is stamped with a sequence
@@ -329,6 +422,7 @@ impl<P> Network<P> {
             .unwrap_or_else(|_| panic!("injection space was checked"));
         sw.ports[Direction::Local.index()].queued += 1;
         sw.queued_total += 1;
+        self.pool_acquire(src.index(), vnet);
         self.active.insert(src.index());
         self.stats.injected.incr();
         self.in_flight += 1;
@@ -371,8 +465,9 @@ impl<P> Network<P> {
     pub fn eject_from(&mut self, node: NodeId, vnet: VirtualNetwork) -> Option<Packet<P>> {
         let q = self.layout.ejection_index(vnet);
         let p = self.eject[node.index()][q].pop();
-        if p.is_some() {
+        if let Some(p) = &p {
             self.eject_pending[node.index()] -= 1;
+            self.pool_release(node.index(), p.vnet);
         }
         p
     }
@@ -397,6 +492,7 @@ impl<P> Network<P> {
             if let Some(p) = self.eject[i][q].pop() {
                 self.eject_rr[i] = (q + 1) % n;
                 self.eject_pending[i] -= 1;
+                self.pool_release(i, p.vnet);
                 return Some(p);
             }
         }
@@ -478,6 +574,12 @@ impl<P> Network<P> {
             }
         }
         self.eject_pending.fill(0);
+        if let Some(pools) = &mut self.pools {
+            for p in pools {
+                p.clear();
+            }
+        }
+        self.full_pools = 0;
         self.in_flight = 0;
         self.active.clear();
         self.arrivals.clear();
@@ -637,7 +739,8 @@ impl<P> Network<P> {
                     crosses,
                     use_adaptive,
                 );
-                if self.switches[j].ports[opp].buffers[tb].has_space() {
+                if self.switches[j].ports[opp].buffers[tb].has_space() && self.pool_can(j, pkt.vnet)
+                {
                     Some(MoveDecision {
                         buffer: b,
                         action: MoveAction::Forward {
@@ -709,6 +812,11 @@ impl<P> Network<P> {
                 let node = self.switches[i].node;
                 let j = self.torus.neighbor(node, dir).index();
                 let opp = dir.opposite().index();
+                // The slot credit travels with the packet: the hop frees a
+                // slot at this node and takes the downstream one that the
+                // planning pass checked.
+                self.pool_release(i, pkt.vnet);
+                self.pool_acquire(j, pkt.vnet);
                 let arrival = now + serialization + self.cfg.switch_latency;
                 {
                     let link = &mut self.switches[i].links[dir.index()];
@@ -760,6 +868,53 @@ impl<P> Network<P> {
             let scan: usize = queues.iter().map(MsgQueue::len).sum();
             assert_eq!(self.eject_pending[i], scan, "ejection count at node {i}");
         }
+        self.assert_pool_invariants();
+    }
+
+    /// Checks the shared-pool slot accounting against a full scan: a node's
+    /// held slots per class must equal the packets of that class queued in
+    /// its input ports and ejection queues plus the in-flight link packets
+    /// that reserved a slot at this node. No-op for unpooled networks.
+    #[cfg(test)]
+    fn assert_pool_invariants(&self) {
+        let Some(pools) = &self.pools else { return };
+        let n = self.switches.len();
+        let mut expected = vec![[0usize; 4]; n];
+        for (i, sw) in self.switches.iter().enumerate() {
+            for port in &sw.ports {
+                for buffer in &port.buffers {
+                    for pkt in buffer.queue.iter() {
+                        expected[i][pkt.vnet.index()] += 1;
+                    }
+                }
+            }
+            // In-flight packets hold their downstream slot from forwarding
+            // time until delivery.
+            for d in LINK_DIRECTIONS {
+                let j = self.torus.neighbor(sw.node, d).index();
+                for t in &sw.links[d.index()].in_transit {
+                    expected[j][t.packet.vnet.index()] += 1;
+                }
+            }
+        }
+        for (i, queues) in self.eject.iter().enumerate() {
+            for q in queues {
+                for pkt in q.iter() {
+                    expected[i][pkt.vnet.index()] += 1;
+                }
+            }
+        }
+        for (i, pool) in pools.iter().enumerate() {
+            for (v, &count) in expected[i].iter().enumerate() {
+                assert_eq!(
+                    pool.in_use(v),
+                    count,
+                    "pool slot count at node {i}, class {v}"
+                );
+            }
+        }
+        let full_scan = pools.iter().filter(|p| p.occupancy() == p.total()).count();
+        assert_eq!(self.full_pools, full_scan, "full-pool counter");
     }
 }
 
@@ -1248,6 +1403,142 @@ mod tests {
             net.stats().hops.get(),
             net.torus().distance(NodeId(0), NodeId(15)) as u64
         );
+    }
+
+    #[test]
+    fn shared_pool_network_delivers_traffic_with_exact_slot_accounting() {
+        // Random all-class traffic on a pooled network: everything is
+        // delivered and the per-node slot accounting (checked against a full
+        // scan every cycle, in-flight link reservations included) stays
+        // exact.
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
+        assert!(net.is_pooled());
+        let mut rng = DetRng::new(61);
+        let mut now = 0;
+        let mut injected = 0u64;
+        for _ in 0..1500 {
+            now += 1;
+            for _ in 0..3 {
+                let src = NodeId::from(rng.next_below(16) as usize);
+                let dst = NodeId::from(rng.next_below(16) as usize);
+                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
+                if net.can_inject(src, vnet) {
+                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
+                        .unwrap();
+                    injected += 1;
+                }
+            }
+            net.tick(now);
+            for i in 0..16 {
+                while net.eject_any(NodeId::from(i)).is_some() {}
+            }
+            net.assert_worklist_invariants();
+        }
+        let (now, _) = run_until_drained(&mut net, now, 200_000);
+        assert_eq!(net.in_flight(), 0, "pooled network wedged at {now}");
+        assert_eq!(net.stats().delivered.get(), injected);
+        assert!(injected > 500);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+        net.assert_worklist_invariants();
+    }
+
+    #[test]
+    fn pool_back_pressure_rejects_injection_when_slots_run_out() {
+        // A 4-slot pool: the node's injection path is cut off by pool
+        // exhaustion even though the (unbounded) injection buffer has room.
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::MB_400, 4));
+        for k in 0..4 {
+            assert!(net
+                .inject(
+                    0,
+                    NodeId(0),
+                    NodeId(9),
+                    VirtualNetwork::Request,
+                    MessageSize::Data,
+                    k,
+                )
+                .is_ok());
+        }
+        assert!(!net.can_inject(NodeId(0), VirtualNetwork::Request));
+        assert!(
+            !net.can_inject(NodeId(0), VirtualNetwork::Response),
+            "every class shares the exhausted pool"
+        );
+        let err = net.inject(
+            0,
+            NodeId(0),
+            NodeId(9),
+            VirtualNetwork::Response,
+            MessageSize::Data,
+            99,
+        );
+        assert_eq!(err, Err(InjectError(99)));
+        assert_eq!(net.stats().injection_rejects.get(), 1);
+        // Other nodes' pools are unaffected.
+        assert!(net.can_inject(NodeId(1), VirtualNetwork::Request));
+        net.assert_worklist_invariants();
+    }
+
+    #[test]
+    fn undrained_endpoints_deadlock_an_undersized_pool_and_drain_recovers() {
+        // The tentpole failure mode: nobody drains ejection queues, delivered
+        // packets pin pool slots, upstream hops back up across nodes and the
+        // fabric wedges — the buffer-dependency deadlock of Figures 2–3.
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 4));
+        net.set_stall_threshold(2_000);
+        let mut rng = DetRng::new(29);
+        let mut now = 0;
+        for _ in 0..30_000 {
+            now += 1;
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            if src != dst {
+                let _ = net.inject(
+                    now,
+                    src,
+                    dst,
+                    VirtualNetwork::Request,
+                    MessageSize::Control,
+                    0,
+                );
+            }
+            net.tick(now);
+            if net.is_stalled(now) {
+                break;
+            }
+        }
+        assert!(net.is_stalled(now), "undersized pool should wedge");
+        assert!(net.in_flight() > 0);
+        // Recovery drain frees every slot; conservative re-execution reserves
+        // one slot per class and the network works again.
+        let dropped = net.drain(now);
+        assert!(dropped > 0);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+        assert!(net.set_pool_reservation(1));
+        assert_eq!(net.pool_reservation(), Some(1));
+        net.inject(
+            now,
+            NodeId(0),
+            NodeId(5),
+            VirtualNetwork::Response,
+            MessageSize::Control,
+            7,
+        )
+        .unwrap();
+        let (_, delivered) = run_until_drained(&mut net, now, 100_000);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 7);
+        assert!(net.set_pool_reservation(0), "reservation can be lifted");
+        net.assert_worklist_invariants();
+    }
+
+    #[test]
+    fn unpooled_networks_refuse_pool_reservations() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+        assert!(!net.is_pooled());
+        assert!(!net.set_pool_reservation(2));
+        assert_eq!(net.pool_reservation(), None);
+        assert!(net.pool_occupancy_snapshot().is_empty());
     }
 
     #[test]

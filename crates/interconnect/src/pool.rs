@@ -1,0 +1,217 @@
+//! Shared buffer-slot pools for the speculative interconnect
+//! ([`specsim_base::BufferPolicy::SharedPool`]).
+//!
+//! The conventional design sizes each virtual network/channel buffer for its
+//! worst case; the Section 4 speculation replaces that analysis with one
+//! shared pool of message slots per node, covering every input-port buffer
+//! and ejection queue of that node's switch/endpoint. Any class may use any
+//! slot, so the pool can be sized near the *common case* — and
+//! buffer-dependency cycles across classes become possible (Figures 2–3).
+//!
+//! After a deadlock-detected recovery, the forward-progress measure
+//! ([`SlotPool::set_reservation`]) partitions part of the pool back into
+//! per-virtual-network reservations — the paper's "revert to conservative"
+//! recipe — so re-execution cannot immediately re-create the same cycle;
+//! the reservation is lifted once the window expires.
+
+/// Number of virtual networks (message classes) the pool accounts for.
+const NUM_VNETS: usize = 4;
+
+/// Per-node shared slot pool: tracks, per virtual network, how many of the
+/// node's `total` message slots are held, and optionally guarantees each
+/// network a reserved minimum (the conservative re-execution mode).
+///
+/// Accounting model with a reservation of `r` slots per network: each
+/// network owns `r` private slots; the remaining `total - 4*r` slots are
+/// shared. A network holding `u` slots consumes `min(u, r)` private slots
+/// and `max(0, u - r)` shared slots. With `r = 0` (normal operation) the
+/// pool degenerates to a single occupancy counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPool {
+    total: usize,
+    in_use: [usize; NUM_VNETS],
+    reserved_per_vnet: usize,
+}
+
+impl SlotPool {
+    /// A pool of `total` slots, fully shared (no reservations).
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a shared pool needs at least one slot");
+        Self {
+            total,
+            in_use: [0; NUM_VNETS],
+            reserved_per_vnet: 0,
+        }
+    }
+
+    /// Total slots in the pool.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Slots currently held across all networks.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.in_use.iter().sum()
+    }
+
+    /// Slots currently held by one network.
+    #[must_use]
+    pub fn in_use(&self, vnet: usize) -> usize {
+        self.in_use[vnet]
+    }
+
+    /// The per-network reservation currently in force (0 = fully shared).
+    #[must_use]
+    pub fn reservation(&self) -> usize {
+        self.reserved_per_vnet
+    }
+
+    /// Shared (unreserved) slots currently consumed.
+    fn shared_used(&self) -> usize {
+        self.in_use
+            .iter()
+            .map(|&u| u.saturating_sub(self.reserved_per_vnet))
+            .sum()
+    }
+
+    /// True when a message of class `vnet` may take a slot: a physical slot
+    /// is free, and either the network's private reservation has room or the
+    /// shared portion does. (The physical bound matters in the transition
+    /// right after [`SlotPool::set_reservation`], when one class may still
+    /// hold more than its new allotment.)
+    #[must_use]
+    pub fn can_acquire(&self, vnet: usize) -> bool {
+        if self.occupancy() >= self.total {
+            return false;
+        }
+        if self.in_use[vnet] < self.reserved_per_vnet {
+            return true;
+        }
+        let shared = self.total - NUM_VNETS * self.reserved_per_vnet;
+        self.shared_used() < shared
+    }
+
+    /// Takes a slot for `vnet`. Callers check [`SlotPool::can_acquire`]
+    /// first; acquiring without space is a flow-control bug.
+    pub fn acquire(&mut self, vnet: usize) {
+        debug_assert!(self.can_acquire(vnet), "pool slot acquired without space");
+        self.in_use[vnet] += 1;
+    }
+
+    /// Returns `vnet`'s slot to the pool.
+    pub fn release(&mut self, vnet: usize) {
+        debug_assert!(self.in_use[vnet] > 0, "pool release without a held slot");
+        self.in_use[vnet] = self.in_use[vnet].saturating_sub(1);
+    }
+
+    /// Installs a per-network reservation of `r` slots (clamped so the four
+    /// reservations never exceed the pool; pools smaller than four slots
+    /// cannot reserve and stay fully shared). Messages already holding more
+    /// than their new allotment are not evicted — the pool simply refuses
+    /// new shared acquisitions until releases catch up (in practice the
+    /// recovery drain empties the fabric before the reservation starts).
+    pub fn set_reservation(&mut self, r: usize) {
+        self.reserved_per_vnet = r.min(self.total / NUM_VNETS);
+    }
+
+    /// Drops every held slot (recovery drain); the reservation setting is
+    /// kept.
+    pub fn clear(&mut self) {
+        self.in_use = [0; NUM_VNETS];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_shared_pool_is_a_single_counter() {
+        let mut p = SlotPool::new(3);
+        assert_eq!(p.total(), 3);
+        assert!(p.can_acquire(0));
+        p.acquire(0);
+        p.acquire(1);
+        p.acquire(0);
+        assert_eq!(p.occupancy(), 3);
+        assert_eq!(p.in_use(0), 2);
+        // Exhausted for every class, regardless of who holds the slots.
+        for v in 0..4 {
+            assert!(!p.can_acquire(v));
+        }
+        p.release(1);
+        assert!(p.can_acquire(3));
+    }
+
+    #[test]
+    fn one_class_can_starve_the_others_without_reservations() {
+        // The deadlock-enabling property: requests alone may fill the pool,
+        // leaving no slot for the response that would unblock them (Fig. 2).
+        let mut p = SlotPool::new(4);
+        for _ in 0..4 {
+            p.acquire(0);
+        }
+        assert!(!p.can_acquire(2), "responses must be locked out");
+    }
+
+    #[test]
+    fn reservation_guarantees_each_network_its_private_slots() {
+        let mut p = SlotPool::new(8);
+        p.set_reservation(1);
+        assert_eq!(p.reservation(), 1);
+        // Class 0 takes its private slot plus the entire shared portion
+        // (8 - 4 reserved = 4 shared).
+        for _ in 0..5 {
+            assert!(p.can_acquire(0));
+            p.acquire(0);
+        }
+        assert!(!p.can_acquire(0), "class 0 is at private+shared capacity");
+        // Every other class still has its one private slot.
+        for v in 1..4 {
+            assert!(p.can_acquire(v), "class {v} lost its reservation");
+            p.acquire(v);
+            assert!(!p.can_acquire(v));
+        }
+    }
+
+    #[test]
+    fn reservation_is_clamped_to_the_pool_and_small_pools_stay_shared() {
+        let mut p = SlotPool::new(9);
+        p.set_reservation(100);
+        assert_eq!(p.reservation(), 2); // 4 * 2 <= 9
+        let mut tiny = SlotPool::new(3);
+        tiny.set_reservation(1);
+        assert_eq!(tiny.reservation(), 0, "pools under 4 slots cannot reserve");
+        assert!(tiny.can_acquire(0));
+    }
+
+    #[test]
+    fn over_allotment_after_a_reservation_change_blocks_until_released() {
+        let mut p = SlotPool::new(4);
+        for _ in 0..4 {
+            p.acquire(0);
+        }
+        p.set_reservation(1);
+        // Class 0 holds 4 slots but is now allowed 1 private + 0 shared, and
+        // no physical slot is free for anyone else either.
+        assert!(!p.can_acquire(0));
+        assert!(!p.can_acquire(1), "no physical slot is free");
+        p.release(0);
+        p.release(0);
+        p.release(0);
+        // Class 0 back to its private slot; class 1 gets its own.
+        assert!(p.can_acquire(1));
+        p.clear();
+        assert_eq!(p.occupancy(), 0);
+        assert_eq!(p.reservation(), 1, "drain keeps the reservation");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_pool_panics() {
+        let _ = SlotPool::new(0);
+    }
+}

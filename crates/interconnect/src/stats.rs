@@ -13,6 +13,10 @@ pub struct NetStats {
     pub delivered: Counter,
     /// Messages delivered, by virtual network.
     pub delivered_per_vnet: [Counter; 4],
+    /// Total in-fabric latency cycles, by virtual network (for per-class
+    /// mean latencies, e.g. the snooping data torus's owner-transfer vs.
+    /// writeback classes).
+    pub latency_sum_per_vnet: [u64; 4],
     /// Link-to-link hops taken (excluding injection/ejection).
     pub hops: Counter,
     /// End-to-end latency (injection to ejection-queue arrival) in cycles.
@@ -36,6 +40,7 @@ impl NetStats {
             injected: Counter::new(),
             delivered: Counter::new(),
             delivered_per_vnet: [Counter::new(); 4],
+            latency_sum_per_vnet: [0; 4],
             hops: Counter::new(),
             latency: Histogram::new(50, 200),
             injection_rejects: Counter::new(),
@@ -50,7 +55,20 @@ impl NetStats {
     pub(crate) fn record_delivery(&mut self, vnet: VirtualNetwork, latency: u64) {
         self.delivered.incr();
         self.delivered_per_vnet[vnet.index()].incr();
+        self.latency_sum_per_vnet[vnet.index()] += latency;
         self.latency.record(latency);
+    }
+
+    /// Mean in-fabric latency of messages on one virtual network, in cycles
+    /// (0 when none were delivered).
+    #[must_use]
+    pub fn mean_latency_of(&self, vnet: VirtualNetwork) -> f64 {
+        let n = self.delivered_per_vnet[vnet.index()].get();
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum_per_vnet[vnet.index()] as f64 / n as f64
+        }
     }
 
     /// Mean utilization across all links over `[window_start, now]`.
@@ -100,6 +118,17 @@ mod tests {
             2
         );
         assert!((s.mean_latency() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_vnet_mean_latency_separates_classes() {
+        let mut s = NetStats::new(1);
+        s.record_delivery(VirtualNetwork::Response, 90);
+        s.record_delivery(VirtualNetwork::Response, 110);
+        s.record_delivery(VirtualNetwork::Request, 720);
+        assert!((s.mean_latency_of(VirtualNetwork::Response) - 100.0).abs() < 1e-12);
+        assert!((s.mean_latency_of(VirtualNetwork::Request) - 720.0).abs() < 1e-12);
+        assert_eq!(s.mean_latency_of(VirtualNetwork::FinalAck), 0.0);
     }
 
     #[test]

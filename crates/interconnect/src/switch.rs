@@ -84,9 +84,14 @@ pub(crate) struct InputPort<P> {
 }
 
 impl<P> InputPort<P> {
-    fn new(layout: &BufferLayout) -> Self {
+    fn new(layout: &BufferLayout, pooled: bool) -> Self {
+        let capacity = if pooled {
+            None
+        } else {
+            layout.buffer_capacity()
+        };
         let buffers = (0..layout.buffers_per_port())
-            .map(|_| InputBuffer::new(layout.buffer_capacity()))
+            .map(|_| InputBuffer::new(capacity))
             .collect();
         Self {
             buffers,
@@ -168,11 +173,20 @@ pub(crate) struct Switch<P> {
 }
 
 impl<P> Switch<P> {
-    pub fn new(node: NodeId, layout: &BufferLayout) -> Self {
-        let mut ports: Vec<InputPort<P>> = (0..5).map(|_| InputPort::new(layout)).collect();
+    /// Builds a switch with the layout's per-buffer capacities. With
+    /// `pooled` set (shared-pool buffer policy) the buffer *structure* is
+    /// kept but every individual capacity is unbounded — the node's shared
+    /// slot pool, enforced by [`crate::network::Network`], is the only
+    /// bound.
+    pub fn new(node: NodeId, layout: &BufferLayout, pooled: bool) -> Self {
+        let mut ports: Vec<InputPort<P>> = (0..5).map(|_| InputPort::new(layout, pooled)).collect();
         // The local (injection) port honours the injection-queue depth rather
         // than the per-VC depth.
-        let injection_cap = layout.injection_capacity();
+        let injection_cap = if pooled {
+            None
+        } else {
+            layout.injection_capacity()
+        };
         for buffer in &mut ports[Direction::Local.index()].buffers {
             *buffer = InputBuffer::new(injection_cap);
         }
@@ -261,9 +275,20 @@ mod tests {
     }
 
     #[test]
+    fn pooled_switch_buffers_are_individually_unbounded() {
+        let layout = shared_layout(1);
+        let sw: Switch<u32> = Switch::new(NodeId(0), &layout, true);
+        for port in &sw.ports {
+            for b in &port.buffers {
+                assert!(b.capacity.is_none(), "pooled buffers must be unbounded");
+            }
+        }
+    }
+
+    #[test]
     fn switch_occupancy_and_clear() {
         let layout = shared_layout(4);
-        let mut sw: Switch<u32> = Switch::new(NodeId(3), &layout);
+        let mut sw: Switch<u32> = Switch::new(NodeId(3), &layout, false);
         sw.ports[0].buffers[0].queue.push(packet(1)).unwrap();
         sw.ports[4].buffers[0].queue.push(packet(2)).unwrap();
         sw.links[0].in_transit.push_back(InTransit {

@@ -108,6 +108,43 @@ impl FlowControl {
     }
 }
 
+/// How buffer *capacity* is provisioned at each node (switch + endpoint),
+/// orthogonally to the buffer *structure* chosen by [`FlowControl`].
+///
+/// This is the third case study's boldest speculation (Section 4): instead
+/// of sizing every virtual network/channel for its worst case, all message
+/// classes at a node draw from one shared slot pool. Buffer-dependency
+/// cycles then *can* deadlock (Figures 2 and 3); deadlock is detected by the
+/// transaction timeout (three checkpoint intervals) and broken by SafetyNet
+/// recovery, with per-network slot reservations during re-execution as the
+/// forward-progress measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferPolicy {
+    /// The conventional provisioning: each buffer owns its configured
+    /// capacity outright (today's behavior, bit-identical schedules).
+    VirtualNetworks,
+    /// Speculative provisioning: every input-port buffer and ejection queue
+    /// of a node draws from one pool of `total_slots` message slots.
+    /// Individual buffers are unbounded; only the pool binds. Sized near the
+    /// common case this needs far less SRAM than worst-case virtual-network
+    /// sizing — at the price of possible deadlock.
+    SharedPool {
+        /// Message slots in each node's shared pool.
+        total_slots: usize,
+    },
+}
+
+impl BufferPolicy {
+    /// Human-readable label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BufferPolicy::VirtualNetworks => "virtual-networks",
+            BufferPolicy::SharedPool { .. } => "shared-pool",
+        }
+    }
+}
+
 /// Which variant of a coherence protocol to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolVariant {
@@ -503,6 +540,15 @@ mod tests {
         let s = SafetyNetConfig::default();
         assert_eq!(s.log_capacity_entries(), 512 * 1024 / 72);
         assert_eq!(s.transaction_timeout_cycles(), 300_000);
+    }
+
+    #[test]
+    fn buffer_policy_labels_are_stable() {
+        assert_eq!(BufferPolicy::VirtualNetworks.label(), "virtual-networks");
+        assert_eq!(
+            BufferPolicy::SharedPool { total_slots: 16 }.label(),
+            "shared-pool"
+        );
     }
 
     #[test]

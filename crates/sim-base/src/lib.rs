@@ -35,8 +35,8 @@ pub mod time;
 
 pub use active::ActiveSet;
 pub use config::{
-    squarest_torus_dims, FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant,
-    RoutingPolicy, SafetyNetConfig, BLOCK_SIZE_BYTES,
+    squarest_torus_dims, BufferPolicy, FlowControl, LinkBandwidth, MemorySystemConfig,
+    ProtocolVariant, RoutingPolicy, SafetyNetConfig, BLOCK_SIZE_BYTES,
 };
 pub use ids::{Address, BlockAddr, NodeId};
 pub use msgsize::{MessageSize, CONTROL_MSG_BYTES, DATA_MSG_BYTES};

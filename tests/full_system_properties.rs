@@ -179,6 +179,92 @@ fn small_buffer_interconnect_recovers_from_deadlock_and_keeps_going() {
 }
 
 #[test]
+fn undersized_shared_pool_deadlocks_detector_fires_and_recovery_completes() {
+    // The Section 4 speculation end-to-end: an undersized per-node slot pool
+    // lets buffer-dependency cycles deadlock; the transaction timeout (three
+    // checkpoint intervals) fires while the fabric watchdog confirms the
+    // wedge, the mis-speculation is classified as a detected deadlock,
+    // SafetyNet recovers, re-execution runs with per-network reserved slots,
+    // and the run terminates with correct (coherent) results.
+    // 32 nodes at the low-bandwidth operating point: longer paths and long
+    // data serializations pin slots, and a 4-slot pool wedges reliably.
+    let mut cfg =
+        SystemConfig::shared_pool_interconnect(WorkloadKind::Oltp, LinkBandwidth::MB_400, 4, 5);
+    cfg.memory.num_nodes = 32;
+    cfg.memory.l1_bytes = 32 * 1024;
+    cfg.memory.l2_bytes = 256 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_cycles = 2_000;
+    assert!(cfg.validate().is_empty());
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(30_000).expect("no protocol errors");
+    assert!(
+        m.deadlock_recoveries >= 1,
+        "expected at least one detected deadlock, got misspecs {:?}",
+        m.misspeculations
+    );
+    assert_eq!(m.deadlocks_detected(), m.deadlock_recoveries);
+    // The run keeps terminating work after the recovery: execution resumes
+    // under the per-network slot reservation and commits more operations.
+    let ops_at_recovery = m.ops_completed;
+    let m = sys.run_for(30_000).expect("no protocol errors");
+    assert!(
+        m.ops_completed > ops_at_recovery,
+        "no forward progress after the deadlock recovery ({} ops)",
+        m.ops_completed
+    );
+    sys.verify_coherence().unwrap();
+}
+
+#[test]
+fn ample_shared_pool_never_deadlocks_and_matches_conventional_progress() {
+    // Sized near the common case, the pooled fabric runs the workload with
+    // no deadlocks at all (the paper's operating point).
+    let mut cfg =
+        SystemConfig::shared_pool_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 64, 5);
+    cfg.memory.l1_bytes = 32 * 1024;
+    cfg.memory.l2_bytes = 256 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    let mut sys = DirectorySystem::new(cfg);
+    let m = sys.run_for(40_000).expect("no protocol errors");
+    assert_eq!(m.deadlock_recoveries, 0);
+    assert_eq!(m.misspeculations_of(MisSpecKind::TransactionTimeout), 0);
+    assert!(m.ops_completed > 1_000);
+    sys.verify_coherence().unwrap();
+}
+
+#[test]
+fn snooping_data_torus_reports_per_class_stats() {
+    // Satellite of the data-torus work: owner transfers and writebacks are
+    // tagged as distinct data-network classes with separate delivered/latency
+    // accounting, and the class totals add up to the fabric total.
+    // The small L2 forces dirty evictions, so both classes carry traffic.
+    let mut cfg = SnoopSystemConfig::new(WorkloadKind::Oltp, ProtocolVariant::Full, 17);
+    cfg.memory.l1_bytes = 8 * 1024;
+    cfg.memory.l2_bytes = 16 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_requests = 300;
+    let mut sys = SnoopingSystem::new(cfg);
+    let m = sys.run_for(100_000).expect("no protocol errors");
+    let owner = m.data_delivered_per_class[specsim::DataClass::OwnerTransfer.index()];
+    let wb = m.data_delivered_per_class[specsim::DataClass::Writeback.index()];
+    assert_eq!(owner + wb, m.data_messages_delivered);
+    assert!(owner > 0, "misses must move owner-transfer data");
+    assert!(
+        wb > 0,
+        "small caches must evict dirty blocks (writeback data)"
+    );
+    for class in specsim::ALL_DATA_CLASSES {
+        let delivered = m.data_delivered_per_class[class.index()];
+        let latency = m.data_latency_per_class[class.index()];
+        assert_eq!(
+            delivered > 0,
+            latency > 0.0,
+            "{}: latency must be reported iff traffic flowed",
+            class.label()
+        );
+    }
+}
+
+#[test]
 fn ample_buffer_interconnect_never_times_out() {
     let mut cfg =
         SystemConfig::simplified_interconnect(WorkloadKind::Jbb, LinkBandwidth::GB_3_2, 32, 5);

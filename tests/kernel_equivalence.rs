@@ -190,6 +190,7 @@ const GOLDEN_NET_RECT_8X4_STATIC: u64 = 0xd3624b137c031aec;
 const GOLDEN_NET_RECT_8X4_ADAPTIVE: u64 = 0x60c2e4394622c6d1;
 const GOLDEN_DIR_RECT_4X2: u64 = 0x3163d46007748ba6;
 const GOLDEN_SNOOP_DATA_TORUS_400: u64 = 0x084d1fa80ab27e48;
+const GOLDEN_NET_SHARED_POOL: u64 = 0x2ea57983677172d5;
 
 #[test]
 fn rectangular_4x2_network_matches_golden_under_both_policies() {
@@ -373,6 +374,52 @@ fn network_sparse_traffic_delivery_stream_matches_golden() {
         }
     });
     check("net_sparse", GOLDEN_NET_SPARSE, digest);
+}
+
+#[test]
+fn shared_pool_network_delivery_stream_matches_golden() {
+    // Pins the BufferPolicy::SharedPool schedule: a 12-slot per-node pool
+    // under random all-class traffic with intermittently drained endpoints
+    // (so pool back-pressure, injection rejects and slot hand-offs between
+    // neighbouring pools are all exercised). Every *other* golden in this
+    // file runs under BufferPolicy::VirtualNetworks — collectively they pin
+    // the tentpole requirement that the default policy leaves existing
+    // schedules byte-identical.
+    let mut cfg = NetConfig::shared_pool(16, LinkBandwidth::MB_400, 12);
+    cfg.routing = RoutingPolicy::Adaptive;
+    let mut net: Network<u64> = Network::new(cfg);
+    let mut d = Digest::new();
+    let mut rng = DetRng::new(43);
+    let mut now = 0;
+    for _ in 0..4_000u64 {
+        now += 1;
+        for _ in 0..2 {
+            let src = NodeId::from(rng.next_below(16) as usize);
+            let dst = NodeId::from(rng.next_below(16) as usize);
+            let vnet = ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
+            if src != dst {
+                let _ = net.inject(now, src, dst, vnet, MessageSize::Control, now);
+            }
+        }
+        net.tick(now);
+        if now % 8 == 0 {
+            for i in 0..16 {
+                while let Some(p) = net.eject_any(NodeId::from(i)) {
+                    packet_digest(&mut d, &p);
+                }
+            }
+        }
+    }
+    d.u64(net.in_flight() as u64)
+        .u64(net.stats().injected.get())
+        .u64(net.stats().delivered.get())
+        .u64(net.stats().injection_rejects.get())
+        .f64(net.stats().mean_latency());
+    for occ in net.pool_occupancy_snapshot() {
+        d.u64(occ as u64);
+    }
+    d.u64(net.drain(now) as u64);
+    check("net_shared_pool", GOLDEN_NET_SHARED_POOL, d.0);
 }
 
 #[test]
