@@ -1,11 +1,20 @@
 //! The cache controller of the directory protocol.
 //!
 //! Stable states (M, O, S) live in the L2 cache array; in-flight demand
-//! misses live in a single-entry MSHR (the paper's processor model issues
-//! blocking requests, so one demand transaction per node is outstanding at a
-//! time); blocks with an in-flight Writeback live in a writeback buffer.
-//! The L1 is an inclusive tag-only filter in front of the L2 used for hit
-//! latency.
+//! misses live in an MSHR file whose capacity comes from
+//! `MemorySystemConfig::mshr_entries` (default 1: the paper's processor
+//! model issues blocking requests, so one demand transaction per node is
+//! outstanding at a time); blocks with an in-flight Writeback live in a
+//! writeback buffer. The L1 is an inclusive tag-only filter in front of the
+//! L2 used for hit latency.
+//!
+//! With more than one MSHR, demands to distinct blocks proceed in parallel
+//! and complete out of order. Two serialization rules keep the transient
+//! state sound: a second demand to a block already in the MSHR file stalls
+//! (no coalescing), and an *owner upgrade* — which relies on the line
+//! staying resident while its GetM is in flight — is mutually exclusive
+//! with every other demand, because a completing demand's victim eviction
+//! could otherwise evict the very line the upgrade's data lives in.
 //!
 //! The same state machine serves both protocol variants; the only difference
 //! is how an impossible transition is classified: the Full variant treats a
@@ -91,6 +100,10 @@ struct DemandMiss {
     /// arrives.
     acks_needed: Option<u32>,
     acks_received: u32,
+    /// Owner upgrade (O -> M): the line stays resident while the GetM is in
+    /// flight, so no other demand may complete (and possibly evict it)
+    /// concurrently.
+    resident_upgrade: bool,
 }
 
 impl DemandMiss {
@@ -146,10 +159,13 @@ pub struct DirCacheController {
     l2: CacheArray<CacheState>,
     l1_hit_cycles: CycleDelta,
     l2_hit_cycles: CycleDelta,
-    demand: Option<DemandMiss>,
+    /// MSHR file: in-flight demand misses, in issue order.
+    demands: Vec<DemandMiss>,
+    /// MSHR capacity.
+    mshr_entries: usize,
     writebacks: HashMap<BlockAddr, WritebackEntry>,
     outgoing: VecDeque<OutMsg>,
-    completed: Option<CompletedAccess>,
+    completed: VecDeque<CompletedAccess>,
     stats: CacheCtrlStats,
 }
 
@@ -171,10 +187,11 @@ impl DirCacheController {
             )),
             l1_hit_cycles: config.l1_hit_cycles,
             l2_hit_cycles: config.l2_hit_cycles,
-            demand: None,
+            demands: Vec::new(),
+            mshr_entries: config.mshr_entries.max(1),
             writebacks: HashMap::new(),
             outgoing: VecDeque::new(),
-            completed: None,
+            completed: VecDeque::new(),
             stats: CacheCtrlStats::default(),
         }
     }
@@ -191,24 +208,30 @@ impl DirCacheController {
         &self.stats
     }
 
-    /// True when a demand miss is outstanding.
+    /// True when at least one demand miss is outstanding.
     #[must_use]
     pub fn has_outstanding_demand(&self) -> bool {
-        self.demand.is_some()
+        !self.demands.is_empty()
     }
 
-    /// Cycle at which the outstanding demand miss (if any) was issued; used
-    /// by the system layer for the transaction-timeout detection of
-    /// Section 4.
+    /// Number of demand misses outstanding (occupied MSHRs).
+    #[must_use]
+    pub fn outstanding_demands(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Cycle at which the *oldest* outstanding demand miss (if any) was
+    /// issued; used by the system layer for the transaction-timeout
+    /// detection of Section 4.
     #[must_use]
     pub fn outstanding_since(&self) -> Option<Cycle> {
-        self.demand.map(|d| d.issued_at)
+        self.demands.iter().map(|d| d.issued_at).min()
     }
 
-    /// Block of the outstanding demand miss, if any.
+    /// Block of the oldest outstanding demand miss, if any.
     #[must_use]
     pub fn outstanding_addr(&self) -> Option<BlockAddr> {
-        self.demand.map(|d| d.addr)
+        self.demands.first().map(|d| d.addr)
     }
 
     /// Number of protocol messages waiting to be injected into the network.
@@ -234,9 +257,9 @@ impl DirCacheController {
         self.outgoing.push_front(msg);
     }
 
-    /// Takes the completed-demand notification, if one is pending.
+    /// Takes the oldest completed-demand notification, if one is pending.
     pub fn take_completed(&mut self) -> Option<CompletedAccess> {
-        self.completed.take()
+        self.completed.pop_front()
     }
 
     /// The value currently cached for `addr`, if resident (diagnostics /
@@ -270,12 +293,22 @@ impl DirCacheController {
         self.outgoing.push_back(OutMsg { dst, msg });
     }
 
-    /// Presents a processor request. The paper's processor model blocks on
-    /// misses, so at most one demand transaction is in flight per node.
+    /// Presents a processor request. Up to `mshr_entries` demand
+    /// transactions may be in flight per node (1 by default: the paper's
+    /// blocking processor model).
     pub fn cpu_request(&mut self, now: Cycle, req: CpuRequest) -> AccessOutcome {
-        if self.demand.is_some() {
+        if self.demands.len() >= self.mshr_entries {
             return AccessOutcome::Stall;
         }
+        // No coalescing: a second demand to a block already in the MSHR
+        // file waits for the first to complete.
+        if self.demands.iter().any(|d| d.addr == req.addr) {
+            return AccessOutcome::Stall;
+        }
+        // A resident owner upgrade is in flight: admitting another demand
+        // could evict the upgrading line when it completes, so everything
+        // that starts a transaction stalls until the upgrade finishes.
+        let upgrade_in_flight = self.demands.iter().any(|d| d.resident_upgrade);
         // A request to a block whose writeback is still in flight waits for
         // the writeback to complete (keeps the protocol free of a
         // request-passes-own-writeback race that is orthogonal to the paper).
@@ -320,9 +353,14 @@ impl DirCacheController {
                 (CpuAccess::Store, CacheState::O) => {
                     // Owner upgrade: keep the line (and its data); ask the
                     // directory for exclusivity. Data arrives as AckCount.
+                    // The line must stay resident until the GetM completes,
+                    // so the upgrade runs with the MSHR file to itself.
+                    if !self.demands.is_empty() {
+                        return AccessOutcome::Stall;
+                    }
                     let data = line.data;
                     self.stats.misses.incr();
-                    self.demand = Some(DemandMiss {
+                    self.demands.push(DemandMiss {
                         addr: req.addr,
                         access: CpuAccess::Store,
                         store_value: req.store_value,
@@ -330,17 +368,21 @@ impl DirCacheController {
                         data: Some(data),
                         acks_needed: None,
                         acks_received: 0,
+                        resident_upgrade: true,
                     });
                     self.send(self.home(req.addr), DirMsg::GetM { addr: req.addr });
                     return AccessOutcome::MissIssued;
                 }
                 (CpuAccess::Store, CacheState::S) => {
+                    if upgrade_in_flight {
+                        return AccessOutcome::Stall;
+                    }
                     // Upgrade from S: drop the shared copy and request an
                     // exclusive copy (data will be supplied afresh).
                     self.l2.remove(req.addr);
                     self.l1.remove(req.addr);
                     self.stats.misses.incr();
-                    self.demand = Some(DemandMiss {
+                    self.demands.push(DemandMiss {
                         addr: req.addr,
                         access: CpuAccess::Store,
                         store_value: req.store_value,
@@ -348,6 +390,7 @@ impl DirCacheController {
                         data: None,
                         acks_needed: None,
                         acks_received: 0,
+                        resident_upgrade: false,
                     });
                     self.send(self.home(req.addr), DirMsg::GetM { addr: req.addr });
                     return AccessOutcome::MissIssued;
@@ -355,12 +398,15 @@ impl DirCacheController {
             }
         }
         // Complete miss.
+        if upgrade_in_flight {
+            return AccessOutcome::Stall;
+        }
         self.stats.misses.incr();
         let msg = match req.access {
             CpuAccess::Load => DirMsg::GetS { addr: req.addr },
             CpuAccess::Store => DirMsg::GetM { addr: req.addr },
         };
-        self.demand = Some(DemandMiss {
+        self.demands.push(DemandMiss {
             addr: req.addr,
             access: req.access,
             store_value: req.store_value,
@@ -368,6 +414,7 @@ impl DirCacheController {
             data: None,
             acks_needed: None,
             acks_received: 0,
+            resident_upgrade: false,
         });
         self.send(self.home(req.addr), msg);
         AccessOutcome::MissIssued
@@ -411,6 +458,10 @@ impl DirCacheController {
         }
     }
 
+    fn demand_index(&self, addr: BlockAddr) -> Option<usize> {
+        self.demands.iter().position(|d| d.addr == addr)
+    }
+
     fn on_data(
         &mut self,
         now: Cycle,
@@ -418,24 +469,18 @@ impl DirCacheController {
         data: Option<u64>,
         acks: u32,
     ) -> Result<Option<MisSpeculation>, ProtocolError> {
-        let Some(mut demand) = self.demand else {
-            return Err(self.error(addr, "Data/AckCount with no outstanding demand".into()));
+        let Some(idx) = self.demand_index(addr) else {
+            return Err(self.error(addr, "Data/AckCount with no matching demand".into()));
         };
-        if demand.addr != addr {
-            return Err(self.error(
-                addr,
-                format!("Data/AckCount for {addr} but demand is for {}", demand.addr),
-            ));
-        }
+        let demand = &mut self.demands[idx];
         if let Some(d) = data {
             demand.data = Some(d);
         } else if demand.data.is_none() {
             return Err(self.error(addr, "AckCount but the requestor holds no data".into()));
         }
         demand.acks_needed = Some(acks);
-        self.demand = Some(demand);
         if demand.is_complete() {
-            self.complete_demand(now);
+            self.complete_demand(now, idx);
         }
         Ok(None)
     }
@@ -445,21 +490,18 @@ impl DirCacheController {
         now: Cycle,
         addr: BlockAddr,
     ) -> Result<Option<MisSpeculation>, ProtocolError> {
-        let Some(mut demand) = self.demand else {
-            return Err(self.error(addr, "InvAck with no outstanding demand".into()));
+        let Some(idx) = self.demand_index(addr) else {
+            return Err(self.error(addr, "InvAck with no matching demand".into()));
         };
-        if demand.addr != addr {
-            return Err(self.error(addr, "InvAck for a different block than the demand".into()));
-        }
+        let demand = &mut self.demands[idx];
         demand.acks_received += 1;
         if let Some(needed) = demand.acks_needed {
             if demand.acks_received > needed {
                 return Err(self.error(addr, "more InvAcks than expected".into()));
             }
         }
-        self.demand = Some(demand);
         if demand.is_complete() {
-            self.complete_demand(now);
+            self.complete_demand(now, idx);
         }
         Ok(None)
     }
@@ -600,11 +642,8 @@ impl DirCacheController {
         }
     }
 
-    fn complete_demand(&mut self, now: Cycle) {
-        let demand = self
-            .demand
-            .take()
-            .expect("complete_demand without a demand");
+    fn complete_demand(&mut self, now: Cycle, idx: usize) {
+        let demand = self.demands.remove(idx);
         let value = match demand.access {
             CpuAccess::Load => demand.data.expect("load completed without data"),
             CpuAccess::Store => demand.store_value,
@@ -644,7 +683,7 @@ impl DirCacheController {
             self.home(demand.addr),
             DirMsg::FinalAck { addr: demand.addr },
         );
-        self.completed = Some(CompletedAccess {
+        self.completed.push_back(CompletedAccess {
             addr: demand.addr,
             access: demand.access,
             latency: now.saturating_sub(demand.issued_at),
@@ -689,10 +728,10 @@ impl DirCacheController {
     /// system layer during a SafetyNet recovery, after which the stable state
     /// is restored from the checkpoint snapshot.
     pub fn abort_transients(&mut self) {
-        self.demand = None;
+        self.demands.clear();
         self.writebacks.clear();
         self.outgoing.clear();
-        self.completed = None;
+        self.completed.clear();
     }
 }
 
@@ -1211,5 +1250,123 @@ mod tests {
         assert!(!c.has_outstanding_demand());
         assert_eq!(c.outgoing_len(), 0);
         assert!(c.take_completed().is_none());
+    }
+
+    fn ctrl_mshr(variant: ProtocolVariant, mshr_entries: usize) -> DirCacheController {
+        let cfg = MemorySystemConfig {
+            mshr_entries,
+            ..config()
+        };
+        DirCacheController::new(NodeId(1), variant, &cfg)
+    }
+
+    #[test]
+    fn parallel_misses_complete_out_of_order_by_address() {
+        let mut c = ctrl_mshr(ProtocolVariant::Full, 2);
+        assert_eq!(c.cpu_request(0, load(0x40)), AccessOutcome::MissIssued);
+        assert_eq!(c.cpu_request(1, load(0x80)), AccessOutcome::MissIssued);
+        assert_eq!(c.outstanding_demands(), 2);
+        // A third miss exceeds the two MSHRs and stalls.
+        assert_eq!(c.cpu_request(2, load(0xc0)), AccessOutcome::Stall);
+        // The younger miss's data arrives first; only it completes.
+        c.handle_message(
+            50,
+            DirMsg::Data {
+                addr: BlockAddr(0x80),
+                data: 22,
+                acks: 0,
+            },
+        )
+        .unwrap();
+        let done = c.take_completed().unwrap();
+        assert_eq!(done.addr, BlockAddr(0x80));
+        assert_eq!(done.value, 22);
+        assert_eq!(c.outstanding_demands(), 1);
+        assert_eq!(c.outstanding_addr(), Some(BlockAddr(0x40)));
+        c.handle_message(
+            90,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 11,
+                acks: 0,
+            },
+        )
+        .unwrap();
+        let done = c.take_completed().unwrap();
+        assert_eq!(done.addr, BlockAddr(0x40));
+        assert_eq!(done.value, 11);
+        assert!(!c.has_outstanding_demand());
+    }
+
+    #[test]
+    fn duplicate_address_miss_stalls_even_with_free_mshrs() {
+        let mut c = ctrl_mshr(ProtocolVariant::Full, 4);
+        assert_eq!(c.cpu_request(0, load(0x40)), AccessOutcome::MissIssued);
+        // No coalescing: a second demand to the same block waits for the
+        // first rather than occupying another MSHR.
+        assert_eq!(c.cpu_request(1, store(0x40, 5)), AccessOutcome::Stall);
+        assert_eq!(c.outstanding_demands(), 1);
+    }
+
+    #[test]
+    fn resident_upgrades_are_mutually_exclusive_with_other_misses() {
+        let mut c = ctrl_mshr(ProtocolVariant::Full, 4);
+        // Install an M copy of 0x40, then downgrade it to O via FwdGetS so a
+        // later store needs a resident owner upgrade.
+        c.cpu_request(0, store(0x40, 3));
+        c.pop_outgoing();
+        c.handle_message(
+            1,
+            DirMsg::Data {
+                addr: BlockAddr(0x40),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
+        c.take_completed();
+        while c.pop_outgoing().is_some() {}
+        c.handle_message(
+            5,
+            DirMsg::FwdGetS {
+                addr: BlockAddr(0x40),
+                requestor: NodeId(3),
+            },
+        )
+        .unwrap();
+        while c.pop_outgoing().is_some() {}
+        assert_eq!(c.cached_value(BlockAddr(0x40)), Some((CacheState::O, 3)));
+        // A plain miss is outstanding: the O->M upgrade must wait for the
+        // MSHR file to drain before it may issue.
+        assert_eq!(c.cpu_request(10, load(0x80)), AccessOutcome::MissIssued);
+        assert_eq!(c.cpu_request(11, store(0x40, 9)), AccessOutcome::Stall);
+        c.handle_message(
+            20,
+            DirMsg::Data {
+                addr: BlockAddr(0x80),
+                data: 0,
+                acks: 0,
+            },
+        )
+        .unwrap();
+        c.take_completed();
+        while c.pop_outgoing().is_some() {}
+        // Now the upgrade issues, and while it is outstanding every new
+        // demand (even to an unrelated block) stalls: the upgraded line must
+        // stay resident, so no install/eviction may race with it.
+        assert_eq!(c.cpu_request(30, store(0x40, 9)), AccessOutcome::MissIssued);
+        assert_eq!(c.cpu_request(31, load(0xc0)), AccessOutcome::Stall);
+        c.handle_message(
+            40,
+            DirMsg::AckCount {
+                addr: BlockAddr(0x40),
+                acks: 0,
+            },
+        )
+        .unwrap();
+        let done = c.take_completed().unwrap();
+        assert_eq!(done.value, 9);
+        assert_eq!(c.cached_value(BlockAddr(0x40)), Some((CacheState::M, 9)));
+        assert_eq!(c.cpu_request(50, load(0xc0)), AccessOutcome::MissIssued);
     }
 }

@@ -89,6 +89,11 @@ struct SnoopDemand {
     /// Set once a deferred RequestForReadWrite has promised ownership away;
     /// later requests are the next owner's responsibility.
     ownership_promised: bool,
+    /// True for an owner (M/O) upgrade that fills from its own resident
+    /// copy when its request is ordered. Such an upgrade runs with the MSHR
+    /// file to itself: a concurrent install could evict the upgrading line
+    /// out from under it.
+    resident_upgrade: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,11 +140,13 @@ pub struct SnoopCacheController {
     l2: CacheArray<SnoopCacheState>,
     l1_hit_cycles: CycleDelta,
     l2_hit_cycles: CycleDelta,
-    demand: Option<SnoopDemand>,
+    /// Outstanding demand misses (the MSHR file), bounded by `mshr_entries`.
+    demands: Vec<SnoopDemand>,
+    mshr_entries: usize,
     writebacks: HashMap<BlockAddr, WritebackEntry>,
     outgoing_bus: VecDeque<SnoopRequest>,
     outgoing_data: VecDeque<SnoopDataOut>,
-    completed: Option<SnoopCompletedAccess>,
+    completed: VecDeque<SnoopCompletedAccess>,
     stats: SnoopCacheStats,
 }
 
@@ -161,11 +168,12 @@ impl SnoopCacheController {
             )),
             l1_hit_cycles: config.l1_hit_cycles,
             l2_hit_cycles: config.l2_hit_cycles,
-            demand: None,
+            demands: Vec::new(),
+            mshr_entries: config.mshr_entries.max(1),
             writebacks: HashMap::new(),
             outgoing_bus: VecDeque::new(),
             outgoing_data: VecDeque::new(),
-            completed: None,
+            completed: VecDeque::new(),
             stats: SnoopCacheStats::default(),
         }
     }
@@ -185,13 +193,20 @@ impl SnoopCacheController {
     /// True when a demand miss is outstanding.
     #[must_use]
     pub fn has_outstanding_demand(&self) -> bool {
-        self.demand.is_some()
+        !self.demands.is_empty()
     }
 
-    /// Cycle at which the outstanding demand was issued (timeout detection).
+    /// Number of outstanding demand misses (occupied MSHRs).
+    #[must_use]
+    pub fn outstanding_demands(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Cycle at which the oldest outstanding demand was issued (timeout
+    /// detection).
     #[must_use]
     pub fn outstanding_since(&self) -> Option<Cycle> {
-        self.demand.as_ref().map(|d| d.issued_at)
+        self.demands.iter().map(|d| d.issued_at).min()
     }
 
     /// Removes the next address-network request to post, if any.
@@ -218,9 +233,9 @@ impl SnoopCacheController {
         self.outgoing_bus.len() + self.outgoing_data.len()
     }
 
-    /// Takes the completed-demand notification, if one is pending.
+    /// Takes the oldest completed-demand notification, if one is pending.
     pub fn take_completed(&mut self) -> Option<SnoopCompletedAccess> {
-        self.completed.take()
+        self.completed.pop_front()
     }
 
     /// The value currently cached for `addr`, if resident.
@@ -245,7 +260,19 @@ impl SnoopCacheController {
 
     /// Presents a processor request.
     pub fn cpu_request(&mut self, now: Cycle, req: CpuRequest) -> SnoopAccessOutcome {
-        if self.demand.is_some() || self.writebacks.contains_key(&req.addr) {
+        if self.demands.len() >= self.mshr_entries {
+            return SnoopAccessOutcome::Stall;
+        }
+        // No coalescing: a second demand to a block already in the MSHR
+        // file waits for the first to complete.
+        if self.demands.iter().any(|d| d.addr == req.addr) {
+            return SnoopAccessOutcome::Stall;
+        }
+        // A resident owner upgrade is in flight: admitting another demand
+        // could evict the upgrading line when it completes, so everything
+        // that starts a transaction stalls until the upgrade finishes.
+        let upgrade_in_flight = self.demands.iter().any(|d| d.resident_upgrade);
+        if self.writebacks.contains_key(&req.addr) {
             return SnoopAccessOutcome::Stall;
         }
         let l1_hit = self.l1.lookup(req.addr).is_some();
@@ -274,13 +301,17 @@ impl SnoopCacheController {
                         }
                     };
                 }
-                (CpuAccess::Store, SnoopCacheState::O | SnoopCacheState::S) => {
-                    // Upgrade: request exclusivity on the bus. Whether our own
-                    // copy can satisfy the fill is decided when our request is
-                    // ordered (we may lose the copy to an earlier-ordered
-                    // foreign request).
+                (CpuAccess::Store, SnoopCacheState::O) => {
+                    // Owner upgrade: request exclusivity on the bus and fill
+                    // from our own copy when the request is ordered (unless an
+                    // earlier-ordered foreign request takes the line first).
+                    // The line must stay resident until then, so the upgrade
+                    // runs with the MSHR file to itself.
+                    if !self.demands.is_empty() {
+                        return SnoopAccessOutcome::Stall;
+                    }
                     self.stats.misses.incr();
-                    self.demand = Some(SnoopDemand {
+                    self.demands.push(SnoopDemand {
                         addr: req.addr,
                         access: CpuAccess::Store,
                         store_value: req.store_value,
@@ -289,6 +320,30 @@ impl SnoopCacheController {
                         data: None,
                         deferred: Vec::new(),
                         ownership_promised: false,
+                        resident_upgrade: true,
+                    });
+                    self.outgoing_bus
+                        .push_back(SnoopRequest::GetM { addr: req.addr });
+                    return SnoopAccessOutcome::MissIssued;
+                }
+                (CpuAccess::Store, SnoopCacheState::S) => {
+                    // Upgrade from S: the fill will come from the owner or
+                    // memory; our read-only copy can be dropped at any time,
+                    // so this behaves like a plain miss.
+                    if upgrade_in_flight {
+                        return SnoopAccessOutcome::Stall;
+                    }
+                    self.stats.misses.incr();
+                    self.demands.push(SnoopDemand {
+                        addr: req.addr,
+                        access: CpuAccess::Store,
+                        store_value: req.store_value,
+                        issued_at: now,
+                        ordered: false,
+                        data: None,
+                        deferred: Vec::new(),
+                        ownership_promised: false,
+                        resident_upgrade: false,
                     });
                     self.outgoing_bus
                         .push_back(SnoopRequest::GetM { addr: req.addr });
@@ -296,12 +351,16 @@ impl SnoopCacheController {
                 }
             }
         }
+        // Complete miss.
+        if upgrade_in_flight {
+            return SnoopAccessOutcome::Stall;
+        }
         self.stats.misses.incr();
         let msg = match req.access {
             CpuAccess::Load => SnoopRequest::GetS { addr: req.addr },
             CpuAccess::Store => SnoopRequest::GetM { addr: req.addr },
         };
-        self.demand = Some(SnoopDemand {
+        self.demands.push(SnoopDemand {
             addr: req.addr,
             access: req.access,
             store_value: req.store_value,
@@ -310,6 +369,7 @@ impl SnoopCacheController {
             data: None,
             deferred: Vec::new(),
             ownership_promised: false,
+            resident_upgrade: false,
         });
         self.outgoing_bus.push_back(msg);
         SnoopAccessOutcome::MissIssued
@@ -337,29 +397,28 @@ impl SnoopCacheController {
     ) -> Result<Option<MisSpeculation>, ProtocolError> {
         match request {
             SnoopRequest::GetS { addr } | SnoopRequest::GetM { addr } => {
-                let Some(demand) = self.demand.as_mut() else {
+                let Some(idx) = self
+                    .demands
+                    .iter()
+                    .position(|d| d.addr == addr && !d.ordered)
+                else {
                     return Err(self.error(addr, "observed own request with no demand".into()));
                 };
-                if demand.addr != addr {
-                    return Err(self.error(addr, "observed own request for the wrong block".into()));
-                }
+                let own_fill = matches!(request, SnoopRequest::GetM { .. })
+                    .then(|| self.l2.probe(addr))
+                    .flatten()
+                    .filter(|line| matches!(line.state, SnoopCacheState::M | SnoopCacheState::O))
+                    .map(|line| line.data);
+                let demand = &mut self.demands[idx];
                 demand.ordered = true;
                 // An owner upgrading (line still resident in M or O when the
                 // GetM is ordered) fills from its own copy; nobody else will
                 // send data because the memory controller sees a cache owner.
-                if matches!(request, SnoopRequest::GetM { .. }) {
-                    if let Some(line) = self.l2.probe(addr) {
-                        if matches!(line.state, SnoopCacheState::M | SnoopCacheState::O) {
-                            demand.data = Some(line.data);
-                        }
-                    }
+                if own_fill.is_some() {
+                    demand.data = own_fill;
                 }
-                if self
-                    .demand
-                    .as_ref()
-                    .is_some_and(|d| d.ordered && d.data.is_some())
-                {
-                    self.complete_demand(now);
+                if demand.data.is_some() {
+                    self.complete_demand(now, idx);
                 }
                 Ok(None)
             }
@@ -477,19 +536,15 @@ impl SnoopCacheController {
     }
 
     fn maybe_defer(&mut self, addr: BlockAddr, requestor: NodeId, exclusive: bool) {
-        if let Some(demand) = self.demand.as_mut() {
-            if demand.addr == addr
-                && demand.ordered
-                && demand.access == CpuAccess::Store
-                && !demand.ownership_promised
-            {
-                demand.deferred.push(DeferredForward {
-                    requestor,
-                    exclusive,
-                });
-                if exclusive {
-                    demand.ownership_promised = true;
-                }
+        if let Some(demand) = self.demands.iter_mut().find(|d| {
+            d.addr == addr && d.ordered && d.access == CpuAccess::Store && !d.ownership_promised
+        }) {
+            demand.deferred.push(DeferredForward {
+                requestor,
+                exclusive,
+            });
+            if exclusive {
+                demand.ownership_promised = true;
             }
         }
     }
@@ -506,17 +561,19 @@ impl SnoopCacheController {
     pub fn handle_data(&mut self, now: Cycle, msg: SnoopDataMsg) -> Result<(), ProtocolError> {
         match msg {
             SnoopDataMsg::Data { addr, data } => {
-                let Some(demand) = self.demand.as_mut() else {
+                let Some(idx) = self
+                    .demands
+                    .iter()
+                    .position(|d| d.addr == addr && d.data.is_none())
+                else {
                     // Late or duplicate data (e.g. memory and an owner both
                     // responded); harmless.
                     return Ok(());
                 };
-                if demand.addr != addr || demand.data.is_some() {
-                    return Ok(());
-                }
+                let demand = &mut self.demands[idx];
                 demand.data = Some(data);
                 if demand.ordered {
-                    self.complete_demand(now);
+                    self.complete_demand(now, idx);
                 }
                 Ok(())
             }
@@ -527,8 +584,8 @@ impl SnoopCacheController {
         }
     }
 
-    fn complete_demand(&mut self, now: Cycle) {
-        let demand = self.demand.take().expect("complete_demand without demand");
+    fn complete_demand(&mut self, now: Cycle, idx: usize) {
+        let demand = self.demands.remove(idx);
         let fill_value = demand.data.expect("completing without data");
         let (state, value) = match demand.access {
             CpuAccess::Load => (SnoopCacheState::S, fill_value),
@@ -566,7 +623,7 @@ impl SnoopCacheController {
             }
             self.l1.insert(demand.addr, (), 0);
         }
-        self.completed = Some(SnoopCompletedAccess {
+        self.completed.push_back(SnoopCompletedAccess {
             addr: demand.addr,
             access: demand.access,
             latency: now.saturating_sub(demand.issued_at),
@@ -599,11 +656,11 @@ impl SnoopCacheController {
 
     /// Clears transient state (recovery support).
     pub fn abort_transients(&mut self) {
-        self.demand = None;
+        self.demands.clear();
         self.writebacks.clear();
         self.outgoing_bus.clear();
         self.outgoing_data.clear();
-        self.completed = None;
+        self.completed.clear();
     }
 
     fn error(&self, addr: BlockAddr, description: String) -> ProtocolError {
@@ -875,5 +932,85 @@ mod tests {
         c.abort_transients();
         assert!(!c.has_outstanding_demand());
         assert_eq!(c.outgoing_len(), 0);
+    }
+
+    fn ctrl_mshr(variant: ProtocolVariant, mshr_entries: usize) -> SnoopCacheController {
+        let cfg = MemorySystemConfig {
+            mshr_entries,
+            ..config()
+        };
+        SnoopCacheController::new(NodeId(1), variant, &cfg)
+    }
+
+    #[test]
+    fn parallel_misses_complete_out_of_order_by_address() {
+        let b = BlockAddr(0x80);
+        let mut c = ctrl_mshr(ProtocolVariant::Full, 2);
+        assert_eq!(c.cpu_request(0, load(A)), SnoopAccessOutcome::MissIssued);
+        assert_eq!(c.cpu_request(1, load(b)), SnoopAccessOutcome::MissIssued);
+        assert_eq!(c.outstanding_demands(), 2);
+        // A third miss exceeds the two MSHRs; a duplicate of an in-flight
+        // block stalls even though an MSHR is notionally free at that point.
+        assert_eq!(
+            c.cpu_request(2, load(BlockAddr(0xc0))),
+            SnoopAccessOutcome::Stall
+        );
+        assert_eq!(c.cpu_request(2, store(A, 1)), SnoopAccessOutcome::Stall);
+        // Both requests get ordered; the younger one's data arrives first.
+        c.observe_snoop(5, NodeId(1), SnoopRequest::GetS { addr: A })
+            .unwrap();
+        c.observe_snoop(6, NodeId(1), SnoopRequest::GetS { addr: b })
+            .unwrap();
+        c.handle_data(10, SnoopDataMsg::Data { addr: b, data: 22 })
+            .unwrap();
+        let done = c.take_completed().unwrap();
+        assert_eq!((done.addr, done.value), (b, 22));
+        assert_eq!(c.outstanding_since(), Some(0), "oldest demand still open");
+        c.handle_data(20, SnoopDataMsg::Data { addr: A, data: 11 })
+            .unwrap();
+        let done = c.take_completed().unwrap();
+        assert_eq!((done.addr, done.value), (A, 11));
+        assert!(!c.has_outstanding_demand());
+        assert_eq!(c.cached_value(A), Some((SnoopCacheState::S, 11)));
+        assert_eq!(c.cached_value(b), Some((SnoopCacheState::S, 22)));
+    }
+
+    #[test]
+    fn owner_upgrade_runs_with_the_mshr_file_to_itself() {
+        let b = BlockAddr(0x80);
+        let mut c = ctrl_mshr(ProtocolVariant::Full, 4);
+        make_owner(&mut c, 10);
+        // Downgrade to O by serving a foreign GetS.
+        c.observe_snoop(20, NodeId(2), SnoopRequest::GetS { addr: A })
+            .unwrap();
+        c.pop_data_message();
+        // With a plain miss outstanding, the O->M upgrade must wait.
+        assert_eq!(c.cpu_request(30, load(b)), SnoopAccessOutcome::MissIssued);
+        assert_eq!(c.cpu_request(31, store(A, 11)), SnoopAccessOutcome::Stall);
+        c.observe_snoop(32, NodeId(1), SnoopRequest::GetS { addr: b })
+            .unwrap();
+        c.handle_data(33, SnoopDataMsg::Data { addr: b, data: 0 })
+            .unwrap();
+        c.take_completed();
+        // Once the file drains the upgrade issues, and while it is
+        // outstanding every new demand stalls.
+        assert_eq!(
+            c.cpu_request(40, store(A, 11)),
+            SnoopAccessOutcome::MissIssued
+        );
+        assert_eq!(
+            c.cpu_request(41, load(BlockAddr(0xc0))),
+            SnoopAccessOutcome::Stall
+        );
+        c.pop_bus_request();
+        c.observe_snoop(45, NodeId(1), SnoopRequest::GetM { addr: A })
+            .unwrap();
+        let done = c.take_completed().expect("upgrade fills from its own data");
+        assert_eq!(done.value, 11);
+        assert_eq!(c.cached_value(A), Some((SnoopCacheState::M, 11)));
+        assert_eq!(
+            c.cpu_request(50, load(BlockAddr(0xc0))),
+            SnoopAccessOutcome::MissIssued
+        );
     }
 }

@@ -1,11 +1,13 @@
 //! Full-system configuration.
 
+use std::sync::Arc;
+
 use specsim_base::{
     BufferPolicy, CycleDelta, FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant,
     RoutingPolicy,
 };
 use specsim_net::NetConfig;
-use specsim_workloads::WorkloadKind;
+use specsim_workloads::{Trace, TrafficConfig, WorkloadKind};
 
 /// Forward-progress measures applied after a recovery (Section 2, feature 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,9 +81,21 @@ pub struct SystemConfig {
     /// error bars.
     pub perturbation_cycles: u64,
     /// Maximum coherence transactions outstanding system-wide in normal
-    /// operation (the blocking processors already bound this at one per
-    /// node).
+    /// operation (with `memory.mshr_entries = 1` the blocking processors
+    /// already bound this at one per node).
     pub max_outstanding: usize,
+    /// Production-traffic shaping applied to every node's synthetic
+    /// generator: an optional Zipfian hot-block overlay and an optional
+    /// bursty injection-rate modulation. The unshaped default is
+    /// bit-identical to the historical generators.
+    pub traffic: TrafficConfig,
+    /// Record every accepted memory operation into a replayable trace
+    /// (retrieve it with `DirectorySystem::recorded_trace`).
+    pub record_trace: bool,
+    /// Drive the processors from a recorded trace instead of the synthetic
+    /// generators (deterministic replay; `workload` and `traffic` are
+    /// ignored for op generation).
+    pub replay_trace: Option<Arc<Trace>>,
 }
 
 impl Default for SystemConfig {
@@ -118,6 +132,9 @@ impl SystemConfig {
             inject_recovery_every: None,
             perturbation_cycles: 4,
             max_outstanding: usize::MAX,
+            traffic: TrafficConfig::default(),
+            record_trace: false,
+            replay_trace: None,
         }
     }
 
@@ -142,6 +159,9 @@ impl SystemConfig {
             inject_recovery_every: None,
             perturbation_cycles: 4,
             max_outstanding: usize::MAX,
+            traffic: TrafficConfig::default(),
+            record_trace: false,
+            replay_trace: None,
         }
     }
 
@@ -170,6 +190,9 @@ impl SystemConfig {
             inject_recovery_every: None,
             perturbation_cycles: 4,
             max_outstanding: usize::MAX,
+            traffic: TrafficConfig::default(),
+            record_trace: false,
+            replay_trace: None,
         }
     }
 
@@ -205,6 +228,9 @@ impl SystemConfig {
             inject_recovery_every: None,
             perturbation_cycles: 4,
             max_outstanding: usize::MAX,
+            traffic: TrafficConfig::default(),
+            record_trace: false,
+            replay_trace: None,
         }
     }
 
@@ -214,6 +240,9 @@ impl SystemConfig {
     #[must_use]
     pub fn validate(&self) -> Vec<String> {
         let mut problems = self.memory.validate();
+        if let Err(e) = self.traffic.validate() {
+            problems.push(e);
+        }
         if let BufferPolicy::SharedPool { total_slots } = self.buffer_policy {
             if total_slots == 0 {
                 problems.push("shared-pool buffer policy needs at least one slot".to_string());

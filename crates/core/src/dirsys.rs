@@ -14,6 +14,8 @@
 //! [`DirectorySystem::run_for`] runs a full experiment window and returns the
 //! collected [`RunMetrics`].
 
+use std::sync::Arc;
+
 use specsim_base::{BlockAddr, Cycle, CycleDelta, DetRng, FlowControl, NodeId, RoutingPolicy};
 use specsim_coherence::dir::{
     AccessOutcome, CacheState, DirCacheController, DirMsg, DirectoryController, OutMsg,
@@ -21,7 +23,7 @@ use specsim_coherence::dir::{
 use specsim_coherence::types::{CpuRequest, MisSpecKind, MsgClass, ProtocolError};
 use specsim_net::{Network, VirtualNetwork};
 use specsim_safetynet::SafetyNet;
-use specsim_workloads::{Processor, WorkloadGenerator};
+use specsim_workloads::{Processor, Trace, WorkloadGenerator, ZipfTable};
 
 use crate::config::{ForwardProgressConfig, SystemConfig};
 use crate::engine::{
@@ -234,10 +236,7 @@ impl ProtocolNode for DirProtocol {
     }
 
     fn outstanding_demand(arch: &ArchState) -> usize {
-        arch.caches
-            .iter()
-            .filter(|c| c.has_outstanding_demand())
-            .count()
+        arch.caches.iter().map(|c| c.outstanding_demands()).sum()
     }
 
     fn cpu_request(arch: &mut ArchState, i: usize, now: Cycle, req: CpuRequest) -> EngineAccess {
@@ -255,7 +254,9 @@ impl ProtocolNode for DirProtocol {
         {
             let ArchState { procs, caches, .. } = arch;
             ctx.deliver_completions(now, procs, |i| {
-                caches[i].take_completed().map(|done| done.access)
+                caches[i]
+                    .take_completed()
+                    .map(|done| (done.addr, done.access))
             });
         }
         self.pump_outboxes(arch, now, ctx);
@@ -358,11 +359,30 @@ impl DirectorySystem {
     pub fn new(cfg: SystemConfig) -> Self {
         let n = cfg.memory.num_nodes;
         let mut seed_rng = DetRng::new(cfg.seed);
+        // One Zipf hot-block table shared by every node's generator (the
+        // whole point of a hot set is that nodes contend on it).
+        let zipf_table = cfg.traffic.zipf.map(|z| Arc::new(ZipfTable::new(z)));
         let procs = (0..n)
             .map(|i| {
                 let node = NodeId::from(i);
-                let gen = WorkloadGenerator::new(cfg.workload, node, cfg.seed);
-                Processor::new(node, gen, 0)
+                let mut proc = match &cfg.replay_trace {
+                    Some(trace) => Processor::from_trace(node, Arc::clone(trace), 0),
+                    None => {
+                        let gen = WorkloadGenerator::shaped(
+                            cfg.workload,
+                            node,
+                            cfg.seed,
+                            cfg.traffic,
+                            zipf_table.clone(),
+                        );
+                        Processor::new(node, gen, 0)
+                    }
+                }
+                .with_max_outstanding(cfg.memory.mshr_entries);
+                if cfg.record_trace {
+                    proc.enable_recording();
+                }
+                proc
             })
             .collect();
         let caches = (0..n)
@@ -437,6 +457,22 @@ impl DirectorySystem {
     /// Gathers the run metrics from every component.
     pub fn collect_metrics(&mut self) -> RunMetrics {
         self.engine.collect_metrics()
+    }
+
+    /// The trace recorded so far when the system was built with
+    /// [`SystemConfig::record_trace`]; `None` otherwise. Replaying the
+    /// returned trace (via [`SystemConfig::replay_trace`]) reproduces each
+    /// node's accepted-operation schedule exactly.
+    #[must_use]
+    pub fn recorded_trace(&self) -> Option<Trace> {
+        let nodes: Option<Vec<_>> = self
+            .engine
+            .arch()
+            .procs
+            .iter()
+            .map(|p| p.recorded_events().map(<[_]>::to_vec))
+            .collect();
+        nodes.map(|nodes| Trace { nodes })
     }
 
     /// Checks the fundamental coherence invariants over the current stable

@@ -235,22 +235,23 @@ impl<A: Clone> EngineCtx<'_, A> {
 
     /// The shared completion-delivery pass: wakes processors whose misses
     /// completed and accounts the SafetyNet log entry a completed store
-    /// costs. `take_completed(i)` drains node `i`'s completed access, if
-    /// any. After a recovery the restored cache controller may complete a
-    /// transaction whose requesting instruction was rolled back (the
-    /// processor re-executes from the register checkpoint); such completions
-    /// update the cache but wake nobody.
+    /// costs. `take_completed(i)` drains one of node `i`'s completed
+    /// accesses at a time (a non-blocking node may complete several misses
+    /// in one cycle), identified by block address so the processor retires
+    /// the matching MSHR even when fills return out of order. After a
+    /// recovery the restored cache controller may complete a transaction
+    /// whose requesting instruction was rolled back (the processor
+    /// re-executes from the register checkpoint); such completions update
+    /// the cache but wake nobody.
     pub fn deliver_completions(
         &mut self,
         now: Cycle,
         procs: &mut [Processor],
-        mut take_completed: impl FnMut(usize) -> Option<CpuAccess>,
+        mut take_completed: impl FnMut(usize) -> Option<(BlockAddr, CpuAccess)>,
     ) {
         for (i, proc) in procs.iter_mut().enumerate() {
-            if let Some(access) = take_completed(i) {
-                if proc.is_waiting() {
-                    proc.note_miss_completed(now, access == CpuAccess::Store);
-                }
+            while let Some((addr, access)) = take_completed(i) {
+                proc.note_miss_completed(now, addr, access == CpuAccess::Store);
                 // A completed store modifies cached state that SafetyNet must
                 // be able to undo: account one log entry at this node.
                 if access == CpuAccess::Store

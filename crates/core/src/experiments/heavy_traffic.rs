@@ -1,0 +1,390 @@
+//! Heavy-traffic sweep: outstanding misses × address skew × injection shape.
+//!
+//! The paper's workloads (Section 5.1) run on out-of-order MOSI processors
+//! that keep issuing past outstanding misses, against commercial memory
+//! streams with hot shared data and bursty arrival. This sweep opens those
+//! three axes on the 16-node speculative directory machine and records how
+//! each moves throughput and the in-vivo mis-speculation rate:
+//!
+//! * **outstanding** — MSHR entries per node
+//!   ([`specsim_base::MemorySystemConfig::mshr_entries`]): 1 is the blocking
+//!   miss stream every earlier experiment used; >1 keeps a node's
+//!   transaction window full, the precondition for meaningful contention,
+//! * **skew** — uniform private/shared mixing vs. a Zipfian hot-block
+//!   overlay ([`specsim_workloads::ZipfConfig`]) that concentrates a
+//!   fraction of all accesses onto a few contended read-write blocks,
+//! * **injection shape** — steady arrival vs. bursty on/off modulation
+//!   ([`specsim_workloads::BurstConfig`]) that conserves the mean rate while
+//!   synchronising demand peaks across nodes.
+//!
+//! The point of the artifact (`BENCH_heavy_traffic.json`, written by the
+//! `heavy_traffic_sweep` bench) is the mis-speculation column: under the
+//! blocking uniform baseline it is zero — the speculative recovery path is
+//! exercised only by hand-built scenario tests — while the heavy corners
+//! drive detected mis-speculations (adaptive-routing ordering races and
+//! congestion timeouts) through the same SafetyNet recovery the paper
+//! measures, in vivo.
+
+use specsim_base::LinkBandwidth;
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::{BurstConfig, TrafficConfig, WorkloadKind, ZipfConfig};
+
+use crate::config::SystemConfig;
+use crate::experiments::runner::{
+    measure_directory, misspec_per_mcycle_measurement, throughput_measurement, ExperimentScale,
+    Measurement,
+};
+
+/// The canonical heavy Zipfian overlay: a quarter of every node's accesses
+/// land on 128 hot shared read-write blocks under unit skew. Empirically
+/// this is the contention knee: enough hot-block chaining to wedge
+/// undersized shared pools and starve transactions past the timeout at the
+/// low-bandwidth operating point, while stronger skew collapses even
+/// conservatively-buffered machines into pure starvation. Shared by this
+/// sweep's skewed shapes and by the heavy re-runs of the scaling and
+/// shared-buffer sweeps.
+#[must_use]
+pub fn heavy_zipf() -> ZipfConfig {
+    ZipfConfig {
+        hot_blocks: 128,
+        skew: 1.0,
+        fraction: 0.25,
+    }
+}
+
+/// The canonical heavy burst shape: an eighth-duty square wave, boosted 4×
+/// in the peaks — synchronized demand spikes across all nodes (the troughs
+/// are scaled down so the mean injection rate is conserved — see
+/// [`BurstConfig::trough_level`]).
+#[must_use]
+pub fn heavy_burst() -> BurstConfig {
+    BurstConfig {
+        period_cycles: 4_000,
+        duty: 0.125,
+        boost: 4.0,
+    }
+}
+
+/// The canonical fully-shaped heavy traffic: Zipfian hot blocks *and*
+/// bursty injection together.
+#[must_use]
+pub fn heavy_traffic() -> TrafficConfig {
+    TrafficConfig {
+        zipf: Some(heavy_zipf()),
+        burst: Some(heavy_burst()),
+    }
+}
+
+/// One injection shape of the sweep's third axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    /// The historical generators untouched: uniform mixing, steady rate.
+    Uniform,
+    /// Zipfian hot-block overlay ([`heavy_zipf`]), steady rate.
+    Zipfian,
+    /// Uniform mixing under bursty modulation ([`heavy_burst`]).
+    Bursty,
+    /// Both together ([`heavy_traffic`]): the production-shaped corner.
+    ZipfianBursty,
+}
+
+/// Every shape, in sweep order (mildest first).
+pub const ALL_SHAPES: [TrafficShape; 4] = [
+    TrafficShape::Uniform,
+    TrafficShape::Zipfian,
+    TrafficShape::Bursty,
+    TrafficShape::ZipfianBursty,
+];
+
+impl TrafficShape {
+    /// Short label used in tables and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::Zipfian => "zipf",
+            Self::Bursty => "bursty",
+            Self::ZipfianBursty => "zipf+bursty",
+        }
+    }
+
+    /// The generator shaping this shape stands for.
+    #[must_use]
+    pub fn traffic(self) -> TrafficConfig {
+        TrafficConfig {
+            zipf: matches!(self, Self::Zipfian | Self::ZipfianBursty).then(heavy_zipf),
+            burst: matches!(self, Self::Bursty | Self::ZipfianBursty).then(heavy_burst),
+        }
+    }
+}
+
+/// What to sweep and how long/often to run each design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyTrafficConfig {
+    /// MSHR entries per node to visit (the outstanding-miss axis).
+    pub mshr_entries: Vec<usize>,
+    /// Injection shapes to visit.
+    pub shapes: Vec<TrafficShape>,
+    /// Workload generator at every design point.
+    pub workload: WorkloadKind,
+    /// Link bandwidth. The default is the paper's low operating point,
+    /// where contention (and hence the mis-speculation machinery) binds.
+    pub bandwidth: LinkBandwidth,
+    /// Machine size (the paper's machine is 16 nodes).
+    pub num_nodes: usize,
+    /// Cycles and perturbed seeds per design point.
+    pub scale: ExperimentScale,
+}
+
+impl Default for HeavyTrafficConfig {
+    /// The full grid: 1/2/4/8 MSHRs × all four shapes on the 16-node OLTP
+    /// machine at 400 MB/s, at the environment-controlled scale.
+    fn default() -> Self {
+        Self {
+            mshr_entries: vec![1, 2, 4, 8],
+            shapes: ALL_SHAPES.to_vec(),
+            workload: WorkloadKind::Oltp,
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 16,
+            scale: ExperimentScale::from_env(),
+        }
+    }
+}
+
+impl HeavyTrafficConfig {
+    /// A CI-sized grid: the blocking baseline and the heaviest MSHR count,
+    /// mildest and heaviest shapes, few seeds, short runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            mshr_entries: vec![1, 4],
+            shapes: vec![TrafficShape::Uniform, TrafficShape::ZipfianBursty],
+            workload: WorkloadKind::Oltp,
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 16,
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 2,
+            },
+        }
+    }
+}
+
+/// One design point of the sweep.
+#[derive(Debug, Clone)]
+pub struct HeavyTrafficRow {
+    /// MSHR entries per node at this design point.
+    pub mshr_entries: usize,
+    /// Injection shape at this design point.
+    pub shape: TrafficShape,
+    /// Committed operations per kilo-cycle over the perturbed seeds.
+    pub throughput: Measurement,
+    /// Demand misses per kilo-cycle over the perturbed seeds (how hard the
+    /// coherence machinery is actually driven).
+    pub misses_per_kcycle: Measurement,
+    /// Detected mis-speculations per million simulated cycles.
+    pub misspec_per_mcycle: Measurement,
+    /// All mis-speculation recoveries, summed over the perturbed runs.
+    pub recoveries: u64,
+}
+
+/// The completed sweep.
+#[derive(Debug, Clone)]
+pub struct HeavyTrafficData {
+    /// One row per (MSHR count, shape), MSHR counts in sweep order with the
+    /// shapes nested inside.
+    pub rows: Vec<HeavyTrafficRow>,
+    /// Workload generator used.
+    pub workload: WorkloadKind,
+    /// Link bandwidth used.
+    pub bandwidth: LinkBandwidth,
+    /// Machine size (nodes).
+    pub num_nodes: usize,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Perturbed seeds per design point.
+    pub seeds: u64,
+}
+
+fn design_point(cfg: &HeavyTrafficConfig, mshr: usize, shape: TrafficShape) -> SystemConfig {
+    let mut sys = SystemConfig::directory_speculative(cfg.workload, cfg.bandwidth, 9000)
+        .with_nodes(cfg.num_nodes);
+    sys.routing = specsim_base::RoutingPolicy::Adaptive;
+    sys.memory.mshr_entries = mshr;
+    sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys.traffic = shape.traffic();
+    sys
+}
+
+/// Runs the grid: every MSHR count × every shape, each design point through
+/// the perturbed-seed sharded runner.
+pub fn run(cfg: &HeavyTrafficConfig) -> Result<HeavyTrafficData, ProtocolError> {
+    let mut rows = Vec::with_capacity(cfg.mshr_entries.len() * cfg.shapes.len());
+    for &mshr in &cfg.mshr_entries {
+        for &shape in &cfg.shapes {
+            let runs = measure_directory(&design_point(cfg, mshr, shape), cfg.scale)?;
+            let miss_rates: Vec<f64> = runs
+                .iter()
+                .map(|r| {
+                    if r.cycles == 0 {
+                        0.0
+                    } else {
+                        r.misses as f64 * 1e3 / r.cycles as f64
+                    }
+                })
+                .collect();
+            rows.push(HeavyTrafficRow {
+                mshr_entries: mshr,
+                shape,
+                throughput: throughput_measurement(&runs),
+                misses_per_kcycle: Measurement::from_samples(&miss_rates),
+                misspec_per_mcycle: misspec_per_mcycle_measurement(&runs),
+                recoveries: runs.iter().map(|r| r.recoveries).sum(),
+            });
+        }
+    }
+    Ok(HeavyTrafficData {
+        rows,
+        workload: cfg.workload,
+        bandwidth: cfg.bandwidth,
+        num_nodes: cfg.num_nodes,
+        cycles: cfg.scale.cycles,
+        seeds: cfg.scale.seeds,
+    })
+}
+
+impl HeavyTrafficData {
+    /// Renders the sweep as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Heavy-traffic sweep ({} nodes, {} at {} MB/s, adaptive routing; \
+             {} cycles x {} seeds per point)\n",
+            self.num_nodes,
+            self.workload.label(),
+            self.bandwidth.megabytes_per_second,
+            self.cycles,
+            self.seeds
+        ));
+        out.push_str(
+            "mshr  shape        ops/kcycle        misses/kcycle     misspec/Mcycle    recoveries\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>4}  {:<11}  {:<16}  {:<16}  {:<16}  {:>10}\n",
+                r.mshr_entries,
+                r.shape.label(),
+                r.throughput.display(),
+                r.misses_per_kcycle.display(),
+                r.misspec_per_mcycle.display(),
+                r.recoveries,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the sweep as machine-readable JSON (the
+    /// `BENCH_heavy_traffic.json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"workload\": \"{}\",\n", self.workload.label()));
+        json.push_str(&format!(
+            "  \"mb_per_s\": {},\n",
+            self.bandwidth.megabytes_per_second
+        ));
+        json.push_str(&format!("  \"num_nodes\": {},\n", self.num_nodes));
+        json.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        json.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"mshr_entries\": {}, \"shape\": \"{}\", \
+                 \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
+                 \"misses_per_kcycle_mean\": {:.6}, \
+                 \"misses_per_kcycle_std\": {:.6}, \
+                 \"misspec_per_mcycle_mean\": {:.6}, \
+                 \"misspec_per_mcycle_std\": {:.6}, \
+                 \"recoveries\": {}}}{comma}\n",
+                r.mshr_entries,
+                r.shape.label(),
+                r.throughput.mean,
+                r.throughput.std_dev,
+                r.misses_per_kcycle.mean,
+                r.misses_per_kcycle.std_dev,
+                r.misspec_per_mcycle.mean,
+                r.misspec_per_mcycle.std_dev,
+                r.recoveries,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_map_to_the_canonical_heavy_knobs() {
+        assert_eq!(TrafficShape::Uniform.traffic(), TrafficConfig::default());
+        assert!(TrafficShape::Uniform.traffic().is_unshaped());
+        assert_eq!(TrafficShape::Zipfian.traffic().zipf, Some(heavy_zipf()));
+        assert_eq!(TrafficShape::Zipfian.traffic().burst, None);
+        assert_eq!(TrafficShape::Bursty.traffic().burst, Some(heavy_burst()));
+        assert_eq!(TrafficShape::ZipfianBursty.traffic(), heavy_traffic());
+        heavy_traffic()
+            .validate()
+            .expect("canonical knobs validate");
+        for shape in ALL_SHAPES {
+            assert!(!shape.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn default_grid_covers_all_three_axes() {
+        let cfg = HeavyTrafficConfig::default();
+        assert!(cfg.mshr_entries.contains(&1) && cfg.mshr_entries.iter().any(|&m| m > 1));
+        assert_eq!(cfg.shapes, ALL_SHAPES.to_vec());
+        assert_eq!(cfg.num_nodes, 16);
+        // Quick mode keeps the blocking baseline and the heaviest corner.
+        let quick = HeavyTrafficConfig::quick();
+        assert!(quick.mshr_entries.contains(&1));
+        assert!(quick.shapes.contains(&TrafficShape::ZipfianBursty));
+    }
+
+    #[test]
+    fn tiny_grid_shows_mshrs_raising_pressure() {
+        let cfg = HeavyTrafficConfig {
+            mshr_entries: vec![1, 4],
+            shapes: vec![TrafficShape::Uniform],
+            workload: WorkloadKind::Oltp,
+            bandwidth: LinkBandwidth::GB_3_2,
+            num_nodes: 16,
+            scale: ExperimentScale {
+                cycles: 15_000,
+                seeds: 1,
+            },
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2);
+        let (blocking, wide) = (&data.rows[0], &data.rows[1]);
+        assert_eq!(blocking.mshr_entries, 1);
+        assert_eq!(wide.mshr_entries, 4);
+        // Non-blocking nodes drive strictly more misses through the
+        // coherence machinery — the whole point of the axis.
+        assert!(
+            wide.misses_per_kcycle.mean > blocking.misses_per_kcycle.mean,
+            "4 MSHRs produced {} misses/kcycle vs {} blocking",
+            wide.misses_per_kcycle.mean,
+            blocking.misses_per_kcycle.mean
+        );
+        let txt = data.render();
+        assert!(txt.contains("uniform") && txt.contains("misspec/Mcycle"));
+        let json = data.to_json();
+        assert!(json.contains("\"mshr_entries\": 4") && json.contains("\"shape\": \"uniform\""));
+    }
+}

@@ -11,6 +11,7 @@ pub mod buffer_sweep;
 pub mod fig4;
 pub mod fig5;
 pub mod fig5_crossover;
+pub mod heavy_traffic;
 pub mod reorder;
 pub mod runner;
 pub mod scaling;
@@ -23,10 +24,11 @@ pub use buffer_sweep::{BufferSweep, BufferSweepRow};
 pub use fig4::{Fig4Data, Fig4Row};
 pub use fig5::{Fig5Data, Fig5Row};
 pub use fig5_crossover::{Fig5CrossoverConfig, Fig5CrossoverData, Fig5CrossoverRow};
+pub use heavy_traffic::{HeavyTrafficConfig, HeavyTrafficData, HeavyTrafficRow, TrafficShape};
 pub use reorder::{ReorderData, ReorderRow};
 pub use runner::{measure_directory, measure_snooping, ExperimentScale, Measurement};
 pub use scaling::{ScalingConfig, ScalingData, ScalingRow};
-pub use shared_buffer::{SharedBufferConfig, SharedBufferData, SharedBufferRow};
+pub use shared_buffer::{Machine, SharedBufferConfig, SharedBufferData, SharedBufferRow};
 pub use snoop_bandwidth::{SnoopBandwidthConfig, SnoopBandwidthData, SnoopBandwidthRow};
 pub use snooping::{SnoopingComparison, SnoopingRow};
 pub use tables::{render_table1, render_table2, render_table3};

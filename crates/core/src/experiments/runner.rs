@@ -173,6 +173,26 @@ pub fn throughput_measurement(runs: &[RunMetrics]) -> Measurement {
     Measurement::from_samples(&samples)
 }
 
+/// Detected mis-speculations (all kinds) per million simulated cycles in
+/// one run.
+#[must_use]
+pub fn misspec_per_mcycle(m: &RunMetrics) -> f64 {
+    let total: u64 = m.misspeculations.iter().map(|(_, n)| n).sum();
+    if m.cycles == 0 {
+        0.0
+    } else {
+        total as f64 * 1e6 / m.cycles as f64
+    }
+}
+
+/// Convenience: the mis-speculation-rate measurement (per million cycles)
+/// over a set of per-run metrics.
+#[must_use]
+pub fn misspec_per_mcycle_measurement(runs: &[RunMetrics]) -> Measurement {
+    let samples: Vec<f64> = runs.iter().map(misspec_per_mcycle).collect();
+    Measurement::from_samples(&samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

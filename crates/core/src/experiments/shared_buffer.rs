@@ -29,14 +29,16 @@
 //! The `shared_buffer_sweep` bench renders the table and writes
 //! `BENCH_shared_buffer.json`.
 
-use specsim_base::{LinkBandwidth, RoutingPolicy};
+use specsim_base::{LinkBandwidth, ProtocolVariant, RoutingPolicy};
 use specsim_coherence::types::{MisSpecKind, ProtocolError};
-use specsim_workloads::WorkloadKind;
+use specsim_workloads::{TrafficConfig, WorkloadKind};
 
 use crate::config::SystemConfig;
+use crate::experiments::heavy_traffic::heavy_traffic;
 use crate::experiments::runner::{
-    measure_directory, throughput_measurement, ExperimentScale, Measurement,
+    measure_directory, measure_snooping, throughput_measurement, ExperimentScale, Measurement,
 };
+use crate::snoopsys::SnoopSystemConfig;
 
 /// The pool sizes the full sweep visits (slots per node; for scale, the
 /// virtual-network baseline provisions 224 slots per node with static
@@ -60,8 +62,30 @@ pub fn vn_baseline_slots_per_node(routing: RoutingPolicy) -> usize {
     4 * buffers_per_port * 4 + buffers_per_port * 8 + 4 * 8
 }
 
+/// Which machine a sweep row ran on: the directory system pools its single
+/// coherence fabric; the snooping system pools its point-to-point data
+/// torus (the address bus cannot deadlock — it buffers nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// Directory protocol, pooled coherence torus.
+    Directory,
+    /// Snooping protocol, pooled data torus.
+    Snooping,
+}
+
+impl Machine {
+    /// Short label used in tables and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Directory => "directory",
+            Self::Snooping => "snooping",
+        }
+    }
+}
+
 /// What to sweep and how long/often to run each design point.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SharedBufferConfig {
     /// Per-node pool sizes to visit.
     pub pool_sizes: Vec<usize>,
@@ -71,25 +95,40 @@ pub struct SharedBufferConfig {
     pub workloads: Vec<WorkloadKind>,
     /// Link bandwidth (the paper's buffer discussion is at the low end).
     pub bandwidth: LinkBandwidth,
-    /// Machine size. The paper's 16-node machine under our synthetic
-    /// workloads never pressures even an 8-slot pool; at 32 nodes the
-    /// longer paths and doubled traffic push undersized pools into the
-    /// deadlock regime, making the dropoff (and the detector) visible.
+    /// Machine size. Under production-shaped traffic (non-blocking
+    /// processors, Zipfian hot blocks, bursty injection) the paper's
+    /// 16-node machine pressures undersized pools on its own, so the sweep
+    /// runs at the paper's size and the deadlock threshold lands at the
+    /// 8→16-slot boundary.
     pub num_nodes: usize,
+    /// MSHR entries per node (non-blocking processors keep enough
+    /// transactions in flight to fill small pools; 1 reverts to the
+    /// blocking miss stream that never pressured an 8-slot pool).
+    pub mshr_entries: usize,
+    /// Generator traffic shaping (default: the canonical heavy shape,
+    /// [`heavy_traffic`]).
+    pub traffic: TrafficConfig,
+    /// Data-torus pool sizes for the pooled **snooping** rows; empty skips
+    /// the snooping machine entirely.
+    pub snoop_pool_sizes: Vec<usize>,
     /// Cycles and perturbed seeds per design point.
     pub scale: ExperimentScale,
 }
 
 impl Default for SharedBufferConfig {
     /// The full sweep: six pool sizes × both routing policies × two
-    /// workloads at the environment-controlled scale.
+    /// workloads on the heavy-traffic 16-node machine, plus pooled-snooping
+    /// rows, at the environment-controlled scale.
     fn default() -> Self {
         Self {
             pool_sizes: FULL_POOL_SIZES.to_vec(),
             routings: vec![RoutingPolicy::Static, RoutingPolicy::Adaptive],
             workloads: vec![WorkloadKind::Oltp, WorkloadKind::Jbb],
             bandwidth: LinkBandwidth::MB_400,
-            num_nodes: 32,
+            num_nodes: 16,
+            mshr_entries: 4,
+            traffic: heavy_traffic(),
+            snoop_pool_sizes: vec![32, 16, 8],
             scale: ExperimentScale::from_env(),
         }
     }
@@ -98,7 +137,7 @@ impl Default for SharedBufferConfig {
 impl SharedBufferConfig {
     /// A CI-sized sweep: the pool-size axis is the point of the artifact, so
     /// every size is kept, but one routing policy, one workload, few seeds,
-    /// short runs.
+    /// short runs. One pooled-snooping size keeps that machine covered.
     #[must_use]
     pub fn quick() -> Self {
         Self {
@@ -106,7 +145,10 @@ impl SharedBufferConfig {
             routings: vec![RoutingPolicy::Adaptive],
             workloads: vec![WorkloadKind::Oltp],
             bandwidth: LinkBandwidth::MB_400,
-            num_nodes: 32,
+            num_nodes: 16,
+            mshr_entries: 4,
+            traffic: heavy_traffic(),
+            snoop_pool_sizes: vec![16],
             scale: ExperimentScale {
                 cycles: 20_000,
                 seeds: 2,
@@ -118,6 +160,8 @@ impl SharedBufferConfig {
 /// One design point of the sweep.
 #[derive(Debug, Clone)]
 pub struct SharedBufferRow {
+    /// Machine (protocol + which fabric is pooled) of this design point.
+    pub machine: Machine,
     /// Workload of this design point.
     pub workload: WorkloadKind,
     /// Routing policy of this design point.
@@ -165,6 +209,8 @@ fn baseline_config(
     sys.routing = routing;
     sys.memory.num_nodes = cfg.num_nodes;
     sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys.memory.mshr_entries = cfg.mshr_entries;
+    sys.traffic = cfg.traffic;
     sys
 }
 
@@ -178,52 +224,112 @@ fn pooled_config(
     sys.routing = routing;
     sys.memory.num_nodes = cfg.num_nodes;
     sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys.memory.mshr_entries = cfg.mshr_entries;
+    sys.traffic = cfg.traffic;
     sys
 }
 
-/// Runs the sweep: for every (workload, routing) pair, the virtual-network
-/// baseline followed by each pool size, every design point through the
-/// perturbed-seed sharded runner.
+fn snoop_baseline_config(cfg: &SharedBufferConfig, workload: WorkloadKind) -> SnoopSystemConfig {
+    let mut sys = SnoopSystemConfig::new(workload, ProtocolVariant::Speculative, 6000);
+    sys.memory.num_nodes = cfg.num_nodes;
+    sys.memory.link_bandwidth = cfg.bandwidth;
+    sys.data_net.link_bandwidth = cfg.bandwidth;
+    sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys.memory.mshr_entries = cfg.mshr_entries;
+    sys.traffic = cfg.traffic;
+    sys
+}
+
+/// Builds one sweep row out of a set of perturbed runs.
+fn row_from_runs(
+    machine: Machine,
+    workload: WorkloadKind,
+    routing: RoutingPolicy,
+    pool_slots: Option<usize>,
+    runs: &[crate::metrics::RunMetrics],
+    baseline_mean: f64,
+) -> SharedBufferRow {
+    let denom = baseline_mean.max(f64::MIN_POSITIVE);
+    let normalized = Measurement::from_samples(
+        &runs
+            .iter()
+            .map(|r| r.throughput() / denom)
+            .collect::<Vec<_>>(),
+    );
+    SharedBufferRow {
+        machine,
+        workload,
+        routing,
+        pool_slots,
+        throughput: throughput_measurement(runs),
+        normalized,
+        deadlock_recoveries: if pool_slots.is_some() {
+            runs.iter()
+                .map(|r| r.misspeculations_of(MisSpecKind::BufferDeadlock))
+                .sum()
+        } else {
+            0
+        },
+        recoveries: runs.iter().map(|r| r.recoveries).sum(),
+    }
+}
+
+/// Runs the sweep: for every (workload, routing) pair on the directory
+/// machine, the virtual-network baseline followed by each pool size; then,
+/// when [`SharedBufferConfig::snoop_pool_sizes`] is non-empty, the snooping
+/// machine's full-buffering baseline followed by each pooled data torus.
+/// Every design point goes through the perturbed-seed sharded runner.
 pub fn run(cfg: &SharedBufferConfig) -> Result<SharedBufferData, ProtocolError> {
     let mut rows = Vec::new();
     for &workload in &cfg.workloads {
         for &routing in &cfg.routings {
             let base_cfg = baseline_config(cfg, workload, routing);
             let base_runs = measure_directory(&base_cfg, cfg.scale)?;
-            let baseline = throughput_measurement(&base_runs);
-            let denom = baseline.mean.max(f64::MIN_POSITIVE);
-            let normalize = |runs: &[crate::metrics::RunMetrics]| {
-                Measurement::from_samples(
-                    &runs
-                        .iter()
-                        .map(|r| r.throughput() / denom)
-                        .collect::<Vec<_>>(),
-                )
-            };
-            rows.push(SharedBufferRow {
+            let baseline = throughput_measurement(&base_runs).mean;
+            rows.push(row_from_runs(
+                Machine::Directory,
                 workload,
                 routing,
-                pool_slots: None,
-                throughput: baseline,
-                normalized: normalize(&base_runs),
-                deadlock_recoveries: 0,
-                recoveries: base_runs.iter().map(|r| r.recoveries).sum(),
-            });
+                None,
+                &base_runs,
+                baseline,
+            ));
             for &slots in &cfg.pool_sizes {
                 let runs =
                     measure_directory(&pooled_config(cfg, workload, routing, slots), cfg.scale)?;
-                rows.push(SharedBufferRow {
+                rows.push(row_from_runs(
+                    Machine::Directory,
                     workload,
                     routing,
-                    pool_slots: Some(slots),
-                    throughput: throughput_measurement(&runs),
-                    normalized: normalize(&runs),
-                    deadlock_recoveries: runs
-                        .iter()
-                        .map(|r| r.misspeculations_of(MisSpecKind::BufferDeadlock))
-                        .sum(),
-                    recoveries: runs.iter().map(|r| r.recoveries).sum(),
-                });
+                    Some(slots),
+                    &runs,
+                    baseline,
+                ));
+            }
+        }
+        if !cfg.snoop_pool_sizes.is_empty() {
+            let base_cfg = snoop_baseline_config(cfg, workload);
+            let base_runs = measure_snooping(&base_cfg, cfg.scale)?;
+            let baseline = throughput_measurement(&base_runs).mean;
+            rows.push(row_from_runs(
+                Machine::Snooping,
+                workload,
+                base_cfg.data_net.routing,
+                None,
+                &base_runs,
+                baseline,
+            ));
+            for &slots in &cfg.snoop_pool_sizes {
+                let pooled = base_cfg.with_pooled_data_torus(slots);
+                let runs = measure_snooping(&pooled, cfg.scale)?;
+                rows.push(row_from_runs(
+                    Machine::Snooping,
+                    workload,
+                    pooled.data_net.routing,
+                    Some(slots),
+                    &runs,
+                    baseline,
+                ));
             }
         }
     }
@@ -252,7 +358,7 @@ impl SharedBufferData {
             vn_baseline_slots_per_node(RoutingPolicy::Adaptive)
         ));
         out.push_str(
-            "workload  routing   slots/node  ops/kcycle        normalized        deadlocks  recoveries\n",
+            "machine    workload  routing   slots/node  ops/kcycle        normalized        deadlocks  recoveries\n",
         );
         for r in &self.rows {
             let slots = match r.pool_slots {
@@ -260,7 +366,8 @@ impl SharedBufferData {
                 None => "VN".to_string(),
             };
             out.push_str(&format!(
-                "{:<9} {:<8}  {:>10}  {:<16}  {:<16}  {:>9}  {:>10}\n",
+                "{:<9}  {:<9} {:<8}  {:>10}  {:<16}  {:<16}  {:>9}  {:>10}\n",
+                r.machine.label(),
                 r.workload.label(),
                 r.routing.label(),
                 slots,
@@ -302,10 +409,12 @@ impl SharedBufferData {
                 None => "null".to_string(),
             };
             json.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"routing\": \"{}\", \"pool_slots\": {slots}, \
+                "    {{\"machine\": \"{}\", \"workload\": \"{}\", \"routing\": \"{}\", \
+                 \"pool_slots\": {slots}, \
                  \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
                  \"normalized_mean\": {:.6}, \"normalized_std\": {:.6}, \
                  \"deadlock_recoveries\": {}, \"recoveries\": {}}}{comma}\n",
+                r.machine.label(),
                 r.workload.label(),
                 r.routing.label(),
                 r.throughput.mean,
@@ -352,6 +461,11 @@ mod tests {
             workloads: vec![WorkloadKind::Oltp],
             bandwidth: LinkBandwidth::MB_400,
             num_nodes: 16,
+            // The historical blocking miss stream: the plateau claim is
+            // about pool economics, not about heavy-traffic pressure.
+            mshr_entries: 1,
+            traffic: TrafficConfig::default(),
+            snoop_pool_sizes: vec![],
             scale: ExperimentScale {
                 cycles: 20_000,
                 seeds: 1,
@@ -361,6 +475,7 @@ mod tests {
         assert_eq!(data.rows.len(), 2);
         let base = &data.rows[0];
         let pooled = &data.rows[1];
+        assert_eq!(base.machine, Machine::Directory);
         assert_eq!(base.pool_slots, None);
         assert!((base.normalized.mean - 1.0).abs() < 1e-9);
         assert_eq!(pooled.pool_slots, Some(64));
@@ -376,5 +491,47 @@ mod tests {
         assert!(txt.contains("VN") && txt.contains("64"));
         let json = data.to_json();
         assert!(json.contains("\"pool_slots\": null") && json.contains("\"pool_slots\": 64"));
+    }
+
+    #[test]
+    fn pooled_snooping_config_validates_and_runs() {
+        let cfg = SharedBufferConfig {
+            pool_sizes: vec![],
+            routings: vec![],
+            workloads: vec![WorkloadKind::Oltp],
+            bandwidth: LinkBandwidth::GB_3_2,
+            num_nodes: 16,
+            mshr_entries: 2,
+            traffic: heavy_traffic(),
+            snoop_pool_sizes: vec![16],
+            scale: ExperimentScale {
+                cycles: 15_000,
+                seeds: 1,
+            },
+        };
+        // The PR-5 carry-over: the pooled data torus must be a valid,
+        // runnable snooping configuration, not just wired plumbing.
+        let pooled = snoop_baseline_config(&cfg, WorkloadKind::Oltp).with_pooled_data_torus(16);
+        assert_eq!(pooled.validate(), Vec::<String>::new());
+        assert_eq!(
+            pooled.data_net.buffer_policy,
+            specsim_base::BufferPolicy::SharedPool { total_slots: 16 }
+        );
+        assert_eq!(pooled.data_net.routing, RoutingPolicy::Adaptive);
+        // A degenerate pool is rejected.
+        let empty = snoop_baseline_config(&cfg, WorkloadKind::Oltp).with_pooled_data_torus(0);
+        assert!(!empty.validate().is_empty());
+
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2); // snoop baseline + one pooled size
+        assert!(data.rows.iter().all(|r| r.machine == Machine::Snooping));
+        assert_eq!(data.rows[0].pool_slots, None);
+        assert_eq!(data.rows[1].pool_slots, Some(16));
+        assert!(
+            data.rows[1].throughput.mean > 0.0,
+            "pooled snooping machine must make forward progress"
+        );
+        assert!(data.render().contains("snooping"));
+        assert!(data.to_json().contains("\"machine\": \"snooping\""));
     }
 }

@@ -25,9 +25,11 @@ use specsim_coherence::snoop::{
     SnoopAccessOutcome, SnoopCacheController, SnoopDataMsg, SnoopMemoryController, SnoopRequest,
 };
 use specsim_coherence::types::{CpuRequest, MisSpecKind, ProtocolError};
+use std::sync::Arc;
+
 use specsim_net::{NetConfig, Network, OrderedBus, VirtualNetwork};
 use specsim_safetynet::SafetyNet;
-use specsim_workloads::{Processor, WorkloadGenerator, WorkloadKind};
+use specsim_workloads::{Processor, TrafficConfig, WorkloadGenerator, WorkloadKind, ZipfTable};
 
 use crate::config::ForwardProgressConfig;
 use crate::engine::{
@@ -94,6 +96,10 @@ pub struct SnoopSystemConfig {
     /// Perturbation magnitude for data-response latencies (Section 5.2
     /// methodology).
     pub perturbation_cycles: u64,
+    /// Production-traffic shaping applied to every node's generator
+    /// (Zipfian hot blocks and/or bursty injection). The unshaped default
+    /// is bit-identical to the historical generators.
+    pub traffic: TrafficConfig,
 }
 
 impl SnoopSystemConfig {
@@ -118,6 +124,7 @@ impl SnoopSystemConfig {
             forward_progress: ForwardProgressConfig::default(),
             inject_recovery_every: None,
             perturbation_cycles: 4,
+            traffic: TrafficConfig::default(),
         }
     }
 
@@ -140,6 +147,54 @@ impl SnoopSystemConfig {
         net.num_nodes = self.memory.num_nodes;
         net.torus_dims = self.memory.torus_dims;
         net
+    }
+
+    /// Returns a copy whose data torus runs the Section 4 shared-pool
+    /// speculation: adaptive routing, individual buffers unbounded, each
+    /// node bounded by one pool of `total_slots` slots shared by owner
+    /// transfers and writebacks. Buffer-dependency deadlock becomes
+    /// possible; detection (progress watchdog + transaction timeout) and
+    /// reserved-slot recovery are already wired into the snooping
+    /// [`ProtocolNode`], so this knob is all a sweep needs to turn.
+    #[must_use]
+    pub fn with_pooled_data_torus(&self, total_slots: usize) -> Self {
+        let mut c = self.clone();
+        c.data_net.routing = RoutingPolicy::Adaptive;
+        c.data_net.buffer_policy = specsim_base::BufferPolicy::SharedPool { total_slots };
+        // As in the directory machine's pooled fabric: the watchdog must be
+        // able to confirm a wedged network before the transaction timeout
+        // fires, so it gets at most one checkpoint interval of silence.
+        c.data_net.stall_threshold = c
+            .data_net
+            .stall_threshold
+            .min(c.memory.safetynet.checkpoint_interval_cycles.max(1));
+        c
+    }
+
+    /// Sanity-checks the configuration: memory-system geometry, traffic
+    /// shaping, and the data torus's buffer policy. Returns human-readable
+    /// problems (empty when consistent), mirroring
+    /// [`crate::config::SystemConfig::validate`].
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.memory.validate();
+        if let Err(e) = self.traffic.validate() {
+            problems.push(e);
+        }
+        if let specsim_base::BufferPolicy::SharedPool { total_slots } = self.data_net.buffer_policy
+        {
+            if total_slots == 0 {
+                problems.push("shared-pool data torus needs at least one slot".to_string());
+            }
+            let r = self.forward_progress.reserved_slots_per_network;
+            if self.forward_progress.reserved_slot_cycles > 0 && r > 0 && total_slots < 4 {
+                problems.push(format!(
+                    "a {total_slots}-slot data-torus pool cannot hold one reserved slot \
+                     per virtual network; the post-deadlock reservation would be inert"
+                ));
+            }
+        }
+        problems
     }
 }
 
@@ -314,10 +369,7 @@ impl ProtocolNode for SnoopProtocol {
     }
 
     fn outstanding_demand(arch: &ArchState) -> usize {
-        arch.caches
-            .iter()
-            .filter(|c| c.has_outstanding_demand())
-            .count()
+        arch.caches.iter().map(|c| c.outstanding_demands()).sum()
     }
 
     fn cpu_request(arch: &mut ArchState, i: usize, now: Cycle, req: CpuRequest) -> EngineAccess {
@@ -339,7 +391,9 @@ impl ProtocolNode for SnoopProtocol {
         self.deliver_data(arch, now, ctx);
         let ArchState { procs, caches, .. } = arch;
         ctx.deliver_completions(now, procs, |i| {
-            caches[i].take_completed().map(|done| done.access)
+            caches[i]
+                .take_completed()
+                .map(|done| (done.addr, done.access))
         });
     }
 
@@ -449,11 +503,18 @@ impl SnoopingSystem {
     pub fn new(cfg: SnoopSystemConfig) -> Self {
         let n = cfg.memory.num_nodes;
         let mut seed_rng = DetRng::new(cfg.seed ^ 0x534e_4f4f_5053); // "SNOOPS"
+        let zipf_table = cfg.traffic.zipf.map(|z| Arc::new(ZipfTable::new(z)));
         let procs = (0..n)
             .map(|i| {
                 let node = NodeId::from(i);
-                let gen = WorkloadGenerator::new(cfg.workload, node, cfg.seed);
-                Processor::new(node, gen, 0)
+                let gen = WorkloadGenerator::shaped(
+                    cfg.workload,
+                    node,
+                    cfg.seed,
+                    cfg.traffic,
+                    zipf_table.clone(),
+                );
+                Processor::new(node, gen, 0).with_max_outstanding(cfg.memory.mshr_entries)
             })
             .collect();
         let caches = (0..n)

@@ -305,6 +305,11 @@ pub struct MemorySystemConfig {
     /// Per-hop switch traversal latency in cycles (pipeline latency of a
     /// switch, independent of serialization).
     pub switch_latency_cycles: CycleDelta,
+    /// Miss-status holding registers per node: how many coherence demand
+    /// misses a processor may have outstanding at once. 1 models the paper's
+    /// blocking in-order miss stream; larger values model the out-of-order
+    /// MOSI processors of Section 5.1, which keep issuing past a miss.
+    pub mshr_entries: usize,
     /// SafetyNet parameters.
     pub safetynet: SafetyNetConfig,
 }
@@ -325,6 +330,7 @@ impl Default for MemorySystemConfig {
             dram_access_cycles: 200,
             link_bandwidth: LinkBandwidth::GB_3_2,
             switch_latency_cycles: 8,
+            mshr_entries: 1,
             safetynet: SafetyNetConfig::default(),
         }
     }
@@ -410,6 +416,9 @@ impl MemorySystemConfig {
         if self.safetynet.log_entry_bytes == 0 || self.safetynet.log_buffer_bytes == 0 {
             problems.push("SafetyNet log buffer and entry sizes must be positive".to_string());
         }
+        if self.mshr_entries == 0 {
+            problems.push("mshr_entries must be at least 1 (a node needs one MSHR)".to_string());
+        }
         problems
     }
 }
@@ -433,6 +442,7 @@ mod tests {
         assert_eq!(c.safetynet.checkpoint_interval_cycles, 100_000);
         assert_eq!(c.safetynet.checkpoint_interval_requests, 3_000);
         assert_eq!(c.safetynet.register_checkpoint_cycles, 100);
+        assert_eq!(c.mshr_entries, 1, "default models a blocking miss stream");
         assert!(c.validate().is_empty());
     }
 

@@ -12,12 +12,14 @@
 //! Section 3.1.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use specsim_base::rng::RngState;
-use specsim_base::{BlockAddr, DetRng, NodeId};
+use specsim_base::{BlockAddr, Cycle, DetRng, NodeId};
 use specsim_coherence::types::{CpuAccess, CpuRequest};
 
 use crate::kinds::{WorkloadKind, WorkloadParams};
+use crate::traffic::{TrafficConfig, ZipfTable};
 
 /// Fraction of private references that target the hot (L1-resident) subset.
 const PRIVATE_HOT_FRACTION: f64 = 0.8;
@@ -63,6 +65,12 @@ pub struct WorkloadGenerator {
     /// `params.reuse_fraction` to give the reference stream temporal
     /// locality (and therefore realistic cache hit rates).
     recent: VecDeque<BlockAddr>,
+    /// Traffic shaping (Zipfian skew, bursty injection). Off by default;
+    /// when off the RNG stream is byte-identical to the unshaped generator.
+    traffic: TrafficConfig,
+    /// Shared inverse-CDF table for Zipfian sampling (present iff
+    /// `traffic.zipf` is). Immutable, so it is excluded from snapshots.
+    zipf_table: Option<Arc<ZipfTable>>,
 }
 
 impl WorkloadGenerator {
@@ -70,6 +78,25 @@ impl WorkloadGenerator {
     /// with the same `(kind, node, seed)` produce identical streams.
     #[must_use]
     pub fn new(kind: WorkloadKind, node: NodeId, seed: u64) -> Self {
+        Self::shaped(kind, node, seed, TrafficConfig::default(), None)
+    }
+
+    /// Creates a generator with traffic shaping applied. `zipf_table` must
+    /// be present exactly when `traffic.zipf` is; it is built once per run
+    /// and shared across nodes.
+    #[must_use]
+    pub fn shaped(
+        kind: WorkloadKind,
+        node: NodeId,
+        seed: u64,
+        traffic: TrafficConfig,
+        zipf_table: Option<Arc<ZipfTable>>,
+    ) -> Self {
+        debug_assert_eq!(
+            traffic.zipf.is_some(),
+            zipf_table.is_some(),
+            "zipf table must accompany a zipf config"
+        );
         // Mix the node into the seed so each node has an independent stream
         // that is still fully determined by the top-level seed.
         let rng =
@@ -82,6 +109,8 @@ impl WorkloadGenerator {
             ops_generated: 0,
             store_counter: 0,
             recent: VecDeque::new(),
+            traffic,
+            zipf_table,
         }
     }
 
@@ -97,15 +126,37 @@ impl WorkloadGenerator {
         self.ops_generated
     }
 
-    /// Generates the next operation.
+    /// Generates the next operation as if at cycle 0 (exactly the unshaped
+    /// stream when no bursty modulation is configured).
     pub fn next_op(&mut self) -> GeneratedOp {
+        self.next_op_at(0)
+    }
+
+    /// Generates the next operation at simulation time `now`; the current
+    /// burst phase (if bursty modulation is configured) scales the think
+    /// time drawn for it.
+    pub fn next_op_at(&mut self, now: Cycle) -> GeneratedOp {
         self.ops_generated += 1;
-        let think_cycles = self.sample_think();
+        let think_cycles = match self.traffic.burst {
+            None => self.sample_think(),
+            Some(b) => self.sample_think_scaled(b.rate_multiplier(now)),
+        };
         let p = self.params;
+        // Zipfian hot-set redirect: when configured, a fraction of
+        // references bypass the region model and hit a Zipf-ranked hot
+        // subset at the base of the shared read-write region. Consumes RNG
+        // draws only when configured, so the unshaped stream is untouched.
+        let zipf_pick = match (&self.zipf_table, self.traffic.zipf) {
+            (Some(table), Some(z)) if self.rng.chance(z.fraction) => {
+                Some(BlockAddr(SHARED_RW_BASE + table.sample(&mut self.rng)))
+            }
+            _ => None,
+        };
         // Temporal locality: most references revisit a recently touched
         // block; the rest draw a fresh block from the region model.
-        let (addr, write_fraction) = if !self.recent.is_empty() && self.rng.chance(p.reuse_fraction)
-        {
+        let (addr, write_fraction) = if let Some(hot) = zipf_pick {
+            (hot, p.write_fraction_shared_rw)
+        } else if !self.recent.is_empty() && self.rng.chance(p.reuse_fraction) {
             let idx = self.rng.next_below(self.recent.len() as u64) as usize;
             (self.recent[idx], p.write_fraction_private)
         } else {
@@ -147,6 +198,21 @@ impl WorkloadGenerator {
         // Uniform in [1, 2*mean]; mean matches the configured think time.
         let mean = self.params.mean_think_cycles.max(1);
         1 + self.rng.next_below(2 * mean)
+    }
+
+    fn sample_think_scaled(&mut self, rate_multiplier: f64) -> u64 {
+        // A rate multiplier of `m` divides the expected *inter-op time* by
+        // `m`. The unshaped draw `1 + next_below(2*mean)` has expectation
+        // `mean + 0.5`, so the scaled draw targets `(mean + 0.5) / m` —
+        // scaling the whole expectation (including the 1-cycle floor) keeps
+        // the injection rate linear in `m`, which is what makes the duty-
+        // weighted burst/trough rates average back to the unshaped rate.
+        // At m == 1 the bound is exactly `2 * mean`, matching the unshaped
+        // draw bit-for-bit.
+        let mean = self.params.mean_think_cycles.max(1) as f64;
+        let target = (mean + 0.5) / rate_multiplier.max(1e-9);
+        let bound = ((2.0 * target - 1.0).round() as u64).max(1);
+        1 + self.rng.next_below(bound)
     }
 
     fn private_addr(&mut self) -> BlockAddr {

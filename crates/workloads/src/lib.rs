@@ -1,7 +1,8 @@
 //! # specsim-workloads
 //!
-//! Synthetic workload generators and the blocking processor model that drive
-//! the memory-system simulator.
+//! Synthetic workload generators, traffic shaping, trace record/replay, and
+//! the (optionally non-blocking) processor model that drive the
+//! memory-system simulator.
 //!
 //! The paper evaluates its designs with the Wisconsin Commercial Workload
 //! Suite (OLTP/DB2, SPECjbb2000, Apache+SURGE, Slashcode) and SPLASH-2
@@ -28,7 +29,11 @@
 pub mod generator;
 pub mod kinds;
 pub mod processor;
+pub mod trace;
+pub mod traffic;
 
 pub use generator::{GeneratedOp, GeneratorSnapshot, WorkloadGenerator};
 pub use kinds::{WorkloadKind, WorkloadParams, ALL_WORKLOADS};
 pub use processor::{Processor, ProcessorSnapshot, ProcessorStats};
+pub use trace::{Trace, TraceEvent, TraceReplayer};
+pub use traffic::{BurstConfig, TrafficConfig, ZipfConfig, ZipfTable};

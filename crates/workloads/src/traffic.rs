@@ -1,0 +1,305 @@
+//! Production-shaped traffic knobs: Zipfian hot-block skew and bursty
+//! injection-rate modulation.
+//!
+//! The Table 3 generators draw shared blocks uniformly, which is why the
+//! in-vivo sweeps never pressure the speculation machinery: contention is
+//! spread evenly and every processor blocks on one transaction at a time.
+//! Real commercial workloads are nothing like that — a handful of hot
+//! blocks (locks, allocator headers, index roots) absorb most of the shared
+//! traffic, and the offered load swings between bursts and troughs. This
+//! module adds both shapes as *opt-in* modulation over the existing
+//! generators:
+//!
+//! * [`ZipfConfig`] redirects a configured fraction of references to a
+//!   Zipf-ranked hot set inside the shared read-write region, so rank `k`
+//!   is touched with probability proportional to `1 / k^skew`.
+//! * [`BurstConfig`] modulates the injection rate with a square wave whose
+//!   trough level is derived from the duty cycle and boost so the
+//!   *time-averaged* rate equals the unmodulated rate exactly — bursty runs
+//!   stay comparable to uniform runs at the same mean load.
+//!
+//! Both default to `None` inside [`TrafficConfig`], in which case the
+//! generator consumes exactly the same RNG stream as before — the golden
+//! kernel digests are byte-identical when traffic shaping is off.
+
+use specsim_base::DetRng;
+
+/// Zipfian hot-block skew over the shared read-write region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfConfig {
+    /// Size of the ranked hot set (ranks `0..hot_blocks`).
+    pub hot_blocks: u64,
+    /// Zipf exponent `s`: rank `k` (1-based) has weight `1 / k^s`. `0.0` is
+    /// uniform; commercial key-value traces are typically `0.9 .. 1.1`.
+    pub skew: f64,
+    /// Fraction of generated references redirected to the hot set.
+    pub fraction: f64,
+}
+
+impl ZipfConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hot_blocks == 0 {
+            return Err("zipf hot set must not be empty".into());
+        }
+        if !self.skew.is_finite() || self.skew < 0.0 {
+            return Err(format!("zipf skew {} must be finite and >= 0", self.skew));
+        }
+        if !(0.0..=1.0).contains(&self.fraction) {
+            return Err(format!("zipf fraction {} must be in [0, 1]", self.fraction));
+        }
+        Ok(())
+    }
+}
+
+/// Bursty (diurnal) injection-rate modulation: a square wave of period
+/// `period_cycles` that multiplies the injection rate by `boost` for the
+/// first `duty` fraction of each period and by a derived trough level for
+/// the rest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstConfig {
+    /// Length of one burst/trough period in cycles.
+    pub period_cycles: u64,
+    /// Fraction of each period spent in the burst (`0 < duty < 1`).
+    pub duty: f64,
+    /// Injection-rate multiplier during the burst (`boost >= 1`,
+    /// `duty * boost < 1` so the trough rate stays positive).
+    pub boost: f64,
+}
+
+impl BurstConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period_cycles == 0 {
+            return Err("burst period must be positive".into());
+        }
+        if !(self.duty.is_finite() && self.duty > 0.0 && self.duty < 1.0) {
+            return Err(format!("burst duty {} must be in (0, 1)", self.duty));
+        }
+        if !self.boost.is_finite() || self.boost < 1.0 {
+            return Err(format!("burst boost {} must be >= 1", self.boost));
+        }
+        if self.duty * self.boost >= 1.0 {
+            return Err(format!(
+                "burst duty x boost = {} must stay below 1 so the trough rate is positive",
+                self.duty * self.boost
+            ));
+        }
+        Ok(())
+    }
+
+    /// The injection-rate multiplier during the trough, chosen so the
+    /// time-weighted mean multiplier over a full period is exactly 1:
+    /// `duty * boost + (1 - duty) * trough = 1`.
+    #[must_use]
+    pub fn trough_level(&self) -> f64 {
+        (1.0 - self.duty * self.boost) / (1.0 - self.duty)
+    }
+
+    /// The injection-rate multiplier in effect at `now`.
+    #[must_use]
+    pub fn rate_multiplier(&self, now: u64) -> f64 {
+        let phase = now % self.period_cycles;
+        if (phase as f64) < self.duty * self.period_cycles as f64 {
+            self.boost
+        } else {
+            self.trough_level()
+        }
+    }
+}
+
+/// Traffic-shaping configuration shared by every generator of a run. Both
+/// knobs default to off, in which case generation is bit-identical to the
+/// unshaped stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficConfig {
+    /// Optional Zipfian hot-block skew.
+    pub zipf: Option<ZipfConfig>,
+    /// Optional bursty injection-rate modulation.
+    pub burst: Option<BurstConfig>,
+}
+
+impl TrafficConfig {
+    /// Validates both knobs.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint of either knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(z) = &self.zipf {
+            z.validate()?;
+        }
+        if let Some(b) = &self.burst {
+            b.validate()?;
+        }
+        Ok(())
+    }
+
+    /// True when neither knob is active (the generator stream is unshaped).
+    #[must_use]
+    pub fn is_unshaped(&self) -> bool {
+        self.zipf.is_none() && self.burst.is_none()
+    }
+}
+
+/// Precomputed inverse-CDF table for Zipfian rank sampling. Built once per
+/// run and shared (via `Arc`) by every node's generator; sampling is a
+/// binary search over the cumulative weights, driven by the generator's own
+/// deterministic RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfTable {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for the given configuration.
+    #[must_use]
+    pub fn new(cfg: ZipfConfig) -> Self {
+        let n = cfg.hot_blocks.max(1) as usize;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(cfg.skew);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks in the hot set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the hot set is empty (never constructed in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..len()` with probability proportional to
+    /// `1 / (rank + 1)^skew`, consuming exactly one RNG draw.
+    #[must_use]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c <= u) as u64
+    }
+
+    /// The probability mass of each rank (for tests and diagnostics).
+    #[must_use]
+    pub fn mass(&self, rank: usize) -> f64 {
+        let hi = self.cumulative[rank];
+        let lo = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf(hot_blocks: u64, skew: f64) -> ZipfConfig {
+        ZipfConfig {
+            hot_blocks,
+            skew,
+            fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn zipf_table_mass_sums_to_one_and_is_monotone() {
+        let t = ZipfTable::new(zipf(100, 0.99));
+        let total: f64 = (0..t.len()).map(|r| t.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for r in 1..t.len() {
+            assert!(
+                t.mass(r) <= t.mass(r - 1) + 1e-15,
+                "mass must be non-increasing in rank ({r})"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_mass() {
+        let t = ZipfTable::new(zipf(8, 1.0));
+        let mut rng = DetRng::new(17);
+        let n = 100_000u64;
+        let mut counts = vec![0u64; t.len()];
+        for _ in 0..n {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / n as f64;
+            assert!(
+                (observed - t.mass(r)).abs() < 0.01,
+                "rank {r}: observed {observed}, expected {}",
+                t.mass(r)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let t = ZipfTable::new(zipf(10, 0.0));
+        for r in 0..t.len() {
+            assert!((t.mass(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn burst_trough_conserves_mean_rate() {
+        let b = BurstConfig {
+            period_cycles: 10_000,
+            duty: 0.25,
+            boost: 3.0,
+        };
+        b.validate().unwrap();
+        let mean = b.duty * b.boost + (1.0 - b.duty) * b.trough_level();
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(b.rate_multiplier(0) > 1.0);
+        assert!(b.rate_multiplier(9_999) < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(zipf(0, 1.0).validate().is_err());
+        assert!(zipf(10, -1.0).validate().is_err());
+        assert!(ZipfConfig {
+            fraction: 1.5,
+            ..zipf(10, 1.0)
+        }
+        .validate()
+        .is_err());
+        let bad_burst = BurstConfig {
+            period_cycles: 100,
+            duty: 0.5,
+            boost: 2.5,
+        };
+        assert!(bad_burst.validate().is_err(), "duty x boost >= 1");
+        assert!(BurstConfig {
+            period_cycles: 0,
+            duty: 0.5,
+            boost: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficConfig::default().validate().is_ok());
+        assert!(TrafficConfig::default().is_unshaped());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the production-shaped traffic subsystem: Zipfian
+//! rank-frequency shape, burst-rate conservation, and trace round-trips.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use specsim_base::{BlockAddr, DetRng, NodeId};
+use specsim_coherence::types::CpuAccess;
+use specsim_workloads::{
+    BurstConfig, Trace, TraceEvent, TrafficConfig, WorkloadGenerator, WorkloadKind, ZipfConfig,
+    ZipfTable,
+};
+
+proptest! {
+    /// The Zipf sampling distribution is monotone non-increasing in rank for
+    /// any hot-set size and any non-negative skew.
+    #[test]
+    fn zipf_rank_frequency_is_monotone_non_increasing(
+        hot_blocks in 2u64..512,
+        skew_centi in 0u64..250,
+    ) {
+        let cfg = ZipfConfig {
+            hot_blocks,
+            skew: skew_centi as f64 / 100.0,
+            fraction: 1.0,
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let table = ZipfTable::new(cfg);
+        prop_assert_eq!(table.len() as u64, hot_blocks);
+        let total: f64 = (0..table.len()).map(|r| table.mass(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass must sum to 1, got {}", total);
+        for r in 1..table.len() {
+            prop_assert!(
+                table.mass(r) <= table.mass(r - 1) + 1e-12,
+                "rank {} mass {} exceeds rank {} mass {}",
+                r, table.mass(r), r - 1, table.mass(r - 1)
+            );
+        }
+    }
+
+    /// A larger skew concentrates strictly more sampled mass on the top
+    /// rank (skew-parameter sensitivity, checked on drawn samples rather
+    /// than the analytic table).
+    #[test]
+    fn zipf_sampling_is_skew_sensitive(seed in any::<u64>(), hot_blocks in 4u64..64) {
+        let flat = ZipfTable::new(ZipfConfig { hot_blocks, skew: 0.1, fraction: 1.0 });
+        let steep = ZipfTable::new(ZipfConfig { hot_blocks, skew: 1.5, fraction: 1.0 });
+        let draws = 4_000;
+        let top_hits = |table: &ZipfTable, salt: u64| {
+            let mut rng = DetRng::new(seed ^ salt);
+            (0..draws).filter(|_| table.sample(&mut rng) == 0).count()
+        };
+        let flat_top = top_hits(&flat, 0x5a5a);
+        let steep_top = top_hits(&steep, 0xa5a5);
+        prop_assert!(
+            steep_top > flat_top,
+            "skew 1.5 put {} of {} draws on rank 0, skew 0.1 put {}",
+            steep_top, draws, flat_top
+        );
+    }
+
+    /// Bursty modulation conserves the mean injection rate: the
+    /// time-weighted mean rate multiplier over one period is exactly 1, and
+    /// an end-to-end shaped generator completes ops over whole periods at
+    /// the unshaped pace (within sampling noise).
+    #[test]
+    fn bursty_modulation_conserves_mean_injection_rate(
+        seed in any::<u64>(),
+        duty_centi in 10u64..76,
+        boost_centi in 110u64..250,
+    ) {
+        let duty = duty_centi as f64 / 100.0;
+        // Keep duty * boost safely below 1 so the trough rate is positive.
+        let boost = (boost_centi as f64 / 100.0).min(0.95 / duty);
+        let burst = BurstConfig { period_cycles: 2_000, duty, boost };
+        prop_assert!(burst.validate().is_ok());
+        // Analytic: duty·boost + (1−duty)·trough = 1 by construction.
+        let mean = duty * boost + (1.0 - duty) * burst.trough_level();
+        prop_assert!((mean - 1.0).abs() < 1e-12);
+        // Numeric: the per-cycle multiplier averages to 1 over a period
+        // (up to the one-cycle quantisation of the duty boundary).
+        let sum: f64 = (0..burst.period_cycles)
+            .map(|c| burst.rate_multiplier(c))
+            .sum();
+        let cycle_mean = sum / burst.period_cycles as f64;
+        prop_assert!(
+            (cycle_mean - 1.0).abs() < boost / burst.period_cycles as f64 + 1e-9,
+            "per-cycle mean multiplier {} drifted from 1",
+            cycle_mean
+        );
+        // End to end: ops completed in 20 whole periods match the unshaped
+        // generator's count within sampling noise.
+        let count_ops = |traffic: TrafficConfig| {
+            let mut g = WorkloadGenerator::shaped(
+                WorkloadKind::Oltp, NodeId(0), seed, traffic, None,
+            );
+            let horizon = 20 * burst.period_cycles;
+            let mut now = 0u64;
+            let mut ops = 0u64;
+            while now < horizon {
+                now += g.next_op_at(now).think_cycles;
+                ops += 1;
+            }
+            ops
+        };
+        let shaped = count_ops(TrafficConfig { zipf: None, burst: Some(burst) });
+        let unshaped = count_ops(TrafficConfig::default());
+        let ratio = shaped as f64 / unshaped as f64;
+        prop_assert!(
+            (0.9..1.1).contains(&ratio),
+            "shaped/unshaped op ratio {} ({} vs {})",
+            ratio, shaped, unshaped
+        );
+    }
+
+    /// Trace round-trip: record → serialize → parse is lossless for any
+    /// event schedule.
+    #[test]
+    fn trace_text_round_trip_is_lossless(
+        events in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<bool>()), 0..64),
+        nodes in 1usize..8,
+    ) {
+        let mut trace = Trace { nodes: vec![Vec::new(); nodes] };
+        for (i, (cycle, addr, is_store)) in events.iter().enumerate() {
+            trace.nodes[i % nodes].push(TraceEvent {
+                cycle: *cycle,
+                addr: BlockAddr(*addr),
+                access: if *is_store { CpuAccess::Store } else { CpuAccess::Load },
+                store_value: if *is_store { addr ^ cycle } else { 0 },
+            });
+        }
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).expect("serialized trace must parse");
+        prop_assert_eq!(&trace, &parsed);
+        // Replaying the parsed trace yields exactly the recorded requests.
+        let shared = Arc::new(parsed);
+        for node in 0..nodes {
+            let mut r =
+                specsim_workloads::TraceReplayer::new(Arc::clone(&shared), NodeId(node as u16));
+            for e in &trace.nodes[node] {
+                let op = r.next_op_at(0).expect("event present");
+                prop_assert_eq!(op.req, e.req());
+            }
+            prop_assert!(r.next_op_at(0).is_none());
+        }
+    }
+}

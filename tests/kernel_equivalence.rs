@@ -17,10 +17,13 @@
 //! divergence — a skipped switch that should have forwarded, a stale
 //! congestion value, a reordered delivery — changes a digest.
 
+use std::sync::Arc;
+
+use specsim::experiments::heavy_traffic::heavy_traffic;
 use specsim::{DirectorySystem, RunMetrics, SnoopSystemConfig, SnoopingSystem, SystemConfig};
 use specsim_base::{DetRng, LinkBandwidth, MessageSize, NodeId, ProtocolVariant, RoutingPolicy};
 use specsim_net::{NetConfig, Network, Packet, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
-use specsim_workloads::WorkloadKind;
+use specsim_workloads::{Trace, WorkloadKind};
 
 /// FNV-1a, the classic 64-bit fold; stable across platforms and runs.
 #[derive(Debug)]
@@ -191,6 +194,7 @@ const GOLDEN_NET_RECT_8X4_ADAPTIVE: u64 = 0x60c2e4394622c6d1;
 const GOLDEN_DIR_RECT_4X2: u64 = 0x3163d46007748ba6;
 const GOLDEN_SNOOP_DATA_TORUS_400: u64 = 0x084d1fa80ab27e48;
 const GOLDEN_NET_SHARED_POOL: u64 = 0x2ea57983677172d5;
+const GOLDEN_DIR_TRACE_REPLAY: u64 = 0x0ec36632238bff1a;
 
 #[test]
 fn rectangular_4x2_network_matches_golden_under_both_policies() {
@@ -463,6 +467,42 @@ fn network_shared_buffer_backpressure_matches_golden() {
         "net_shared_backpressure",
         GOLDEN_NET_SHARED_BACKPRESSURE,
         d.0,
+    );
+}
+
+#[test]
+fn recorded_trace_replays_bit_identically() {
+    // Record a 4×4 speculative machine with non-blocking processors (4
+    // MSHRs) under the canonical heavy traffic shape — the production-shaped
+    // generator path this trace format exists to capture. Replaying the
+    // recorded schedule (after a round-trip through the `specsim-trace v1`
+    // text format) must reproduce the generator-driven run byte-for-byte:
+    // same metrics, same mis-speculations, same delivery schedule.
+    let mut cfg = small_dir_config(ProtocolVariant::Speculative, RoutingPolicy::Adaptive);
+    cfg.memory.mshr_entries = 4;
+    cfg.traffic = heavy_traffic();
+    cfg.record_trace = true;
+    let mut recorder = DirectorySystem::new(cfg.clone());
+    let recorded = recorder.run_for(20_000).expect("no protocol errors");
+    let trace = recorder.recorded_trace().expect("recording was enabled");
+
+    let text = trace.to_text();
+    let parsed = Trace::from_text(&text).expect("the v1 text format round-trips");
+
+    cfg.record_trace = false;
+    cfg.replay_trace = Some(Arc::new(parsed));
+    let mut replayer = DirectorySystem::new(cfg);
+    let replayed = replayer.run_for(20_000).expect("no protocol errors");
+
+    assert_eq!(
+        metrics_digest(&recorded),
+        metrics_digest(&replayed),
+        "replaying a recorded trace diverged from the generator-driven run"
+    );
+    check(
+        "dir_trace_replay",
+        GOLDEN_DIR_TRACE_REPLAY,
+        metrics_digest(&replayed),
     );
 }
 
