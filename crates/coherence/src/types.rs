@@ -1,7 +1,7 @@
 //! Common coherence vocabulary: node sets, processor requests, message
 //! classes, mis-speculation descriptors and protocol errors.
 
-use specsim_base::{BlockAddr, Cycle, NodeId};
+use specsim_base::{BlockAddr, Cycle, FaultKind, NodeId};
 
 /// A set of nodes, stored as a bitmask (the simulator supports up to 128
 /// nodes, the top of the node-count scaling sweep; the paper's target system
@@ -148,6 +148,18 @@ pub enum MisSpecKind {
     /// 2–3), as opposed to a timeout caused by mere congestion. Recovery
     /// re-executes with per-network reserved buffer slots.
     BufferDeadlock,
+    /// An injected transient fault (SafetyNet's original adversary): either
+    /// caught at message ingest by the endpoint checksum/duplicate model
+    /// ([`specsim_base::FaultKind::Corrupt`] /
+    /// [`specsim_base::FaultKind::Duplicate`]), or surfaced through the
+    /// requestor-side transaction timeout with fault-injection evidence
+    /// inside the timeout window (drops, long delays, switch
+    /// stalls/blackouts, inbox drops). Recovery re-executes with the fault
+    /// suppressed — transient semantics — so forward progress holds.
+    TransientFault {
+        /// Which fault kind the evidence points at.
+        kind: FaultKind,
+    },
 }
 
 impl MisSpecKind {
@@ -159,7 +171,22 @@ impl MisSpecKind {
             MisSpecKind::WritebackDoubleRace => "writeback-double-race",
             MisSpecKind::TransactionTimeout => "transaction-timeout",
             MisSpecKind::BufferDeadlock => "buffer-deadlock",
+            MisSpecKind::TransientFault { kind } => match kind {
+                FaultKind::Drop => "fault-drop",
+                FaultKind::Duplicate => "fault-duplicate",
+                FaultKind::Delay => "fault-delay",
+                FaultKind::Corrupt => "fault-corrupt",
+                FaultKind::SwitchStall => "fault-switch-stall",
+                FaultKind::SwitchBlackout => "fault-switch-blackout",
+                FaultKind::InboxDrop => "fault-inbox-drop",
+            },
         }
+    }
+
+    /// True for the injected-transient-fault classifications.
+    #[must_use]
+    pub fn is_transient_fault(self) -> bool {
+        matches!(self, MisSpecKind::TransientFault { .. })
     }
 }
 
@@ -257,16 +284,25 @@ mod tests {
 
     #[test]
     fn misspec_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> = [
+        let mut kinds = vec![
             MisSpecKind::ForwardedRequestToInvalidCache,
             MisSpecKind::WritebackDoubleRace,
             MisSpecKind::TransactionTimeout,
             MisSpecKind::BufferDeadlock,
-        ]
-        .iter()
-        .map(|k| k.label())
-        .collect();
-        assert_eq!(labels.len(), 4);
+        ];
+        kinds.extend(
+            specsim_base::ALL_FAULT_KINDS
+                .iter()
+                .map(|&kind| MisSpecKind::TransientFault { kind }),
+        );
+        let expected = kinds.len();
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), expected);
+        assert!(MisSpecKind::TransientFault {
+            kind: FaultKind::Drop
+        }
+        .is_transient_fault());
+        assert!(!MisSpecKind::BufferDeadlock.is_transient_fault());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use specsim_base::{
-    BufferPolicy, CycleDelta, FlowControl, LinkBandwidth, MemorySystemConfig, ProtocolVariant,
-    RoutingPolicy,
+    BufferPolicy, CycleDelta, FaultConfig, FlowControl, LinkBandwidth, MemorySystemConfig,
+    ProtocolVariant, RoutingPolicy,
 };
 use specsim_net::NetConfig;
 use specsim_workloads::{Trace, TrafficConfig, WorkloadKind};
@@ -96,6 +96,17 @@ pub struct SystemConfig {
     /// generators (deterministic replay; `workload` and `traffic` are
     /// ignored for op generation).
     pub replay_trace: Option<Arc<Trace>>,
+    /// Transient-fault injection schedule for chaos campaigns (disabled by
+    /// default). A [`FaultConfig::Random`] is lowered to an explicit plan
+    /// from [`Self::seed`] before the run starts, so the same `(seed,
+    /// fault_config)` pair always replays bit-identically.
+    pub fault_config: FaultConfig,
+    /// Optional endpoint-vs-switch split of the shared slot pool, as
+    /// `(switch_slots, endpoint_slots)`. Applied only under
+    /// [`BufferPolicy::SharedPool`]; the two budgets must sum to the pool's
+    /// `total_slots`. `None` keeps the historical unified pool
+    /// (bit-identical).
+    pub pool_split: Option<(usize, usize)>,
 }
 
 impl Default for SystemConfig {
@@ -135,6 +146,8 @@ impl SystemConfig {
             traffic: TrafficConfig::default(),
             record_trace: false,
             replay_trace: None,
+            fault_config: FaultConfig::Disabled,
+            pool_split: None,
         }
     }
 
@@ -162,6 +175,8 @@ impl SystemConfig {
             traffic: TrafficConfig::default(),
             record_trace: false,
             replay_trace: None,
+            fault_config: FaultConfig::Disabled,
+            pool_split: None,
         }
     }
 
@@ -193,6 +208,8 @@ impl SystemConfig {
             traffic: TrafficConfig::default(),
             record_trace: false,
             replay_trace: None,
+            fault_config: FaultConfig::Disabled,
+            pool_split: None,
         }
     }
 
@@ -231,6 +248,8 @@ impl SystemConfig {
             traffic: TrafficConfig::default(),
             record_trace: false,
             replay_trace: None,
+            fault_config: FaultConfig::Disabled,
+            pool_split: None,
         }
     }
 
@@ -253,6 +272,24 @@ impl SystemConfig {
                     "a {total_slots}-slot pool cannot hold one reserved slot per \
                      virtual network; the post-deadlock reservation would be inert"
                 ));
+            }
+            if let Some((switch, endpoint)) = self.pool_split {
+                if switch + endpoint != total_slots {
+                    problems.push(format!(
+                        "pool split {switch}+{endpoint} does not sum to the \
+                         {total_slots}-slot pool"
+                    ));
+                }
+                if switch == 0 || endpoint == 0 {
+                    problems.push("a pool split needs at least one slot on each side".to_string());
+                }
+            }
+        } else if self.pool_split.is_some() {
+            problems.push("pool_split requires the shared-pool buffer policy".to_string());
+        }
+        if let FaultConfig::Random { kinds, .. } = &self.fault_config {
+            if kinds.is_empty() {
+                problems.push("a random fault campaign needs at least one fault kind".to_string());
             }
         }
         problems
@@ -288,6 +325,10 @@ impl SystemConfig {
         cfg.switch_latency = self.memory.switch_latency_cycles;
         cfg.buffer_policy = self.buffer_policy;
         if matches!(self.buffer_policy, BufferPolicy::SharedPool { .. }) {
+            if let Some((switch, endpoint)) = self.pool_split {
+                cfg.pool_slots_switch = Some(switch);
+                cfg.pool_slots_endpoint = Some(endpoint);
+            }
             // The watchdog must be able to *confirm* a wedged fabric before
             // the three-checkpoint-interval transaction timeout fires, so the
             // engine can classify the timeout as a detected deadlock: give it
@@ -314,6 +355,25 @@ impl SystemConfig {
     pub fn with_seed(&self, seed: u64) -> Self {
         let mut c = self.clone();
         c.seed = seed;
+        c
+    }
+
+    /// Returns a copy whose shared slot pool is split endpoint-vs-switch:
+    /// `switch_slots` back the fabric (input-port buffers and in-transit
+    /// reservations), `endpoint_slots` back the ejection queues. The pool
+    /// total is re-derived as the sum, so the split is the complete sizing
+    /// statement. Panics if the configuration is not shared-pool.
+    #[must_use]
+    pub fn with_pool_split(&self, switch_slots: usize, endpoint_slots: usize) -> Self {
+        assert!(
+            matches!(self.buffer_policy, BufferPolicy::SharedPool { .. }),
+            "pool split requires the shared-pool buffer policy"
+        );
+        let mut c = self.clone();
+        c.buffer_policy = BufferPolicy::SharedPool {
+            total_slots: switch_slots + endpoint_slots,
+        };
+        c.pool_split = Some((switch_slots, endpoint_slots));
         c
     }
 }
@@ -409,6 +469,42 @@ mod tests {
             cfg.validate().is_empty(),
             "tiny pools are fine once the reservation measure is disabled"
         );
+    }
+
+    #[test]
+    fn with_pool_split_rederives_the_total_and_validates() {
+        let cfg = SystemConfig::shared_pool_interconnect(
+            WorkloadKind::Oltp,
+            LinkBandwidth::MB_400,
+            24,
+            1,
+        )
+        .with_pool_split(18, 6);
+        assert_eq!(
+            cfg.buffer_policy,
+            BufferPolicy::SharedPool { total_slots: 24 }
+        );
+        assert!(cfg.validate().is_empty());
+        let net = cfg.net_config();
+        assert_eq!(net.pool_split(), Some((18, 6)));
+        assert_eq!(net.pool_slots(), Some(24));
+        // A split that disagrees with the pool total is flagged.
+        let mut bad = cfg.clone();
+        bad.pool_split = Some((1, 1));
+        assert!(!bad.validate().is_empty());
+        // A split without the shared-pool policy is flagged.
+        let mut unpooled =
+            SystemConfig::directory_speculative(WorkloadKind::Oltp, LinkBandwidth::MB_400, 1);
+        unpooled.pool_split = Some((18, 6));
+        assert!(!unpooled.validate().is_empty());
+        // Random campaigns need at least one kind to draw from.
+        let mut nokinds = cfg.clone();
+        nokinds.fault_config = FaultConfig::Random {
+            rate_per_mcycle: 100,
+            kinds: vec![],
+            horizon_cycles: 1_000_000,
+        };
+        assert!(!nokinds.validate().is_empty());
     }
 
     #[test]

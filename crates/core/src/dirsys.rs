@@ -16,12 +16,14 @@
 
 use std::sync::Arc;
 
-use specsim_base::{BlockAddr, Cycle, CycleDelta, DetRng, FlowControl, NodeId, RoutingPolicy};
+use specsim_base::{
+    BlockAddr, Cycle, CycleDelta, DetRng, FaultKind, FlowControl, NodeId, RoutingPolicy,
+};
 use specsim_coherence::dir::{
     AccessOutcome, CacheState, DirCacheController, DirMsg, DirectoryController, OutMsg,
 };
 use specsim_coherence::types::{CpuRequest, MisSpecKind, MsgClass, ProtocolError};
-use specsim_net::{Network, VirtualNetwork};
+use specsim_net::{Network, PacketTaint, VirtualNetwork};
 use specsim_safetynet::SafetyNet;
 use specsim_workloads::{Processor, Trace, WorkloadGenerator, ZipfTable};
 
@@ -124,6 +126,19 @@ impl DirProtocol {
                 };
                 let Some(packet) = packet else { break };
                 budget -= 1;
+                // Checksum model (Section 2, detection): a detectably-damaged
+                // message is caught at ingest, reported as transient-fault
+                // evidence, and discarded — the protocol never sees it. The
+                // dropped message then surfaces through the requestor's
+                // transaction timeout, which the evidence classifies.
+                if packet.taint.is_detectable() {
+                    let kind = match packet.taint {
+                        PacketTaint::Duplicate => FaultKind::Duplicate,
+                        _ => FaultKind::Corrupt,
+                    };
+                    ctx.report_fault_evidence(now, node, packet.payload.addr(), kind);
+                    continue;
+                }
                 Self::dispatch(arch, ctx, now, node_idx, packet.src, packet.payload);
             }
         }
@@ -260,7 +275,8 @@ impl ProtocolNode for DirProtocol {
             });
         }
         self.pump_outboxes(arch, now, ctx);
-        arch.net.tick(now);
+        let faults = ctx.faults();
+        arch.net.tick_faulted(now, faults);
         crate::engine::report_pooled_fabric_evidence(&arch.net, now, ctx);
     }
 
@@ -309,7 +325,9 @@ impl ProtocolNode for DirProtocol {
                     ForwardProgressMode::Normal
                 }
             }
-            MisSpecKind::TransactionTimeout | MisSpecKind::WritebackDoubleRace => {
+            MisSpecKind::TransactionTimeout
+            | MisSpecKind::WritebackDoubleRace
+            | MisSpecKind::TransientFault { .. } => {
                 if fp.slow_start_cycles > 0 {
                     ForwardProgressMode::SlowStart {
                         until: resume_at + fp.slow_start_cycles,
@@ -400,6 +418,7 @@ impl DirectorySystem {
             outboxes: (0..n).map(|_| StagedOutbox::default()).collect(),
         };
         let perturb_rng = seed_rng.fork();
+        let fault_plan = cfg.fault_config.lower(cfg.seed, n);
         let engine = SystemEngine::new(
             DirProtocol { cfg: cfg.clone() },
             arch,
@@ -407,6 +426,7 @@ impl DirectorySystem {
             cfg.forward_progress,
             cfg.inject_recovery_every,
             perturb_rng,
+            fault_plan,
         );
         Self { engine }
     }

@@ -35,7 +35,10 @@
 
 use std::collections::VecDeque;
 
-use specsim_base::{BlockAddr, Cycle, CycleDelta, DetRng, NodeId, SafetyNetConfig};
+use specsim_base::{
+    BlockAddr, Cycle, CycleDelta, DetRng, FaultDirector, FaultKind, FaultPlan, NodeId,
+    SafetyNetConfig,
+};
 use specsim_coherence::types::{CpuAccess, CpuRequest, MisSpecKind, MisSpeculation, ProtocolError};
 use specsim_net::Network;
 use specsim_safetynet::{LogOutcome, SafetyNet};
@@ -194,6 +197,7 @@ pub struct EngineCtx<'a, A> {
     perturb_rng: &'a mut DetRng,
     metrics: &'a mut RunMetrics,
     fabric_deadlocked: &'a mut bool,
+    faults: Option<&'a mut FaultDirector>,
 }
 
 impl<A: Clone> EngineCtx<'_, A> {
@@ -219,6 +223,37 @@ impl<A: Clone> EngineCtx<'_, A> {
     /// protocols re-report each cycle the condition persists.
     pub fn report_fabric_deadlock(&mut self) {
         *self.fabric_deadlocked = true;
+    }
+
+    /// The run's fault director, when a fault plan is active. Protocols pass
+    /// this into their fabric's
+    /// [`tick_faulted`](specsim_net::Network::tick_faulted) so scheduled
+    /// faults strike the network; `None` (no plan) keeps every fabric on the
+    /// bit-identical fault-free path.
+    pub fn faults(&mut self) -> Option<&mut FaultDirector> {
+        self.faults.as_deref_mut()
+    }
+
+    /// Reports an injected transient fault caught red-handed at message
+    /// ingest — the endpoint checksum model rejecting a
+    /// [`FaultKind::Corrupt`] payload, or the sequence-number model rejecting
+    /// a [`FaultKind::Duplicate`] copy. Classified as a
+    /// [`MisSpecKind::TransientFault`] mis-speculation and recovered through
+    /// the normal SafetyNet rollback (the tainted message itself must be
+    /// discarded by the caller).
+    pub fn report_fault_evidence(
+        &mut self,
+        at: Cycle,
+        node: NodeId,
+        addr: BlockAddr,
+        kind: FaultKind,
+    ) {
+        self.note_misspeculation(MisSpeculation {
+            kind: MisSpecKind::TransientFault { kind },
+            node,
+            addr,
+            at,
+        });
     }
 
     /// One pseudo-random perturbation draw below `magnitude` (Section 5.2
@@ -443,6 +478,24 @@ pub struct SystemEngine<P: ProtocolNode> {
     /// transaction restored from a checkpoint gets a full fresh window
     /// instead of timing out instantly on its pre-rollback issue cycle.
     timeout_anchor: Cycle,
+    /// The transient-fault injector, when a fault plan is active. Lives
+    /// *outside* the checkpointed architectural state on purpose: a rollback
+    /// rewinds the machine but never the fault schedule, so a fired one-shot
+    /// fault cannot re-fire — the transient semantics that make re-execution
+    /// succeed.
+    fault_director: Option<FaultDirector>,
+    /// Most recent fault injection `(cycle, kind)` observed from the
+    /// director. A transaction timeout with fault evidence inside the stuck
+    /// transaction's timeout window is classified as
+    /// [`MisSpecKind::TransientFault`] (taking precedence over
+    /// [`MisSpecKind::BufferDeadlock`]); the distance from injection to
+    /// detection is the recovery's detection latency.
+    fault_evidence_at: Option<(Cycle, FaultKind)>,
+    /// Director fire count already folded into
+    /// [`SystemEngine::fault_evidence_at`] — evidence cleared by a recovery
+    /// must not be resurrected from the director's (persistent) last-fire
+    /// record.
+    fault_fires_seen: u64,
 }
 
 impl<P: ProtocolNode> SystemEngine<P> {
@@ -459,10 +512,12 @@ impl<P: ProtocolNode> SystemEngine<P> {
         fp_cfg: ForwardProgressConfig,
         inject_recovery_every: Option<CycleDelta>,
         perturb_rng: DetRng,
+        fault_plan: FaultPlan,
     ) -> Self {
         let n = P::procs(&arch).len();
         let safetynet = SafetyNet::new(safetynet_cfg, n, arch.clone(), 0);
         let next_injected_recovery = inject_recovery_every.map(|i| i.max(1));
+        let fault_director = (!fault_plan.is_empty()).then(|| FaultDirector::new(fault_plan));
         Self {
             protocol,
             now: 0,
@@ -481,7 +536,17 @@ impl<P: ProtocolNode> SystemEngine<P> {
             fabric_deadlocked: false,
             fabric_deadlock_at: None,
             timeout_anchor: 0,
+            fault_director,
+            fault_evidence_at: None,
+            fault_fires_seen: 0,
         }
+    }
+
+    /// The fault injector, when a fault plan is active (observability for
+    /// chaos-campaign experiments and tests).
+    #[must_use]
+    pub fn fault_director(&self) -> Option<&FaultDirector> {
+        self.fault_director.as_ref()
     }
 
     /// The protocol implementation (for its configuration accessors).
@@ -557,11 +622,26 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 perturb_rng: &mut self.perturb_rng,
                 metrics: &mut self.metrics,
                 fabric_deadlocked: &mut self.fabric_deadlocked,
+                faults: self.fault_director.as_mut(),
             };
             self.protocol.exchange(&mut self.arch, now, &mut ctx);
         }
         if self.fabric_deadlocked {
             self.fabric_deadlock_at = Some(now);
+        }
+        if let Some(d) = &self.fault_director {
+            // Fold newly-fired injections into the evidence record. Guarded by
+            // the fire counter: an old fire whose evidence was cleared by a
+            // recovery must not reappear (back-to-back injected faults would
+            // otherwise be mis-classified as one long episode).
+            if d.fires() > self.fault_fires_seen {
+                self.fault_fires_seen = d.fires();
+                if let Some((at, kind)) = d.last_fire() {
+                    if self.fault_evidence_at.map_or(true, |(a, _)| a <= at) {
+                        self.fault_evidence_at = Some((at, kind));
+                    }
+                }
+            }
         }
         self.safetynet_tick(now);
         self.check_recovery(now);
@@ -672,10 +752,24 @@ impl<P: ProtocolNode> SystemEngine<P> {
         // buffer-reservation forward-progress measure applies.
         if self.pending_misspec.is_none() {
             let timeout = self.safetynet.config().transaction_timeout_cycles();
+            // A fault wedges not only the transaction whose message it ate
+            // but also transactions that queue up behind the damage (e.g. at
+            // a directory entry stuck busy); those start their timers *after*
+            // the fire, so the attribution window is one full timeout of
+            // waiting on top of one timeout of queueing behind the fault.
+            let fault_evidence = self
+                .fault_evidence_at
+                .filter(|(at, _)| now.saturating_sub(*at) <= 2 * timeout);
             let evidence_in_window = self
                 .fabric_deadlock_at
                 .is_some_and(|at| now.saturating_sub(at) <= timeout);
-            let kind = if evidence_in_window {
+            // Classification precedence: a transient fault injected inside the
+            // stuck transaction's window explains the timeout better than a
+            // buffer wedge (the fault likely *caused* the wedge), and either
+            // beats the generic timeout.
+            let kind = if let Some((_, fk)) = fault_evidence {
+                MisSpecKind::TransientFault { kind: fk }
+            } else if evidence_in_window {
                 MisSpecKind::BufferDeadlock
             } else {
                 MisSpecKind::TransactionTimeout
@@ -711,6 +805,12 @@ impl<P: ProtocolNode> SystemEngine<P> {
             if ms.kind == MisSpecKind::BufferDeadlock {
                 self.metrics.deadlock_recoveries += 1;
             }
+            if ms.kind.is_transient_fault() {
+                self.metrics.fault_recoveries += 1;
+                if let Some((at, _)) = self.fault_evidence_at {
+                    self.metrics.fault_detection_latency_cycles += ms.at.saturating_sub(at);
+                }
+            }
             self.perform_recovery(now, RecoveryCause::MisSpeculation(ms.kind));
             return;
         }
@@ -741,6 +841,18 @@ impl<P: ProtocolNode> SystemEngine<P> {
         self.resume_at = now + outcome.recovery_latency_cycles;
         self.timeout_anchor = self.resume_at;
         self.pending_misspec = None;
+        // Transient semantics: the re-execution must not hit the same fault
+        // again, so matured one-shot events are disarmed and open windows
+        // closed. Evidence is cleared too — a *new* timeout after this
+        // recovery needs fresh evidence to be classified as a fault (or as a
+        // buffer deadlock), otherwise back-to-back episodes would be folded
+        // into one.
+        if let Some(d) = &mut self.fault_director {
+            d.suppress_through(now);
+            self.fault_fires_seen = d.fires();
+        }
+        self.fabric_deadlock_at = None;
+        self.fault_evidence_at = None;
         // Forward progress (Section 2, feature 4): alter the timing of the
         // re-execution so the same rare event cannot immediately recur.
         if let RecoveryCause::MisSpeculation(kind) = cause {
@@ -791,6 +903,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         m.checkpoints = self.safetynet.stats().checkpoints_taken;
         m.log_entries = self.safetynet.stats().entries_logged;
         m.log_stall_cycles = self.safetynet.stats().log_stall_cycles;
+        m.faults_injected = self.fault_director.as_ref().map_or(0, FaultDirector::fires);
         self.metrics = m.clone();
         m
     }
@@ -802,7 +915,9 @@ mod tests {
     use crate::config::SystemConfig;
     use crate::dirsys::DirectorySystem;
     use crate::snoopsys::{SnoopSystemConfig, SnoopingSystem};
-    use specsim_base::{LinkBandwidth, ProtocolVariant, RoutingPolicy};
+    use specsim_base::{
+        FaultConfig, FaultEvent, FaultSite, LinkBandwidth, ProtocolVariant, RoutingPolicy,
+    };
     use specsim_workloads::WorkloadKind;
 
     fn dir_cfg() -> SystemConfig {
@@ -945,6 +1060,129 @@ mod tests {
             true
         });
         assert_eq!(sent, vec![1, 2]);
+    }
+
+    /// One `kind` fault armed on each of `node`'s four outgoing links at
+    /// cycle `at` (any virtual network), so the test does not depend on the
+    /// routing function's direction choice.
+    fn link_plan(at: Cycle, node: usize, kind: FaultKind, param: u64) -> FaultPlan {
+        FaultPlan {
+            events: (0..4)
+                .map(|dir| FaultEvent {
+                    at,
+                    site: FaultSite::Link {
+                        node,
+                        dir,
+                        vnet: None,
+                    },
+                    kind,
+                    param,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn injected_drop_fault_is_classified_and_recovered() {
+        let mut cfg = dir_cfg();
+        cfg.fault_config = FaultConfig::Explicit(link_plan(1_000, 0, FaultKind::Drop, 0));
+        let mut sys = DirectorySystem::new(cfg);
+        let m = sys.run_for(80_000).expect("no protocol errors");
+        assert!(m.faults_injected >= 1, "the drop never fired");
+        assert!(
+            m.fault_recoveries >= 1,
+            "a lost message must surface as a classified fault recovery"
+        );
+        assert_eq!(
+            m.faults_detected(),
+            m.fault_recoveries,
+            "every detected fault recovers exactly once"
+        );
+        // Detection is the transaction timeout: latency is bounded by the
+        // attribution window.
+        let timeout = 3.0 * 5_000.0;
+        assert!(m.mean_fault_detection_latency() <= 2.0 * timeout);
+        // Re-execution with the fault suppressed makes forward progress and
+        // ends coherent.
+        assert!(m.ops_completed > 1_000);
+        sys.verify_coherence()
+            .expect("coherent after fault recovery");
+    }
+
+    #[test]
+    fn corrupt_fault_is_caught_at_ingest_not_by_the_timeout() {
+        let mut cfg = dir_cfg();
+        cfg.fault_config = FaultConfig::Explicit(link_plan(1_000, 0, FaultKind::Corrupt, 0));
+        let mut sys = DirectorySystem::new(cfg);
+        let m = sys.run_for(60_000).expect("no protocol errors");
+        assert!(m.fault_recoveries >= 1, "checksum detection must recover");
+        // The checksum model catches the damaged message when it is ingested,
+        // so detection latency is transit time — far below the 15 000-cycle
+        // transaction timeout.
+        assert!(
+            m.mean_fault_detection_latency() < 5_000.0,
+            "corrupt messages must be caught at ingest, got {} cycles",
+            m.mean_fault_detection_latency()
+        );
+        sys.verify_coherence()
+            .expect("coherent after fault recovery");
+    }
+
+    #[test]
+    fn back_to_back_faults_are_two_recoveries_not_one_episode() {
+        // Satellite of the fault subsystem: recovery clears the fault
+        // evidence and the timeout anchor, so a second injected fault after
+        // the first recovery is a fresh detect→rollback episode (and the
+        // director, living outside the checkpointed state, never re-fires the
+        // first fault during re-execution).
+        let mut cfg = dir_cfg();
+        let mut plan = link_plan(1_000, 0, FaultKind::Drop, 0);
+        plan.events
+            .extend(link_plan(45_000, 0, FaultKind::Drop, 0).events);
+        cfg.fault_config = FaultConfig::Explicit(plan);
+        let mut sys = DirectorySystem::new(cfg);
+        let m = sys.run_for(100_000).expect("no protocol errors");
+        assert!(
+            m.fault_recoveries >= 2,
+            "each fault episode must be detected and recovered separately, got {}",
+            m.fault_recoveries
+        );
+        assert_eq!(m.faults_detected(), m.fault_recoveries);
+        sys.verify_coherence()
+            .expect("coherent after fault recoveries");
+    }
+
+    #[test]
+    fn snooping_data_torus_fault_recovers_through_the_timeout() {
+        let mut cfg = snoop_cfg();
+        cfg.memory.safetynet.checkpoint_interval_cycles = 5_000;
+        // Shorten the post-recovery slow-start so the re-execution reaches
+        // full speed inside the test horizon.
+        cfg.forward_progress.slow_start_cycles = 20_000;
+        cfg.fault_config = FaultConfig::Explicit(link_plan(1_000, 0, FaultKind::Drop, 0));
+        let mut sys = SnoopingSystem::new(cfg);
+        let m = sys.run_for(80_000).expect("no protocol errors");
+        assert!(m.faults_injected >= 1, "the drop never fired");
+        assert!(
+            m.fault_recoveries >= 1,
+            "a lost data message must surface as a classified fault recovery"
+        );
+        assert!(m.ops_completed > 1_000);
+        sys.verify_coherence()
+            .expect("coherent after fault recovery");
+    }
+
+    #[test]
+    fn fault_free_runs_ignore_the_fault_machinery() {
+        // A disabled fault config must leave the engine without a director
+        // and the metrics at zero (the goldens rely on this being inert).
+        let sys = DirectorySystem::new(dir_cfg());
+        assert!(sys.engine.fault_director().is_none());
+        let mut sys = DirectorySystem::new(dir_cfg());
+        let m = sys.run_for(30_000).expect("no protocol errors");
+        assert_eq!(m.faults_injected, 0);
+        assert_eq!(m.fault_recoveries, 0);
+        assert_eq!(m.faults_detected(), 0);
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Fault-tolerance chaos campaigns: transient faults injected into the
+//! running machines, detected, rolled back and re-executed — end to end.
+//!
+//! SafetyNet's whole argument (Section 2) is that one checkpoint/recovery
+//! substrate covers *all* rare events: coherence mis-speculations, buffer
+//! deadlock, and dropped or corrupted messages from transient faults. This
+//! experiment exercises the third class in vivo: a seed-deterministic
+//! [`FaultConfig::Random`] campaign is lowered to an explicit
+//! [`specsim_base::FaultPlan`] up front, the fault director fires the events
+//! into the fabric (links, switches, inboxes), detection happens either at
+//! message ingest (the checksum model catches detectably-corrupt and
+//! duplicated messages) or through the requestor-side transaction timeout
+//! (drops, delays, stalls and blackouts starve a transaction), the recovery
+//! is classified as [`specsim_coherence::MisSpecKind::TransientFault`], and
+//! re-execution resumes from the pre-fault checkpoint with the matured fault
+//! events suppressed — the transient semantics.
+//!
+//! The sweep opens **fault rate × fault kind × machine** under the canonical
+//! heavy-traffic knobs (non-blocking processors, Zipfian hot blocks, bursty
+//! injection at the 400 MB/s operating point) and records, per design point:
+//!
+//! * **throughput** (ops/kcycle, mean ± std over perturbed seeds) — the
+//!   throughput-vs-fault-rate degradation curve,
+//! * **faults injected / detected / recovered** — every detected fault must
+//!   recover, and the rate-0 control rows must stay at zero,
+//! * the **mean detection latency** (fire cycle → classified recovery) —
+//!   ingest-caught kinds detect in transit time, timeout-caught kinds in
+//!   roughly the three-checkpoint-interval timeout.
+//!
+//! The `fault_tolerance_sweep` bench renders the table and writes
+//! `BENCH_fault_tolerance.json`.
+
+use specsim_base::{FaultConfig, FaultKind, LinkBandwidth, ProtocolVariant, ALL_FAULT_KINDS};
+use specsim_coherence::types::ProtocolError;
+use specsim_workloads::WorkloadKind;
+
+use crate::config::SystemConfig;
+use crate::experiments::heavy_traffic::heavy_traffic;
+use crate::experiments::runner::{
+    measure_directory, measure_snooping, throughput_measurement, ExperimentScale, Measurement,
+};
+use crate::experiments::shared_buffer::Machine;
+use crate::metrics::RunMetrics;
+use crate::snoopsys::SnoopSystemConfig;
+
+/// What to sweep and how long/often to run each design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultToleranceConfig {
+    /// Nonzero fault rates to visit (expected events per million cycles).
+    /// A rate-0 control row per machine is always run first.
+    pub rates_per_mcycle: Vec<u64>,
+    /// Fault kinds to campaign with, one design point per kind.
+    pub kinds: Vec<FaultKind>,
+    /// Machines to run (the directory machine faults its coherence torus,
+    /// the snooping machine its point-to-point data torus).
+    pub machines: Vec<Machine>,
+    /// Workload generator at every design point.
+    pub workload: WorkloadKind,
+    /// Link bandwidth (the paper's low operating point, where the fabric —
+    /// and hence a fault's blast radius — binds).
+    pub bandwidth: LinkBandwidth,
+    /// Machine size (the paper's machine is 16 nodes).
+    pub num_nodes: usize,
+    /// MSHR entries per node (non-blocking processors keep transactions in
+    /// flight for the faults to hit).
+    pub mshr_entries: usize,
+    /// Cycles and perturbed seeds per design point.
+    pub scale: ExperimentScale,
+}
+
+impl Default for FaultToleranceConfig {
+    /// The full campaign: three nonzero rates up to 10⁴ events/Mcycle ×
+    /// all seven fault kinds × both machines, at the environment-controlled
+    /// scale.
+    fn default() -> Self {
+        Self {
+            rates_per_mcycle: vec![100, 1_000, 10_000],
+            kinds: ALL_FAULT_KINDS.to_vec(),
+            machines: vec![Machine::Directory, Machine::Snooping],
+            workload: WorkloadKind::Oltp,
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 16,
+            mshr_entries: 4,
+            scale: ExperimentScale::from_env(),
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// A CI-sized campaign: two nonzero rates (a sparse one that degrades
+    /// throughput and a storm that collapses it), a detection-path-covering
+    /// kind subset (timeout-caught drop, ingest-caught corrupt, windowed
+    /// switch stall), both machines, few seeds, short runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            rates_per_mcycle: vec![200, 10_000],
+            kinds: vec![FaultKind::Drop, FaultKind::Corrupt, FaultKind::SwitchStall],
+            machines: vec![Machine::Directory, Machine::Snooping],
+            workload: WorkloadKind::Oltp,
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 16,
+            mshr_entries: 4,
+            scale: ExperimentScale {
+                cycles: 60_000,
+                seeds: 2,
+            },
+        }
+    }
+}
+
+/// One design point of the campaign.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceRow {
+    /// Machine this row ran on.
+    pub machine: Machine,
+    /// Fault kind campaigned with; `None` is the fault-free control row.
+    pub kind: Option<FaultKind>,
+    /// Expected fault events per million cycles (0 for the control row).
+    pub rate_per_mcycle: u64,
+    /// Committed operations per kilo-cycle over the perturbed seeds.
+    pub throughput: Measurement,
+    /// Fault events actually fired by the director, summed over the runs.
+    pub faults_injected: u64,
+    /// Recoveries classified as transient faults, summed over the runs.
+    pub faults_detected: u64,
+    /// Fault-classified recoveries, summed over the runs (equals
+    /// [`Self::faults_detected`] — every detected fault recovers once).
+    pub fault_recoveries: u64,
+    /// All mis-speculation recoveries (faults, deadlocks, congestion
+    /// timeouts, ordering races), summed over the runs.
+    pub recoveries: u64,
+    /// Mean cycles from fault injection to the classified recovery, weighted
+    /// over all fault recoveries of the row (0 when none happened).
+    pub mean_detection_latency_cycles: f64,
+}
+
+/// The completed campaign.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceData {
+    /// One control row per machine followed by its (kind, rate) grid.
+    pub rows: Vec<FaultToleranceRow>,
+    /// Workload generator used.
+    pub workload: WorkloadKind,
+    /// Link bandwidth used.
+    pub bandwidth: LinkBandwidth,
+    /// Machine size (nodes).
+    pub num_nodes: usize,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Perturbed seeds per design point.
+    pub seeds: u64,
+}
+
+/// The fault campaign for one design point: `kind` at `rate` over the run
+/// horizon (an empty config for the control rows).
+fn campaign(cfg: &FaultToleranceConfig, kind: Option<FaultKind>, rate: u64) -> FaultConfig {
+    match kind {
+        Some(kind) if rate > 0 => FaultConfig::Random {
+            rate_per_mcycle: rate,
+            kinds: vec![kind],
+            horizon_cycles: cfg.scale.cycles,
+        },
+        _ => FaultConfig::Disabled,
+    }
+}
+
+fn dir_config(cfg: &FaultToleranceConfig, kind: Option<FaultKind>, rate: u64) -> SystemConfig {
+    let mut sys = SystemConfig::directory_speculative(cfg.workload, cfg.bandwidth, 7000)
+        .with_nodes(cfg.num_nodes);
+    sys.routing = specsim_base::RoutingPolicy::Adaptive;
+    sys.memory.mshr_entries = cfg.mshr_entries;
+    sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    // Post-recovery slow start scaled to the checkpoint cadence rather than
+    // the congestion-tuned default, so high fault rates measure repeated
+    // recovery cost instead of one recovery followed by a throttled tail.
+    sys.forward_progress.slow_start_cycles = 20_000;
+    sys.traffic = heavy_traffic();
+    sys.fault_config = campaign(cfg, kind, rate);
+    sys
+}
+
+fn snoop_config(
+    cfg: &FaultToleranceConfig,
+    kind: Option<FaultKind>,
+    rate: u64,
+) -> SnoopSystemConfig {
+    let mut sys = SnoopSystemConfig::new(cfg.workload, ProtocolVariant::Speculative, 7000);
+    sys.memory.num_nodes = cfg.num_nodes;
+    sys.memory.link_bandwidth = cfg.bandwidth;
+    sys.data_net.link_bandwidth = cfg.bandwidth;
+    sys.memory.mshr_entries = cfg.mshr_entries;
+    sys.memory.safetynet.checkpoint_interval_cycles = 5_000;
+    sys.forward_progress.slow_start_cycles = 20_000;
+    sys.traffic = heavy_traffic();
+    sys.fault_config = campaign(cfg, kind, rate);
+    sys
+}
+
+/// Builds one campaign row out of a set of perturbed runs.
+fn row_from_runs(
+    machine: Machine,
+    kind: Option<FaultKind>,
+    rate: u64,
+    runs: &[RunMetrics],
+) -> FaultToleranceRow {
+    let fault_recoveries: u64 = runs.iter().map(|r| r.fault_recoveries).sum();
+    let latency: u64 = runs.iter().map(|r| r.fault_detection_latency_cycles).sum();
+    FaultToleranceRow {
+        machine,
+        kind,
+        rate_per_mcycle: rate,
+        throughput: throughput_measurement(runs),
+        faults_injected: runs.iter().map(|r| r.faults_injected).sum(),
+        faults_detected: runs.iter().map(RunMetrics::faults_detected).sum(),
+        fault_recoveries,
+        recoveries: runs.iter().map(|r| r.recoveries).sum(),
+        mean_detection_latency_cycles: if fault_recoveries == 0 {
+            0.0
+        } else {
+            latency as f64 / fault_recoveries as f64
+        },
+    }
+}
+
+fn measure(
+    cfg: &FaultToleranceConfig,
+    machine: Machine,
+    kind: Option<FaultKind>,
+    rate: u64,
+) -> Result<FaultToleranceRow, ProtocolError> {
+    let runs = match machine {
+        Machine::Directory => measure_directory(&dir_config(cfg, kind, rate), cfg.scale)?,
+        Machine::Snooping => measure_snooping(&snoop_config(cfg, kind, rate), cfg.scale)?,
+    };
+    Ok(row_from_runs(machine, kind, rate, &runs))
+}
+
+/// Runs the campaign: for every machine a fault-free control row, then one
+/// row per (kind, nonzero rate). Every design point goes through the
+/// perturbed-seed sharded runner; the fault plan of each run is lowered
+/// from its own seed, so the whole campaign is a pure function of the
+/// configuration.
+pub fn run(cfg: &FaultToleranceConfig) -> Result<FaultToleranceData, ProtocolError> {
+    let mut rows = Vec::new();
+    for &machine in &cfg.machines {
+        rows.push(measure(cfg, machine, None, 0)?);
+        for &kind in &cfg.kinds {
+            for &rate in &cfg.rates_per_mcycle {
+                if rate == 0 {
+                    continue;
+                }
+                rows.push(measure(cfg, machine, Some(kind), rate)?);
+            }
+        }
+    }
+    Ok(FaultToleranceData {
+        rows,
+        workload: cfg.workload,
+        bandwidth: cfg.bandwidth,
+        num_nodes: cfg.num_nodes,
+        cycles: cfg.scale.cycles,
+        seeds: cfg.scale.seeds,
+    })
+}
+
+impl FaultToleranceRow {
+    /// The kind column label (`none` for the control rows).
+    #[must_use]
+    pub fn kind_label(&self) -> &'static str {
+        self.kind.map_or("none", FaultKind::label)
+    }
+}
+
+impl FaultToleranceData {
+    /// Renders the campaign as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fault-tolerance chaos campaign ({} nodes, {} at {} MB/s, heavy traffic; \
+             {} cycles x {} seeds per point)\n",
+            self.num_nodes,
+            self.workload.label(),
+            self.bandwidth.megabytes_per_second,
+            self.cycles,
+            self.seeds
+        ));
+        out.push_str(
+            "machine    kind            rate/Mcyc  ops/kcycle        injected  detected  \
+             fault-rec  recoveries  det-latency\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<9}  {:<14}  {:>9}  {:<16}  {:>8}  {:>8}  {:>9}  {:>10}  {:>11.1}\n",
+                r.machine.label(),
+                r.kind_label(),
+                r.rate_per_mcycle,
+                r.throughput.display(),
+                r.faults_injected,
+                r.faults_detected,
+                r.fault_recoveries,
+                r.recoveries,
+                r.mean_detection_latency_cycles,
+            ));
+        }
+        out
+    }
+
+    /// Serialises the campaign as machine-readable JSON (the
+    /// `BENCH_fault_tolerance.json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"workload\": \"{}\",\n", self.workload.label()));
+        json.push_str(&format!(
+            "  \"mb_per_s\": {},\n",
+            self.bandwidth.megabytes_per_second
+        ));
+        json.push_str(&format!("  \"num_nodes\": {},\n", self.num_nodes));
+        json.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        json.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        json.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"machine\": \"{}\", \"kind\": \"{}\", \"rate_per_mcycle\": {}, \
+                 \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
+                 \"faults_injected\": {}, \"faults_detected\": {}, \
+                 \"fault_recoveries\": {}, \"recoveries\": {}, \
+                 \"mean_detection_latency_cycles\": {:.1}}}{comma}\n",
+                r.machine.label(),
+                r.kind_label(),
+                r.rate_per_mcycle,
+                r.throughput.mean,
+                r.throughput.std_dev,
+                r.faults_injected,
+                r.faults_detected,
+                r.fault_recoveries,
+                r.recoveries,
+                r.mean_detection_latency_cycles,
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campaign_covers_every_kind_and_both_machines() {
+        let cfg = FaultToleranceConfig::default();
+        assert_eq!(cfg.kinds.len(), ALL_FAULT_KINDS.len());
+        assert_eq!(cfg.machines.len(), 2);
+        assert!(cfg.rates_per_mcycle.contains(&10_000));
+        // Quick mode keeps both machines and both detection paths
+        // (timeout-caught drop, ingest-caught corrupt).
+        let quick = FaultToleranceConfig::quick();
+        assert_eq!(quick.machines.len(), 2);
+        assert!(quick.kinds.contains(&FaultKind::Drop));
+        assert!(quick.kinds.contains(&FaultKind::Corrupt));
+    }
+
+    #[test]
+    fn control_rows_lower_to_a_disabled_campaign() {
+        let cfg = FaultToleranceConfig::default();
+        assert!(campaign(&cfg, None, 0).is_disabled());
+        assert!(campaign(&cfg, Some(FaultKind::Drop), 0).is_disabled());
+        assert!(!campaign(&cfg, Some(FaultKind::Drop), 1_000).is_disabled());
+        // Both machines' configs validate under the campaign.
+        assert!(dir_config(&cfg, Some(FaultKind::Drop), 1_000)
+            .validate()
+            .is_empty());
+        assert!(snoop_config(&cfg, Some(FaultKind::Drop), 1_000)
+            .validate()
+            .is_empty());
+    }
+
+    #[test]
+    fn tiny_campaign_detects_and_recovers_injected_corruption() {
+        let cfg = FaultToleranceConfig {
+            rates_per_mcycle: vec![10_000],
+            kinds: vec![FaultKind::Corrupt],
+            machines: vec![Machine::Directory],
+            workload: WorkloadKind::Oltp,
+            bandwidth: LinkBandwidth::MB_400,
+            num_nodes: 16,
+            mshr_entries: 4,
+            scale: ExperimentScale {
+                cycles: 20_000,
+                seeds: 1,
+            },
+        };
+        let data = run(&cfg).expect("no protocol errors");
+        assert_eq!(data.rows.len(), 2);
+        let control = &data.rows[0];
+        assert_eq!(control.rate_per_mcycle, 0);
+        assert_eq!(control.faults_injected, 0);
+        assert_eq!(control.fault_recoveries, 0);
+        let faulted = &data.rows[1];
+        assert!(faulted.faults_injected > 0, "the campaign never fired");
+        assert!(
+            faulted.fault_recoveries > 0,
+            "injected corruption must be detected and recovered"
+        );
+        assert_eq!(faulted.faults_detected, faulted.fault_recoveries);
+        // A 10^4/Mcycle storm means a fault roughly every hundred cycles:
+        // the machine spends the run detecting and restoring, so committed
+        // throughput collapses below the fault-free control.
+        assert!(control.throughput.mean > 0.0);
+        assert!(faulted.throughput.mean < control.throughput.mean);
+        let txt = data.render();
+        assert!(txt.contains("corrupt") && txt.contains("none"));
+        let json = data.to_json();
+        assert!(json.contains("\"kind\": \"corrupt\""));
+        assert!(json.contains("\"rate_per_mcycle\": 10000"));
+    }
+}

@@ -8,6 +8,7 @@
 //! the bench harnesses in `crates/bench` simply run and print them.
 
 pub mod buffer_sweep;
+pub mod fault_tolerance;
 pub mod fig4;
 pub mod fig5;
 pub mod fig5_crossover;
@@ -21,6 +22,7 @@ pub mod snooping;
 pub mod tables;
 
 pub use buffer_sweep::{BufferSweep, BufferSweepRow};
+pub use fault_tolerance::{FaultToleranceConfig, FaultToleranceData, FaultToleranceRow};
 pub use fig4::{Fig4Data, Fig4Row};
 pub use fig5::{Fig5Data, Fig5Row};
 pub use fig5_crossover::{Fig5CrossoverConfig, Fig5CrossoverData, Fig5CrossoverRow};

@@ -111,6 +111,12 @@ pub struct SharedBufferConfig {
     /// Data-torus pool sizes for the pooled **snooping** rows; empty skips
     /// the snooping machine entirely.
     pub snoop_pool_sizes: Vec<usize>,
+    /// Endpoint-vs-switch pool splits `(switch_slots, endpoint_slots)` to
+    /// visit on the directory machine (the pool total is the sum). Splitting
+    /// walls the ejection queues off from the fabric, so an ingest-side
+    /// backlog cannot eat the slots the fabric needs to drain — the cheap
+    /// structural fix for the endpoint-dependency deadlock of Figure 2.
+    pub pool_splits: Vec<(usize, usize)>,
     /// Cycles and perturbed seeds per design point.
     pub scale: ExperimentScale,
 }
@@ -129,6 +135,7 @@ impl Default for SharedBufferConfig {
             mshr_entries: 4,
             traffic: heavy_traffic(),
             snoop_pool_sizes: vec![32, 16, 8],
+            pool_splits: vec![(24, 8), (12, 4)],
             scale: ExperimentScale::from_env(),
         }
     }
@@ -149,6 +156,7 @@ impl SharedBufferConfig {
             mshr_entries: 4,
             traffic: heavy_traffic(),
             snoop_pool_sizes: vec![16],
+            pool_splits: vec![(12, 4)],
             scale: ExperimentScale {
                 cycles: 20_000,
                 seeds: 2,
@@ -169,6 +177,9 @@ pub struct SharedBufferRow {
     /// Slots in each node's shared pool; `None` is the virtual-network
     /// baseline (conservative per-class sizing, deadlock-free).
     pub pool_slots: Option<usize>,
+    /// Endpoint-vs-switch split `(switch_slots, endpoint_slots)` of the
+    /// pool; `None` is the unified pool (any slot backs anything).
+    pub pool_split: Option<(usize, usize)>,
     /// Committed operations per kilo-cycle over the perturbed seeds.
     pub throughput: Measurement,
     /// Throughput normalized to the virtual-network baseline with the same
@@ -246,6 +257,7 @@ fn row_from_runs(
     workload: WorkloadKind,
     routing: RoutingPolicy,
     pool_slots: Option<usize>,
+    pool_split: Option<(usize, usize)>,
     runs: &[crate::metrics::RunMetrics],
     baseline_mean: f64,
 ) -> SharedBufferRow {
@@ -261,6 +273,7 @@ fn row_from_runs(
         workload,
         routing,
         pool_slots,
+        pool_split,
         throughput: throughput_measurement(runs),
         normalized,
         deadlock_recoveries: if pool_slots.is_some() {
@@ -291,6 +304,7 @@ pub fn run(cfg: &SharedBufferConfig) -> Result<SharedBufferData, ProtocolError> 
                 workload,
                 routing,
                 None,
+                None,
                 &base_runs,
                 baseline,
             ));
@@ -302,6 +316,22 @@ pub fn run(cfg: &SharedBufferConfig) -> Result<SharedBufferData, ProtocolError> 
                     workload,
                     routing,
                     Some(slots),
+                    None,
+                    &runs,
+                    baseline,
+                ));
+            }
+            for &(switch, endpoint) in &cfg.pool_splits {
+                let total = switch + endpoint;
+                let split_cfg =
+                    pooled_config(cfg, workload, routing, total).with_pool_split(switch, endpoint);
+                let runs = measure_directory(&split_cfg, cfg.scale)?;
+                rows.push(row_from_runs(
+                    Machine::Directory,
+                    workload,
+                    routing,
+                    Some(total),
+                    Some((switch, endpoint)),
                     &runs,
                     baseline,
                 ));
@@ -316,6 +346,7 @@ pub fn run(cfg: &SharedBufferConfig) -> Result<SharedBufferData, ProtocolError> 
                 workload,
                 base_cfg.data_net.routing,
                 None,
+                None,
                 &base_runs,
                 baseline,
             ));
@@ -327,6 +358,7 @@ pub fn run(cfg: &SharedBufferConfig) -> Result<SharedBufferData, ProtocolError> 
                     workload,
                     pooled.data_net.routing,
                     Some(slots),
+                    None,
                     &runs,
                     baseline,
                 ));
@@ -361,9 +393,10 @@ impl SharedBufferData {
             "machine    workload  routing   slots/node  ops/kcycle        normalized        deadlocks  recoveries\n",
         );
         for r in &self.rows {
-            let slots = match r.pool_slots {
-                Some(s) => s.to_string(),
-                None => "VN".to_string(),
+            let slots = match (r.pool_slots, r.pool_split) {
+                (Some(_), Some((s, e))) => format!("{s}+{e}"),
+                (Some(s), None) => s.to_string(),
+                (None, _) => "VN".to_string(),
             };
             out.push_str(&format!(
                 "{:<9}  {:<9} {:<8}  {:>10}  {:<16}  {:<16}  {:>9}  {:>10}\n",
@@ -408,9 +441,15 @@ impl SharedBufferData {
                 Some(s) => s.to_string(),
                 None => "null".to_string(),
             };
+            let (split_switch, split_endpoint) = match r.pool_split {
+                Some((s, e)) => (s.to_string(), e.to_string()),
+                None => ("null".to_string(), "null".to_string()),
+            };
             json.push_str(&format!(
                 "    {{\"machine\": \"{}\", \"workload\": \"{}\", \"routing\": \"{}\", \
                  \"pool_slots\": {slots}, \
+                 \"pool_slots_switch\": {split_switch}, \
+                 \"pool_slots_endpoint\": {split_endpoint}, \
                  \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
                  \"normalized_mean\": {:.6}, \"normalized_std\": {:.6}, \
                  \"deadlock_recoveries\": {}, \"recoveries\": {}}}{comma}\n",
@@ -466,13 +505,14 @@ mod tests {
             mshr_entries: 1,
             traffic: TrafficConfig::default(),
             snoop_pool_sizes: vec![],
+            pool_splits: vec![(48, 16)],
             scale: ExperimentScale {
                 cycles: 20_000,
                 seeds: 1,
             },
         };
         let data = run(&cfg).expect("no protocol errors");
-        assert_eq!(data.rows.len(), 2);
+        assert_eq!(data.rows.len(), 3);
         let base = &data.rows[0];
         let pooled = &data.rows[1];
         assert_eq!(base.machine, Machine::Directory);
@@ -487,10 +527,22 @@ mod tests {
             pooled.normalized.mean
         );
         assert_eq!(pooled.deadlock_recoveries, 0);
+        // The split row: same 64-slot budget, walled 48 fabric / 16 endpoint.
+        let split = &data.rows[2];
+        assert_eq!(split.pool_slots, Some(64));
+        assert_eq!(split.pool_split, Some((48, 16)));
+        assert!(
+            split.normalized.mean > 0.8,
+            "a generous 48+16 split fell to {} of the VN baseline",
+            split.normalized.mean
+        );
         let txt = data.render();
-        assert!(txt.contains("VN") && txt.contains("64"));
+        assert!(txt.contains("VN") && txt.contains("64") && txt.contains("48+16"));
         let json = data.to_json();
         assert!(json.contains("\"pool_slots\": null") && json.contains("\"pool_slots\": 64"));
+        assert!(json.contains("\"pool_slots_switch\": 48"));
+        assert!(json.contains("\"pool_slots_endpoint\": 16"));
+        assert!(json.contains("\"pool_slots_switch\": null"));
     }
 
     #[test]
@@ -504,6 +556,7 @@ mod tests {
             mshr_entries: 2,
             traffic: heavy_traffic(),
             snoop_pool_sizes: vec![16],
+            pool_splits: vec![],
             scale: ExperimentScale {
                 cycles: 15_000,
                 seeds: 1,

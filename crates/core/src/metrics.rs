@@ -39,6 +39,18 @@ pub struct RunMetrics {
     pub deadlock_recoveries: u64,
     /// Recoveries injected artificially (the Figure 4 stress test).
     pub injected_recoveries: u64,
+    /// Transient faults actually injected by the fault director (message
+    /// fires plus opened fault windows; see [`specsim_base::FaultDirector`]).
+    pub faults_injected: u64,
+    /// The subset of [`RunMetrics::recoveries`] classified as injected
+    /// transient faults ([`MisSpecKind::TransientFault`]), whether caught at
+    /// message ingest (checksum/duplicate model) or through the transaction
+    /// timeout with fault evidence in the window.
+    pub fault_recoveries: u64,
+    /// Summed detection latency of fault-classified recoveries: cycles from
+    /// the fault's injection to its detection. Mean =
+    /// [`RunMetrics::mean_fault_detection_latency`].
+    pub fault_detection_latency_cycles: u64,
     /// Cycles of speculative work discarded by recoveries.
     pub lost_work_cycles: u64,
     /// Cycles spent in the recovery procedure itself.
@@ -183,6 +195,30 @@ impl RunMetrics {
         }
     }
 
+    /// Transient-fault mis-speculations detected, summed over every
+    /// [`MisSpecKind::TransientFault`] kind; equals
+    /// [`RunMetrics::fault_recoveries`] since every detection triggers a
+    /// recovery.
+    #[must_use]
+    pub fn faults_detected(&self) -> u64 {
+        self.misspeculations
+            .iter()
+            .filter(|(k, _)| k.is_transient_fault())
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Mean cycles from a fault's injection to its detection, over the
+    /// fault-classified recoveries (0 when there were none).
+    #[must_use]
+    pub fn mean_fault_detection_latency(&self) -> f64 {
+        if self.fault_recoveries == 0 {
+            0.0
+        } else {
+            self.fault_detection_latency_cycles as f64 / self.fault_recoveries as f64
+        }
+    }
+
     /// Mean demand-miss latency in cycles.
     #[must_use]
     pub fn mean_miss_latency(&self) -> f64 {
@@ -264,6 +300,28 @@ mod tests {
             DataClass::OwnerTransfer.label(),
             DataClass::Writeback.label()
         );
+    }
+
+    #[test]
+    fn fault_detection_counters_aggregate_across_kinds() {
+        use specsim_base::FaultKind;
+        let mut m = RunMetrics::default();
+        assert_eq!(m.faults_detected(), 0);
+        assert_eq!(m.mean_fault_detection_latency(), 0.0);
+        m.count_misspeculation(MisSpecKind::TransientFault {
+            kind: FaultKind::Drop,
+        });
+        m.count_misspeculation(MisSpecKind::TransientFault {
+            kind: FaultKind::Corrupt,
+        });
+        m.count_misspeculation(MisSpecKind::TransientFault {
+            kind: FaultKind::Drop,
+        });
+        m.count_misspeculation(MisSpecKind::TransactionTimeout);
+        assert_eq!(m.faults_detected(), 3);
+        m.fault_recoveries = 3;
+        m.fault_detection_latency_cycles = 4_500;
+        assert!((m.mean_fault_detection_latency() - 1_500.0).abs() < 1e-12);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! contributes the snooping [`ProtocolNode`] implementation.
 
 use specsim_base::{
-    BlockAddr, Cycle, CycleDelta, DetRng, LinkBandwidth, MemorySystemConfig, NodeId,
-    ProtocolVariant, RoutingPolicy,
+    BlockAddr, Cycle, CycleDelta, DetRng, FaultConfig, FaultKind, LinkBandwidth,
+    MemorySystemConfig, NodeId, ProtocolVariant, RoutingPolicy,
 };
 use specsim_coherence::snoop::msg::SnoopDataOut;
 use specsim_coherence::snoop::{
@@ -100,6 +100,12 @@ pub struct SnoopSystemConfig {
     /// (Zipfian hot blocks and/or bursty injection). The unshaped default
     /// is bit-identical to the historical generators.
     pub traffic: TrafficConfig,
+    /// Transient-fault injection schedule for chaos campaigns, applied to
+    /// the point-to-point **data torus** only (the ordered address bus stays
+    /// ideal — it is the protocol's logical time base). Disabled by default;
+    /// a [`FaultConfig::Random`] is lowered from [`Self::seed`] so the same
+    /// configuration always replays bit-identically.
+    pub fault_config: FaultConfig,
 }
 
 impl SnoopSystemConfig {
@@ -125,6 +131,7 @@ impl SnoopSystemConfig {
             inject_recovery_every: None,
             perturbation_cycles: 4,
             traffic: TrafficConfig::default(),
+            fault_config: FaultConfig::Disabled,
         }
     }
 
@@ -343,6 +350,18 @@ impl SnoopProtocol {
                 let Some(packet) = arch.data_net.eject_any(node) else {
                     break;
                 };
+                // Checksum model (Section 2): a detectably-damaged data
+                // message is caught here, reported as fault evidence, and
+                // discarded; the starved transaction then times out and the
+                // evidence classifies the recovery.
+                if packet.taint.is_detectable() {
+                    let kind = match packet.taint {
+                        specsim_net::PacketTaint::Duplicate => FaultKind::Duplicate,
+                        _ => FaultKind::Corrupt,
+                    };
+                    ctx.report_fault_evidence(now, node, packet.payload.addr(), kind);
+                    continue;
+                }
                 let result = match packet.payload {
                     SnoopDataMsg::WbData { .. } => {
                         arch.memories[i].handle_data(now, packet.payload)
@@ -385,7 +404,8 @@ impl ProtocolNode for SnoopProtocol {
         self.pump_controllers(arch, now, ctx);
         arch.bus.tick(now);
         self.deliver_snoops(arch, now, ctx);
-        arch.data_net.tick(now);
+        let faults = ctx.faults();
+        arch.data_net.tick_faulted(now, faults);
         // A shared-pool data torus can wedge like any Section 4 fabric.
         crate::engine::report_pooled_fabric_evidence(&arch.data_net, now, ctx);
         self.deliver_data(arch, now, ctx);
@@ -534,6 +554,7 @@ impl SnoopingSystem {
             mem_outboxes: (0..n).map(|_| StagedOutbox::default()).collect(),
         };
         let perturb_rng = seed_rng.fork();
+        let fault_plan = cfg.fault_config.lower(cfg.seed, n);
         let engine = SystemEngine::new(
             SnoopProtocol {
                 cfg: cfg.clone(),
@@ -544,6 +565,7 @@ impl SnoopingSystem {
             cfg.forward_progress,
             cfg.inject_recovery_every,
             perturb_rng,
+            fault_plan,
         );
         Self { engine }
     }

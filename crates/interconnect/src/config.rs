@@ -42,6 +42,17 @@ pub struct NetConfig {
     /// Quiet cycles the progress watchdog tolerates before reporting a stall
     /// (see [`crate::ProgressWatchdog`]).
     pub stall_threshold: u64,
+    /// In [`BufferPolicy::SharedPool`] mode, an optional separate budget for
+    /// the *switch side* of each node (input-port buffers and in-flight
+    /// reservations). `None` (with [`Self::pool_slots_endpoint`] also `None`)
+    /// keeps the single unified pool — bit-identical to the historical
+    /// behavior. Set both fields (or use [`Self::shared_pool_split`]) to
+    /// split the budget.
+    pub pool_slots_switch: Option<usize>,
+    /// In [`BufferPolicy::SharedPool`] mode, an optional separate budget for
+    /// the *endpoint side* of each node (ejection queues). See
+    /// [`Self::pool_slots_switch`].
+    pub pool_slots_endpoint: Option<usize>,
 }
 
 /// Default progress-watchdog threshold: long enough that back-pressure waves
@@ -69,6 +80,8 @@ impl NetConfig {
             ejection_queue_depth: 8,
             injection_queue_depth: 8,
             stall_threshold: DEFAULT_STALL_THRESHOLD,
+            pool_slots_switch: None,
+            pool_slots_endpoint: None,
         }
     }
 
@@ -93,6 +106,8 @@ impl NetConfig {
             ejection_queue_depth: buffers_per_port,
             injection_queue_depth: buffers_per_port,
             stall_threshold: DEFAULT_STALL_THRESHOLD,
+            pool_slots_switch: None,
+            pool_slots_endpoint: None,
         }
     }
 
@@ -119,6 +134,8 @@ impl NetConfig {
             ejection_queue_depth: 8,
             injection_queue_depth: 8,
             stall_threshold: DEFAULT_STALL_THRESHOLD,
+            pool_slots_switch: None,
+            pool_slots_endpoint: None,
         }
     }
 
@@ -141,6 +158,26 @@ impl NetConfig {
         cfg
     }
 
+    /// A shared-pool interconnect whose per-node budget is split
+    /// endpoint-vs-switch: `switch_slots` message slots cover a node's
+    /// switch-side occupancy (input-port buffers plus in-flight downstream
+    /// reservations) and `endpoint_slots` cover its ejection queues. A
+    /// message trades its switch slot for an endpoint slot on ejection, so a
+    /// saturated fabric can no longer starve local delivery (and vice versa)
+    /// — a finer-grained version of the Section 4 single pool.
+    #[must_use]
+    pub fn shared_pool_split(
+        num_nodes: usize,
+        link_bandwidth: LinkBandwidth,
+        switch_slots: usize,
+        endpoint_slots: usize,
+    ) -> Self {
+        let mut cfg = Self::shared_pool(num_nodes, link_bandwidth, switch_slots + endpoint_slots);
+        cfg.pool_slots_switch = Some(switch_slots);
+        cfg.pool_slots_endpoint = Some(endpoint_slots);
+        cfg
+    }
+
     /// Slots in each node's shared pool when the policy is
     /// [`BufferPolicy::SharedPool`], else `None`.
     #[must_use]
@@ -148,6 +185,18 @@ impl NetConfig {
         match self.buffer_policy {
             BufferPolicy::SharedPool { total_slots } => Some(total_slots),
             BufferPolicy::VirtualNetworks => None,
+        }
+    }
+
+    /// The `(switch_slots, endpoint_slots)` split budget, when the policy is
+    /// [`BufferPolicy::SharedPool`] *and* both split fields are set. `None`
+    /// means the unified single-pool accounting is in effect.
+    #[must_use]
+    pub fn pool_split(&self) -> Option<(usize, usize)> {
+        self.pool_slots()?;
+        match (self.pool_slots_switch, self.pool_slots_endpoint) {
+            (Some(s), Some(e)) => Some((s, e)),
+            _ => None,
         }
     }
 
@@ -424,6 +473,27 @@ mod tests {
             NetConfig::conventional(16, LinkBandwidth::MB_400).pool_slots(),
             None
         );
+    }
+
+    #[test]
+    fn shared_pool_split_sets_both_budgets() {
+        let cfg = NetConfig::shared_pool_split(16, LinkBandwidth::MB_400, 18, 6);
+        assert_eq!(cfg.pool_slots(), Some(24));
+        assert_eq!(cfg.pool_split(), Some((18, 6)));
+        // The unified preset and every legacy constructor stay un-split.
+        assert_eq!(
+            NetConfig::shared_pool(16, LinkBandwidth::MB_400, 24).pool_split(),
+            None
+        );
+        assert_eq!(
+            NetConfig::conventional(16, LinkBandwidth::MB_400).pool_split(),
+            None
+        );
+        // Split fields without the SharedPool policy are inert.
+        let mut cfg2 = NetConfig::conventional(16, LinkBandwidth::MB_400);
+        cfg2.pool_slots_switch = Some(8);
+        cfg2.pool_slots_endpoint = Some(8);
+        assert_eq!(cfg2.pool_split(), None);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use config::NetConfig;
 pub use deadlock::ProgressWatchdog;
 pub use network::{InjectError, Network};
 pub use ordering::OrderingTracker;
-pub use packet::{Packet, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
+pub use packet::{Packet, PacketTaint, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
 pub use pool::SlotPool;
 pub use stats::NetStats;
 pub use topology::{Coord, Direction, Torus};

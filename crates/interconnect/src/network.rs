@@ -22,12 +22,15 @@
 
 use std::collections::BTreeMap;
 
-use specsim_base::{ActiveSet, Cycle, CycleDelta, MessageSize, MsgQueue, NodeId, RoutingPolicy};
+use specsim_base::{
+    ActiveSet, Cycle, CycleDelta, FaultDirector, FaultKind, MessageSize, MsgQueue, NodeId,
+    RoutingPolicy,
+};
 
 use crate::config::{BufferLayout, NetConfig};
 use crate::deadlock::ProgressWatchdog;
 use crate::ordering::OrderingTracker;
-use crate::packet::{Packet, VirtualNetwork};
+use crate::packet::{Packet, PacketTaint, VirtualNetwork};
 use crate::pool::SlotPool;
 use crate::routing::route_candidates;
 use crate::stats::NetStats;
@@ -201,11 +204,20 @@ pub struct Network<P> {
     /// buffers (including the injection port) and its ejection queues: a slot
     /// is taken at injection or when a hop reserves downstream space, moves
     /// with the packet from node to node, and is freed when the endpoint
-    /// drains the packet from an ejection queue.
+    /// drains the packet from an ejection queue. When the budget is split
+    /// ([`NetConfig::pool_split`]), these pools cover only the switch side
+    /// (input-port buffers and in-transit link reservations) and
+    /// [`Network::endpoint_pools`] covers the ejection queues.
     pools: Option<Vec<SlotPool>>,
+    /// Per-node endpoint slot pools, present only under a split budget: an
+    /// ejecting packet trades its switch slot for an endpoint slot, so
+    /// ejection back-pressure and switch congestion stop sharing one budget.
+    endpoint_pools: Option<Vec<SlotPool>>,
     /// Number of pools currently at full occupancy (incremental mirror;
     /// feeds the O(1) deadlock-evidence check [`Network::has_exhausted_pool`]).
     full_pools: usize,
+    /// Number of endpoint pools at full occupancy (split budgets only).
+    full_endpoint_pools: usize,
     in_flight: usize,
     /// Worklist of switches holding at least one queued packet.
     active: ActiveSet,
@@ -239,9 +251,17 @@ impl<P> Network<P> {
             None => Torus::new(cfg.num_nodes),
         };
         let layout = cfg.layout();
-        let pools = cfg
-            .pool_slots()
-            .map(|slots| vec![SlotPool::new(slots); cfg.num_nodes]);
+        let (pools, endpoint_pools) = match cfg.pool_split() {
+            Some((switch_slots, endpoint_slots)) => (
+                Some(vec![SlotPool::new(switch_slots); cfg.num_nodes]),
+                Some(vec![SlotPool::new(endpoint_slots); cfg.num_nodes]),
+            ),
+            None => (
+                cfg.pool_slots()
+                    .map(|slots| vec![SlotPool::new(slots); cfg.num_nodes]),
+                None,
+            ),
+        };
         let pooled = pools.is_some();
         let switches = (0..cfg.num_nodes)
             .map(|i| Switch::new(NodeId::from(i), &layout, pooled))
@@ -270,7 +290,9 @@ impl<P> Network<P> {
             stats: NetStats::new(num_links),
             watchdog: ProgressWatchdog::new(cfg.stall_threshold),
             pools,
+            endpoint_pools,
             full_pools: 0,
+            full_endpoint_pools: 0,
             in_flight: 0,
             active: ActiveSet::new(cfg.num_nodes),
             arrivals: ArrivalCalendar::default(),
@@ -313,15 +335,28 @@ impl<P> Network<P> {
         self.pools.is_some()
     }
 
+    /// True when this network splits its slot budget between switch-side
+    /// and endpoint-side pools ([`NetConfig::pool_split`]).
+    #[must_use]
+    pub fn is_pool_split(&self) -> bool {
+        self.endpoint_pools.is_some()
+    }
+
     /// Installs a per-virtual-network reservation of `r` slots in every
     /// node's pool (the conservative forward-progress mode applied during
     /// post-deadlock re-execution); `r = 0` returns to fully shared slots.
+    /// Under a split budget the reservation applies to both sides.
     /// Returns `false` (and does nothing) when the network is not pooled.
     pub fn set_pool_reservation(&mut self, r: usize) -> bool {
         match &mut self.pools {
             Some(pools) => {
                 for p in pools {
                     p.set_reservation(r);
+                }
+                if let Some(pools) = &mut self.endpoint_pools {
+                    for p in pools {
+                        p.set_reservation(r);
+                    }
                 }
                 true
             }
@@ -336,11 +371,21 @@ impl<P> Network<P> {
         self.pools.as_ref().map(|p| p[0].reservation())
     }
 
-    /// Per-node pool occupancy (held slots), for diagnostics and tests.
-    /// Empty when the network is not pooled.
+    /// Per-node pool occupancy (held slots) of the switch-side pools, for
+    /// diagnostics and tests. Empty when the network is not pooled.
     #[must_use]
     pub fn pool_occupancy_snapshot(&self) -> Vec<usize> {
         self.pools
+            .as_ref()
+            .map(|pools| pools.iter().map(SlotPool::occupancy).collect())
+            .unwrap_or_default()
+    }
+
+    /// Per-node endpoint pool occupancy under a split budget. Empty when
+    /// the budget is unified (or the network is unpooled).
+    #[must_use]
+    pub fn endpoint_pool_occupancy_snapshot(&self) -> Vec<usize> {
+        self.endpoint_pools
             .as_ref()
             .map(|pools| pools.iter().map(SlotPool::occupancy).collect())
             .unwrap_or_default()
@@ -370,13 +415,51 @@ impl<P> Network<P> {
         }
     }
 
-    /// True when at least one node's shared pool is at full occupancy — the
-    /// evidence that ties a coherence-transaction timeout to buffer
-    /// exhaustion (a detected buffer-dependency deadlock) rather than plain
-    /// latency. Always `false` for unpooled networks.
+    /// True when an ejection at `node` can take the slot it needs: under a
+    /// split budget an ejecting packet trades its switch slot for an
+    /// endpoint slot, so the endpoint pool must have room; under a unified
+    /// budget the packet keeps the slot it already holds.
+    fn endpoint_can(&self, node: usize, vnet: VirtualNetwork) -> bool {
+        self.endpoint_pools
+            .as_ref()
+            .map_or(true, |p| p[node].can_acquire(vnet.index()))
+    }
+
+    fn endpoint_acquire(&mut self, node: usize, vnet: VirtualNetwork) {
+        if let Some(pools) = &mut self.endpoint_pools {
+            pools[node].acquire(vnet.index());
+            if pools[node].occupancy() == pools[node].total() {
+                self.full_endpoint_pools += 1;
+            }
+        }
+    }
+
+    fn endpoint_release(&mut self, node: usize, vnet: VirtualNetwork) {
+        if let Some(pools) = &mut self.endpoint_pools {
+            if pools[node].occupancy() == pools[node].total() {
+                self.full_endpoint_pools -= 1;
+            }
+            pools[node].release(vnet.index());
+        }
+    }
+
+    /// Frees the slot held by a packet leaving an ejection queue: the
+    /// endpoint pool under a split budget, the unified pool otherwise.
+    fn release_ejected_slot(&mut self, node: usize, vnet: VirtualNetwork) {
+        if self.endpoint_pools.is_some() {
+            self.endpoint_release(node, vnet);
+        } else {
+            self.pool_release(node, vnet);
+        }
+    }
+
+    /// True when at least one node's shared pool (switch- or endpoint-side)
+    /// is at full occupancy — the evidence that ties a coherence-transaction
+    /// timeout to buffer exhaustion (a detected buffer-dependency deadlock)
+    /// rather than plain latency. Always `false` for unpooled networks.
     #[must_use]
     pub fn has_exhausted_pool(&self) -> bool {
-        self.full_pools > 0
+        self.full_pools > 0 || self.full_endpoint_pools > 0
     }
 
     /// True when a packet of class `vnet` can be injected at `src` this
@@ -412,6 +495,7 @@ impl<P> Network<P> {
             size,
             seq,
             injected_at: now,
+            taint: PacketTaint::Clean,
             payload,
         };
         let b = self.layout.injection_buffer_index(vnet);
@@ -432,9 +516,27 @@ impl<P> Network<P> {
     /// Advances the network by one cycle: first delivers link arrivals into
     /// downstream buffers, then lets every switch forward up to one packet
     /// per input port.
-    pub fn tick(&mut self, now: Cycle) {
-        self.deliver_phase(now);
-        self.forward_phase(now);
+    pub fn tick(&mut self, now: Cycle)
+    where
+        P: Clone,
+    {
+        self.tick_faulted(now, None);
+    }
+
+    /// [`Network::tick`] with an optional fault director. When present, the
+    /// director's schedule is consulted at every link transmit (drop /
+    /// duplicate / delay / corrupt), switch visit (stall / blackout window)
+    /// and ejection (inbox-drop window). `None` is a strict no-op relative
+    /// to [`Network::tick`] — the schedule stays bit-identical.
+    pub fn tick_faulted(&mut self, now: Cycle, mut faults: Option<&mut FaultDirector>)
+    where
+        P: Clone,
+    {
+        if let Some(f) = faults.as_deref_mut() {
+            f.advance(now);
+        }
+        self.deliver_phase(now, faults.as_deref());
+        self.forward_phase(now, faults);
     }
 
     /// Messages currently inside the network fabric (injected but not yet
@@ -467,7 +569,7 @@ impl<P> Network<P> {
         let p = self.eject[node.index()][q].pop();
         if let Some(p) = &p {
             self.eject_pending[node.index()] -= 1;
-            self.pool_release(node.index(), p.vnet);
+            self.release_ejected_slot(node.index(), p.vnet);
         }
         p
     }
@@ -492,7 +594,7 @@ impl<P> Network<P> {
             if let Some(p) = self.eject[i][q].pop() {
                 self.eject_rr[i] = (q + 1) % n;
                 self.eject_pending[i] -= 1;
-                self.pool_release(i, p.vnet);
+                self.release_ejected_slot(i, p.vnet);
                 return Some(p);
             }
         }
@@ -579,7 +681,13 @@ impl<P> Network<P> {
                 p.clear();
             }
         }
+        if let Some(pools) = &mut self.endpoint_pools {
+            for p in pools {
+                p.clear();
+            }
+        }
         self.full_pools = 0;
+        self.full_endpoint_pools = 0;
         self.in_flight = 0;
         self.active.clear();
         self.arrivals.clear();
@@ -587,7 +695,7 @@ impl<P> Network<P> {
         dropped
     }
 
-    fn deliver_phase(&mut self, now: Cycle) {
+    fn deliver_phase(&mut self, now: Cycle, faults: Option<&FaultDirector>) {
         let mut batch = std::mem::take(&mut self.arrival_scratch);
         while self.arrivals.pop_ripe_into(now, &mut batch) {
             for &(si, di) in &batch {
@@ -603,6 +711,19 @@ impl<P> Network<P> {
                     .expect("calendar entry without an in-transit message");
                 debug_assert!(arrival <= now, "calendar delivered an unripe arrival");
                 let j = self.torus.neighbor(self.switches[i].node, d).index();
+                if faults.is_some_and(|f| f.switch_blacked_out(j)) {
+                    // A blacked-out switch loses its arrivals: give back the
+                    // buffer reservation and the slot the hop took, and the
+                    // message simply ceases to exist.
+                    let buf =
+                        &mut self.switches[j].ports[d.opposite().index()].buffers[target_buffer];
+                    debug_assert!(buf.reserved > 0, "blackout drop without a reservation");
+                    buf.reserved -= 1;
+                    self.pool_release(j, packet.vnet);
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.watchdog.record_progress(now);
+                    continue;
+                }
                 let port = &mut self.switches[j].ports[d.opposite().index()];
                 port.buffers[target_buffer].accept_reserved(packet);
                 port.queued += 1;
@@ -614,7 +735,10 @@ impl<P> Network<P> {
         self.arrival_scratch = batch;
     }
 
-    fn forward_phase(&mut self, now: Cycle) {
+    fn forward_phase(&mut self, now: Cycle, mut faults: Option<&mut FaultDirector>)
+    where
+        P: Clone,
+    {
         // The port round-robin pointer advances once per round on every
         // switch (active or not), exactly as the exhaustive scan did.
         let start_port = (self.forward_rounds % ALL_PORTS.len() as u64) as usize;
@@ -635,14 +759,14 @@ impl<P> Network<P> {
         // bit-identical.
         let mut pos = rotation;
         while let Some(i) = self.active.next_at_or_after(pos) {
-            self.forward_switch(i, now, start_port);
+            self.forward_switch(i, now, start_port, faults.as_deref_mut());
             pos = i + 1;
         }
         let mut pos = 0;
         while pos < rotation {
             match self.active.next_at_or_after(pos) {
                 Some(i) if i < rotation => {
-                    self.forward_switch(i, now, start_port);
+                    self.forward_switch(i, now, start_port, faults.as_deref_mut());
                     pos = i + 1;
                 }
                 _ => break,
@@ -650,7 +774,20 @@ impl<P> Network<P> {
         }
     }
 
-    fn forward_switch(&mut self, i: usize, now: Cycle, start_port: usize) {
+    fn forward_switch(
+        &mut self,
+        i: usize,
+        now: Cycle,
+        start_port: usize,
+        mut faults: Option<&mut FaultDirector>,
+    ) where
+        P: Clone,
+    {
+        // A stalled (or blacked-out) switch forwards nothing while its fault
+        // window is open; it stays on the worklist and resumes afterwards.
+        if faults.as_deref().is_some_and(|f| f.switch_stalled(i)) {
+            return;
+        }
         // Congestion inputs (link state, downstream occupancy) are immutable
         // during the read-only planning pass, so the four-direction metric is
         // computed at most once per applied move instead of once per queued
@@ -665,7 +802,7 @@ impl<P> Network<P> {
             let c = *congestion
                 .get_or_insert_with(|| Self::congestion_of(&self.switches, &self.torus, i, now));
             if let Some(decision) = self.plan_port_move(i, p, now, &c) {
-                self.apply_move(i, p, decision, now);
+                self.apply_move(i, p, decision, now, faults.as_deref_mut());
                 congestion = None;
             }
         }
@@ -708,10 +845,12 @@ impl<P> Network<P> {
             let Some(pkt) = port.buffers[b].queue.peek() else {
                 continue;
             };
-            // Local delivery.
+            // Local delivery. Under a split pool budget the ejecting packet
+            // must additionally win an endpoint slot (it trades its switch
+            // slot away); under a unified budget it keeps the slot it holds.
             if pkt.dst == sw.node {
                 let q = self.layout.ejection_index(pkt.vnet);
-                if !self.eject[i][q].is_full() {
+                if !self.eject[i][q].is_full() && self.endpoint_can(i, pkt.vnet) {
                     return Some(MoveDecision {
                         buffer: b,
                         action: MoveAction::Eject { queue: q },
@@ -781,57 +920,135 @@ impl<P> Network<P> {
         None
     }
 
-    /// Mutating pass: execute a planned move.
-    fn apply_move(&mut self, i: usize, p: usize, decision: MoveDecision, now: Cycle) {
+    /// Mutating pass: execute a planned move, consulting the fault director
+    /// (if any) at the link-transmit and ejection hooks.
+    fn apply_move(
+        &mut self,
+        i: usize,
+        p: usize,
+        decision: MoveDecision,
+        now: Cycle,
+        faults: Option<&mut FaultDirector>,
+    ) where
+        P: Clone,
+    {
         match decision.action {
             MoveAction::Eject { queue } => {
                 let pkt = self.switches[i].ports[p].buffers[decision.buffer]
                     .queue
                     .pop()
                     .expect("planned packet vanished");
-                let latency = now.saturating_sub(pkt.injected_at);
-                self.ordering
-                    .observe_delivery(pkt.src, pkt.dst, pkt.vnet, pkt.seq);
-                self.stats.record_delivery(pkt.vnet, latency);
-                self.eject[i][queue]
-                    .push(pkt)
-                    .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
-                self.eject_pending[i] += 1;
-                self.in_flight = self.in_flight.saturating_sub(1);
-                self.watchdog.record_progress(now);
+                if faults.as_deref().is_some_and(|f| f.inbox_dropped(i)) {
+                    // Dead network interface: the ejected message is lost
+                    // before it reaches the endpoint. Its slot is freed from
+                    // the switch pool (it never takes an endpoint slot).
+                    self.pool_release(i, pkt.vnet);
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.watchdog.record_progress(now);
+                } else {
+                    if self.endpoint_pools.is_some() {
+                        // Split budget: trade the switch slot for the
+                        // endpoint slot the planning pass checked.
+                        self.pool_release(i, pkt.vnet);
+                        self.endpoint_acquire(i, pkt.vnet);
+                    }
+                    let latency = now.saturating_sub(pkt.injected_at);
+                    self.ordering
+                        .observe_delivery(pkt.src, pkt.dst, pkt.vnet, pkt.seq);
+                    self.stats.record_delivery(pkt.vnet, latency);
+                    self.eject[i][queue]
+                        .push(pkt)
+                        .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
+                    self.eject_pending[i] += 1;
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.watchdog.record_progress(now);
+                }
             }
             MoveAction::Forward {
                 dir,
                 target_buffer,
                 serialization,
             } => {
-                let pkt = self.switches[i].ports[p].buffers[decision.buffer]
+                let mut pkt = self.switches[i].ports[p].buffers[decision.buffer]
                     .queue
                     .pop()
                     .expect("planned packet vanished");
                 let node = self.switches[i].node;
                 let j = self.torus.neighbor(node, dir).index();
                 let opp = dir.opposite().index();
-                // The slot credit travels with the packet: the hop frees a
-                // slot at this node and takes the downstream one that the
-                // planning pass checked.
-                self.pool_release(i, pkt.vnet);
-                self.pool_acquire(j, pkt.vnet);
-                let arrival = now + serialization + self.cfg.switch_latency;
-                {
-                    let link = &mut self.switches[i].links[dir.index()];
-                    link.busy_until = now + serialization;
-                    link.util.add_busy(serialization);
-                    link.in_transit.push_back(InTransit {
-                        arrival,
-                        target_buffer,
-                        packet: pkt,
+                // Fault injection at link transmit: at most one armed
+                // message fault fires per transmit.
+                let fired =
+                    faults.and_then(|f| f.message_fault(now, i, dir.index(), pkt.vnet.index()));
+                if matches!(fired, Some((FaultKind::Drop, _))) {
+                    // The message vanishes on the link: free this node's
+                    // slot and never touch the downstream side.
+                    self.pool_release(i, pkt.vnet);
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.watchdog.record_progress(now);
+                } else {
+                    let delay = match fired {
+                        Some((FaultKind::Delay, param)) => param,
+                        _ => 0,
+                    };
+                    if matches!(fired, Some((FaultKind::Corrupt, _))) {
+                        pkt.taint = PacketTaint::Corrupt;
+                    }
+                    let duplicate = matches!(fired, Some((FaultKind::Duplicate, _)));
+                    let vnet = pkt.vnet;
+                    let dup_pkt = duplicate.then(|| {
+                        let mut d = pkt.clone();
+                        d.taint = PacketTaint::Duplicate;
+                        d
                     });
+                    // The slot credit travels with the packet: the hop frees
+                    // a slot at this node and takes the downstream one that
+                    // the planning pass checked. A delay fault holds the link
+                    // (and everything serialized behind it) for the extra
+                    // cycles, so per-link arrivals stay in FIFO order.
+                    self.pool_release(i, vnet);
+                    self.pool_acquire(j, vnet);
+                    let arrival = now + serialization + self.cfg.switch_latency + delay;
+                    {
+                        let link = &mut self.switches[i].links[dir.index()];
+                        link.busy_until = now + serialization + delay;
+                        link.util.add_busy(serialization);
+                        link.in_transit.push_back(InTransit {
+                            arrival,
+                            target_buffer,
+                            packet: pkt,
+                        });
+                    }
+                    self.arrivals.schedule(arrival, i, dir.index());
+                    self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
+                    self.stats.hops.incr();
+                    self.watchdog.record_progress(now);
+                    if let Some(d) = dup_pkt {
+                        // The spurious copy follows back-to-back on the same
+                        // link and consumes real downstream resources — if
+                        // the buffer and pool can cover a second packet; an
+                        // exhausted target quietly absorbs the fault.
+                        if self.switches[j].ports[opp].buffers[target_buffer].has_space()
+                            && self.pool_can(j, vnet)
+                        {
+                            self.pool_acquire(j, vnet);
+                            let dup_arrival = arrival + serialization;
+                            {
+                                let link = &mut self.switches[i].links[dir.index()];
+                                link.busy_until = now + 2 * serialization;
+                                link.util.add_busy(serialization);
+                                link.in_transit.push_back(InTransit {
+                                    arrival: dup_arrival,
+                                    target_buffer,
+                                    packet: d,
+                                });
+                            }
+                            self.arrivals.schedule(dup_arrival, i, dir.index());
+                            self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
+                            self.in_flight += 1;
+                        }
+                    }
                 }
-                self.arrivals.schedule(arrival, i, dir.index());
-                self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
-                self.stats.hops.incr();
-                self.watchdog.record_progress(now);
             }
         }
         let sw = &mut self.switches[i];
@@ -874,17 +1091,20 @@ impl<P> Network<P> {
     /// Checks the shared-pool slot accounting against a full scan: a node's
     /// held slots per class must equal the packets of that class queued in
     /// its input ports and ejection queues plus the in-flight link packets
-    /// that reserved a slot at this node. No-op for unpooled networks.
+    /// that reserved a slot at this node. Under a split budget the switch
+    /// pool covers ports + in-transit reservations and the endpoint pool
+    /// covers the ejection queues. No-op for unpooled networks.
     #[cfg(test)]
     fn assert_pool_invariants(&self) {
         let Some(pools) = &self.pools else { return };
         let n = self.switches.len();
-        let mut expected = vec![[0usize; 4]; n];
+        let mut switch_side = vec![[0usize; 4]; n];
+        let mut eject_side = vec![[0usize; 4]; n];
         for (i, sw) in self.switches.iter().enumerate() {
             for port in &sw.ports {
                 for buffer in &port.buffers {
                     for pkt in buffer.queue.iter() {
-                        expected[i][pkt.vnet.index()] += 1;
+                        switch_side[i][pkt.vnet.index()] += 1;
                     }
                 }
             }
@@ -893,19 +1113,29 @@ impl<P> Network<P> {
             for d in LINK_DIRECTIONS {
                 let j = self.torus.neighbor(sw.node, d).index();
                 for t in &sw.links[d.index()].in_transit {
-                    expected[j][t.packet.vnet.index()] += 1;
+                    switch_side[j][t.packet.vnet.index()] += 1;
                 }
             }
         }
         for (i, queues) in self.eject.iter().enumerate() {
             for q in queues {
                 for pkt in q.iter() {
-                    expected[i][pkt.vnet.index()] += 1;
+                    eject_side[i][pkt.vnet.index()] += 1;
                 }
             }
         }
+        let expected_switch: Vec<[usize; 4]> = if self.endpoint_pools.is_some() {
+            switch_side
+        } else {
+            // Unified budget: one pool covers both sides.
+            switch_side
+                .iter()
+                .zip(&eject_side)
+                .map(|(s, e)| std::array::from_fn(|v| s[v] + e[v]))
+                .collect()
+        };
         for (i, pool) in pools.iter().enumerate() {
-            for (v, &count) in expected[i].iter().enumerate() {
+            for (v, &count) in expected_switch[i].iter().enumerate() {
                 assert_eq!(
                     pool.in_use(v),
                     count,
@@ -915,6 +1145,25 @@ impl<P> Network<P> {
         }
         let full_scan = pools.iter().filter(|p| p.occupancy() == p.total()).count();
         assert_eq!(self.full_pools, full_scan, "full-pool counter");
+        if let Some(endpoint) = &self.endpoint_pools {
+            for (i, pool) in endpoint.iter().enumerate() {
+                for (v, &count) in eject_side[i].iter().enumerate() {
+                    assert_eq!(
+                        pool.in_use(v),
+                        count,
+                        "endpoint pool slot count at node {i}, class {v}"
+                    );
+                }
+            }
+            let full_scan = endpoint
+                .iter()
+                .filter(|p| p.occupancy() == p.total())
+                .count();
+            assert_eq!(
+                self.full_endpoint_pools, full_scan,
+                "full-endpoint-pool counter"
+            );
+        }
     }
 }
 
@@ -1539,6 +1788,332 @@ mod tests {
         assert!(!net.set_pool_reservation(2));
         assert_eq!(net.pool_reservation(), None);
         assert!(net.pool_occupancy_snapshot().is_empty());
+    }
+
+    use specsim_base::{FaultEvent, FaultPlan, FaultSite};
+
+    /// A director with one `kind` event armed on every outgoing link of
+    /// `node` (so the test does not depend on the routing decision).
+    fn link_faults(at: Cycle, node: usize, kind: FaultKind, param: u64) -> FaultDirector {
+        let events = (0..4)
+            .map(|dir| FaultEvent {
+                at,
+                site: FaultSite::Link {
+                    node,
+                    dir,
+                    vnet: None,
+                },
+                kind,
+                param,
+            })
+            .collect();
+        FaultDirector::new(FaultPlan { events })
+    }
+
+    fn window_fault(at: Cycle, site: FaultSite, kind: FaultKind, param: u64) -> FaultDirector {
+        FaultDirector::new(FaultPlan::single(FaultEvent {
+            at,
+            site,
+            kind,
+            param,
+        }))
+    }
+
+    /// Like [`run_until_drained`] but ticking through the fault director.
+    fn run_faulted_until_drained(
+        net: &mut Net,
+        faults: &mut FaultDirector,
+        start: Cycle,
+        max_cycles: u64,
+    ) -> (Cycle, Vec<Packet<u64>>) {
+        let mut now = start;
+        let mut delivered = drain_all_ejections(net);
+        while net.in_flight() > 0 && now < start + max_cycles {
+            now += 1;
+            net.tick_faulted(now, Some(faults));
+            net.assert_worklist_invariants();
+            delivered.extend(drain_all_ejections(net));
+        }
+        (now, delivered)
+    }
+
+    fn inject_one(net: &mut Net, now: Cycle, src: usize, dst: usize, payload: u64) {
+        net.inject(
+            now,
+            NodeId::from(src),
+            NodeId::from(dst),
+            VirtualNetwork::Request,
+            MessageSize::Control,
+            payload,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn tick_faulted_without_a_director_matches_tick() {
+        // `tick_faulted(now, None)` must be a strict no-op relative to
+        // `tick(now)`: same schedule, same deliveries, same stats.
+        let cfg = NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24);
+        let mut a: Net = Network::new(cfg.clone());
+        let mut b: Net = Network::new(cfg);
+        let mut rng_a = DetRng::new(77);
+        let mut rng_b = DetRng::new(77);
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        for now in 1..800u64 {
+            for (net, rng) in [(&mut a, &mut rng_a), (&mut b, &mut rng_b)] {
+                let src = NodeId::from(rng.next_below(16) as usize);
+                let dst = NodeId::from(rng.next_below(16) as usize);
+                if net.can_inject(src, VirtualNetwork::Response) {
+                    let _ = net.inject(
+                        now,
+                        src,
+                        dst,
+                        VirtualNetwork::Response,
+                        MessageSize::Data,
+                        now,
+                    );
+                }
+            }
+            a.tick(now);
+            b.tick_faulted(now, None);
+            got_a.extend(
+                drain_all_ejections(&mut a)
+                    .into_iter()
+                    .map(|p| (p.src, p.seq)),
+            );
+            got_b.extend(
+                drain_all_ejections(&mut b)
+                    .into_iter()
+                    .map(|p| (p.src, p.seq)),
+            );
+        }
+        assert_eq!(got_a, got_b);
+        assert_eq!(a.in_flight(), b.in_flight());
+        assert_eq!(a.stats().delivered.get(), b.stats().delivered.get());
+    }
+
+    #[test]
+    fn drop_fault_loses_exactly_one_message() {
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
+        let mut faults = link_faults(0, 0, FaultKind::Drop, 0);
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 10_000);
+        assert!(delivered.is_empty(), "dropped message must not arrive");
+        assert_eq!(net.in_flight(), 0, "drop releases the slot and the count");
+        assert_eq!(faults.fires(), 1);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+        // A later message on the same link sails through (one-shot fault).
+        inject_one(&mut net, 100, 0, 1, 8);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 100, 10_000);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 8);
+        assert_eq!(delivered[0].taint, PacketTaint::Clean);
+    }
+
+    #[test]
+    fn corrupt_fault_taints_the_delivered_packet() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+        let mut faults = link_faults(0, 0, FaultKind::Corrupt, 0);
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 10_000);
+        assert_eq!(delivered.len(), 1, "corruption does not lose the message");
+        assert_eq!(delivered[0].taint, PacketTaint::Corrupt);
+        assert!(delivered[0].taint.is_detectable());
+        assert_eq!(faults.fires(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_one_clean_and_one_tainted_copy() {
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
+        let mut faults = link_faults(0, 0, FaultKind::Duplicate, 0);
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 10_000);
+        assert_eq!(delivered.len(), 2);
+        let clean: Vec<_> = delivered
+            .iter()
+            .filter(|p| p.taint == PacketTaint::Clean)
+            .collect();
+        let dup: Vec<_> = delivered
+            .iter()
+            .filter(|p| p.taint == PacketTaint::Duplicate)
+            .collect();
+        assert_eq!((clean.len(), dup.len()), (1, 1));
+        assert_eq!(
+            clean[0].seq, dup[0].seq,
+            "the copy keeps the sequence number"
+        );
+        assert_eq!(dup[0].payload, 7);
+        // An equal (duplicated) sequence number is not an ordering inversion.
+        assert_eq!(net.ordering().total_reordered(), 0);
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn delay_fault_postpones_delivery_by_its_parameter() {
+        let mk = || -> Net { Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2)) };
+        let mut clean_net = mk();
+        inject_one(&mut clean_net, 0, 0, 1, 7);
+        let (clean_end, d) = run_until_drained(&mut clean_net, 0, 10_000);
+        assert_eq!(d.len(), 1);
+        let mut net = mk();
+        let mut faults = link_faults(0, 0, FaultKind::Delay, 700);
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (end, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 20_000);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].taint, PacketTaint::Clean);
+        assert!(
+            end >= clean_end + 700,
+            "delayed delivery at {end}, clean at {clean_end}"
+        );
+    }
+
+    #[test]
+    fn switch_stall_window_pauses_forwarding_then_releases() {
+        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
+        let mut faults = window_fault(
+            1,
+            FaultSite::Switch { node: 0 },
+            FaultKind::SwitchStall,
+            600,
+        );
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (end, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 20_000);
+        assert_eq!(delivered.len(), 1, "stall is temporary — no loss");
+        assert!(end >= 601, "nothing forwarded before the window closed");
+        assert_eq!(faults.fires(), 1);
+    }
+
+    #[test]
+    fn switch_blackout_discards_arrivals_at_the_dead_switch() {
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
+        let mut faults = window_fault(
+            1,
+            FaultSite::Switch { node: 1 },
+            FaultKind::SwitchBlackout,
+            50_000,
+        );
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 60_000);
+        assert!(
+            delivered.is_empty(),
+            "arrival at a blacked-out switch is lost"
+        );
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn inbox_drop_window_discards_ejections() {
+        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
+        let mut faults = window_fault(
+            1,
+            FaultSite::Inbox { node: 1 },
+            FaultKind::InboxDrop,
+            50_000,
+        );
+        inject_one(&mut net, 0, 0, 1, 7);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 60_000);
+        assert!(delivered.is_empty(), "inbox-dropped message is lost");
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+        // After the window a fresh message is delivered normally.
+        let mut faults2 = FaultDirector::new(FaultPlan::none());
+        inject_one(&mut net, 60_001, 0, 1, 9);
+        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults2, 60_001, 10_000);
+        assert_eq!(delivered.len(), 1);
+    }
+
+    #[test]
+    fn split_pool_network_delivers_with_exact_accounting() {
+        // The endpoint/switch split budget under random all-class traffic:
+        // everything is delivered and both sides' slot accounting (checked
+        // against full scans every cycle) stays exact.
+        let mut net: Net = Network::new(NetConfig::shared_pool_split(
+            16,
+            LinkBandwidth::GB_3_2,
+            18,
+            6,
+        ));
+        assert!(net.is_pooled());
+        assert!(net.is_pool_split());
+        let mut rng = DetRng::new(61);
+        let mut now = 0;
+        let mut injected = 0u64;
+        for _ in 0..1500 {
+            now += 1;
+            for _ in 0..3 {
+                let src = NodeId::from(rng.next_below(16) as usize);
+                let dst = NodeId::from(rng.next_below(16) as usize);
+                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
+                if net.can_inject(src, vnet) {
+                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
+                        .unwrap();
+                    injected += 1;
+                }
+            }
+            net.tick(now);
+            for i in 0..16 {
+                while net.eject_any(NodeId::from(i)).is_some() {}
+            }
+            net.assert_worklist_invariants();
+        }
+        let (now, _) = run_until_drained(&mut net, now, 200_000);
+        assert_eq!(net.in_flight(), 0, "split-pool network wedged at {now}");
+        assert_eq!(net.stats().delivered.get(), injected);
+        assert!(injected > 500);
+        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
+        assert!(net
+            .endpoint_pool_occupancy_snapshot()
+            .iter()
+            .all(|&o| o == 0));
+        net.assert_worklist_invariants();
+    }
+
+    #[test]
+    fn split_pool_endpoint_budget_gates_ejection_but_not_the_fabric() {
+        // One endpoint slot at every node: with nobody draining, at most one
+        // delivered message can hold node 1's endpoint budget; the others
+        // wait *in the fabric* (their switch-side slots intact) instead of
+        // overrunning the ejection queue. Draining releases the endpoint
+        // slot and the next message comes through.
+        let mut net: Net = Network::new(NetConfig::shared_pool_split(
+            16,
+            LinkBandwidth::MB_400,
+            12,
+            1,
+        ));
+        inject_one(&mut net, 0, 0, 1, 10);
+        inject_one(&mut net, 0, 2, 1, 11);
+        inject_one(&mut net, 0, 5, 1, 12);
+        let mut now = 0;
+        for _ in 0..5_000 {
+            now += 1;
+            net.tick(now);
+            net.assert_worklist_invariants();
+        }
+        assert!(net.has_ejectable(NodeId(1)));
+        assert!(net.has_exhausted_pool(), "endpoint budget is pinned");
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let p = net.eject_any(NodeId(1));
+            assert!(p.is_some(), "one message per endpoint slot");
+            got.push(p.unwrap().payload);
+            assert!(net.eject_any(NodeId(1)).is_none(), "budget gates the rest");
+            for _ in 0..5_000 {
+                now += 1;
+                net.tick(now);
+                net.assert_worklist_invariants();
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 11, 12]);
+        assert_eq!(net.in_flight(), 0);
+        assert!(net
+            .endpoint_pool_occupancy_snapshot()
+            .iter()
+            .all(|&o| o == 0));
     }
 
     #[test]

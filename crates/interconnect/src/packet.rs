@@ -60,6 +60,31 @@ impl VirtualNetwork {
     }
 }
 
+/// Integrity mark carried by a packet, set by the fault injector and checked
+/// by the receiving endpoint (the "checksum/sequence-number model"): real
+/// NICs detect a corrupted payload by checksum and a duplicated message by
+/// its sequence number. Clean packets are untouched; tainted packets are
+/// discarded at ingest and reported as transient-fault evidence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PacketTaint {
+    /// An ordinary, uncorrupted message (the default).
+    #[default]
+    Clean,
+    /// The payload was corrupted in flight; the endpoint checksum fails.
+    Corrupt,
+    /// The message is a spurious duplicate; the endpoint sequence check
+    /// rejects it.
+    Duplicate,
+}
+
+impl PacketTaint {
+    /// True when the endpoint's integrity checks will reject this packet.
+    #[must_use]
+    pub fn is_detectable(self) -> bool {
+        self != PacketTaint::Clean
+    }
+}
+
 /// A message travelling through the network, wrapping a protocol payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet<P> {
@@ -76,6 +101,9 @@ pub struct Packet<P> {
     pub seq: u64,
     /// Cycle at which the message entered the source injection queue.
     pub injected_at: Cycle,
+    /// Integrity mark set by the fault injector ([`PacketTaint::Clean`] on
+    /// every normally injected packet).
+    pub taint: PacketTaint,
     /// The protocol-level payload.
     pub payload: P,
 }
@@ -111,9 +139,13 @@ mod tests {
             size: MessageSize::Data,
             seq: 0,
             injected_at: 0,
+            taint: PacketTaint::default(),
             payload: (),
         };
         assert_eq!(p.bytes(), 72);
+        assert!(!p.taint.is_detectable());
+        assert!(PacketTaint::Corrupt.is_detectable());
+        assert!(PacketTaint::Duplicate.is_detectable());
     }
 
     #[test]

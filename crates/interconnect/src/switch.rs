@@ -237,6 +237,7 @@ mod tests {
             size: MessageSize::Control,
             seq,
             injected_at: 0,
+            taint: crate::packet::PacketTaint::Clean,
             payload: seq as u32,
         }
     }

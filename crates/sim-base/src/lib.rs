@@ -11,6 +11,9 @@
 //! * [`time`] — the cycle clock and time conversion helpers,
 //! * [`ids`] — node identifiers, physical addresses and cache-block math,
 //! * [`config`] — the target-system parameters of the paper's Table 2,
+//! * [`fault`] — seed-deterministic transient-fault schedules and the
+//!   runtime director that injects them (SafetyNet's original job was
+//!   masking exactly these faults),
 //! * [`rng`] — a small, deterministic, save/restorable random number
 //!   generator (checkpoint recovery rewinds generators, so RNG state must be
 //!   checkpointable),
@@ -26,6 +29,7 @@
 
 pub mod active;
 pub mod config;
+pub mod fault;
 pub mod ids;
 pub mod msgsize;
 pub mod queue;
@@ -37,6 +41,9 @@ pub use active::ActiveSet;
 pub use config::{
     squarest_torus_dims, BufferPolicy, FlowControl, LinkBandwidth, MemorySystemConfig,
     ProtocolVariant, RoutingPolicy, SafetyNetConfig, BLOCK_SIZE_BYTES,
+};
+pub use fault::{
+    FaultConfig, FaultDirector, FaultEvent, FaultKind, FaultPlan, FaultSite, ALL_FAULT_KINDS,
 };
 pub use ids::{Address, BlockAddr, NodeId};
 pub use msgsize::{MessageSize, CONTROL_MSG_BYTES, DATA_MSG_BYTES};
