@@ -7,6 +7,8 @@
 //! live in the array — they live in the controller's MSHR / writeback buffer,
 //! as in a real design — so `S` only ever holds stable states.
 
+use std::collections::BTreeMap;
+
 use specsim_base::{BlockAddr, BLOCK_SIZE_BYTES};
 
 /// Geometry (sets × ways) of a cache array.
@@ -57,10 +59,18 @@ pub struct CacheLine<S> {
 }
 
 /// A set-associative, LRU-replacement cache array.
+///
+/// Sets are stored sparsely: only sets with at least one resident line own
+/// a `Vec` (keyed by set index, so iteration stays in set order). A dense
+/// `Vec<Vec<_>>` of 16 K mostly-empty sets per node made cloning the
+/// architectural state for a SafetyNet checkpoint cost O(nodes × sets) —
+/// ~100 ms per checkpoint at 256 nodes — where the sparse map costs
+/// O(resident lines).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheArray<S> {
     geometry: CacheGeometry,
-    sets: Vec<Vec<CacheLine<S>>>,
+    sets: BTreeMap<u32, Vec<CacheLine<S>>>,
+    resident: usize,
     lru_clock: u64,
     hits: u64,
     misses: u64,
@@ -73,7 +83,8 @@ impl<S> CacheArray<S> {
     pub fn new(geometry: CacheGeometry) -> Self {
         Self {
             geometry,
-            sets: (0..geometry.sets).map(|_| Vec::new()).collect(),
+            sets: BTreeMap::new(),
+            resident: 0,
             lru_clock: 0,
             hits: 0,
             misses: 0,
@@ -87,14 +98,15 @@ impl<S> CacheArray<S> {
         self.geometry
     }
 
-    fn set_index(&self, addr: BlockAddr) -> usize {
-        addr.cache_set(self.geometry.sets)
+    fn set_index(&self, addr: BlockAddr) -> u32 {
+        addr.cache_set(self.geometry.sets) as u32
     }
 
     /// Looks a block up without affecting LRU state or hit/miss counters.
     #[must_use]
     pub fn probe(&self, addr: BlockAddr) -> Option<&CacheLine<S>> {
-        self.sets[self.set_index(addr)]
+        self.sets
+            .get(&self.set_index(addr))?
             .iter()
             .find(|l| l.addr == addr)
     }
@@ -105,7 +117,10 @@ impl<S> CacheArray<S> {
         self.lru_clock += 1;
         let clock = self.lru_clock;
         let set = self.set_index(addr);
-        let found = self.sets[set].iter_mut().find(|l| l.addr == addr);
+        let found = self
+            .sets
+            .get_mut(&set)
+            .and_then(|s| s.iter_mut().find(|l| l.addr == addr));
         match found {
             Some(line) => {
                 line.lru = clock;
@@ -124,14 +139,14 @@ impl<S> CacheArray<S> {
     /// e.g. applying an invalidation).
     pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut CacheLine<S>> {
         let set = self.set_index(addr);
-        self.sets[set].iter_mut().find(|l| l.addr == addr)
+        self.sets.get_mut(&set)?.iter_mut().find(|l| l.addr == addr)
     }
 
     /// True when inserting `addr` would require evicting a resident block.
     #[must_use]
     pub fn insertion_requires_eviction(&self, addr: BlockAddr) -> bool {
-        let set = self.set_index(addr);
-        self.probe(addr).is_none() && self.sets[set].len() >= self.geometry.ways
+        let occupancy = self.sets.get(&self.set_index(addr)).map_or(0, Vec::len);
+        self.probe(addr).is_none() && occupancy >= self.geometry.ways
     }
 
     /// The block that would be evicted to make room for `addr` (the LRU line
@@ -141,7 +156,10 @@ impl<S> CacheArray<S> {
         if !self.insertion_requires_eviction(addr) {
             return None;
         }
-        self.sets[self.set_index(addr)].iter().min_by_key(|l| l.lru)
+        self.sets
+            .get(&self.set_index(addr))?
+            .iter()
+            .min_by_key(|l| l.lru)
     }
 
     /// Inserts (or overwrites) a block, evicting the LRU line of the set if
@@ -151,7 +169,7 @@ impl<S> CacheArray<S> {
         let clock = self.lru_clock;
         let ways = self.geometry.ways;
         let set_idx = self.set_index(addr);
-        let set = &mut self.sets[set_idx];
+        let set = self.sets.entry(set_idx).or_default();
         if let Some(line) = set.iter_mut().find(|l| l.addr == addr) {
             line.state = state;
             line.data = data;
@@ -166,6 +184,7 @@ impl<S> CacheArray<S> {
                 .map(|(i, _)| i)
                 .expect("non-empty set");
             self.evictions += 1;
+            self.resident -= 1;
             Some(set.swap_remove(victim_pos))
         } else {
             None
@@ -176,32 +195,42 @@ impl<S> CacheArray<S> {
             data,
             lru: clock,
         });
+        self.resident += 1;
         evicted
     }
 
     /// Removes a block (invalidation or migration to the writeback buffer)
     /// and returns it.
     pub fn remove(&mut self, addr: BlockAddr) -> Option<CacheLine<S>> {
-        let set = self.set_index(addr);
-        let pos = self.sets[set].iter().position(|l| l.addr == addr)?;
-        Some(self.sets[set].swap_remove(pos))
+        let set_idx = self.set_index(addr);
+        let set = self.sets.get_mut(&set_idx)?;
+        let pos = set.iter().position(|l| l.addr == addr)?;
+        let line = set.swap_remove(pos);
+        self.resident -= 1;
+        // Normalise: an emptied set leaves the map, so equality and clone
+        // cost depend only on resident lines.
+        if set.is_empty() {
+            self.sets.remove(&set_idx);
+        }
+        Some(line)
     }
 
     /// Number of resident blocks.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.resident
     }
 
     /// True when no blocks are resident.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.resident == 0
     }
 
-    /// Iterates every resident line.
+    /// Iterates every resident line, in set order (matching the dense
+    /// representation this replaced).
     pub fn iter(&self) -> impl Iterator<Item = &CacheLine<S>> {
-        self.sets.iter().flatten()
+        self.sets.values().flatten()
     }
 
     /// Demand hits observed by [`CacheArray::lookup`].

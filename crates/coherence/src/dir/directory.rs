@@ -32,7 +32,7 @@ use crate::types::{NodeSet, ProtocolError};
 use super::msg::{DirMsg, OutMsg};
 
 /// Stable directory states for one block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// No cache holds the block; memory is the owner.
     Uncached,
@@ -51,7 +51,7 @@ pub enum DirState {
 }
 
 /// Information about the transaction the directory is currently blocked on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct BusyInfo {
     /// The requestor whose FinalAck will unblock the entry.
     requestor: NodeId,
@@ -141,7 +141,7 @@ impl DirectoryController {
     pub fn state_of(&self, addr: BlockAddr) -> DirState {
         self.entries
             .get(&addr)
-            .and_then(|e| e.state)
+            .and_then(|e| e.state.clone())
             .unwrap_or(DirState::Uncached)
     }
 
@@ -419,7 +419,7 @@ impl DirectoryController {
         addr: BlockAddr,
         data: u64,
     ) -> Result<(), ProtocolError> {
-        let busy = self.entries.get(&addr).and_then(|e| e.busy);
+        let busy = self.entries.get(&addr).and_then(|e| e.busy.clone());
         if let Some(busy) = busy {
             // A transaction is in flight for this block.
             match self.variant {
@@ -485,7 +485,7 @@ impl DirectoryController {
         addr: BlockAddr,
     ) -> Result<(), ProtocolError> {
         let entry = self.entries.entry(addr).or_default();
-        let Some(busy) = entry.busy else {
+        let Some(busy) = entry.busy.clone() else {
             return Err(self.error(addr, "FinalAck for a block that is not busy".into()));
         };
         if busy.requestor != src {

@@ -3,17 +3,42 @@
 
 use specsim_base::{BlockAddr, Cycle, FaultKind, NodeId};
 
-/// A set of nodes, stored as a bitmask (the simulator supports up to 128
-/// nodes, the top of the node-count scaling sweep; the paper's target system
-/// has 16). Used for directory sharer lists and invalidation fan-out.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub struct NodeSet(u128);
+/// How many 64-bit words the inline (non-allocating) `NodeSet` fast path
+/// holds. Two words cover 128 nodes — the historical `u128` cap and still the
+/// common case — without touching the heap.
+const NODESET_INLINE_WORDS: usize = 2;
+
+/// A set of nodes, stored as a bitmask over 64-bit words. Sets covering up to
+/// 128 nodes (the paper's target system has 16; most sweeps stay ≤ 128) live
+/// inline in two words with no allocation — byte-for-byte the old `u128`
+/// layout. Inserting a node at index 128 or above spills the set into a boxed
+/// word vector, so 256–1024-node machines work without a hard cap. Used for
+/// directory sharer lists and invalidation fan-out.
+#[derive(Clone)]
+enum NodeSetRepr {
+    /// Fast path: nodes 0..=127, no heap allocation.
+    Inline([u64; NODESET_INLINE_WORDS]),
+    /// Spilled path: arbitrarily many words. Trailing zero words are allowed
+    /// (equality and hashing canonicalise by trimming them).
+    Spilled(Vec<u64>),
+}
+
+/// A set of nodes with a hybrid storage strategy: inline `[u64; 2]` up to
+/// 128 nodes, heap-spilled word vector above that.
+#[derive(Clone)]
+pub struct NodeSet(NodeSetRepr);
+
+impl Default for NodeSet {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
 
 impl NodeSet {
     /// The empty set.
     #[must_use]
     pub fn empty() -> Self {
-        NodeSet(0)
+        NodeSet(NodeSetRepr::Inline([0; NODESET_INLINE_WORDS]))
     }
 
     /// A set containing a single node.
@@ -24,58 +49,127 @@ impl NodeSet {
         s
     }
 
-    /// Adds a node to the set.
+    /// The backing words, low node indices first. May have trailing zeros.
+    fn words(&self) -> &[u64] {
+        match &self.0 {
+            NodeSetRepr::Inline(w) => w,
+            NodeSetRepr::Spilled(v) => v,
+        }
+    }
+
+    /// The backing words with trailing zero words trimmed — the canonical
+    /// form used for equality and hashing, so an inline set compares equal to
+    /// a spilled set holding the same members.
+    fn trimmed_words(&self) -> &[u64] {
+        let w = self.words();
+        let used = w.iter().rposition(|&x| x != 0).map_or(0, |i| i + 1);
+        &w[..used]
+    }
+
+    /// Adds a node to the set, spilling to the heap when the index does not
+    /// fit the inline words.
     pub fn insert(&mut self, node: NodeId) {
-        assert!(node.index() < 128, "NodeSet supports at most 128 nodes");
-        self.0 |= 1 << node.index();
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        match &mut self.0 {
+            NodeSetRepr::Inline(w) if word < NODESET_INLINE_WORDS => w[word] |= 1 << bit,
+            NodeSetRepr::Inline(w) => {
+                let mut v = vec![0u64; word + 1];
+                v[..NODESET_INLINE_WORDS].copy_from_slice(w);
+                v[word] |= 1 << bit;
+                self.0 = NodeSetRepr::Spilled(v);
+            }
+            NodeSetRepr::Spilled(v) => {
+                if word >= v.len() {
+                    v.resize(word + 1, 0);
+                }
+                v[word] |= 1 << bit;
+            }
+        }
     }
 
     /// Removes a node from the set.
     pub fn remove(&mut self, node: NodeId) {
-        if node.index() < 128 {
-            self.0 &= !(1 << node.index());
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        match &mut self.0 {
+            NodeSetRepr::Inline(w) => {
+                if word < NODESET_INLINE_WORDS {
+                    w[word] &= !(1 << bit);
+                }
+            }
+            NodeSetRepr::Spilled(v) => {
+                if word < v.len() {
+                    v[word] &= !(1 << bit);
+                }
+            }
         }
     }
 
     /// True when the node is a member.
     #[must_use]
     pub fn contains(&self, node: NodeId) -> bool {
-        node.index() < 128 && (self.0 >> node.index()) & 1 == 1
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        self.words().get(word).is_some_and(|w| (w >> bit) & 1 == 1)
     }
 
     /// Number of members.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.count_ones() as usize
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True when the set has no members.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0 == 0
+        self.words().iter().all(|&w| w == 0)
     }
 
-    /// Iterates the members in ascending node order. O(|members|): each step
-    /// jumps to the next set bit and clears it, rather than testing all 128
-    /// positions (this sits on the directory invalidation fan-out hot path).
+    /// Iterates the members in ascending node order. O(words + |members|):
+    /// each step jumps to the next set bit and clears it rather than testing
+    /// every position (this sits on the directory invalidation fan-out hot
+    /// path). The iterator owns a snapshot of the set, matching the old
+    /// `u128` implementation's `'static` signature.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + 'static {
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                return None;
+        let snapshot = self.clone();
+        let mut word = 0usize;
+        let mut bits = snapshot.words().first().copied().unwrap_or(0);
+        std::iter::from_fn(move || loop {
+            if bits != 0 {
+                let i = bits.trailing_zeros() as usize + word * 64;
+                bits &= bits - 1;
+                return Some(NodeId(i as u16));
             }
-            let i = bits.trailing_zeros() as u16;
-            bits &= bits - 1;
-            Some(NodeId(i))
+            word += 1;
+            bits = *snapshot.words().get(word)?;
         })
     }
 
     /// The set with `node` removed (non-mutating).
     #[must_use]
     pub fn without(&self, node: NodeId) -> Self {
-        let mut s = *self;
+        let mut s = self.clone();
         s.remove(node);
         s
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.trimmed_words() == other.trimmed_words()
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl std::hash::Hash for NodeSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.trimmed_words().hash(state);
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeSet")?;
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
@@ -276,10 +370,151 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 128")]
-    fn nodeset_rejects_out_of_range() {
+    fn nodeset_spills_past_128_nodes() {
         let mut s = NodeSet::empty();
+        s.insert(NodeId(3));
         s.insert(NodeId(128));
+        s.insert(NodeId(1023));
+        assert!(s.contains(NodeId(3)));
+        assert!(s.contains(NodeId(128)));
+        assert!(s.contains(NodeId(1023)));
+        assert!(!s.contains(NodeId(512)));
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![NodeId(3), NodeId(128), NodeId(1023)]
+        );
+        s.remove(NodeId(1023));
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(NodeId(1023)));
+    }
+
+    #[test]
+    fn nodeset_equality_and_hash_are_canonical_across_reprs() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // A spilled set whose high members were all removed again must equal
+        // (and hash like) the inline set with the same members.
+        let mut spilled = NodeSet::empty();
+        spilled.insert(NodeId(5));
+        spilled.insert(NodeId(300));
+        spilled.remove(NodeId(300));
+        let inline = NodeSet::single(NodeId(5));
+        assert_eq!(spilled, inline);
+        let hash_of = |s: &NodeSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(&spilled), hash_of(&inline));
+        // And an emptied spilled set equals the empty inline set.
+        let mut emptied = NodeSet::single(NodeId(200));
+        emptied.remove(NodeId(200));
+        assert_eq!(emptied, NodeSet::empty());
+        assert!(emptied.is_empty());
+    }
+
+    #[test]
+    fn nodeset_remove_out_of_capacity_is_a_noop() {
+        let mut s = NodeSet::single(NodeId(7));
+        s.remove(NodeId(900)); // beyond both inline and any spilled capacity
+        assert_eq!(s, NodeSet::single(NodeId(7)));
+        assert!(!s.contains(NodeId(900)));
+    }
+
+    mod nodeset_u128_equivalence {
+        //! Property tests pinning the hybrid representation to the old
+        //! `u128`-bitmask implementation for node indices below 128:
+        //! insert/remove/contains/len/iter order must be bit-for-bit
+        //! identical to the reference model after any operation sequence.
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The pre-hybrid `NodeSet` implementation, kept as the oracle.
+        #[derive(Clone, Copy, Default)]
+        struct U128Model(u128);
+
+        impl U128Model {
+            fn insert(&mut self, node: NodeId) {
+                assert!(node.index() < 128);
+                self.0 |= 1 << node.index();
+            }
+            fn remove(&mut self, node: NodeId) {
+                if node.index() < 128 {
+                    self.0 &= !(1 << node.index());
+                }
+            }
+            fn contains(&self, node: NodeId) -> bool {
+                node.index() < 128 && (self.0 >> node.index()) & 1 == 1
+            }
+            fn len(&self) -> usize {
+                self.0.count_ones() as usize
+            }
+            fn iter(&self) -> impl Iterator<Item = NodeId> + 'static {
+                let mut bits = self.0;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let i = bits.trailing_zeros() as u16;
+                    bits &= bits - 1;
+                    Some(NodeId(i))
+                })
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn hybrid_matches_u128_model_under_any_op_sequence(
+                ops in proptest::collection::vec((0u64..2, 0u64..128), 0..200),
+            ) {
+                let mut model = U128Model::default();
+                let mut hybrid = NodeSet::empty();
+                for &(op, idx) in &ops {
+                    let node = NodeId(idx as u16);
+                    if op == 0 {
+                        model.insert(node);
+                        hybrid.insert(node);
+                    } else {
+                        model.remove(node);
+                        hybrid.remove(node);
+                    }
+                    prop_assert_eq!(model.len(), hybrid.len());
+                    prop_assert_eq!(model.len() == 0, hybrid.is_empty());
+                }
+                for i in 0..128u16 {
+                    prop_assert_eq!(model.contains(NodeId(i)), hybrid.contains(NodeId(i)));
+                }
+                let model_order: Vec<NodeId> = model.iter().collect();
+                let hybrid_order: Vec<NodeId> = hybrid.iter().collect();
+                prop_assert_eq!(model_order, hybrid_order);
+            }
+
+            #[test]
+            fn without_matches_u128_model(
+                members in proptest::collection::vec(0u64..128, 0..64),
+                victim in 0u64..128,
+            ) {
+                let mut model = U128Model::default();
+                let mut hybrid = NodeSet::empty();
+                for &m in &members {
+                    model.insert(NodeId(m as u16));
+                    hybrid.insert(NodeId(m as u16));
+                }
+                let mut model_without = model;
+                model_without.remove(NodeId(victim as u16));
+                let hybrid_without = hybrid.without(NodeId(victim as u16));
+                prop_assert_eq!(
+                    model_without.iter().collect::<Vec<_>>(),
+                    hybrid_without.iter().collect::<Vec<_>>()
+                );
+                // Non-mutating: the original still matches its model.
+                prop_assert_eq!(
+                    model.iter().collect::<Vec<_>>(),
+                    hybrid.iter().collect::<Vec<_>>()
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,11 +11,17 @@
 //! * tuple strategies,
 //! * [`collection::vec`] and [`prelude::any`] for `bool` and `u64`.
 //!
-//! Unlike real proptest there is no shrinking: a failing case panics with the
-//! generated inputs' case number so the failure is reproducible (generation
-//! is seeded from the test name and is fully deterministic). Swapping the
-//! path dependency for the crates.io release requires no source changes in
-//! the tests.
+//! Failing cases are **shrunk** before reporting, like real proptest (though
+//! with a much simpler engine): integers halve their distance to the range
+//! start and then decrement, vectors drop their tail and then shrink
+//! elements, and tuples shrink one component at a time. The panic message
+//! carries both the case number and the minimal failing input. Generation is
+//! seeded from the test name and is fully deterministic, and shrinking
+//! re-runs the property body, so the reported minimum genuinely fails.
+//! Bodies should fail via [`prop_assert!`] rather than plain `assert!` — a
+//! raw panic aborts minimisation at whatever candidate triggered it.
+//! Swapping the path dependency for the crates.io release requires no source
+//! changes in the tests.
 //!
 //! [`proptest`]: https://docs.rs/proptest
 
@@ -116,20 +122,51 @@ pub mod strategy {
 
     /// A recipe for generating values of `Self::Value`.
     ///
-    /// Mirrors `proptest::strategy::Strategy` in spirit; generation is a
-    /// plain function of the [`TestRng`] with no shrinking.
+    /// Mirrors `proptest::strategy::Strategy` in spirit: generation is a
+    /// plain function of the [`TestRng`], and [`Strategy::shrink`] proposes
+    /// simpler candidates for a failing value.
     pub trait Strategy {
         /// The type of value this strategy produces.
         type Value;
 
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes strictly-simpler candidate values for `value`, most
+        /// aggressive first (the shrink loop adopts the first candidate that
+        /// still fails the property). An empty vector means `value` is
+        /// already minimal for this strategy.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+    }
+
+    /// Halving-then-decrement candidates for an integer at distance
+    /// `v - start` from its minimum: jump to the minimum, halve the
+    /// distance, step back by one. Most aggressive first.
+    pub(crate) fn shrink_toward(start: u64, v: u64) -> Vec<u64> {
+        if v <= start {
+            return Vec::new();
+        }
+        let mut out = vec![start];
+        let half = start + (v - start) / 2;
+        if half != start {
+            out.push(half);
+        }
+        if v - 1 != half {
+            out.push(v - 1);
+        }
+        out
     }
 
     impl Strategy for Range<u64> {
         type Value = u64;
         fn generate(&self, rng: &mut TestRng) -> u64 {
             self.start + rng.below(self.end - self.start)
+        }
+        fn shrink(&self, v: &u64) -> Vec<u64> {
+            shrink_toward(self.start, *v)
         }
     }
 
@@ -138,12 +175,24 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> u32 {
             self.start + rng.below(u64::from(self.end - self.start)) as u32
         }
+        fn shrink(&self, v: &u32) -> Vec<u32> {
+            shrink_toward(u64::from(self.start), u64::from(*v))
+                .into_iter()
+                .map(|x| x as u32)
+                .collect()
+        }
     }
 
     impl Strategy for Range<usize> {
         type Value = usize;
         fn generate(&self, rng: &mut TestRng) -> usize {
             self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+        fn shrink(&self, v: &usize) -> Vec<usize> {
+            shrink_toward(self.start as u64, *v as u64)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect()
         }
     }
 
@@ -152,16 +201,44 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> f64 {
             self.start + rng.unit_f64() * (self.end - self.start)
         }
+        fn shrink(&self, v: &f64) -> Vec<f64> {
+            // Jump to the range start, then halve the distance; dropping
+            // below-epsilon steps guarantees the loop terminates.
+            let mut out = Vec::new();
+            if *v > self.start {
+                out.push(self.start);
+                let half = self.start + (*v - self.start) / 2.0;
+                if half > self.start && half < *v {
+                    out.push(half);
+                }
+            }
+            out
+        }
     }
 
-    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    impl<A: Strategy, B: Strategy> Strategy for (A, B)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+    {
         type Value = (A::Value, B::Value);
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (self.0.generate(rng), self.1.generate(rng))
         }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(self.0.shrink(&v.0).into_iter().map(|a| (a, v.1.clone())));
+            out.extend(self.1.shrink(&v.1).into_iter().map(|b| (v.0.clone(), b)));
+            out
+        }
     }
 
-    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+        C::Value: Clone,
+    {
         type Value = (A::Value, B::Value, C::Value);
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (
@@ -169,6 +246,87 @@ pub mod strategy {
                 self.1.generate(rng),
                 self.2.generate(rng),
             )
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(
+                self.0
+                    .shrink(&v.0)
+                    .into_iter()
+                    .map(|a| (a, v.1.clone(), v.2.clone())),
+            );
+            out.extend(
+                self.1
+                    .shrink(&v.1)
+                    .into_iter()
+                    .map(|b| (v.0.clone(), b, v.2.clone())),
+            );
+            out.extend(
+                self.2
+                    .shrink(&v.2)
+                    .into_iter()
+                    .map(|c| (v.0.clone(), v.1.clone(), c)),
+            );
+            out
+        }
+    }
+
+    impl<A: Strategy> Strategy for (A,)
+    where
+        A::Value: Clone,
+    {
+        type Value = (A::Value,);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng),)
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            self.0.shrink(&v.0).into_iter().map(|a| (a,)).collect()
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D)
+    where
+        A::Value: Clone,
+        B::Value: Clone,
+        C::Value: Clone,
+        D::Value: Clone,
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            out.extend(
+                self.0
+                    .shrink(&v.0)
+                    .into_iter()
+                    .map(|a| (a, v.1.clone(), v.2.clone(), v.3.clone())),
+            );
+            out.extend(
+                self.1
+                    .shrink(&v.1)
+                    .into_iter()
+                    .map(|b| (v.0.clone(), b, v.2.clone(), v.3.clone())),
+            );
+            out.extend(
+                self.2
+                    .shrink(&v.2)
+                    .into_iter()
+                    .map(|c| (v.0.clone(), v.1.clone(), c, v.3.clone())),
+            );
+            out.extend(
+                self.3
+                    .shrink(&v.3)
+                    .into_iter()
+                    .map(|d| (v.0.clone(), v.1.clone(), v.2.clone(), d)),
+            );
+            out
         }
     }
 
@@ -183,6 +341,13 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
         }
+        fn shrink(&self, v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     impl Strategy for Any<u64> {
@@ -190,12 +355,21 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> u64 {
             rng.next_u64()
         }
+        fn shrink(&self, v: &u64) -> Vec<u64> {
+            shrink_toward(0, *v)
+        }
     }
 
     impl Strategy for Any<u32> {
         type Value = u32;
         fn generate(&self, rng: &mut TestRng) -> u32 {
             rng.next_u64() as u32
+        }
+        fn shrink(&self, v: &u32) -> Vec<u32> {
+            shrink_toward(0, u64::from(*v))
+                .into_iter()
+                .map(|x| x as u32)
+                .collect()
         }
     }
 }
@@ -223,12 +397,39 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first: halve the length (keeping the
+            // prefix), then drop one element — both respecting the minimum
+            // size — before shrinking any element in place.
+            if v.len() > self.size.start {
+                let half = self.size.start.max(v.len() / 2);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                out.push(v[..v.len() - 1].to_vec());
+            }
+            // Element-wise candidates: each element's own shrink steps with
+            // the rest held fixed. The shrink loop iterates, so every
+            // element eventually reaches its minimum.
+            for (i, e) in v.iter().enumerate() {
+                for smaller in self.element.shrink(e) {
+                    let mut w = v.clone();
+                    w[i] = smaller;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -243,6 +444,64 @@ pub mod prelude {
     pub fn any<T>() -> Any<T> {
         Any {
             _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Hard cap on property re-executions spent minimising one failure, so a
+/// slow body or a plateau-heavy shrink space cannot hang the test run.
+const MAX_SHRINK_STEPS: usize = 1024;
+
+/// Greedy shrink loop: repeatedly asks the strategy for simpler candidates
+/// of the current minimum and adopts the first one that still fails,
+/// until no candidate fails (a local minimum) or the step budget runs out.
+/// Returns the minimal failing value, its error, and the steps spent.
+///
+/// Identity helper that pins a property-body closure's argument type to the
+/// strategy's value type, so the [`proptest!`] expansion type-checks without
+/// naming the (macro-unnameable) tuple type.
+///
+/// Not public API — called by the [`proptest!`] expansion.
+#[doc(hidden)]
+pub fn __typed_runner<S, F>(_strat: &S, f: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Not public API — called by the [`proptest!`] expansion.
+#[doc(hidden)]
+pub fn __shrink_loop<S, F>(
+    strat: &S,
+    initial: S::Value,
+    initial_err: TestCaseError,
+    run: &F,
+) -> (S::Value, TestCaseError, usize)
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut min = initial;
+    let mut err = initial_err;
+    let mut steps = 0usize;
+    loop {
+        let mut progressed = false;
+        for cand in strat.shrink(&min) {
+            if steps >= MAX_SHRINK_STEPS {
+                return (min, err, steps);
+            }
+            steps += 1;
+            if let Err(e) = run(&cand) {
+                min = cand;
+                err = e;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return (min, err, steps);
         }
     }
 }
@@ -306,16 +565,20 @@ macro_rules! __proptest_impl {
             use $crate::strategy::Strategy as _;
             let config: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let __strat = ($($strat,)*);
+            let __run = $crate::__typed_runner(&__strat, |__vals| {
+                let ($($arg,)*) = ::std::clone::Clone::clone(__vals);
+                $body
+                ::std::result::Result::Ok(())
+            });
             for case in 0..config.cases {
-                let ($($arg,)*) = ($($strat.generate(&mut rng),)*);
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = outcome {
+                let __vals = __strat.generate(&mut rng);
+                if let ::std::result::Result::Err(e) = __run(&__vals) {
+                    let (__min, __min_err, __steps) =
+                        $crate::__shrink_loop(&__strat, __vals, e, &__run);
                     panic!(
-                        "property `{}` failed at case {}/{}: {}",
-                        stringify!($name), case + 1, config.cases, e
+                        "property `{}` failed at case {}/{}: {}\n  minimal failing input (after {} shrink steps): {:?}",
+                        stringify!($name), case + 1, config.cases, __min_err, __steps, __min
                     );
                 }
             }
@@ -361,5 +624,64 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+        let payload = std::panic::catch_unwind(f).expect_err("property should fail");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn shrinking_minimises_an_integer_failure_to_the_boundary() {
+        proptest! {
+            fn fails_at_seven_or_more(x in 0u64..10_000) {
+                prop_assert!(x < 7, "x was {}", x);
+            }
+        }
+        let msg = panic_message(fails_at_seven_or_more);
+        // Halving overshoots below the boundary, decrementing walks back up
+        // to it: the reported minimum is exactly the smallest failing input.
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("(7,)"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimises_vectors_structurally_and_element_wise() {
+        proptest! {
+            fn fails_from_len_three(xs in crate::collection::vec(0u64..50, 0..40)) {
+                prop_assert!(xs.len() < 3, "len was {}", xs.len());
+            }
+        }
+        let msg = panic_message(fails_from_len_three);
+        // Length shrinks to the boundary and every surviving element shrinks
+        // to its range start.
+        assert!(msg.contains("([0, 0, 0],)"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_holds_passing_components_while_minimising_the_failing_one() {
+        proptest! {
+            fn fails_when_y_is_big(x in 0u64..100, y in 0u64..1_000) {
+                prop_assert!(x < 100); // always true: x only pads the tuple
+                prop_assert!(y < 10, "y was {}", y);
+            }
+        }
+        let msg = panic_message(fails_when_y_is_big);
+        // x is irrelevant to the failure, so it shrinks all the way to 0;
+        // y stops at the smallest failing value.
+        assert!(msg.contains("(0, 10)"), "{msg}");
+    }
+
+    #[test]
+    fn shrink_candidates_halve_then_decrement() {
+        use crate::strategy::Strategy as _;
+        assert_eq!((3u64..100).shrink(&51), vec![3, 27, 50]);
+        assert_eq!((3u64..100).shrink(&4), vec![3]);
+        assert_eq!((3u64..100).shrink(&3), Vec::<u64>::new());
+        assert_eq!((0usize..8).shrink(&2), vec![0, 1]);
     }
 }

@@ -107,6 +107,22 @@ pub struct SystemConfig {
     /// `total_slots`. `None` keeps the historical unified pool
     /// (bit-identical).
     pub pool_split: Option<(usize, usize)>,
+    /// Threads applied to one run's per-node phases (processor ticks,
+    /// endpoint ingest). `1` — the default — is the serial reference kernel,
+    /// byte-identical to every historical run. Values above `1` enable the
+    /// deterministic phase split: per-node work is executed on a barrier
+    /// thread pool and merged in fixed node order, so the schedule digest
+    /// stays byte-identical to the serial kernel at any thread count (the
+    /// pool clamps to the host's cores). The `SPECSIM_WORKERS` environment
+    /// variable overrides this field at engine construction unless
+    /// [`Self::worker_threads_pinned`] is set.
+    pub worker_threads: usize,
+    /// When set, [`Self::worker_threads`] is authoritative and the
+    /// `SPECSIM_WORKERS` environment override is ignored. Timing rows
+    /// (`ns_per_cycle`) pin their worker count so a CI job forcing the
+    /// phase split on cannot silently switch which kernel a labelled
+    /// serial/parallel column measures.
+    pub worker_threads_pinned: bool,
 }
 
 impl Default for SystemConfig {
@@ -148,6 +164,8 @@ impl SystemConfig {
             replay_trace: None,
             fault_config: FaultConfig::Disabled,
             pool_split: None,
+            worker_threads: 1,
+            worker_threads_pinned: false,
         }
     }
 
@@ -177,6 +195,8 @@ impl SystemConfig {
             replay_trace: None,
             fault_config: FaultConfig::Disabled,
             pool_split: None,
+            worker_threads: 1,
+            worker_threads_pinned: false,
         }
     }
 
@@ -210,6 +230,8 @@ impl SystemConfig {
             replay_trace: None,
             fault_config: FaultConfig::Disabled,
             pool_split: None,
+            worker_threads: 1,
+            worker_threads_pinned: false,
         }
     }
 
@@ -250,6 +272,8 @@ impl SystemConfig {
             replay_trace: None,
             fault_config: FaultConfig::Disabled,
             pool_split: None,
+            worker_threads: 1,
+            worker_threads_pinned: false,
         }
     }
 
@@ -356,6 +380,45 @@ impl SystemConfig {
         let mut c = self.clone();
         c.seed = seed;
         c
+    }
+
+    /// Returns a copy with a different worker-thread count for the
+    /// deterministic phase split (`1` = the serial reference kernel).
+    #[must_use]
+    pub fn with_workers(&self, worker_threads: usize) -> Self {
+        let mut c = self.clone();
+        c.worker_threads = worker_threads.max(1);
+        c
+    }
+
+    /// Returns a copy with the worker count both set and **pinned**: the
+    /// `SPECSIM_WORKERS` environment override no longer applies. Use for
+    /// runs whose identity depends on which kernel executed them — timing
+    /// rows, serial-vs-parallel digest comparisons.
+    #[must_use]
+    pub fn with_workers_pinned(&self, worker_threads: usize) -> Self {
+        let mut c = self.with_workers(worker_threads);
+        c.worker_threads_pinned = true;
+        c
+    }
+
+    /// The worker-thread count a run should actually use: the
+    /// `SPECSIM_WORKERS` environment variable when set to a positive
+    /// integer, [`Self::worker_threads`] otherwise. The override exists so
+    /// CI can force the phase-split engine on across an unmodified test
+    /// suite (races cannot hide behind the serial default); a pinned config
+    /// ([`Self::worker_threads_pinned`]) is exempt from it.
+    #[must_use]
+    pub fn effective_worker_threads(&self) -> usize {
+        if self.worker_threads_pinned {
+            return self.worker_threads.max(1);
+        }
+        std::env::var("SPECSIM_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(self.worker_threads)
+            .max(1)
     }
 
     /// Returns a copy whose shared slot pool is split endpoint-vs-switch:

@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 
 use specsim_base::{
     BlockAddr, Cycle, CycleDelta, DetRng, FaultDirector, FaultKind, FaultPlan, NodeId,
-    SafetyNetConfig,
+    SafetyNetConfig, WorkerPool,
 };
 use specsim_coherence::types::{CpuAccess, CpuRequest, MisSpecKind, MisSpeculation, ProtocolError};
 use specsim_net::Network;
@@ -46,6 +46,7 @@ use specsim_workloads::Processor;
 
 use crate::config::ForwardProgressConfig;
 use crate::metrics::RunMetrics;
+use crate::wake::WakeCalendar;
 
 /// The forward-progress mode a system is currently operating in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +188,18 @@ pub struct EngineProbe {
     pub processor_skips: u64,
 }
 
+/// The phase-split engine's wake-up surface handed to protocols through
+/// [`EngineCtx`]: the wake calendar plus the parked-stalled set. `None` on
+/// the serial reference kernel.
+#[derive(Debug)]
+pub(crate) struct WakeHooks<'a> {
+    calendar: &'a mut WakeCalendar,
+    /// Per-node cycle at which the node was parked with a stalled request
+    /// (`Cycle::MAX` = not parked). See
+    /// [`SystemEngine::tick_processors_indexed`].
+    parked: &'a mut [Cycle],
+}
+
 /// The engine-side context handed to [`ProtocolNode::exchange`]: the shared
 /// state a protocol's per-cycle message movement may touch.
 #[derive(Debug)]
@@ -198,6 +211,10 @@ pub struct EngineCtx<'a, A> {
     metrics: &'a mut RunMetrics,
     fabric_deadlocked: &'a mut bool,
     faults: Option<&'a mut FaultDirector>,
+    /// The phase-split engine's wake calendar and parked set; completion
+    /// delivery and cache ingest schedule processors here so the indexed
+    /// tick phase visits them. `None` on the serial reference kernel.
+    wake: Option<WakeHooks<'a>>,
 }
 
 impl<A: Clone> EngineCtx<'_, A> {
@@ -285,7 +302,9 @@ impl<A: Clone> EngineCtx<'_, A> {
         mut take_completed: impl FnMut(usize) -> Option<(BlockAddr, CpuAccess)>,
     ) {
         for (i, proc) in procs.iter_mut().enumerate() {
+            let mut woken = false;
             while let Some((addr, access)) = take_completed(i) {
+                woken = true;
                 proc.note_miss_completed(now, addr, access == CpuAccess::Store);
                 // A completed store modifies cached state that SafetyNet must
                 // be able to undo: account one log entry at this node.
@@ -294,6 +313,32 @@ impl<A: Clone> EngineCtx<'_, A> {
                 {
                     self.safetynet.note_log_stall();
                 }
+            }
+            if woken {
+                // Phase-split engines index processor wake-ups: a node whose
+                // miss completed at cycle `now` is visible to the dense scan
+                // at `now + 1` at the earliest, so that is when the calendar
+                // visits it.
+                if let Some(w) = self.wake.as_mut() {
+                    if let Some(r) = proc.ready_at() {
+                        w.calendar.schedule(now, r.max(now + 1), i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports that node `i`'s cache controller ingested a message at cycle
+    /// `now`. A parked stalled processor (see the phase-split engine's
+    /// indexed processor tick) can only unstall when its
+    /// own controller's state changes, and that state changes only here — so
+    /// this is the exact wake condition: the node is re-visited at `now + 1`,
+    /// the first cycle the dense scan could observe the ingest's effect.
+    /// No-op on the serial kernel and for unparked nodes.
+    pub fn note_cache_activity(&mut self, now: Cycle, i: usize) {
+        if let Some(w) = self.wake.as_mut() {
+            if w.parked[i] != Cycle::MAX {
+                w.calendar.schedule(now, now + 1, i as u32);
             }
         }
     }
@@ -439,9 +484,57 @@ pub trait ProtocolNode {
     /// operation.
     fn normal_outstanding_limit(&self) -> usize;
 
+    /// Whether [`ProtocolNode::tick_nodes_parallel`] is implemented. The
+    /// engine's deterministic phase split (`worker_threads > 1`) activates
+    /// only for protocols whose per-node tick state is disjoint across
+    /// nodes; the snooping system's totally ordered bus is inherently
+    /// serial and keeps the default.
+    const SUPPORTS_PARALLEL_TICK: bool = false;
+
+    /// Phase-split processor tick: polls and dispatches every node in
+    /// `nodes` (ascending node indices, each with `ready_at() <= now`)
+    /// across `pool`'s threads, touching only per-node state so the result
+    /// is independent of the claim schedule. Returns the number of nodes
+    /// whose poll produced a request, or `None` when the protocol cannot
+    /// run this cycle in parallel (the engine then falls back to the exact
+    /// serial order). Called only when the outstanding-transaction gate
+    /// provably cannot bind, so implementations skip it.
+    fn tick_nodes_parallel(
+        _arch: &mut Self::Arch,
+        _nodes: &[u32],
+        _now: Cycle,
+        _pool: &WorkerPool,
+    ) -> Option<u64> {
+        None
+    }
+
     /// Fills the protocol-specific half of the run metrics (fabric stats,
     /// ordering stats, address-network counts).
     fn collect_protocol_metrics(&self, arch: &Self::Arch, now: Cycle, m: &mut RunMetrics);
+}
+
+/// State of the deterministic phase split, present only when a run opted
+/// into `worker_threads > 1` *and* the protocol supports the parallel tick
+/// phase. The wake calendar replaces the dense every-cycle processor scan
+/// with an exact due-cycle index; the pool fans the tick phase out across
+/// threads with a barrier before the exchange phase. Both are
+/// schedule-neutral: the serial kernel's goldens pin the digest either way.
+#[derive(Debug)]
+struct PhaseSplit {
+    pool: WorkerPool,
+    wake: WakeCalendar,
+    /// Scratch: nodes due this cycle (calendar pop).
+    due: Vec<u32>,
+    /// Scratch: due nodes whose recheck confirmed `ready_at() <= now`.
+    ready: Vec<u32>,
+    /// Per-node cycle at which the node was parked with a stalled request
+    /// (`Cycle::MAX` = not parked). A stall is a pure no-op retry — it
+    /// mutates nothing and its outcome depends only on the node's own cache
+    /// controller state — so instead of re-presenting it every cycle the
+    /// engine parks the node until its controller next ingests a message
+    /// ([`EngineCtx::note_cache_activity`]) and settles the skipped retries
+    /// in bulk ([`Processor::note_skipped_stalls`]) when it is re-visited.
+    parked: Vec<Cycle>,
 }
 
 /// The generic full-system simulation engine: drives a [`ProtocolNode`]
@@ -496,6 +589,18 @@ pub struct SystemEngine<P: ProtocolNode> {
     /// must not be resurrected from the director's (persistent) last-fire
     /// record.
     fault_fires_seen: u64,
+    /// Cycle before which the transaction-timeout scan provably cannot fire,
+    /// so [`SystemEngine::check_recovery`] skips its O(n) processor walk.
+    /// Derived on every scan that finds no timeout: an active wait's age is
+    /// frozen while it persists (its `since` never decreases), a wait that
+    /// completes and restarts only gets *younger*, and a wait starting after
+    /// the scan cycle `c` cannot fire before `c + 1 + timeout` — so the
+    /// minimum of `max(since, anchor) + timeout` over active waits (or
+    /// `c + 1 + timeout` when none) is a sound earliest-fire bound. Reset to
+    /// the resume cycle on every recovery (the anchor moves).
+    next_timeout_scan: Cycle,
+    /// The deterministic phase split (`None` = the serial reference kernel).
+    par: Option<PhaseSplit>,
 }
 
 impl<P: ProtocolNode> SystemEngine<P> {
@@ -503,8 +608,11 @@ impl<P: ProtocolNode> SystemEngine<P> {
     /// state. `perturb_rng` is the protocol's perturbation stream (each
     /// system derives it from its own seed domain); `safetynet_cfg` opens
     /// the checkpoint/recovery substrate with `arch` as the initial
-    /// checkpoint.
+    /// checkpoint. `worker_threads > 1` requests the deterministic phase
+    /// split (honoured only when the protocol supports the parallel tick
+    /// phase; the schedule stays byte-identical either way).
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         protocol: P,
         arch: P::Arch,
@@ -513,11 +621,26 @@ impl<P: ProtocolNode> SystemEngine<P> {
         inject_recovery_every: Option<CycleDelta>,
         perturb_rng: DetRng,
         fault_plan: FaultPlan,
+        worker_threads: usize,
     ) -> Self {
         let n = P::procs(&arch).len();
         let safetynet = SafetyNet::new(safetynet_cfg, n, arch.clone(), 0);
         let next_injected_recovery = inject_recovery_every.map(|i| i.max(1));
         let fault_director = (!fault_plan.is_empty()).then(|| FaultDirector::new(fault_plan));
+        let par = (worker_threads > 1 && P::SUPPORTS_PARALLEL_TICK).then(|| {
+            let mut wake = WakeCalendar::new();
+            // Every node starts live: visit all of them on the first cycle.
+            for i in 0..n {
+                wake.schedule(0, 1, i as u32);
+            }
+            PhaseSplit {
+                pool: WorkerPool::new(worker_threads),
+                wake,
+                due: Vec::new(),
+                ready: Vec::new(),
+                parked: vec![Cycle::MAX; n],
+            }
+        });
         Self {
             protocol,
             now: 0,
@@ -539,6 +662,8 @@ impl<P: ProtocolNode> SystemEngine<P> {
             fault_director,
             fault_evidence_at: None,
             fault_fires_seen: 0,
+            next_timeout_scan: 0,
+            par,
         }
     }
 
@@ -612,7 +737,11 @@ impl<P: ProtocolNode> SystemEngine<P> {
             return Ok(());
         }
         self.update_forward_progress(now);
-        self.tick_processors(now);
+        if self.par.is_some() {
+            self.tick_processors_indexed(now);
+        } else {
+            self.tick_processors(now);
+        }
         self.fabric_deadlocked = false;
         {
             let mut ctx = EngineCtx {
@@ -623,6 +752,10 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 metrics: &mut self.metrics,
                 fabric_deadlocked: &mut self.fabric_deadlocked,
                 faults: self.fault_director.as_mut(),
+                wake: self.par.as_mut().map(|p| WakeHooks {
+                    calendar: &mut p.wake,
+                    parked: &mut p.parked,
+                }),
             };
             self.protocol.exchange(&mut self.arch, now, &mut ctx);
         }
@@ -719,6 +852,109 @@ impl<P: ProtocolNode> SystemEngine<P> {
         }
     }
 
+    /// The phase-split twin of [`SystemEngine::tick_processors`]: visits the
+    /// wake calendar's due nodes instead of scanning all of them, producing
+    /// byte-identical per-node state transitions in the same ascending node
+    /// order. Calendar entries are hints — each is re-validated against the
+    /// processor's live `ready_at()` and rescheduled (or dropped) if it
+    /// moved. When the outstanding-transaction gate provably cannot bind
+    /// (the unlimited default), the per-node work fans out across the
+    /// worker pool; otherwise — and for protocols without a parallel tick —
+    /// the ready nodes run serially with the exact dense-loop semantics
+    /// (lazy demand census, in-order gate).
+    fn tick_processors_indexed(&mut self, now: Cycle) {
+        let limit = self.outstanding_limit();
+        let mut par = self.par.take().expect("indexed tick requires phase split");
+        par.wake.pop_due(now, &mut par.due);
+        par.ready.clear();
+        for &node in &par.due {
+            let i = node as usize;
+            // A parked node is being re-visited (its cache controller
+            // ingested a message, or a completion woke it): settle the stall
+            // retries the serial kernel performed on every skipped cycle in
+            // `(parked, now)` — the retry at `now` itself happens below.
+            if par.parked[i] != Cycle::MAX {
+                let skipped = now.saturating_sub(par.parked[i] + 1);
+                P::procs_mut(&mut self.arch)[i].note_skipped_stalls(skipped);
+                // The dense scan would have counted each skipped retry as a
+                // poll; this loop counted the parked cycles as skips.
+                self.probe.processor_polls += skipped;
+                self.probe.processor_skips = self.probe.processor_skips.saturating_sub(skipped);
+                par.parked[i] = Cycle::MAX;
+            }
+            match P::procs(&self.arch)[i].ready_at() {
+                Some(r) if r <= now => par.ready.push(node),
+                Some(r) => par.wake.schedule(now, r, node),
+                // Blocked on a miss: completion delivery reschedules it.
+                None => {}
+            }
+        }
+        let n = P::procs(&self.arch).len();
+        // Dense-scan equivalence: every node that is not ready this cycle
+        // counts as one skip there; here they are simply never visited.
+        self.probe.processor_skips += (n - par.ready.len()) as u64;
+        // With an unlimited outstanding budget the slow-start gate cannot
+        // bind, so node order cannot influence admission and the tick may
+        // fan out. Any finite limit (slow-start windows, capped configs)
+        // takes the exact serial order below.
+        let polls = if limit == usize::MAX {
+            P::tick_nodes_parallel(&mut self.arch, &par.ready, now, &par.pool)
+        } else {
+            None
+        };
+        match polls {
+            Some(polls) => self.probe.processor_polls += polls,
+            None => {
+                let mut outstanding: Option<usize> = None;
+                for &node in &par.ready {
+                    let i = node as usize;
+                    let Some(req) = P::procs_mut(&mut self.arch)[i].poll(now) else {
+                        continue;
+                    };
+                    self.probe.processor_polls += 1;
+                    let outstanding =
+                        outstanding.get_or_insert_with(|| P::outstanding_demand(&self.arch));
+                    if *outstanding >= limit {
+                        continue;
+                    }
+                    let outcome = P::cpu_request(&mut self.arch, i, now, req);
+                    let proc = &mut P::procs_mut(&mut self.arch)[i];
+                    match outcome {
+                        EngineAccess::Hit { latency } => {
+                            proc.note_hit(now, latency, req.access == CpuAccess::Store);
+                        }
+                        EngineAccess::MissIssued => {
+                            proc.note_miss_issued(now);
+                            *outstanding += 1;
+                        }
+                        EngineAccess::Stall => proc.note_stall(),
+                    }
+                }
+            }
+        }
+        // Re-index every visited node from its post-tick wake cycle. A node
+        // that went thinking comes back when its think time elapses; a node
+        // that went blocking waits for completion delivery. A node still in
+        // `Ready` (`ready_at() == Some(0)`, the unique post-tick signature of
+        // a stalled request) is *parked* instead of rescheduled at `now + 1`:
+        // a stall retry is pure and its outcome cannot change until the
+        // node's cache controller ingests a message, at which point
+        // [`EngineCtx::note_cache_activity`] re-schedules it. Parking only
+        // applies on the parallel-hook path — under a finite outstanding
+        // limit a held-back node's admission depends on the system-wide
+        // demand census, not its own controller, so it keeps the dense
+        // scan's every-cycle retry.
+        let may_park = polls.is_some();
+        for &node in &par.ready {
+            match P::procs(&self.arch)[node as usize].ready_at() {
+                Some(0) if may_park => par.parked[node as usize] = now,
+                Some(r) => par.wake.schedule(now, r.max(now + 1), node),
+                None => {}
+            }
+        }
+        self.par = Some(par);
+    }
+
     fn safetynet_tick(&mut self, now: Cycle) {
         let n = P::procs(&self.arch).len();
         for i in 0..n {
@@ -736,8 +972,32 @@ impl<P: ProtocolNode> SystemEngine<P> {
             && self.safetynet.can_checkpoint()
         {
             self.protocol.on_checkpoint_taken(&self.arch);
+            // Parked nodes' skipped stall retries must be settled before the
+            // snapshot (processor stats are checkpointed state): the serial
+            // kernel's tick at `now` precedes this snapshot, so the settle
+            // covers `(parked, now]` and re-bases the park cycle to `now`.
+            self.settle_parked_stalls(now);
             let snapshot = self.arch.clone();
             self.safetynet.take_checkpoint(now, snapshot);
+        }
+    }
+
+    /// Brings parked nodes' stall-retry accounting up to date with the
+    /// serial kernel as of the end of cycle `now`'s tick phase (the serial
+    /// scan at `now` has already retried), re-basing each park cycle to
+    /// `now` so later settles do not double-count. Called before state
+    /// observations that include processor stats: a SafetyNet snapshot and
+    /// metrics collection.
+    fn settle_parked_stalls(&mut self, now: Cycle) {
+        let Some(par) = &mut self.par else { return };
+        for (i, p) in par.parked.iter_mut().enumerate() {
+            if *p != Cycle::MAX {
+                let skipped = now.saturating_sub(*p);
+                P::procs_mut(&mut self.arch)[i].note_skipped_stalls(skipped);
+                self.probe.processor_polls += skipped;
+                self.probe.processor_skips = self.probe.processor_skips.saturating_sub(skipped);
+                *p = now;
+            }
         }
     }
 
@@ -750,7 +1010,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         // cycle ([`EngineCtx::report_fabric_deadlock`]), the timeout is a
         // *detected buffer deadlock* rather than congestion, and the
         // buffer-reservation forward-progress measure applies.
-        if self.pending_misspec.is_none() {
+        if self.pending_misspec.is_none() && now >= self.next_timeout_scan {
             let timeout = self.safetynet.config().transaction_timeout_cycles();
             // A fault wedges not only the transaction whose message it ate
             // but also transactions that queue up behind the damage (e.g. at
@@ -774,6 +1034,8 @@ impl<P: ProtocolNode> SystemEngine<P> {
             } else {
                 MisSpecKind::TransactionTimeout
             };
+            // Earliest cycle any wait *starting after this scan* could fire.
+            let mut next_fire = now + 1 + timeout;
             for (i, proc) in P::procs(&self.arch).iter().enumerate() {
                 // Requestor-side timer: the processor's wait, or the cache
                 // controller's outstanding transaction (which survives a
@@ -796,7 +1058,14 @@ impl<P: ProtocolNode> SystemEngine<P> {
                         });
                         break;
                     }
+                    next_fire = next_fire.min(since + timeout);
                 }
+            }
+            if self.pending_misspec.is_none() {
+                // No wait fired: none can before `next_fire`, so the scan
+                // sleeps until then. Fault/deadlock evidence only influences
+                // *classification*, which is read on the firing cycle itself.
+                self.next_timeout_scan = next_fire;
             }
         }
         if let Some(ms) = self.pending_misspec.take() {
@@ -840,6 +1109,23 @@ impl<P: ProtocolNode> SystemEngine<P> {
         self.metrics.recovery_latency_cycles += outcome.recovery_latency_cycles;
         self.resume_at = now + outcome.recovery_latency_cycles;
         self.timeout_anchor = self.resume_at;
+        // The anchor moved: force a fresh timeout scan once stepping resumes.
+        self.next_timeout_scan = self.resume_at;
+        if let Some(par) = &mut self.par {
+            // The rollback invalidated every scheduled wake-up (the restored
+            // processors carry restored wake cycles): rebuild the calendar by
+            // visiting every node on the first post-stall cycle, which
+            // re-indexes each from its live `ready_at()`. Parked entries are
+            // discarded unsettled — their accumulated retries belonged to the
+            // rolled-back state, and the checkpoint being restored was
+            // settled when it was taken.
+            par.parked.fill(Cycle::MAX);
+            par.wake.clear();
+            let visit = self.resume_at.max(now + 1);
+            for i in 0..P::procs(&self.arch).len() {
+                par.wake.schedule(now, visit, i as u32);
+            }
+        }
         self.pending_misspec = None;
         // Transient semantics: the re-execution must not hit the same fault
         // again, so matured one-shot events are disarmed and open windows
@@ -890,6 +1176,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
     /// Gathers the run metrics: the protocol-independent half here, the
     /// fabric/ordering half from the protocol.
     pub fn collect_metrics(&mut self) -> RunMetrics {
+        self.settle_parked_stalls(self.now);
         let mut m = self.metrics.clone();
         m.cycles = self.now;
         m.ops_completed = self.ops_completed();

@@ -12,11 +12,16 @@
 //!   simulated cycles,
 //! * **ns per simulated cycle** — wall-clock nanoseconds the simulator
 //!   spends per simulated cycle at this machine size (an engineering metric:
-//!   it tracks how the active-set kernel scales with node count). The
-//!   throughput/mis-speculation statistics come from the perturbed-seed
-//!   sharded runner; the timing comes from one dedicated *unsharded* run per
-//!   design point, so the number reflects kernel speed rather than how many
-//!   seeds happened to overlap on idle host cores.
+//!   it tracks how the active-set kernel scales with node count), measured
+//!   twice: once on the serial reference kernel and once on the
+//!   deterministic phase-split engine ([`PARALLEL_TIMING_WORKERS`] workers).
+//!   Both engines produce byte-identical schedules, so the two columns are
+//!   timing the same simulation. The throughput/mis-speculation statistics
+//!   come from the perturbed-seed sharded runner; the timings come from
+//!   dedicated *unsharded* runs per design point with **pinned** worker
+//!   counts (see [`crate::experiments::runner::assert_timing_workers`]), so
+//!   the numbers reflect kernel speed rather than how many seeds happened to
+//!   overlap on idle host cores or what `SPECSIM_WORKERS` happened to be.
 //!
 //! The `scaling_sweep` bench binary renders the table and writes the rows as
 //! machine-readable `BENCH_scaling.json`, giving the perf trajectory a
@@ -36,11 +41,19 @@ use crate::config::SystemConfig;
 use crate::dirsys::DirectorySystem;
 use crate::experiments::heavy_traffic::heavy_traffic;
 use crate::experiments::runner::{
-    measure_directory, misspec_per_mcycle, throughput_measurement, ExperimentScale, Measurement,
+    assert_timing_workers, measure_directory, misspec_per_mcycle, throughput_measurement,
+    ExperimentScale, Measurement,
 };
 
-/// The node counts the full sweep visits (8 → 128, doubling).
-pub const FULL_NODE_COUNTS: [usize; 5] = [8, 16, 32, 64, 128];
+/// The node counts the full sweep visits (8 → 1024, doubling). The top
+/// three sizes are where the phase-split engine's indexed wake calendar
+/// separates from the serial dense scan.
+pub const FULL_NODE_COUNTS: [usize; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Worker count pinned for the parallel `ns_per_cycle` timing run. The
+/// engine clamps the pool to the host's cores, but any value above 1
+/// activates the phase split, which is what the column measures.
+pub const PARALLEL_TIMING_WORKERS: usize = 4;
 
 /// The workloads the sweep visits, controlled by the
 /// `SPECSIM_ALL_WORKLOADS` environment variable: unset (or `0`) sweeps OLTP
@@ -107,12 +120,14 @@ impl Default for ScalingConfig {
 }
 
 impl ScalingConfig {
-    /// A CI-sized sweep: small machines, few seeds, short runs (still
-    /// honouring `SPECSIM_ALL_WORKLOADS`).
+    /// A CI-sized sweep: two small machines plus one at-scale point (256
+    /// nodes, where the phase-split engine must already beat the serial
+    /// kernel), few seeds, short runs (still honouring
+    /// `SPECSIM_ALL_WORKLOADS`).
     #[must_use]
     pub fn quick() -> Self {
         Self {
-            node_counts: vec![8, 16, 32],
+            node_counts: vec![8, 32, 256],
             workloads: workloads_from_env(),
             scale: ExperimentScale {
                 cycles: 20_000,
@@ -144,9 +159,15 @@ pub struct ScalingRow {
     /// Detected mis-speculations per million simulated cycles.
     pub misspec_per_mcycle: Measurement,
     /// Wall-clock nanoseconds per simulated cycle of one dedicated
-    /// unsharded run (lower is better; comparable across machines and seed
+    /// unsharded run on the **serial reference kernel** (worker count
+    /// pinned to 1; lower is better; comparable across machines and seed
     /// counts).
     pub ns_per_cycle: f64,
+    /// Wall-clock nanoseconds per simulated cycle of the same dedicated run
+    /// on the **deterministic phase-split engine** (worker count pinned to
+    /// [`PARALLEL_TIMING_WORKERS`]). The schedule is byte-identical to the
+    /// serial run; only the kernel differs.
+    pub ns_per_cycle_parallel: f64,
 }
 
 /// The completed sweep.
@@ -180,16 +201,29 @@ pub fn run(cfg: &ScalingConfig) -> Result<ScalingData, ProtocolError> {
                 sys_cfg.traffic = cfg.traffic;
                 let runs = measure_directory(&sys_cfg, cfg.scale)?;
                 let rates: Vec<f64> = runs.iter().map(misspec_per_mcycle).collect();
-                // The simulator-speed metric times one dedicated run outside
+                // The simulator-speed metrics time dedicated runs outside
                 // the sharded runner: dividing the sharded wall time by total
                 // cycles would measure host parallelism (seeds overlap on
                 // idle cores), making rows incomparable across machines and
-                // seed counts.
+                // seed counts. Worker counts are pinned so the serial and
+                // parallel columns measure exactly the kernel they claim,
+                // regardless of any SPECSIM_WORKERS override in the
+                // environment.
                 let timing_seed = cfg.scale.seed_list(sys_cfg.seed)[0];
-                let mut timed = DirectorySystem::new(sys_cfg.with_seed(timing_seed));
+                let serial_cfg = sys_cfg.with_seed(timing_seed).with_workers_pinned(1);
+                assert_timing_workers(&serial_cfg, 1);
+                let mut timed = DirectorySystem::new(serial_cfg);
                 let started = Instant::now();
                 timed.run_for(cfg.scale.cycles)?;
                 let wall_ns = started.elapsed().as_nanos() as f64;
+                let parallel_cfg = sys_cfg
+                    .with_seed(timing_seed)
+                    .with_workers_pinned(PARALLEL_TIMING_WORKERS);
+                assert_timing_workers(&parallel_cfg, PARALLEL_TIMING_WORKERS);
+                let mut timed_par = DirectorySystem::new(parallel_cfg);
+                let started_par = Instant::now();
+                timed_par.run_for(cfg.scale.cycles)?;
+                let wall_ns_par = started_par.elapsed().as_nanos() as f64;
                 rows.push(ScalingRow {
                     num_nodes: n,
                     width,
@@ -199,6 +233,7 @@ pub fn run(cfg: &ScalingConfig) -> Result<ScalingData, ProtocolError> {
                     throughput: throughput_measurement(&runs),
                     misspec_per_mcycle: Measurement::from_samples(&rates),
                     ns_per_cycle: wall_ns / cfg.scale.cycles.max(1) as f64,
+                    ns_per_cycle_parallel: wall_ns_par / cfg.scale.cycles.max(1) as f64,
                 });
             }
         }
@@ -221,11 +256,12 @@ impl ScalingData {
             self.cycles, self.seeds
         ));
         out.push_str(
-            "nodes  torus  workload   routing   ops/kcycle        misspec/Mcycle    ns/sim-cycle\n",
+            "nodes  torus  workload   routing   ops/kcycle        misspec/Mcycle    \
+             ns/cyc-serial  ns/cyc-parallel\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:>5}  {:>2}x{:<2}  {:<9}  {:<8}  {:<16}  {:<16}  {:>10.1}\n",
+                "{:>5}  {:>2}x{:<2}  {:<9}  {:<8}  {:<16}  {:<16}  {:>13.1}  {:>15.1}\n",
                 r.num_nodes,
                 r.width,
                 r.height,
@@ -234,6 +270,7 @@ impl ScalingData {
                 r.throughput.display(),
                 r.misspec_per_mcycle.display(),
                 r.ns_per_cycle,
+                r.ns_per_cycle_parallel,
             ));
         }
         out
@@ -256,7 +293,8 @@ impl ScalingData {
                  \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
                  \"misspec_per_mcycle_mean\": {:.6}, \
                  \"misspec_per_mcycle_std\": {:.6}, \
-                 \"ns_per_cycle\": {:.2}}}{comma}\n",
+                 \"ns_per_cycle\": {:.2}, \
+                 \"ns_per_cycle_parallel\": {:.2}}}{comma}\n",
                 r.num_nodes,
                 r.width,
                 r.height,
@@ -267,6 +305,7 @@ impl ScalingData {
                 r.misspec_per_mcycle.mean,
                 r.misspec_per_mcycle.std_dev,
                 r.ns_per_cycle,
+                r.ns_per_cycle_parallel,
             ));
         }
         json.push_str("  ]\n}\n");
@@ -279,9 +318,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn full_sweep_covers_8_to_128_under_both_policies() {
+    fn full_sweep_covers_8_to_1024_under_both_policies() {
         let cfg = ScalingConfig::default();
-        assert_eq!(cfg.node_counts, vec![8, 16, 32, 64, 128]);
+        assert_eq!(cfg.node_counts, vec![8, 16, 32, 64, 128, 256, 512, 1024]);
         // Every size factors into a valid rectangular torus.
         for &n in &cfg.node_counts {
             assert!(squarest_torus_dims(n).is_some(), "{n} nodes");
@@ -360,13 +399,16 @@ mod tests {
                 r.num_nodes
             );
             assert!(r.ns_per_cycle > 0.0);
+            assert!(r.ns_per_cycle_parallel > 0.0);
             assert!(r.misspec_per_mcycle.mean >= 0.0);
         }
         let txt = data.render();
         assert!(txt.contains("4x2") && txt.contains("adaptive"));
+        assert!(txt.contains("ns/cyc-parallel"));
         let json = data.to_json();
         assert!(json.contains("\"nodes\": 8") && json.contains("\"routing\": \"static\""));
         assert!(json.contains("\"ns_per_cycle\""));
+        assert!(json.contains("\"ns_per_cycle_parallel\""));
     }
 
     #[test]

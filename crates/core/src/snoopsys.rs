@@ -340,12 +340,12 @@ impl SnoopProtocol {
         now: Cycle,
         ctx: &mut EngineCtx<'_, ArchState>,
     ) {
-        for i in 0..arch.procs.len() {
+        // Worklist walk: same ascending visit order as a dense scan with an
+        // idle-inbox skip, but proportional to nodes with pending data.
+        let mut cursor = 0;
+        while let Some(i) = arch.data_net.next_ejectable_at_or_after(cursor) {
+            cursor = i + 1;
             let node = NodeId::from(i);
-            // Idle-inbox skip: nothing on the data network for this node.
-            if !arch.data_net.has_ejectable(node) {
-                continue;
-            }
             for _ in 0..DATA_INGEST_BUDGET {
                 let Some(packet) = arch.data_net.eject_any(node) else {
                     break;
@@ -566,6 +566,9 @@ impl SnoopingSystem {
             cfg.inject_recovery_every,
             perturb_rng,
             fault_plan,
+            // The snooping bus is totally ordered and never opts into the
+            // phase split; the engine ignores worker counts for it.
+            1,
         );
         Self { engine }
     }

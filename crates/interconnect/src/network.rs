@@ -71,12 +71,13 @@ enum MoveAction {
     },
 }
 
-/// Number of buckets in the [`ArrivalCalendar`]'s timing wheel. Must be a
-/// power of two, and larger than the longest common scheduling horizon:
-/// serialization of a 72-byte data message at 400 MB/s is 720 cycles, plus
-/// the switch pipeline latency. Rarer horizons (custom slower links) spill
-/// into the overflow map.
-const WHEEL_BUCKETS: usize = 1024;
+/// Minimum number of buckets in an [`ArrivalCalendar`]'s timing wheel
+/// (always a power of two). Each calendar is sized at construction from the network's
+/// own scheduling horizon (data-message serialization plus switch pipeline
+/// latency — see [`ArrivalCalendar::with_horizon`]) so slow links never park
+/// every steady-state arrival in the overflow map; this constant is the
+/// floor. Rarer horizons (fault-injected delays) still spill into overflow.
+const MIN_WHEEL_BUCKETS: usize = 1024;
 
 /// Due-cycle index over every in-transit link arrival: the entries for cycle
 /// `c` list the `(switch, link direction)` pairs whose front in-transit
@@ -84,14 +85,14 @@ const WHEEL_BUCKETS: usize = 1024;
 /// polling all `4 × num_nodes` links every cycle.
 ///
 /// The index is a **ring-buffer timing wheel**: cycle `c` lives in bucket
-/// `c % WHEEL_BUCKETS`, and buckets are drained in place
+/// `c % buckets`, and buckets are drained in place
 /// ([`Vec::drain`] keeps their allocation), so steady-state scheduling
 /// allocates nothing — unlike the `BTreeMap<Cycle, Vec>` predecessor, which
 /// allocated one fresh `Vec` per distinct due cycle. Arrivals beyond the
 /// wheel horizon (possible only with links slower than the Table 2 range)
 /// spill into a `BTreeMap` overflow. `next` is the lowest cycle not yet
 /// drained; because `next` is monotone and an entry overflows only when its
-/// cycle is at least `next + WHEEL_BUCKETS` away, all overflow entries for a
+/// cycle is at least one full wheel lap past `next`, all overflow entries for a
 /// cycle were scheduled before all wheel entries for it — draining
 /// overflow-first preserves exact schedule order.
 #[derive(Debug, Clone)]
@@ -108,18 +109,30 @@ struct ArrivalCalendar {
 
 impl Default for ArrivalCalendar {
     fn default() -> Self {
+        Self::with_horizon(0)
+    }
+}
+
+impl ArrivalCalendar {
+    /// Builds a calendar whose wheel covers at least `horizon` cycles of
+    /// look-ahead: the bucket count is `horizon + 1` rounded up to a power
+    /// of two, floored at [`MIN_WHEEL_BUCKETS`]. Callers pass the longest
+    /// *common* scheduling distance (serialization of the largest message
+    /// plus switch latency); anything rarer overflows into the map.
+    fn with_horizon(horizon: Cycle) -> Self {
+        let buckets = (horizon as usize + 1)
+            .next_power_of_two()
+            .max(MIN_WHEEL_BUCKETS);
         Self {
-            wheel: vec![Vec::new(); WHEEL_BUCKETS],
+            wheel: vec![Vec::new(); buckets],
             overflow: BTreeMap::new(),
             next: 0,
             pending: 0,
         }
     }
-}
 
-impl ArrivalCalendar {
-    fn bucket_of(cycle: Cycle) -> usize {
-        (cycle as usize) & (WHEEL_BUCKETS - 1)
+    fn bucket_of(&self, cycle: Cycle) -> usize {
+        (cycle as usize) & (self.wheel.len() - 1)
     }
 
     fn schedule(&mut self, arrival: Cycle, switch: usize, dir: usize) {
@@ -129,8 +142,9 @@ impl ArrivalCalendar {
             self.next
         );
         let entry = (switch as u32, dir as u8);
-        if arrival - self.next < WHEEL_BUCKETS as Cycle {
-            self.wheel[Self::bucket_of(arrival)].push(entry);
+        if arrival - self.next < self.wheel.len() as Cycle {
+            let b = self.bucket_of(arrival);
+            self.wheel[b].push(entry);
         } else {
             self.overflow.entry(arrival).or_default().push(entry);
         }
@@ -158,7 +172,8 @@ impl ArrivalCalendar {
                 }
             }
             // `append` empties the bucket while keeping its allocation.
-            out.append(&mut self.wheel[Self::bucket_of(cycle)]);
+            let b = self.bucket_of(cycle);
+            out.append(&mut self.wheel[b]);
             self.next += 1;
             if !out.is_empty() {
                 self.pending -= out.len();
@@ -195,6 +210,10 @@ pub struct Network<P> {
     /// Messages currently waiting in each node's ejection queues (incremental
     /// mirror of the queue lengths; lets endpoints skip idle nodes in O(1)).
     eject_pending: Vec<usize>,
+    /// Worklist of nodes with `eject_pending > 0`, so endpoint ingest can
+    /// walk only the nodes holding deliverable packets instead of scanning
+    /// all `num_nodes` every cycle.
+    eject_active: ActiveSet,
     ordering: OrderingTracker,
     stats: NetStats,
     watchdog: ProgressWatchdog,
@@ -286,6 +305,7 @@ impl<P> Network<P> {
             eject,
             eject_rr: vec![0; cfg.num_nodes],
             eject_pending: vec![0; cfg.num_nodes],
+            eject_active: ActiveSet::new(cfg.num_nodes),
             ordering: OrderingTracker::new(),
             stats: NetStats::new(num_links),
             watchdog: ProgressWatchdog::new(cfg.stall_threshold),
@@ -295,7 +315,15 @@ impl<P> Network<P> {
             full_endpoint_pools: 0,
             in_flight: 0,
             active: ActiveSet::new(cfg.num_nodes),
-            arrivals: ArrivalCalendar::default(),
+            // The longest common scheduling distance is a data message's
+            // serialization plus the switch pipeline; sizing the wheel to
+            // cover it keeps steady-state traffic out of the overflow map
+            // even on slow (or custom slower-than-Table-2) links.
+            arrivals: ArrivalCalendar::with_horizon(
+                cfg.link_bandwidth
+                    .serialization_cycles(specsim_base::DATA_MSG_BYTES)
+                    + cfg.switch_latency,
+            ),
             arrival_scratch: Vec::new(),
             forward_rounds: 0,
             cfg,
@@ -560,6 +588,16 @@ impl<P> Network<P> {
         self.eject_pending[node.index()] > 0
     }
 
+    /// The lowest node index `>= from` whose ejection queues hold at least
+    /// one deliverable packet, or `None` when no node at or past `from` does.
+    /// Walking this cursor visits exactly the nodes a dense ascending scan
+    /// with a [`Network::has_ejectable`] filter would, in the same order, but
+    /// in time proportional to the nodes with work rather than `num_nodes`.
+    #[must_use]
+    pub fn next_ejectable_at_or_after(&self, from: usize) -> Option<usize> {
+        self.eject_active.next_at_or_after(from)
+    }
+
     /// Removes the next packet from `node`'s ejection queue for a specific
     /// virtual network (meaningful in virtual-channel mode; in shared-buffer
     /// mode all classes share one queue and this behaves like
@@ -569,6 +607,9 @@ impl<P> Network<P> {
         let p = self.eject[node.index()][q].pop();
         if let Some(p) = &p {
             self.eject_pending[node.index()] -= 1;
+            if self.eject_pending[node.index()] == 0 {
+                self.eject_active.remove(node.index());
+            }
             self.release_ejected_slot(node.index(), p.vnet);
         }
         p
@@ -594,6 +635,9 @@ impl<P> Network<P> {
             if let Some(p) = self.eject[i][q].pop() {
                 self.eject_rr[i] = (q + 1) % n;
                 self.eject_pending[i] -= 1;
+                if self.eject_pending[i] == 0 {
+                    self.eject_active.remove(i);
+                }
                 self.release_ejected_slot(i, p.vnet);
                 return Some(p);
             }
@@ -676,6 +720,7 @@ impl<P> Network<P> {
             }
         }
         self.eject_pending.fill(0);
+        self.eject_active.clear();
         if let Some(pools) = &mut self.pools {
             for p in pools {
                 p.clear();
@@ -793,14 +838,21 @@ impl<P> Network<P> {
         // computed at most once per applied move instead of once per queued
         // packet; it must be refreshed after a move, which the subsequent
         // ports of this switch observe exactly as the exhaustive scan did.
+        // Static routing never consults the metric, so it skips the
+        // neighbour-gathering entirely.
+        let adaptive = self.routing == RoutingPolicy::Adaptive;
         let mut congestion: Option<[usize; 4]> = None;
         for pk in 0..ALL_PORTS.len() {
             let p = (start_port + pk) % ALL_PORTS.len();
             if self.switches[i].ports[p].queued == 0 {
                 continue;
             }
-            let c = *congestion
-                .get_or_insert_with(|| Self::congestion_of(&self.switches, &self.torus, i, now));
+            let c = if adaptive {
+                *congestion
+                    .get_or_insert_with(|| Self::congestion_of(&self.switches, &self.torus, i, now))
+            } else {
+                [0usize; 4]
+            };
             if let Some(decision) = self.plan_port_move(i, p, now, &c) {
                 self.apply_move(i, p, decision, now, faults.as_deref_mut());
                 congestion = None;
@@ -960,6 +1012,7 @@ impl<P> Network<P> {
                         .push(pkt)
                         .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
                     self.eject_pending[i] += 1;
+                    self.eject_active.insert(i);
                     self.in_flight = self.in_flight.saturating_sub(1);
                     self.watchdog.record_progress(now);
                 }
@@ -1084,6 +1137,11 @@ impl<P> Network<P> {
         for (i, queues) in self.eject.iter().enumerate() {
             let scan: usize = queues.iter().map(MsgQueue::len).sum();
             assert_eq!(self.eject_pending[i], scan, "ejection count at node {i}");
+            assert_eq!(
+                self.eject_active.contains(i),
+                scan > 0,
+                "eject-active membership at node {i}"
+            );
         }
         self.assert_pool_invariants();
     }
@@ -1202,7 +1260,7 @@ mod tests {
     #[test]
     fn calendar_overflow_beyond_the_wheel_horizon_is_preserved_in_order() {
         let mut cal = ArrivalCalendar::default();
-        let far = WHEEL_BUCKETS as Cycle + 500;
+        let far = MIN_WHEEL_BUCKETS as Cycle + 500;
         // Scheduled while `next` is 0, so `far` lands in the overflow map...
         cal.schedule(far, 9, 1);
         cal.schedule(2, 1, 0);
@@ -1212,21 +1270,84 @@ mod tests {
         cal.schedule(far, 7, 2);
         assert!(pop_batch(&mut cal, far - 1).is_none());
         assert_eq!(pop_batch(&mut cal, far), Some(vec![(9, 1), (7, 2)]));
-        assert!(pop_batch(&mut cal, far + WHEEL_BUCKETS as Cycle).is_none());
+        assert!(pop_batch(&mut cal, far + MIN_WHEEL_BUCKETS as Cycle).is_none());
     }
 
     #[test]
     fn calendar_clear_discards_everything_but_keeps_working() {
         let mut cal = ArrivalCalendar::default();
         cal.schedule(4, 1, 0);
-        cal.schedule(WHEEL_BUCKETS as Cycle + 9, 2, 1);
+        cal.schedule(MIN_WHEEL_BUCKETS as Cycle + 9, 2, 1);
         cal.clear();
-        assert!(pop_batch(&mut cal, WHEEL_BUCKETS as Cycle * 2).is_none());
-        cal.schedule(WHEEL_BUCKETS as Cycle * 2 + 3, 5, 3);
+        assert!(pop_batch(&mut cal, MIN_WHEEL_BUCKETS as Cycle * 2).is_none());
+        cal.schedule(MIN_WHEEL_BUCKETS as Cycle * 2 + 3, 5, 3);
         assert_eq!(
-            pop_batch(&mut cal, WHEEL_BUCKETS as Cycle * 2 + 3),
+            pop_batch(&mut cal, MIN_WHEEL_BUCKETS as Cycle * 2 + 3),
             Some(vec![(5, 3)])
         );
+    }
+
+    #[test]
+    fn calendar_wheel_is_sized_from_the_horizon() {
+        // The floor applies when the horizon fits the minimum wheel...
+        assert_eq!(
+            ArrivalCalendar::with_horizon(0).wheel.len(),
+            MIN_WHEEL_BUCKETS
+        );
+        assert_eq!(
+            ArrivalCalendar::with_horizon(1023).wheel.len(),
+            MIN_WHEEL_BUCKETS
+        );
+        // ...and a longer horizon rounds up to the next power of two, so the
+        // full common scheduling distance stays on the wheel.
+        assert_eq!(ArrivalCalendar::with_horizon(1024).wheel.len(), 2048);
+        assert_eq!(ArrivalCalendar::with_horizon(3000).wheel.len(), 4096);
+        let cal = ArrivalCalendar::with_horizon(3000);
+        assert!(cal.wheel.len().is_power_of_two());
+    }
+
+    #[test]
+    fn calendar_overflow_heavy_schedule_drains_in_exact_order() {
+        // Park far more entries in the overflow map than on the wheel —
+        // every distinct due cycle beyond the horizon, interleaved with
+        // near-term wheel entries — and require the global drain order to be
+        // exactly (due cycle asc, schedule order within a cycle), overflow
+        // entries strictly before wheel entries for the same cycle.
+        let mut cal = ArrivalCalendar::default();
+        let lap = MIN_WHEEL_BUCKETS as Cycle;
+        let mut expected: BTreeMap<Cycle, Vec<(u32, u8)>> = BTreeMap::new();
+        // 64 overflow cycles, several laps deep, three entries each.
+        for k in 0..64u32 {
+            let due = lap + 17 + 3 * k as Cycle * 37 % (5 * lap);
+            for j in 0..3u8 {
+                cal.schedule(due, k as usize, j as usize);
+                expected.entry(due).or_default().push((k, j));
+            }
+        }
+        // A handful of near entries that must drain first.
+        for k in 0..8u32 {
+            let due = 2 + k as Cycle * 5;
+            cal.schedule(due, 100 + k as usize, 0);
+            expected.entry(due).or_default().push((100 + k, 0));
+        }
+        // Same-cycle mix: an overflow entry scheduled first must come out
+        // before a wheel entry scheduled for the same cycle later.
+        let mixed = lap + 17; // already in overflow from the loop above
+        let mut now = 0;
+        let mut got: Vec<(Cycle, Vec<(u32, u8)>)> = Vec::new();
+        while now < 8 * lap {
+            now += 1;
+            if now == mixed {
+                // Close enough now to land on the wheel.
+                cal.schedule(mixed, 999, 3);
+                expected.entry(mixed).or_default().push((999, 3));
+            }
+            while let Some(batch) = pop_batch(&mut cal, now) {
+                got.push((now, batch));
+            }
+        }
+        let want: Vec<(Cycle, Vec<(u32, u8)>)> = expected.into_iter().collect();
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -1256,7 +1377,7 @@ mod tests {
             // exercise the overflow map.
             for _ in 0..rng.next_below(4) {
                 let horizon = if rng.next_below(10) == 0 {
-                    WHEEL_BUCKETS as Cycle + rng.next_below(400)
+                    MIN_WHEEL_BUCKETS as Cycle + rng.next_below(400)
                 } else {
                     1 + rng.next_below(800)
                 };

@@ -12,14 +12,15 @@
 
 use specsim_base::{NodeId, RoutingPolicy};
 
-use crate::topology::{Direction, Torus};
+use crate::topology::{DirList, Direction, Torus};
 
 /// An ordered list of candidate output directions for one packet at one
-/// switch, most preferred first.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// switch, most preferred first. Held inline ([`DirList`]) so routing a
+/// packet never heap-allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteCandidates {
     /// Candidate directions in preference order.
-    pub directions: Vec<Direction>,
+    pub directions: DirList,
     /// Whether the preferred candidates may use the fully adaptive virtual
     /// channel (true only under adaptive routing).
     pub adaptive: bool,
@@ -42,14 +43,14 @@ pub fn route_candidates(
 ) -> RouteCandidates {
     if current == dst {
         return RouteCandidates {
-            directions: vec![Direction::Local],
+            directions: DirList::of(Direction::Local),
             adaptive: false,
         };
     }
     let dor = torus.dimension_order_direction(current, dst);
     match policy {
         RoutingPolicy::Static => RouteCandidates {
-            directions: vec![dor],
+            directions: DirList::of(dor),
             adaptive: false,
         },
         RoutingPolicy::Adaptive => {
@@ -82,7 +83,7 @@ mod tests {
         let t = t4();
         // Node 0 (0,0) to node 10 (2,2): DOR goes East first.
         let c = route_candidates(&t, RoutingPolicy::Static, NodeId(0), NodeId(10), &[0; 4]);
-        assert_eq!(c.directions, vec![Direction::East]);
+        assert_eq!(c.directions.as_slice(), [Direction::East]);
         assert!(!c.adaptive);
     }
 
@@ -118,7 +119,7 @@ mod tests {
         let t = t4();
         for policy in [RoutingPolicy::Static, RoutingPolicy::Adaptive] {
             let c = route_candidates(&t, policy, NodeId(7), NodeId(7), &[0; 4]);
-            assert_eq!(c.directions, vec![Direction::Local]);
+            assert_eq!(c.directions.as_slice(), [Direction::Local]);
         }
     }
 
@@ -129,7 +130,7 @@ mod tests {
         // DOR travels X first: 4 hops East (tie on the half-ring goes
         // positive), then one hop on the length-2 Y ring.
         let c = route_candidates(&t, RoutingPolicy::Static, NodeId(0), NodeId(12), &[0; 4]);
-        assert_eq!(c.directions, vec![Direction::East]);
+        assert_eq!(c.directions.as_slice(), [Direction::East]);
         // Adaptive offers both productive axes.
         let c = route_candidates(&t, RoutingPolicy::Adaptive, NodeId(0), NodeId(12), &[0; 4]);
         assert_eq!(c.directions.len(), 2);

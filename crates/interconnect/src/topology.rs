@@ -77,6 +77,74 @@ impl Direction {
     }
 }
 
+/// A fixed-capacity inline list of directions. A 2D torus hop never has more
+/// than four candidates, so route computation can stay allocation-free on the
+/// per-packet forwarding path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirList {
+    dirs: [Direction; 4],
+    len: u8,
+}
+
+impl DirList {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            dirs: [Direction::Local; 4],
+            len: 0,
+        }
+    }
+
+    /// A single-element list.
+    #[must_use]
+    pub fn of(dir: Direction) -> Self {
+        let mut list = Self::new();
+        list.push(dir);
+        list
+    }
+
+    /// Appends a direction. Panics past the 4-direction capacity.
+    pub fn push(&mut self, dir: Direction) {
+        self.dirs[usize::from(self.len)] = dir;
+        self.len += 1;
+    }
+
+    /// The directions as a slice, in insertion (preference) order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Direction] {
+        &self.dirs[..usize::from(self.len)]
+    }
+
+    /// Sorts the list by the given key, preserving determinism via total keys.
+    pub fn sort_by_key<K: Ord>(&mut self, key: impl FnMut(&Direction) -> K) {
+        self.dirs[..usize::from(self.len)].sort_by_key(key);
+    }
+}
+
+impl Default for DirList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for DirList {
+    type Target = [Direction];
+
+    fn deref(&self) -> &[Direction] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a DirList {
+    type Item = &'a Direction;
+    type IntoIter = std::slice::Iter<'a, Direction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A rectangular 2D torus of `width × height` switches, one per node.
 ///
 /// Both dimensions must be at least 2: a 1-wide ring degenerates (a switch
@@ -221,10 +289,10 @@ impl Torus {
     /// directions that reduce the remaining distance. Empty when the nodes
     /// are the same.
     #[must_use]
-    pub fn productive_directions(&self, from: NodeId, to: NodeId) -> Vec<Direction> {
+    pub fn productive_directions(&self, from: NodeId, to: NodeId) -> DirList {
         let a = self.coord(from);
         let b = self.coord(to);
-        let mut dirs = Vec::with_capacity(2);
+        let mut dirs = DirList::new();
         let dx = self.dx(a, b);
         let dy = self.dy(a, b);
         if dx > 0 {
@@ -407,7 +475,7 @@ mod tests {
                 if from == to {
                     assert!(dirs.is_empty());
                 }
-                for dir in dirs {
+                for &dir in &dirs {
                     let next = t.neighbor(f, dir);
                     assert_eq!(t.distance(next, d), t.distance(f, d) - 1);
                 }
@@ -547,7 +615,7 @@ mod tests {
             } else {
                 prop_assert!(!dirs.is_empty());
             }
-            for dir in dirs {
+            for &dir in &dirs {
                 let next = t.neighbor(f, dir);
                 prop_assert_eq!(t.distance(next, d) + 1, t.distance(f, d));
             }

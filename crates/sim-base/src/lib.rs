@@ -22,7 +22,9 @@
 //! * [`queue`] — bounded message queues, the port abstraction through which
 //!   controllers and the interconnection network exchange messages,
 //! * [`msgsize`] — the message size model (control vs. data messages) used by
-//!   the link serialization model.
+//!   the link serialization model,
+//! * [`workers`] — a persistent barrier-phase thread pool for the engine's
+//!   deterministic intra-run parallel phase split.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +38,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod workers;
 
 pub use active::ActiveSet;
 pub use config::{
@@ -51,3 +54,4 @@ pub use queue::MsgQueue;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RunningStats, UtilizationTracker};
 pub use time::{Cycle, CycleDelta};
+pub use workers::WorkerPool;

@@ -323,6 +323,15 @@ impl Processor {
         // Stay in Ready; the request is re-presented next cycle.
     }
 
+    /// Accounts `cycles` stall retries in one step. The phase-split engine
+    /// parks a stalled processor instead of re-presenting its request every
+    /// cycle (a stall's outcome cannot change until the node's cache
+    /// controller ingests a message), then settles the skipped retries here
+    /// so the statistics match the cycle-by-cycle reference kernel exactly.
+    pub fn note_skipped_stalls(&mut self, cycles: u64) {
+        self.stats.stall_retries += cycles;
+    }
+
     /// An outstanding miss on `addr` completed. Completions may arrive in
     /// any order; they are matched by block address. A completion with no
     /// matching in-flight entry (possible transiently around a recovery) is

@@ -195,6 +195,7 @@ const GOLDEN_DIR_RECT_4X2: u64 = 0x3163d46007748ba6;
 const GOLDEN_SNOOP_DATA_TORUS_400: u64 = 0x084d1fa80ab27e48;
 const GOLDEN_NET_SHARED_POOL: u64 = 0x2ea57983677172d5;
 const GOLDEN_DIR_TRACE_REPLAY: u64 = 0x0ec36632238bff1a;
+const GOLDEN_DIR_256_NODES: u64 = 0x784ef0f04071c789;
 
 #[test]
 fn rectangular_4x2_network_matches_golden_under_both_policies() {
@@ -504,6 +505,44 @@ fn recorded_trace_replays_bit_identically() {
         GOLDEN_DIR_TRACE_REPLAY,
         metrics_digest(&replayed),
     );
+}
+
+/// The 256-node machine the at-scale goldens run: a 16×16 speculative torus
+/// with non-blocking processors under the canonical heavy traffic shape, so
+/// the wake calendar, the eject worklists and the timeout-scan memoization
+/// all carry real load.
+fn dir_256_config() -> SystemConfig {
+    let mut cfg = small_dir_config(ProtocolVariant::Speculative, RoutingPolicy::Adaptive);
+    cfg.memory.num_nodes = 256; // derives a 16×16 torus
+    cfg.memory.mshr_entries = 4;
+    cfg.traffic = heavy_traffic();
+    cfg
+}
+
+#[test]
+fn directory_256_nodes_matches_golden() {
+    // First golden past the old 128-node NodeSet ceiling: the spilled
+    // hybrid NodeSet representation carries the sharer sets here.
+    let mut sys = DirectorySystem::new(dir_256_config().with_workers_pinned(1));
+    let m = sys.run_for(6_000).expect("no protocol errors");
+    check("dir_256_nodes", GOLDEN_DIR_256_NODES, metrics_digest(&m));
+}
+
+#[test]
+fn phase_split_engine_is_byte_identical_to_serial_at_256_nodes() {
+    // The acceptance gate for the deterministic phase split: the same
+    // 256-node machine run with worker count > 1 must produce exactly the
+    // serial schedule digest — not merely the same aggregate counters.
+    let mut serial = DirectorySystem::new(dir_256_config().with_workers_pinned(1));
+    let ms = serial.run_for(6_000).expect("no protocol errors");
+    let mut parallel = DirectorySystem::new(dir_256_config().with_workers_pinned(4));
+    let mp = parallel.run_for(6_000).expect("no protocol errors");
+    assert_eq!(
+        metrics_digest(&ms),
+        metrics_digest(&mp),
+        "phase-split engine diverged from the serial reference kernel"
+    );
+    check("dir_256_nodes", GOLDEN_DIR_256_NODES, metrics_digest(&mp));
 }
 
 #[test]
