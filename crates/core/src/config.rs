@@ -123,6 +123,13 @@ pub struct SystemConfig {
     /// phase split on cannot silently switch which kernel a labelled
     /// serial/parallel column measures.
     pub worker_threads_pinned: bool,
+    /// Whether the phase-split engine also hands its worker pool to the
+    /// exchange phase (sharded network forwarding). On — the default — is
+    /// the full parallel kernel; off restricts the pool to the tick phase.
+    /// Schedule-neutral either way (the sharded forward is byte-identical
+    /// to the serial scan); the scaling sweep pins it off for its
+    /// tick-only timing column. Irrelevant when `worker_threads` is 1.
+    pub parallel_exchange: bool,
 }
 
 impl Default for SystemConfig {
@@ -166,6 +173,7 @@ impl SystemConfig {
             pool_split: None,
             worker_threads: 1,
             worker_threads_pinned: false,
+            parallel_exchange: true,
         }
     }
 
@@ -197,6 +205,7 @@ impl SystemConfig {
             pool_split: None,
             worker_threads: 1,
             worker_threads_pinned: false,
+            parallel_exchange: true,
         }
     }
 
@@ -232,6 +241,7 @@ impl SystemConfig {
             pool_split: None,
             worker_threads: 1,
             worker_threads_pinned: false,
+            parallel_exchange: true,
         }
     }
 
@@ -274,6 +284,7 @@ impl SystemConfig {
             pool_split: None,
             worker_threads: 1,
             worker_threads_pinned: false,
+            parallel_exchange: true,
         }
     }
 
@@ -399,6 +410,16 @@ impl SystemConfig {
     pub fn with_workers_pinned(&self, worker_threads: usize) -> Self {
         let mut c = self.with_workers(worker_threads);
         c.worker_threads_pinned = true;
+        c
+    }
+
+    /// Returns a copy with the exchange-phase pool hand-off enabled or
+    /// disabled (see [`Self::parallel_exchange`]). Timing knob only — the
+    /// schedule is byte-identical either way.
+    #[must_use]
+    pub fn with_parallel_exchange(&self, enabled: bool) -> Self {
+        let mut c = self.clone();
+        c.parallel_exchange = enabled;
         c
     }
 

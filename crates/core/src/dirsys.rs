@@ -168,6 +168,10 @@ impl DirProtocol {
         src: NodeId,
         msg: DirMsg,
     ) {
+        // Either controller may have enqueued protocol output (and a cache
+        // ingest may have completed a processor access): put the node on the
+        // exchange worklists.
+        ctx.note_exchange_activity(node_idx);
         match msg.class() {
             MsgClass::Request | MsgClass::FinalAck => {
                 if let Err(e) = arch.dirs[node_idx].handle_message(now, src, msg) {
@@ -200,13 +204,22 @@ impl DirProtocol {
             outboxes,
             ..
         } = arch;
-        for i in 0..caches.len() {
-            // Idle-outbox skip: no controller output queued and no staged
-            // message waiting out its latency timer.
+        // Worklist walk: visit only nodes that may hold controller output or
+        // staged messages, in the same ascending order as the dense scan
+        // this replaces (the worklist holds a superset of the busy nodes,
+        // and idle visits are no-ops, so the schedule is unchanged).
+        let mut cursor = 0;
+        while let Some(i) = ctx.next_outbox_at_or_after(cursor) {
+            cursor = i + 1;
+            // Idle-outbox retire: no controller output queued and no staged
+            // message waiting out its latency timer — the exact dense-scan
+            // skip condition, so the node leaves the worklist until the tick
+            // phase or a message ingest re-arms it.
             if caches[i].outgoing_len() == 0
                 && dirs[i].outgoing_len() == 0
                 && outboxes[i].is_empty()
             {
+                ctx.retire_outbox(i);
                 continue;
             }
             for _ in 0..DRAIN_BUDGET {
@@ -274,6 +287,8 @@ impl ProtocolNode for DirProtocol {
 
     const SUPPORTS_PARALLEL_TICK: bool = true;
 
+    const SUPPORTS_PARALLEL_EXCHANGE: bool = true;
+
     fn tick_nodes_parallel(
         arch: &mut ArchState,
         nodes: &[u32],
@@ -340,8 +355,9 @@ impl ProtocolNode for DirProtocol {
             });
         }
         self.pump_outboxes(arch, now, ctx);
+        let pool = ctx.worker_pool();
         let faults = ctx.faults();
-        arch.net.tick_faulted(now, faults);
+        arch.net.tick_faulted_with_pool(now, faults, pool);
         crate::engine::report_pooled_fabric_evidence(&arch.net, now, ctx);
     }
 
@@ -485,7 +501,8 @@ impl DirectorySystem {
         let perturb_rng = seed_rng.fork();
         let fault_plan = cfg.fault_config.lower(cfg.seed, n);
         let worker_threads = cfg.effective_worker_threads();
-        let engine = SystemEngine::new(
+        let parallel_exchange = cfg.parallel_exchange;
+        let mut engine = SystemEngine::new(
             DirProtocol { cfg: cfg.clone() },
             arch,
             cfg.memory.safetynet.clone(),
@@ -495,6 +512,7 @@ impl DirectorySystem {
             fault_plan,
             worker_threads,
         );
+        engine.set_parallel_exchange(parallel_exchange);
         Self { engine }
     }
 
@@ -520,6 +538,21 @@ impl DirectorySystem {
     #[must_use]
     pub fn ops_completed(&self) -> u64 {
         self.engine.ops_completed()
+    }
+
+    /// The engine's work counters (idle-skip and exchange-worklist
+    /// observability).
+    #[must_use]
+    pub fn engine_probe(&self) -> crate::engine::EngineProbe {
+        self.engine.probe()
+    }
+
+    /// The torus's forward-phase work counters (switch visits, parallel
+    /// shard accounting) — observability for the parallel-exchange tests;
+    /// never part of the schedule.
+    #[must_use]
+    pub fn net_forward_probe(&self) -> specsim_net::ForwardProbe {
+        self.engine.arch().net.forward_probe()
     }
 
     /// Maps a protocol message class to its virtual network (Section 3.1:

@@ -36,7 +36,7 @@
 use std::collections::VecDeque;
 
 use specsim_base::{
-    BlockAddr, Cycle, CycleDelta, DetRng, FaultDirector, FaultKind, FaultPlan, NodeId,
+    ActiveSet, BlockAddr, Cycle, CycleDelta, DetRng, FaultDirector, FaultKind, FaultPlan, NodeId,
     SafetyNetConfig, WorkerPool,
 };
 use specsim_coherence::types::{CpuAccess, CpuRequest, MisSpecKind, MisSpeculation, ProtocolError};
@@ -186,6 +186,60 @@ pub struct EngineProbe {
     /// Processor visits skipped because the node's wake-up cycle had not
     /// arrived (thinking or blocked on an outstanding miss).
     pub processor_skips: u64,
+    /// Exchange phase: nodes visited by the completion-delivery worklist
+    /// (each visit drains that node's completed accesses). The dense
+    /// equivalent is one visit per node per cycle; a sparse run stays
+    /// proportional to nodes that actually ingested messages.
+    pub exchange_completion_visits: u64,
+    /// Exchange phase: nodes visited by the outbox-pump worklist (each visit
+    /// either pumps controller output toward a fabric or retires the node as
+    /// idle). The dense equivalent is one visit per node per cycle.
+    pub exchange_outbox_visits: u64,
+}
+
+/// Active-node worklists for the exchange phase: the engine-side twin of the
+/// tick phase's wake calendar. A node enters a list when something happened
+/// that could give it exchange work — its processor issued a request, a
+/// fabric delivered a message to one of its controllers, or a recovery
+/// restored it — and leaves when a visit finds it drained. Idle nodes cost
+/// zero in the per-cycle exchange scans, exactly as they do in the tick
+/// phase; visiting a node with nothing to do is a no-op, so the worklists
+/// only ever hold a superset of the busy nodes and the schedule stays
+/// byte-identical to the dense scans they replace.
+#[derive(Debug)]
+pub(crate) struct ExchangeIndex {
+    /// Nodes whose controllers ingested a message (or were restored by a
+    /// recovery) and may therefore hold completed processor accesses.
+    completions: ActiveSet,
+    /// Nodes that may have controller output queued or messages staged in an
+    /// outbox waiting out a latency timer.
+    outbox: ActiveSet,
+}
+
+impl ExchangeIndex {
+    /// All `n` nodes start on both lists; the first visits retire the idle
+    /// ones.
+    fn new_full(n: usize) -> Self {
+        let mut completions = ActiveSet::new(n);
+        let mut outbox = ActiveSet::new(n);
+        for i in 0..n {
+            completions.insert(i);
+            outbox.insert(i);
+        }
+        Self {
+            completions,
+            outbox,
+        }
+    }
+
+    /// Re-arms both lists for every node (recovery restored the whole
+    /// machine: any node may hold completions or pending output again).
+    fn insert_all(&mut self) {
+        for i in 0..self.completions.capacity() {
+            self.completions.insert(i);
+            self.outbox.insert(i);
+        }
+    }
 }
 
 /// The phase-split engine's wake-up surface handed to protocols through
@@ -215,9 +269,18 @@ pub struct EngineCtx<'a, A> {
     /// delivery and cache ingest schedule processors here so the indexed
     /// tick phase visits them. `None` on the serial reference kernel.
     wake: Option<WakeHooks<'a>>,
+    /// The exchange-phase worklists (always present — the serial kernel uses
+    /// them too; they are a pure scan-cost optimization).
+    exchange: &'a mut ExchangeIndex,
+    /// The engine's work counters (exchange-visit accounting).
+    probe: &'a mut EngineProbe,
+    /// The phase split's worker pool, handed to protocols so their fabric
+    /// tick can fan the forward phase out ([`Network::tick_faulted_with_pool`]
+    /// — byte-identical schedule). `None` on the serial reference kernel.
+    pool: Option<&'a WorkerPool>,
 }
 
-impl<A: Clone> EngineCtx<'_, A> {
+impl<'a, A: Clone> EngineCtx<'a, A> {
     /// Records a detected mis-speculation (the first one per cycle wins;
     /// recovery handles it at the end of the cycle).
     pub fn note_misspeculation(&mut self, ms: MisSpeculation) {
@@ -295,13 +358,23 @@ impl<A: Clone> EngineCtx<'_, A> {
     /// whose requesting instruction was rolled back (the processor
     /// re-executes from the register checkpoint); such completions update
     /// the cache but wake nobody.
+    /// Visits only the nodes on the completions worklist, in the same
+    /// ascending order as the dense scan it replaces: a node enters the list
+    /// when a controller ingests a message ([`EngineCtx::note_exchange_activity`])
+    /// and every visit drains it completely, so skipped nodes are exactly
+    /// those for which `take_completed` would have returned `None`
+    /// immediately.
     pub fn deliver_completions(
         &mut self,
         now: Cycle,
         procs: &mut [Processor],
         mut take_completed: impl FnMut(usize) -> Option<(BlockAddr, CpuAccess)>,
     ) {
-        for (i, proc) in procs.iter_mut().enumerate() {
+        let mut cursor = 0;
+        while let Some(i) = self.exchange.completions.next_at_or_after(cursor) {
+            cursor = i + 1;
+            self.probe.exchange_completion_visits += 1;
+            let proc = &mut procs[i];
             let mut woken = false;
             while let Some((addr, access)) = take_completed(i) {
                 woken = true;
@@ -325,7 +398,48 @@ impl<A: Clone> EngineCtx<'_, A> {
                     }
                 }
             }
+            // Fully drained: all message ingest for this cycle happened
+            // earlier in the exchange, so nothing can complete at this node
+            // until a future ingest re-inserts it.
+            self.exchange.completions.remove(i);
         }
+    }
+
+    /// Reports that something happened at node `i` that may have produced
+    /// exchange work: a controller ingested a message (which can both
+    /// complete a processor access and enqueue protocol output) or the
+    /// processor issued a request. The node joins both exchange worklists;
+    /// the next visit retires it if it turns out to be idle.
+    pub fn note_exchange_activity(&mut self, i: usize) {
+        self.exchange.completions.insert(i);
+        self.exchange.outbox.insert(i);
+    }
+
+    /// The next node at or after `from` on the outbox worklist — the
+    /// worklist twin of a dense `for i in from..n` outbox scan. Each call
+    /// counts as one exchange visit; the caller either pumps the node or
+    /// retires it with [`EngineCtx::retire_outbox`].
+    pub fn next_outbox_at_or_after(&mut self, from: usize) -> Option<usize> {
+        let i = self.exchange.outbox.next_at_or_after(from)?;
+        self.probe.exchange_outbox_visits += 1;
+        Some(i)
+    }
+
+    /// Removes node `i` from the outbox worklist: the caller observed the
+    /// exact dense-scan idle condition (no controller output queued, nothing
+    /// staged), so the node cannot have outbox work until something
+    /// re-inserts it via [`EngineCtx::note_exchange_activity`].
+    pub fn retire_outbox(&mut self, i: usize) {
+        self.exchange.outbox.remove(i);
+    }
+
+    /// The phase split's worker pool, when this run opted into
+    /// `worker_threads > 1` (for a supporting protocol). Protocols pass this
+    /// into their fabric's tick so the forward phase fans out across threads
+    /// with a byte-identical schedule; `None` keeps every fabric serial.
+    #[must_use]
+    pub fn worker_pool(&self) -> Option<&'a WorkerPool> {
+        self.pool
     }
 
     /// Reports that node `i`'s cache controller ingested a message at cycle
@@ -486,10 +600,19 @@ pub trait ProtocolNode {
 
     /// Whether [`ProtocolNode::tick_nodes_parallel`] is implemented. The
     /// engine's deterministic phase split (`worker_threads > 1`) activates
-    /// only for protocols whose per-node tick state is disjoint across
-    /// nodes; the snooping system's totally ordered bus is inherently
-    /// serial and keeps the default.
+    /// its *wake-calendar indexed tick* only for protocols whose per-node
+    /// tick state is disjoint across nodes; the snooping system's totally
+    /// ordered bus is inherently serial and keeps the default.
     const SUPPORTS_PARALLEL_TICK: bool = false;
+
+    /// Whether this protocol's `exchange` passes the phase split's worker
+    /// pool into a fabric tick ([`EngineCtx::worker_pool`]). A protocol may
+    /// support the parallel *exchange* without the parallel tick — the
+    /// snooping machine's address bus is serial by design, but its
+    /// point-to-point data torus forwards in parallel shards just like the
+    /// directory torus. `worker_threads > 1` builds the pool when either
+    /// capability is present.
+    const SUPPORTS_PARALLEL_EXCHANGE: bool = false;
 
     /// Phase-split processor tick: polls and dispatches every node in
     /// `nodes` (ascending node indices, each with `ready_at() <= now`)
@@ -513,15 +636,15 @@ pub trait ProtocolNode {
     fn collect_protocol_metrics(&self, arch: &Self::Arch, now: Cycle, m: &mut RunMetrics);
 }
 
-/// State of the deterministic phase split, present only when a run opted
-/// into `worker_threads > 1` *and* the protocol supports the parallel tick
-/// phase. The wake calendar replaces the dense every-cycle processor scan
-/// with an exact due-cycle index; the pool fans the tick phase out across
-/// threads with a barrier before the exchange phase. Both are
-/// schedule-neutral: the serial kernel's goldens pin the digest either way.
+/// The wake-calendar index of the phase split's tick phase, present only
+/// for protocols with [`ProtocolNode::SUPPORTS_PARALLEL_TICK`]. The
+/// calendar replaces the dense every-cycle processor scan with an exact
+/// due-cycle index; protocols without it (the snooping bus) keep the dense
+/// tick even when a pool exists for their exchange phase — handing them a
+/// calendar would be a correctness hazard, since their exchange never
+/// schedules wake-ups into it.
 #[derive(Debug)]
-struct PhaseSplit {
-    pool: WorkerPool,
+struct TickIndex {
     wake: WakeCalendar,
     /// Scratch: nodes due this cycle (calendar pop).
     due: Vec<u32>,
@@ -535,6 +658,18 @@ struct PhaseSplit {
     /// ([`EngineCtx::note_cache_activity`]) and settles the skipped retries
     /// in bulk ([`Processor::note_skipped_stalls`]) when it is re-visited.
     parked: Vec<Cycle>,
+}
+
+/// State of the deterministic phase split, present only when a run opted
+/// into `worker_threads > 1` and the protocol supports a parallel phase
+/// (tick, exchange, or both). The pool fans the supported phases out across
+/// threads with a barrier between them. Everything here is
+/// schedule-neutral: the serial kernel's goldens pin the digest either way.
+#[derive(Debug)]
+struct PhaseSplit {
+    pool: WorkerPool,
+    /// The indexed tick phase, only for protocols that support it.
+    tick_index: Option<TickIndex>,
 }
 
 /// The generic full-system simulation engine: drives a [`ProtocolNode`]
@@ -601,6 +736,16 @@ pub struct SystemEngine<P: ProtocolNode> {
     next_timeout_scan: Cycle,
     /// The deterministic phase split (`None` = the serial reference kernel).
     par: Option<PhaseSplit>,
+    /// Whether the exchange phase may see the worker pool (and hence shard
+    /// the network forward phase). Schedule-neutral either way — the
+    /// parallel forward is byte-identical to the serial scan — so this is a
+    /// pure timing knob: the scaling sweep pins it off to isolate how much
+    /// of the phase-split speedup comes from the tick phase alone.
+    parallel_exchange: bool,
+    /// The exchange-phase worklists (present on every kernel, serial
+    /// included: visiting a superset of the busy nodes is a no-op, so the
+    /// lists are a pure scan-cost optimization).
+    exchange: ExchangeIndex,
 }
 
 impl<P: ProtocolNode> SystemEngine<P> {
@@ -627,18 +772,25 @@ impl<P: ProtocolNode> SystemEngine<P> {
         let safetynet = SafetyNet::new(safetynet_cfg, n, arch.clone(), 0);
         let next_injected_recovery = inject_recovery_every.map(|i| i.max(1));
         let fault_director = (!fault_plan.is_empty()).then(|| FaultDirector::new(fault_plan));
-        let par = (worker_threads > 1 && P::SUPPORTS_PARALLEL_TICK).then(|| {
-            let mut wake = WakeCalendar::new();
-            // Every node starts live: visit all of them on the first cycle.
-            for i in 0..n {
-                wake.schedule(0, 1, i as u32);
-            }
+        let supports_split = P::SUPPORTS_PARALLEL_TICK || P::SUPPORTS_PARALLEL_EXCHANGE;
+        let par = (worker_threads > 1 && supports_split).then(|| {
+            let tick_index = P::SUPPORTS_PARALLEL_TICK.then(|| {
+                let mut wake = WakeCalendar::new();
+                // Every node starts live: visit all of them on the first
+                // cycle.
+                for i in 0..n {
+                    wake.schedule(0, 1, i as u32);
+                }
+                TickIndex {
+                    wake,
+                    due: Vec::new(),
+                    ready: Vec::new(),
+                    parked: vec![Cycle::MAX; n],
+                }
+            });
             PhaseSplit {
                 pool: WorkerPool::new(worker_threads),
-                wake,
-                due: Vec::new(),
-                ready: Vec::new(),
-                parked: vec![Cycle::MAX; n],
+                tick_index,
             }
         });
         Self {
@@ -664,7 +816,15 @@ impl<P: ProtocolNode> SystemEngine<P> {
             fault_fires_seen: 0,
             next_timeout_scan: 0,
             par,
+            parallel_exchange: true,
+            exchange: ExchangeIndex::new_full(n),
         }
+    }
+
+    /// Enables or disables handing the worker pool to the exchange phase
+    /// (see the field doc: schedule-neutral, timing only).
+    pub fn set_parallel_exchange(&mut self, enabled: bool) {
+        self.parallel_exchange = enabled;
     }
 
     /// The fault injector, when a fault plan is active (observability for
@@ -737,13 +897,23 @@ impl<P: ProtocolNode> SystemEngine<P> {
             return Ok(());
         }
         self.update_forward_progress(now);
-        if self.par.is_some() {
+        if self.par.as_ref().is_some_and(|p| p.tick_index.is_some()) {
             self.tick_processors_indexed(now);
         } else {
             self.tick_processors(now);
         }
         self.fabric_deadlocked = false;
         {
+            let (pool, wake) = match self.par.as_mut() {
+                Some(p) => (
+                    self.parallel_exchange.then_some(&p.pool),
+                    p.tick_index.as_mut().map(|t| WakeHooks {
+                        calendar: &mut t.wake,
+                        parked: &mut t.parked,
+                    }),
+                ),
+                None => (None, None),
+            };
             let mut ctx = EngineCtx {
                 safetynet: &mut self.safetynet,
                 pending_misspec: &mut self.pending_misspec,
@@ -752,10 +922,10 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 metrics: &mut self.metrics,
                 fabric_deadlocked: &mut self.fabric_deadlocked,
                 faults: self.fault_director.as_mut(),
-                wake: self.par.as_mut().map(|p| WakeHooks {
-                    calendar: &mut p.wake,
-                    parked: &mut p.parked,
-                }),
+                wake,
+                exchange: &mut self.exchange,
+                probe: &mut self.probe,
+                pool,
             };
             self.protocol.exchange(&mut self.arch, now, &mut ctx);
         }
@@ -838,6 +1008,11 @@ impl<P: ProtocolNode> SystemEngine<P> {
                 continue;
             }
             let outcome = P::cpu_request(&mut self.arch, i, now, req);
+            // The request may have enqueued protocol output at this node's
+            // controllers (a miss's coherence request, an eviction's
+            // writeback): the exchange phase must pump it. Idle insertions
+            // retire on their first visit.
+            self.exchange.outbox.insert(i);
             let proc = &mut P::procs_mut(&mut self.arch)[i];
             match outcome {
                 EngineAccess::Hit { latency } => {
@@ -865,26 +1040,30 @@ impl<P: ProtocolNode> SystemEngine<P> {
     fn tick_processors_indexed(&mut self, now: Cycle) {
         let limit = self.outstanding_limit();
         let mut par = self.par.take().expect("indexed tick requires phase split");
-        par.wake.pop_due(now, &mut par.due);
-        par.ready.clear();
-        for &node in &par.due {
+        let mut ti = par
+            .tick_index
+            .take()
+            .expect("indexed tick requires wake index");
+        ti.wake.pop_due(now, &mut ti.due);
+        ti.ready.clear();
+        for &node in &ti.due {
             let i = node as usize;
             // A parked node is being re-visited (its cache controller
             // ingested a message, or a completion woke it): settle the stall
             // retries the serial kernel performed on every skipped cycle in
             // `(parked, now)` — the retry at `now` itself happens below.
-            if par.parked[i] != Cycle::MAX {
-                let skipped = now.saturating_sub(par.parked[i] + 1);
+            if ti.parked[i] != Cycle::MAX {
+                let skipped = now.saturating_sub(ti.parked[i] + 1);
                 P::procs_mut(&mut self.arch)[i].note_skipped_stalls(skipped);
                 // The dense scan would have counted each skipped retry as a
                 // poll; this loop counted the parked cycles as skips.
                 self.probe.processor_polls += skipped;
                 self.probe.processor_skips = self.probe.processor_skips.saturating_sub(skipped);
-                par.parked[i] = Cycle::MAX;
+                ti.parked[i] = Cycle::MAX;
             }
             match P::procs(&self.arch)[i].ready_at() {
-                Some(r) if r <= now => par.ready.push(node),
-                Some(r) => par.wake.schedule(now, r, node),
+                Some(r) if r <= now => ti.ready.push(node),
+                Some(r) => ti.wake.schedule(now, r, node),
                 // Blocked on a miss: completion delivery reschedules it.
                 None => {}
             }
@@ -892,21 +1071,30 @@ impl<P: ProtocolNode> SystemEngine<P> {
         let n = P::procs(&self.arch).len();
         // Dense-scan equivalence: every node that is not ready this cycle
         // counts as one skip there; here they are simply never visited.
-        self.probe.processor_skips += (n - par.ready.len()) as u64;
+        self.probe.processor_skips += (n - ti.ready.len()) as u64;
         // With an unlimited outstanding budget the slow-start gate cannot
         // bind, so node order cannot influence admission and the tick may
         // fan out. Any finite limit (slow-start windows, capped configs)
         // takes the exact serial order below.
         let polls = if limit == usize::MAX {
-            P::tick_nodes_parallel(&mut self.arch, &par.ready, now, &par.pool)
+            P::tick_nodes_parallel(&mut self.arch, &ti.ready, now, &par.pool)
         } else {
             None
         };
         match polls {
-            Some(polls) => self.probe.processor_polls += polls,
+            Some(polls) => {
+                self.probe.processor_polls += polls;
+                // The parallel tick reports only its poll count, not which
+                // nodes issued misses: arm the outbox worklist for every
+                // ready node (a superset — the idle ones retire on their
+                // first exchange visit).
+                for &node in &ti.ready {
+                    self.exchange.outbox.insert(node as usize);
+                }
+            }
             None => {
                 let mut outstanding: Option<usize> = None;
-                for &node in &par.ready {
+                for &node in &ti.ready {
                     let i = node as usize;
                     let Some(req) = P::procs_mut(&mut self.arch)[i].poll(now) else {
                         continue;
@@ -918,6 +1106,9 @@ impl<P: ProtocolNode> SystemEngine<P> {
                         continue;
                     }
                     let outcome = P::cpu_request(&mut self.arch, i, now, req);
+                    // See `tick_processors`: any presented request may have
+                    // enqueued controller output.
+                    self.exchange.outbox.insert(i);
                     let proc = &mut P::procs_mut(&mut self.arch)[i];
                     match outcome {
                         EngineAccess::Hit { latency } => {
@@ -945,13 +1136,14 @@ impl<P: ProtocolNode> SystemEngine<P> {
         // demand census, not its own controller, so it keeps the dense
         // scan's every-cycle retry.
         let may_park = polls.is_some();
-        for &node in &par.ready {
+        for &node in &ti.ready {
             match P::procs(&self.arch)[node as usize].ready_at() {
-                Some(0) if may_park => par.parked[node as usize] = now,
-                Some(r) => par.wake.schedule(now, r.max(now + 1), node),
+                Some(0) if may_park => ti.parked[node as usize] = now,
+                Some(r) => ti.wake.schedule(now, r.max(now + 1), node),
                 None => {}
             }
         }
+        par.tick_index = Some(ti);
         self.par = Some(par);
     }
 
@@ -989,7 +1181,9 @@ impl<P: ProtocolNode> SystemEngine<P> {
     /// observations that include processor stats: a SafetyNet snapshot and
     /// metrics collection.
     fn settle_parked_stalls(&mut self, now: Cycle) {
-        let Some(par) = &mut self.par else { return };
+        let Some(par) = self.par.as_mut().and_then(|p| p.tick_index.as_mut()) else {
+            return;
+        };
         for (i, p) in par.parked.iter_mut().enumerate() {
             if *p != Cycle::MAX {
                 let skipped = now.saturating_sub(*p);
@@ -1111,7 +1305,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         self.timeout_anchor = self.resume_at;
         // The anchor moved: force a fresh timeout scan once stepping resumes.
         self.next_timeout_scan = self.resume_at;
-        if let Some(par) = &mut self.par {
+        if let Some(ti) = self.par.as_mut().and_then(|p| p.tick_index.as_mut()) {
             // The rollback invalidated every scheduled wake-up (the restored
             // processors carry restored wake cycles): rebuild the calendar by
             // visiting every node on the first post-stall cycle, which
@@ -1119,13 +1313,16 @@ impl<P: ProtocolNode> SystemEngine<P> {
             // discarded unsettled — their accumulated retries belonged to the
             // rolled-back state, and the checkpoint being restored was
             // settled when it was taken.
-            par.parked.fill(Cycle::MAX);
-            par.wake.clear();
+            ti.parked.fill(Cycle::MAX);
+            ti.wake.clear();
             let visit = self.resume_at.max(now + 1);
             for i in 0..P::procs(&self.arch).len() {
-                par.wake.schedule(now, visit, i as u32);
+                ti.wake.schedule(now, visit, i as u32);
             }
         }
+        // The restored controllers and outboxes may hold completions and
+        // pending output at any node: re-arm both exchange worklists.
+        self.exchange.insert_all();
         self.pending_misspec = None;
         // Transient semantics: the re-execution must not hit the same fault
         // again, so matured one-shot events are disarmed and open windows
@@ -1265,6 +1462,35 @@ mod tests {
         );
         assert!(probe.processor_skips > 0);
         assert_eq!(m.recoveries, 0, "a lost wake-up would time out");
+        assert!(m.ops_completed > 1_000);
+    }
+
+    #[test]
+    fn exchange_worklists_scan_active_nodes_not_all_nodes() {
+        // The exchange-phase twin of the idle-skip test above: the
+        // completion-delivery and outbox-pump sweeps are worklist-driven, so
+        // a sparse run's visit counts stay proportional to nodes with actual
+        // exchange work, not to cycles × nodes (the dense equivalent is
+        // exactly one visit per node per cycle per sweep).
+        let mut sys = DirectorySystem::new(dir_cfg());
+        let m = sys.run_for(30_000).expect("no protocol errors");
+        let probe = sys.engine.probe();
+        let dense_visits = 30_000 * 16;
+        assert!(
+            probe.exchange_completion_visits < dense_visits / 2,
+            "completion worklist is not sparse: {} visits vs {dense_visits} dense",
+            probe.exchange_completion_visits
+        );
+        assert!(
+            probe.exchange_outbox_visits < dense_visits / 2,
+            "outbox worklist is not sparse: {} visits vs {dense_visits} dense",
+            probe.exchange_outbox_visits
+        );
+        // ... but the worklists must not starve either: the run makes real
+        // progress, which requires both sweeps to keep visiting busy nodes.
+        assert!(probe.exchange_completion_visits > 0);
+        assert!(probe.exchange_outbox_visits > 0);
+        assert_eq!(m.recoveries, 0, "a dropped worklist entry would time out");
         assert!(m.ops_completed > 1_000);
     }
 

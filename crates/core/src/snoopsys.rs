@@ -106,6 +106,18 @@ pub struct SnoopSystemConfig {
     /// a [`FaultConfig::Random`] is lowered from [`Self::seed`] so the same
     /// configuration always replays bit-identically.
     pub fault_config: FaultConfig,
+    /// Threads applied to the run's parallel exchange phase. The snooping
+    /// machine's address bus is totally ordered and stays serial by design
+    /// (no parallel *tick*), but its point-to-point data torus forwards in
+    /// parallel shards exactly like the directory torus when this is above
+    /// `1`. The schedule digest stays byte-identical at any thread count;
+    /// the `SPECSIM_WORKERS` environment variable overrides this field at
+    /// engine construction unless [`Self::worker_threads_pinned`] is set.
+    pub worker_threads: usize,
+    /// When set, [`Self::worker_threads`] is authoritative and the
+    /// `SPECSIM_WORKERS` environment override is ignored (timing rows and
+    /// serial-vs-parallel digest comparisons pin their kernel).
+    pub worker_threads_pinned: bool,
 }
 
 impl SnoopSystemConfig {
@@ -132,7 +144,47 @@ impl SnoopSystemConfig {
             perturbation_cycles: 4,
             traffic: TrafficConfig::default(),
             fault_config: FaultConfig::Disabled,
+            worker_threads: 1,
+            worker_threads_pinned: false,
         }
+    }
+
+    /// Returns a copy with a different worker-thread count for the parallel
+    /// exchange phase (`1` = the serial reference kernel).
+    #[must_use]
+    pub fn with_workers(&self, worker_threads: usize) -> Self {
+        let mut c = self.clone();
+        c.worker_threads = worker_threads.max(1);
+        c
+    }
+
+    /// Returns a copy with the worker count both set and **pinned**: the
+    /// `SPECSIM_WORKERS` environment override no longer applies. Use for
+    /// runs whose identity depends on which kernel executed them — timing
+    /// rows, serial-vs-parallel digest comparisons.
+    #[must_use]
+    pub fn with_workers_pinned(&self, worker_threads: usize) -> Self {
+        let mut c = self.with_workers(worker_threads);
+        c.worker_threads_pinned = true;
+        c
+    }
+
+    /// The worker-thread count a run should actually use: the
+    /// `SPECSIM_WORKERS` environment variable when set to a positive
+    /// integer, [`Self::worker_threads`] otherwise (a pinned config is
+    /// exempt from the override) — the same resolution rule as
+    /// [`crate::config::SystemConfig::effective_worker_threads`].
+    #[must_use]
+    pub fn effective_worker_threads(&self) -> usize {
+        if self.worker_threads_pinned {
+            return self.worker_threads.max(1);
+        }
+        std::env::var("SPECSIM_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(self.worker_threads)
+            .max(1)
     }
 
     /// Returns a copy whose data network runs at `bandwidth` (the snooping
@@ -241,14 +293,23 @@ impl SnoopProtocol {
             mem_outboxes,
             ..
         } = arch;
-        for i in 0..caches.len() {
+        // Worklist walk: visit only nodes that may hold controller output or
+        // staged DRAM responses, in the same ascending order as the dense
+        // scan this replaces (idle visits are no-ops, so the schedule is
+        // unchanged).
+        let mut cursor = 0;
+        while let Some(i) = ctx.next_outbox_at_or_after(cursor) {
+            cursor = i + 1;
             let node = NodeId::from(i);
-            // Idle-outbox skip: no cache or memory output queued and no data
-            // response waiting out its DRAM latency.
+            // Idle-outbox retire: no cache or memory output queued and no
+            // data response waiting out its DRAM latency — the exact
+            // dense-scan skip condition, so the node leaves the worklist
+            // until the tick phase or a delivery re-arms it.
             if caches[i].outgoing_len() == 0
                 && memories[i].outgoing_len() == 0
                 && mem_outboxes[i].is_empty()
             {
+                ctx.retire_outbox(i);
                 continue;
             }
             // Address-network requests.
@@ -318,6 +379,10 @@ impl SnoopProtocol {
             if arch.bus.snoop_len(node) == 0 {
                 continue;
             }
+            // Observing a snoop can enqueue controller output (an owner or
+            // home-memory data response) and can complete the node's own
+            // ordered request: arm the exchange worklists.
+            ctx.note_exchange_activity(i);
             for _ in 0..SNOOP_BUDGET {
                 let Some(delivery) = arch.bus.pop_snoop(node) else {
                     break;
@@ -371,6 +436,9 @@ impl SnoopProtocol {
                 if let Err(e) = result {
                     ctx.note_error(e);
                 }
+                // A data arrival can complete the node's outstanding miss
+                // and can enqueue controller output: arm the worklists.
+                ctx.note_exchange_activity(i);
             }
         }
     }
@@ -400,12 +468,15 @@ impl ProtocolNode for SnoopProtocol {
         }
     }
 
+    const SUPPORTS_PARALLEL_EXCHANGE: bool = true;
+
     fn exchange(&mut self, arch: &mut ArchState, now: Cycle, ctx: &mut EngineCtx<'_, ArchState>) {
         self.pump_controllers(arch, now, ctx);
         arch.bus.tick(now);
         self.deliver_snoops(arch, now, ctx);
+        let pool = ctx.worker_pool();
         let faults = ctx.faults();
-        arch.data_net.tick_faulted(now, faults);
+        arch.data_net.tick_faulted_with_pool(now, faults, pool);
         // A shared-pool data torus can wedge like any Section 4 fabric.
         crate::engine::report_pooled_fabric_evidence(&arch.data_net, now, ctx);
         self.deliver_data(arch, now, ctx);
@@ -566,9 +637,10 @@ impl SnoopingSystem {
             cfg.inject_recovery_every,
             perturb_rng,
             fault_plan,
-            // The snooping bus is totally ordered and never opts into the
-            // phase split; the engine ignores worker counts for it.
-            1,
+            // The address bus is totally ordered and never ticks in
+            // parallel; above 1 the worker pool drives the data torus's
+            // parallel forward phase (byte-identical schedule).
+            cfg.effective_worker_threads(),
         );
         Self { engine }
     }
@@ -595,6 +667,21 @@ impl SnoopingSystem {
     #[must_use]
     pub fn ops_completed(&self) -> u64 {
         self.engine.ops_completed()
+    }
+
+    /// The engine's work counters (idle-skip and exchange-worklist
+    /// observability).
+    #[must_use]
+    pub fn engine_probe(&self) -> crate::engine::EngineProbe {
+        self.engine.probe()
+    }
+
+    /// The data torus's forward-phase work counters (switch visits, parallel
+    /// shard accounting) — observability for the parallel-exchange tests;
+    /// never part of the schedule.
+    #[must_use]
+    pub fn data_forward_probe(&self) -> specsim_net::ForwardProbe {
+        self.engine.arch().data_net.forward_probe()
     }
 
     /// Runs the system for `cycles` cycles and returns the metrics so far.

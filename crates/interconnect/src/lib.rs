@@ -51,9 +51,9 @@ pub mod topology;
 pub use bus::OrderedBus;
 pub use config::NetConfig;
 pub use deadlock::ProgressWatchdog;
-pub use network::{InjectError, Network};
+pub use network::{ForwardProbe, InjectError, Network};
 pub use ordering::OrderingTracker;
-pub use packet::{Packet, PacketTaint, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
+pub use packet::{Packet, PacketArena, PacketTaint, VirtualNetwork, ALL_VIRTUAL_NETWORKS};
 pub use pool::SlotPool;
 pub use stats::NetStats;
 pub use topology::{Coord, Direction, Torus};

@@ -19,22 +19,48 @@
 //!   FIFO with non-decreasing due cycles, and arrivals on different links
 //!   land in different buffers, so delivery state is independent of the
 //!   order the calendar drains a cycle's batch in.
+//!
+//! # Struct-of-arrays layout
+//!
+//! All per-switch state lives in one flat `SwitchSlab` (contiguous
+//! per-port queue/credit/occupancy rows, see [`crate::switch`]) and packet
+//! payloads live in a [`PacketArena`]; queues and link pipelines move dense
+//! `u32` packet ids.
+//! The forward kernel therefore walks cache-friendly rows instead of
+//! chasing per-switch allocations, and a packet is copied zero times
+//! between injection and ejection.
+//!
+//! # Parallel forwarding
+//!
+//! When [`Network::tick_with_pool`] (or the faulted variant) is handed a
+//! [`WorkerPool`] with more than one thread, the forward phase of a
+//! sufficiently busy, fault-free, unpooled cycle fans the active switches
+//! out over the pool. Correctness rests on a dependency DAG: two *active*
+//! neighbouring switches read and write overlapping slab rows, so they are
+//! ordered by their serial visit positions; non-adjacent switches touch
+//! disjoint rows (a hop writes only the sending switch, plus the credit
+//! column of the one downstream port that faces it). Workers execute the
+//! DAG as a wavefront; schedule-order effects (ordering tracker, stats,
+//! arrival calendar, worklist removals) are staged per switch and merged in
+//! exact serial visit order afterwards, so the schedule — and every golden
+//! digest — is byte-identical to the serial path.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering as AtomicOrdering};
 
 use specsim_base::{
     ActiveSet, Cycle, CycleDelta, FaultDirector, FaultKind, MessageSize, MsgQueue, NodeId,
-    RoutingPolicy,
+    RoutingPolicy, UtilizationTracker, WorkerPool,
 };
 
 use crate::config::{BufferLayout, NetConfig};
 use crate::deadlock::ProgressWatchdog;
 use crate::ordering::OrderingTracker;
-use crate::packet::{Packet, PacketTaint, VirtualNetwork};
+use crate::packet::{Packet, PacketArena, PacketTaint, VirtualNetwork};
 use crate::pool::SlotPool;
 use crate::routing::route_candidates;
 use crate::stats::NetStats;
-use crate::switch::{InTransit, Switch};
+use crate::switch::{InTransit, SwitchSlab, UNBOUNDED};
 use crate::topology::{Direction, Torus, LINK_DIRECTIONS};
 
 /// Ports of a switch in index order (the four link directions plus Local).
@@ -45,6 +71,11 @@ const ALL_PORTS: [Direction; 5] = [
     Direction::South,
     Direction::Local,
 ];
+
+/// Fewest active switches for which the parallel forward path is engaged;
+/// below this the DAG build costs more than it saves and the serial cursor
+/// walk (byte-identical by construction) runs instead.
+const PARALLEL_FORWARD_MIN_ACTIVE: usize = 8;
 
 /// Error returned by [`Network::inject`] when the source injection queue is
 /// full; carries the payload back to the caller.
@@ -66,7 +97,8 @@ enum MoveAction {
     },
     Forward {
         dir: Direction,
-        target_buffer: usize,
+        /// Global slab buffer-slot index at the downstream switch.
+        target_slot: usize,
         serialization: CycleDelta,
     },
 }
@@ -192,6 +224,106 @@ impl ArrivalCalendar {
     }
 }
 
+/// Forward-phase instrumentation counters, cumulative over the network's
+/// lifetime. These never feed back into the schedule (they are not part of
+/// [`NetStats`]), so serial and parallel runs of the same workload report
+/// identical simulation digests while this probe records how the work was
+/// executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForwardProbe {
+    /// Switches visited by the forward phase (serial or parallel).
+    pub switch_visits: u64,
+    /// Cycles whose forward phase ran on the worker pool.
+    pub parallel_phases: u64,
+    /// Switch tasks executed inside parallel phases.
+    pub parallel_tasks: u64,
+    /// Sum over parallel phases of the dependency-DAG critical-path length
+    /// (the longest chain of adjacent active switches). A deterministic
+    /// imbalance measure: phases whose critical path approaches their task
+    /// count parallelize poorly regardless of worker count.
+    pub critical_path_sum: u64,
+}
+
+/// Per-task staging area for schedule-order side effects of the parallel
+/// forward phase. Workers append here during the wavefront; the merge pass
+/// drains every task in serial visit order, so the globally ordered
+/// structures (ordering tracker, stats, arrival calendar, worklists)
+/// observe exactly the serial sequence.
+#[derive(Debug, Default)]
+struct TaskEffects {
+    /// Ejected packets: `(src, dst, vnet, seq, latency)` in ejection order.
+    deliveries: Vec<(NodeId, NodeId, VirtualNetwork, u64, Cycle)>,
+    /// Link arrivals to schedule: `(arrival, switch, direction)` in order.
+    arrivals: Vec<(Cycle, u32, u8)>,
+    /// Packets moved into this node's ejection queues.
+    ejected: u32,
+    /// Link hops performed.
+    hops: u32,
+    /// Whether any packet moved (watchdog progress).
+    progress: bool,
+    /// Whether the switch drained to zero queued packets.
+    deactivate: bool,
+}
+
+/// Reusable buffers for the parallel forward phase (visit-order snapshot,
+/// dependency DAG, wavefront queue, per-task staging). Holds no simulation
+/// state between phases.
+#[derive(Debug, Default)]
+struct ParForwardScratch {
+    /// Active switches in serial visit order.
+    order: Vec<u32>,
+    /// Inverse of `order` (`u32::MAX` = not active this phase); length
+    /// `num_nodes`, reset after each phase.
+    visit_pos: Vec<u32>,
+    /// Successor task positions (padding `u32::MAX`).
+    succ: Vec<[u32; 4]>,
+    /// Longest predecessor chain ending at each task (critical-path probe).
+    depth: Vec<u32>,
+    /// Unfinished-predecessor counts, decremented by workers.
+    indeg: Vec<AtomicU32>,
+    /// Wavefront slots: slot `k` holds the `k`-th task to become runnable
+    /// (`u32::MAX` until published).
+    ready: Vec<AtomicU32>,
+    /// Per-task staged side effects.
+    stage: Vec<TaskEffects>,
+}
+
+impl Clone for ParForwardScratch {
+    fn clone(&self) -> Self {
+        // Scratch carries no state between phases; checkpoint clones of the
+        // network start with an empty scratch.
+        Self::default()
+    }
+}
+
+/// Raw-pointer view of the slab rows, arena and staging area that the
+/// parallel forward workers touch. Safety rests on the dependency DAG: a
+/// task writes only its own switch's rows (queues, round-robin and queue
+/// counters, link state, ejection queues) plus the `reserved` credit column
+/// of the downstream buffer slots that face it — slots no other
+/// concurrently-running task can reach, because tasks of adjacent active
+/// switches are ordered by the DAG and every port of a switch faces exactly
+/// one neighbour. The arena is read-only during the phase (faults, the only
+/// writers of in-fabric packets, disable the parallel path).
+struct ParShared<P> {
+    queues: *mut VecDeque<u32>,
+    reserved: *mut u32,
+    cap: *const u32,
+    rr_next: *mut u32,
+    queued: *mut u32,
+    queued_total: *mut u32,
+    busy_until: *mut Cycle,
+    in_transit: *mut VecDeque<InTransit>,
+    util: *mut UtilizationTracker,
+    arena: *const PacketArena<P>,
+    eject: *mut Vec<MsgQueue<u32>>,
+    eject_pending: *mut usize,
+    stage: *mut TaskEffects,
+    bpp: usize,
+}
+
+unsafe impl<P: Sync> Sync for ParShared<P> {}
+
 /// A 2D-torus interconnection network carrying packets with payload type `P`.
 ///
 /// The network is advanced by calling [`Network::tick`] once per cycle.
@@ -204,8 +336,11 @@ pub struct Network<P> {
     cfg: NetConfig,
     layout: BufferLayout,
     routing: RoutingPolicy,
-    switches: Vec<Switch<P>>,
-    eject: Vec<Vec<MsgQueue<Packet<P>>>>,
+    /// All per-switch state, flattened into contiguous arrays.
+    slab: SwitchSlab,
+    /// Packet payloads, indexed by the dense ids the slab queues hold.
+    arena: PacketArena<P>,
+    eject: Vec<Vec<MsgQueue<u32>>>,
     eject_rr: Vec<usize>,
     /// Messages currently waiting in each node's ejection queues (incremental
     /// mirror of the queue lengths; lets endpoints skip idle nodes in O(1)).
@@ -251,6 +386,10 @@ pub struct Network<P> {
     /// moved anything, so the per-switch pointer of the old exhaustive scan
     /// is equivalent to this single shared counter (mod the port count).
     forward_rounds: u64,
+    /// Forward-phase execution counters (not part of [`NetStats`]).
+    forward_probe: ForwardProbe,
+    /// Parallel-phase scratch (allocations reused across cycles).
+    par_scratch: ParForwardScratch,
 }
 
 impl<P> Network<P> {
@@ -282,9 +421,7 @@ impl<P> Network<P> {
             ),
         };
         let pooled = pools.is_some();
-        let switches = (0..cfg.num_nodes)
-            .map(|i| Switch::new(NodeId::from(i), &layout, pooled))
-            .collect();
+        let slab = SwitchSlab::new(cfg.num_nodes, &layout, pooled);
         let eject = (0..cfg.num_nodes)
             .map(|_| {
                 (0..layout.ejection_queues())
@@ -301,7 +438,8 @@ impl<P> Network<P> {
             torus,
             layout,
             routing,
-            switches,
+            slab,
+            arena: PacketArena::new(),
             eject,
             eject_rr: vec![0; cfg.num_nodes],
             eject_pending: vec![0; cfg.num_nodes],
@@ -326,6 +464,8 @@ impl<P> Network<P> {
             ),
             arrival_scratch: Vec::new(),
             forward_rounds: 0,
+            forward_probe: ForwardProbe::default(),
+            par_scratch: ParForwardScratch::default(),
             cfg,
         }
     }
@@ -495,8 +635,8 @@ impl<P> Network<P> {
     #[must_use]
     pub fn can_inject(&self, src: NodeId, vnet: VirtualNetwork) -> bool {
         let b = self.layout.injection_buffer_index(vnet);
-        self.switches[src.index()].ports[Direction::Local.index()].buffers[b].has_space()
-            && self.pool_can(src.index(), vnet)
+        let s = self.slab.slot(src.index(), Direction::Local.index(), b);
+        self.slab.has_space(s) && self.pool_can(src.index(), vnet)
     }
 
     /// Injects a packet. On success the packet is stamped with a sequence
@@ -526,16 +666,17 @@ impl<P> Network<P> {
             taint: PacketTaint::Clean,
             payload,
         };
+        let i = src.index();
         let b = self.layout.injection_buffer_index(vnet);
-        let sw = &mut self.switches[src.index()];
-        sw.ports[Direction::Local.index()].buffers[b]
-            .queue
-            .push(packet)
-            .unwrap_or_else(|_| panic!("injection space was checked"));
-        sw.ports[Direction::Local.index()].queued += 1;
-        sw.queued_total += 1;
-        self.pool_acquire(src.index(), vnet);
-        self.active.insert(src.index());
+        let s = self.slab.slot(i, Direction::Local.index(), b);
+        let id = self.arena.alloc(packet);
+        self.slab
+            .push(s, id)
+            .unwrap_or_else(|()| panic!("injection space was checked"));
+        self.slab.queued[SwitchSlab::port(i, Direction::Local.index())] += 1;
+        self.slab.queued_total[i] += 1;
+        self.pool_acquire(i, vnet);
+        self.active.insert(i);
         self.stats.injected.incr();
         self.in_flight += 1;
         Ok(())
@@ -546,9 +687,20 @@ impl<P> Network<P> {
     /// per input port.
     pub fn tick(&mut self, now: Cycle)
     where
-        P: Clone,
+        P: Clone + Send + Sync,
     {
-        self.tick_faulted(now, None);
+        self.tick_faulted_with_pool(now, None, None);
+    }
+
+    /// [`Network::tick`] with an optional worker pool: a sufficiently busy,
+    /// fault-free, unpooled forward phase fans out over the pool's threads
+    /// (byte-identical schedule — see the module docs). `None`, a
+    /// single-threaded pool, or an idle cycle all take the serial path.
+    pub fn tick_with_pool(&mut self, now: Cycle, pool: Option<&WorkerPool>)
+    where
+        P: Clone + Send + Sync,
+    {
+        self.tick_faulted_with_pool(now, None, pool);
     }
 
     /// [`Network::tick`] with an optional fault director. When present, the
@@ -556,15 +708,39 @@ impl<P> Network<P> {
     /// duplicate / delay / corrupt), switch visit (stall / blackout window)
     /// and ejection (inbox-drop window). `None` is a strict no-op relative
     /// to [`Network::tick`] — the schedule stays bit-identical.
-    pub fn tick_faulted(&mut self, now: Cycle, mut faults: Option<&mut FaultDirector>)
+    pub fn tick_faulted(&mut self, now: Cycle, faults: Option<&mut FaultDirector>)
     where
-        P: Clone,
+        P: Clone + Send + Sync,
+    {
+        self.tick_faulted_with_pool(now, faults, None);
+    }
+
+    /// [`Network::tick_faulted`] with an optional worker pool (see
+    /// [`Network::tick_with_pool`]). Cycles with an armed fault director
+    /// always forward serially: faults mutate in-fabric packets and
+    /// cross-switch state in ways the parallel dependency analysis does not
+    /// cover, and faulted campaigns are never the performance path.
+    pub fn tick_faulted_with_pool(
+        &mut self,
+        now: Cycle,
+        mut faults: Option<&mut FaultDirector>,
+        pool: Option<&WorkerPool>,
+    ) where
+        P: Clone + Send + Sync,
     {
         if let Some(f) = faults.as_deref_mut() {
             f.advance(now);
         }
         self.deliver_phase(now, faults.as_deref());
-        self.forward_phase(now, faults);
+        self.forward_phase(now, faults, pool);
+    }
+
+    /// Forward-phase execution counters (how the work was run, not what it
+    /// computed — identical workloads report identical [`NetStats`] however
+    /// these counters split).
+    #[must_use]
+    pub fn forward_probe(&self) -> ForwardProbe {
+        self.forward_probe
     }
 
     /// Messages currently inside the network fabric (injected but not yet
@@ -604,22 +780,23 @@ impl<P> Network<P> {
     /// [`Network::eject_any`]).
     pub fn eject_from(&mut self, node: NodeId, vnet: VirtualNetwork) -> Option<Packet<P>> {
         let q = self.layout.ejection_index(vnet);
-        let p = self.eject[node.index()][q].pop();
-        if let Some(p) = &p {
-            self.eject_pending[node.index()] -= 1;
-            if self.eject_pending[node.index()] == 0 {
-                self.eject_active.remove(node.index());
-            }
-            self.release_ejected_slot(node.index(), p.vnet);
+        let id = self.eject[node.index()][q].pop()?;
+        self.eject_pending[node.index()] -= 1;
+        if self.eject_pending[node.index()] == 0 {
+            self.eject_active.remove(node.index());
         }
-        p
+        let p = self.arena.take(id);
+        self.release_ejected_slot(node.index(), p.vnet);
+        Some(p)
     }
 
     /// Peeks the next packet that [`Network::eject_from`] would return.
     #[must_use]
     pub fn peek_from(&self, node: NodeId, vnet: VirtualNetwork) -> Option<&Packet<P>> {
         let q = self.layout.ejection_index(vnet);
-        self.eject[node.index()][q].peek()
+        self.eject[node.index()][q]
+            .peek()
+            .map(|&id| self.arena.get(id))
     }
 
     /// Removes the next packet from any of `node`'s ejection queues,
@@ -632,12 +809,13 @@ impl<P> Network<P> {
         let n = self.eject[i].len();
         for k in 0..n {
             let q = (self.eject_rr[i] + k) % n;
-            if let Some(p) = self.eject[i][q].pop() {
+            if let Some(id) = self.eject[i][q].pop() {
                 self.eject_rr[i] = (q + 1) % n;
                 self.eject_pending[i] -= 1;
                 if self.eject_pending[i] == 0 {
                     self.eject_active.remove(i);
                 }
+                let p = self.arena.take(id);
                 self.release_ejected_slot(i, p.vnet);
                 return Some(p);
             }
@@ -654,7 +832,8 @@ impl<P> Network<P> {
         let n = self.eject[i].len();
         (0..n)
             .map(|k| (self.eject_rr[i] + k) % n)
-            .find_map(|q| self.eject[i][q].peek())
+            .find_map(|q| self.eject[i][q].peek().copied())
+            .map(|id| self.arena.get(id))
     }
 
     /// Network statistics.
@@ -675,12 +854,7 @@ impl<P> Network<P> {
         if now == 0 {
             return 0.0;
         }
-        let busy: u64 = self
-            .switches
-            .iter()
-            .flat_map(|s| s.links.iter())
-            .map(|l| l.util.busy_cycles())
-            .sum();
+        let busy: u64 = self.slab.util.iter().map(|u| u.busy_cycles()).sum();
         let links = (4 * self.num_nodes()) as f64;
         (busy as f64 / (links * now as f64)).clamp(0.0, 1.0)
     }
@@ -702,23 +876,25 @@ impl<P> Network<P> {
     /// Total messages queued at each switch (diagnostic snapshot).
     #[must_use]
     pub fn occupancy_snapshot(&self) -> Vec<usize> {
-        self.switches.iter().map(Switch::occupancy).collect()
+        (0..self.slab.num_nodes())
+            .map(|i| self.slab.node_occupancy(i))
+            .collect()
     }
 
     /// Drops every message in the fabric and the ejection queues (recovery
     /// drain; SafetyNet rollback discards all in-flight coherence messages).
     /// Returns the number of messages dropped.
     pub fn drain(&mut self, now: Cycle) -> usize {
-        let mut dropped = 0;
-        for sw in &mut self.switches {
-            dropped += sw.clear();
-        }
+        let mut dropped_ids = Vec::new();
+        self.slab.clear_all(&mut dropped_ids);
+        let mut dropped = dropped_ids.len();
         for queues in &mut self.eject {
             for q in queues {
                 dropped += q.len();
                 q.clear();
             }
         }
+        self.arena.clear();
         self.eject_pending.fill(0);
         self.eject_active.clear();
         if let Some(pools) = &mut self.pools {
@@ -748,31 +924,28 @@ impl<P> Network<P> {
                 let d = LINK_DIRECTIONS[di as usize];
                 let InTransit {
                     arrival,
-                    target_buffer,
-                    packet,
-                } = self.switches[i].links[d.index()]
-                    .in_transit
+                    target_slot,
+                    id,
+                } = self.slab.in_transit[SwitchSlab::link(i, d.index())]
                     .pop_front()
                     .expect("calendar entry without an in-transit message");
                 debug_assert!(arrival <= now, "calendar delivered an unripe arrival");
-                let j = self.torus.neighbor(self.switches[i].node, d).index();
+                let j = self.torus.neighbor(NodeId::from(i), d).index();
+                let ts = target_slot as usize;
                 if faults.is_some_and(|f| f.switch_blacked_out(j)) {
                     // A blacked-out switch loses its arrivals: give back the
                     // buffer reservation and the slot the hop took, and the
                     // message simply ceases to exist.
-                    let buf =
-                        &mut self.switches[j].ports[d.opposite().index()].buffers[target_buffer];
-                    debug_assert!(buf.reserved > 0, "blackout drop without a reservation");
-                    buf.reserved -= 1;
-                    self.pool_release(j, packet.vnet);
+                    self.slab.release_reservation(ts);
+                    let vnet = self.arena.take(id).vnet;
+                    self.pool_release(j, vnet);
                     self.in_flight = self.in_flight.saturating_sub(1);
                     self.watchdog.record_progress(now);
                     continue;
                 }
-                let port = &mut self.switches[j].ports[d.opposite().index()];
-                port.buffers[target_buffer].accept_reserved(packet);
-                port.queued += 1;
-                self.switches[j].queued_total += 1;
+                self.slab.accept_reserved(ts, id);
+                self.slab.queued[SwitchSlab::port(j, d.opposite().index())] += 1;
+                self.slab.queued_total[j] += 1;
                 self.active.insert(j);
                 self.watchdog.record_progress(now);
             }
@@ -780,9 +953,13 @@ impl<P> Network<P> {
         self.arrival_scratch = batch;
     }
 
-    fn forward_phase(&mut self, now: Cycle, mut faults: Option<&mut FaultDirector>)
-    where
-        P: Clone,
+    fn forward_phase(
+        &mut self,
+        now: Cycle,
+        mut faults: Option<&mut FaultDirector>,
+        pool: Option<&WorkerPool>,
+    ) where
+        P: Clone + Send + Sync,
     {
         // The port round-robin pointer advances once per round on every
         // switch (active or not), exactly as the exhaustive scan did.
@@ -791,7 +968,27 @@ impl<P> Network<P> {
         if self.active.is_empty() {
             return;
         }
-        let n = self.switches.len();
+        // The parallel path's conflict analysis covers the fault-free,
+        // unpooled fabric only: faults mutate packets and drop reservations
+        // across switches, and shared slot pools couple switches two hops
+        // apart (a hop reads and writes both endpoints' pools). Everything
+        // else — including pooled or faulted cycles — forwards serially,
+        // which is byte-identical anyway.
+        // Gated on the pool's *physical* thread count: the sharded schedule
+        // is byte-identical to the serial scan either way (so this choice is
+        // digest-neutral), but planning shards for a pool that degraded to
+        // one thread — a single-core host — is pure overhead. Determinism
+        // tests that need the sharded path regardless of host cores hand in
+        // a `WorkerPool::with_exact_threads` pool.
+        let parallel = faults.is_none()
+            && self.pools.is_none()
+            && self.active.len() >= PARALLEL_FORWARD_MIN_ACTIVE
+            && pool.is_some_and(|p| p.threads() > 1);
+        if parallel {
+            self.forward_phase_parallel(now, start_port, pool.expect("gate checked the pool"));
+            return;
+        }
+        let n = self.slab.num_nodes();
         let rotation = (now as usize) % n.max(1);
         // Visit the active switches in the per-cycle rotation order
         // `rotation, rotation+1, …, n-1, 0, …, rotation-1` via the sparse
@@ -828,6 +1025,7 @@ impl<P> Network<P> {
     ) where
         P: Clone,
     {
+        self.forward_probe.switch_visits += 1;
         // A stalled (or blacked-out) switch forwards nothing while its fault
         // window is open; it stays on the worklist and resumes afterwards.
         if faults.as_deref().is_some_and(|f| f.switch_stalled(i)) {
@@ -844,12 +1042,12 @@ impl<P> Network<P> {
         let mut congestion: Option<[usize; 4]> = None;
         for pk in 0..ALL_PORTS.len() {
             let p = (start_port + pk) % ALL_PORTS.len();
-            if self.switches[i].ports[p].queued == 0 {
+            if self.slab.queued[SwitchSlab::port(i, p)] == 0 {
                 continue;
             }
             let c = if adaptive {
                 *congestion
-                    .get_or_insert_with(|| Self::congestion_of(&self.switches, &self.torus, i, now))
+                    .get_or_insert_with(|| Self::congestion_of(&self.slab, &self.torus, i, now))
             } else {
                 [0usize; 4]
             };
@@ -863,16 +1061,17 @@ impl<P> Network<P> {
     /// The adaptive-routing congestion metric for each outgoing direction of
     /// switch `i`: messages on the link, the link-busy flag, and the
     /// occupancy of the downstream input port.
-    fn congestion_of(switches: &[Switch<P>], torus: &Torus, i: usize, now: Cycle) -> [usize; 4] {
-        let sw = &switches[i];
+    fn congestion_of(slab: &SwitchSlab, torus: &Torus, i: usize, now: Cycle) -> [usize; 4] {
+        let node = NodeId::from(i);
         let mut congestion = [0usize; 4];
         for d in LINK_DIRECTIONS {
             let di = d.index();
-            let j = torus.neighbor(sw.node, d).index();
+            let l = SwitchSlab::link(i, di);
+            let j = torus.neighbor(node, d).index();
             let opp = d.opposite().index();
-            congestion[di] = sw.links[di].in_transit.len()
-                + usize::from(!sw.links[di].is_free(now))
-                + switches[j].ports[opp].occupancy();
+            congestion[di] = slab.in_transit[l].len()
+                + usize::from(!slab.link_is_free(l, now))
+                + slab.port_occupancy(j, opp);
         }
         congestion
     }
@@ -888,19 +1087,20 @@ impl<P> Network<P> {
         now: Cycle,
         congestion: &[usize; 4],
     ) -> Option<MoveDecision> {
-        let sw = &self.switches[i];
-        let port = &sw.ports[p];
-        let nb = port.buffers.len();
+        let node = NodeId::from(i);
+        let nb = self.slab.buffers_per_port;
         let incoming = ALL_PORTS[p];
+        let rr = self.slab.rr_next[SwitchSlab::port(i, p)] as usize;
         for bk in 0..nb {
-            let b = (port.rr_next + bk) % nb;
-            let Some(pkt) = port.buffers[b].queue.peek() else {
+            let b = (rr + bk) % nb;
+            let Some(&id) = self.slab.queues[self.slab.slot(i, p, b)].front() else {
                 continue;
             };
+            let pkt = self.arena.get(id);
             // Local delivery. Under a split pool budget the ejecting packet
             // must additionally win an endpoint slot (it trades its switch
             // slot away); under a unified budget it keeps the slot it holds.
-            if pkt.dst == sw.node {
+            if pkt.dst == node {
                 let q = self.layout.ejection_index(pkt.vnet);
                 if !self.eject[i][q].is_full() && self.endpoint_can(i, pkt.vnet) {
                     return Some(MoveDecision {
@@ -910,17 +1110,17 @@ impl<P> Network<P> {
                 }
                 continue; // head blocked on ejection space; try other buffers
             }
-            let cands = route_candidates(&self.torus, self.routing, sw.node, pkt.dst, congestion);
+            let cands = route_candidates(&self.torus, self.routing, node, pkt.dst, congestion);
             let current_vc = self.layout.vc_of_buffer(b);
             let serialization = self.cfg.link_bandwidth.serialization_cycles(pkt.bytes());
 
             let try_hop = |dir: Direction, use_adaptive: bool| -> Option<MoveDecision> {
                 let di = dir.index();
-                if !sw.links[di].is_free(now) {
+                if !self.slab.link_is_free(SwitchSlab::link(i, di), now) {
                     return None;
                 }
-                let crosses = self.torus.crosses_dateline(sw.node, dir);
-                let j = self.torus.neighbor(sw.node, dir).index();
+                let crosses = self.torus.crosses_dateline(node, dir);
+                let j = self.torus.neighbor(node, dir).index();
                 let opp = dir.opposite().index();
                 let tb = self.layout.next_buffer_index(
                     pkt.vnet,
@@ -930,13 +1130,13 @@ impl<P> Network<P> {
                     crosses,
                     use_adaptive,
                 );
-                if self.switches[j].ports[opp].buffers[tb].has_space() && self.pool_can(j, pkt.vnet)
-                {
+                let target_slot = self.slab.slot(j, opp, tb);
+                if self.slab.has_space(target_slot) && self.pool_can(j, pkt.vnet) {
                     Some(MoveDecision {
                         buffer: b,
                         action: MoveAction::Forward {
                             dir,
-                            target_buffer: tb,
+                            target_slot,
                             serialization,
                         },
                     })
@@ -954,7 +1154,7 @@ impl<P> Network<P> {
                         return Some(m);
                     }
                 }
-                let dor = self.torus.dimension_order_direction(sw.node, pkt.dst);
+                let dor = self.torus.dimension_order_direction(node, pkt.dst);
                 if let Some(m) = try_hop(dor, false) {
                     return Some(m);
                 }
@@ -984,32 +1184,36 @@ impl<P> Network<P> {
     ) where
         P: Clone,
     {
+        let s = self.slab.slot(i, p, decision.buffer);
         match decision.action {
             MoveAction::Eject { queue } => {
-                let pkt = self.switches[i].ports[p].buffers[decision.buffer]
-                    .queue
-                    .pop()
+                let id = self.slab.queues[s]
+                    .pop_front()
                     .expect("planned packet vanished");
                 if faults.as_deref().is_some_and(|f| f.inbox_dropped(i)) {
                     // Dead network interface: the ejected message is lost
                     // before it reaches the endpoint. Its slot is freed from
                     // the switch pool (it never takes an endpoint slot).
-                    self.pool_release(i, pkt.vnet);
+                    let vnet = self.arena.take(id).vnet;
+                    self.pool_release(i, vnet);
                     self.in_flight = self.in_flight.saturating_sub(1);
                     self.watchdog.record_progress(now);
                 } else {
+                    let (src, dst, vnet, seq, injected_at) = {
+                        let pkt = self.arena.get(id);
+                        (pkt.src, pkt.dst, pkt.vnet, pkt.seq, pkt.injected_at)
+                    };
                     if self.endpoint_pools.is_some() {
                         // Split budget: trade the switch slot for the
                         // endpoint slot the planning pass checked.
-                        self.pool_release(i, pkt.vnet);
-                        self.endpoint_acquire(i, pkt.vnet);
+                        self.pool_release(i, vnet);
+                        self.endpoint_acquire(i, vnet);
                     }
-                    let latency = now.saturating_sub(pkt.injected_at);
-                    self.ordering
-                        .observe_delivery(pkt.src, pkt.dst, pkt.vnet, pkt.seq);
-                    self.stats.record_delivery(pkt.vnet, latency);
+                    let latency = now.saturating_sub(injected_at);
+                    self.ordering.observe_delivery(src, dst, vnet, seq);
+                    self.stats.record_delivery(vnet, latency);
                     self.eject[i][queue]
-                        .push(pkt)
+                        .push(id)
                         .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
                     self.eject_pending[i] += 1;
                     self.eject_active.insert(i);
@@ -1019,24 +1223,22 @@ impl<P> Network<P> {
             }
             MoveAction::Forward {
                 dir,
-                target_buffer,
+                target_slot,
                 serialization,
             } => {
-                let mut pkt = self.switches[i].ports[p].buffers[decision.buffer]
-                    .queue
-                    .pop()
+                let id = self.slab.queues[s]
+                    .pop_front()
                     .expect("planned packet vanished");
-                let node = self.switches[i].node;
-                let j = self.torus.neighbor(node, dir).index();
-                let opp = dir.opposite().index();
+                let j = self.torus.neighbor(NodeId::from(i), dir).index();
+                let vnet = self.arena.get(id).vnet;
                 // Fault injection at link transmit: at most one armed
                 // message fault fires per transmit.
-                let fired =
-                    faults.and_then(|f| f.message_fault(now, i, dir.index(), pkt.vnet.index()));
+                let fired = faults.and_then(|f| f.message_fault(now, i, dir.index(), vnet.index()));
                 if matches!(fired, Some((FaultKind::Drop, _))) {
                     // The message vanishes on the link: free this node's
                     // slot and never touch the downstream side.
-                    self.pool_release(i, pkt.vnet);
+                    self.arena.take(id);
+                    self.pool_release(i, vnet);
                     self.in_flight = self.in_flight.saturating_sub(1);
                     self.watchdog.record_progress(now);
                 } else {
@@ -1045,15 +1247,9 @@ impl<P> Network<P> {
                         _ => 0,
                     };
                     if matches!(fired, Some((FaultKind::Corrupt, _))) {
-                        pkt.taint = PacketTaint::Corrupt;
+                        self.arena.get_mut(id).taint = PacketTaint::Corrupt;
                     }
                     let duplicate = matches!(fired, Some((FaultKind::Duplicate, _)));
-                    let vnet = pkt.vnet;
-                    let dup_pkt = duplicate.then(|| {
-                        let mut d = pkt.clone();
-                        d.taint = PacketTaint::Duplicate;
-                        d
-                    });
                     // The slot credit travels with the packet: the hop frees
                     // a slot at this node and takes the downstream one that
                     // the planning pass checked. A delay fault holds the link
@@ -1062,72 +1258,469 @@ impl<P> Network<P> {
                     self.pool_release(i, vnet);
                     self.pool_acquire(j, vnet);
                     let arrival = now + serialization + self.cfg.switch_latency + delay;
-                    {
-                        let link = &mut self.switches[i].links[dir.index()];
-                        link.busy_until = now + serialization + delay;
-                        link.util.add_busy(serialization);
-                        link.in_transit.push_back(InTransit {
-                            arrival,
-                            target_buffer,
-                            packet: pkt,
-                        });
-                    }
+                    let l = SwitchSlab::link(i, dir.index());
+                    self.slab.busy_until[l] = now + serialization + delay;
+                    self.slab.util[l].add_busy(serialization);
+                    self.slab.in_transit[l].push_back(InTransit {
+                        arrival,
+                        target_slot: target_slot as u32,
+                        id,
+                    });
                     self.arrivals.schedule(arrival, i, dir.index());
-                    self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
+                    self.slab.reserved[target_slot] += 1;
                     self.stats.hops.incr();
                     self.watchdog.record_progress(now);
-                    if let Some(d) = dup_pkt {
+                    if duplicate {
                         // The spurious copy follows back-to-back on the same
                         // link and consumes real downstream resources — if
                         // the buffer and pool can cover a second packet; an
                         // exhausted target quietly absorbs the fault.
-                        if self.switches[j].ports[opp].buffers[target_buffer].has_space()
-                            && self.pool_can(j, vnet)
-                        {
+                        if self.slab.has_space(target_slot) && self.pool_can(j, vnet) {
+                            let mut d = self.arena.get(id).clone();
+                            d.taint = PacketTaint::Duplicate;
+                            let dup_id = self.arena.alloc(d);
                             self.pool_acquire(j, vnet);
                             let dup_arrival = arrival + serialization;
-                            {
-                                let link = &mut self.switches[i].links[dir.index()];
-                                link.busy_until = now + 2 * serialization;
-                                link.util.add_busy(serialization);
-                                link.in_transit.push_back(InTransit {
-                                    arrival: dup_arrival,
-                                    target_buffer,
-                                    packet: d,
-                                });
-                            }
+                            self.slab.busy_until[l] = now + 2 * serialization;
+                            self.slab.util[l].add_busy(serialization);
+                            self.slab.in_transit[l].push_back(InTransit {
+                                arrival: dup_arrival,
+                                target_slot: target_slot as u32,
+                                id: dup_id,
+                            });
                             self.arrivals.schedule(dup_arrival, i, dir.index());
-                            self.switches[j].ports[opp].buffers[target_buffer].reserved += 1;
+                            self.slab.reserved[target_slot] += 1;
                             self.in_flight += 1;
                         }
                     }
                 }
             }
         }
-        let sw = &mut self.switches[i];
-        sw.ports[p].queued -= 1;
-        sw.queued_total -= 1;
-        if sw.queued_total == 0 {
+        let pi = SwitchSlab::port(i, p);
+        self.slab.queued[pi] -= 1;
+        self.slab.queued_total[i] -= 1;
+        if self.slab.queued_total[i] == 0 {
             self.active.remove(i);
         }
-        let port = &mut self.switches[i].ports[p];
-        port.rr_next = (decision.buffer + 1) % port.buffers.len();
+        self.slab.rr_next[pi] = ((decision.buffer + 1) % self.slab.buffers_per_port) as u32;
+    }
+
+    /// Parallel forward phase: snapshot the serial visit order, build the
+    /// adjacency DAG over the active switches, execute it as a wavefront on
+    /// the pool, then merge the per-task staged effects in visit order.
+    /// Byte-identical to the serial path (see the module docs).
+    fn forward_phase_parallel(&mut self, now: Cycle, start_port: usize, pool: &WorkerPool)
+    where
+        P: Clone + Send + Sync,
+    {
+        let n = self.slab.num_nodes();
+        let rotation = (now as usize) % n.max(1);
+        let mut scratch = std::mem::take(&mut self.par_scratch);
+        // Snapshot the visit order the serial cursor walk would take.
+        scratch.order.clear();
+        let mut pos = rotation;
+        while let Some(i) = self.active.next_at_or_after(pos) {
+            scratch.order.push(i as u32);
+            pos = i + 1;
+        }
+        let mut pos = 0;
+        while pos < rotation {
+            match self.active.next_at_or_after(pos) {
+                Some(i) if i < rotation => {
+                    scratch.order.push(i as u32);
+                    pos = i + 1;
+                }
+                _ => break,
+            }
+        }
+        let m = scratch.order.len();
+        self.forward_probe.switch_visits += m as u64;
+        self.forward_probe.parallel_phases += 1;
+        self.forward_probe.parallel_tasks += m as u64;
+
+        // Dependency DAG: an edge between every pair of *active* torus
+        // neighbours, directed from the earlier to the later visit
+        // position. Duplicate neighbours (2-wide rings fold opposite
+        // directions onto one switch) and self-loops (1-wide rings) carry
+        // no edge.
+        scratch.visit_pos.resize(n, u32::MAX);
+        for (t, &i) in scratch.order.iter().enumerate() {
+            scratch.visit_pos[i as usize] = t as u32;
+        }
+        scratch.succ.clear();
+        scratch.succ.resize(m, [u32::MAX; 4]);
+        scratch.depth.clear();
+        scratch.depth.resize(m, 1);
+        scratch.indeg.clear();
+        scratch.indeg.resize_with(m, || AtomicU32::new(0));
+        scratch.ready.clear();
+        scratch.ready.resize_with(m, || AtomicU32::new(u32::MAX));
+        if scratch.stage.len() < m {
+            scratch.stage.resize_with(m, TaskEffects::default);
+        }
+        let mut max_depth = 1u32;
+        for t in 0..m {
+            let i = scratch.order[t] as usize;
+            let node = NodeId::from(i);
+            let mut nbrs = [usize::MAX; 4];
+            let mut nn = 0;
+            let mut ns = 0;
+            for d in LINK_DIRECTIONS {
+                let j = self.torus.neighbor(node, d).index();
+                if j == i || nbrs[..nn].contains(&j) {
+                    continue;
+                }
+                nbrs[nn] = j;
+                nn += 1;
+                let pj = scratch.visit_pos[j];
+                if pj == u32::MAX {
+                    continue;
+                }
+                if (pj as usize) > t {
+                    scratch.succ[t][ns] = pj;
+                    ns += 1;
+                    *scratch.indeg[pj as usize].get_mut() += 1;
+                } else {
+                    // Predecessor: its depth is final (pj < t).
+                    let dp = scratch.depth[pj as usize] + 1;
+                    if dp > scratch.depth[t] {
+                        scratch.depth[t] = dp;
+                    }
+                }
+            }
+            if scratch.depth[t] > max_depth {
+                max_depth = scratch.depth[t];
+            }
+        }
+        self.forward_probe.critical_path_sum += u64::from(max_depth);
+
+        // Seed the wavefront with the dependency-free tasks, in visit order.
+        let mut seeded = 0usize;
+        for t in 0..m {
+            if *scratch.indeg[t].get_mut() == 0 {
+                *scratch.ready[seeded].get_mut() = t as u32;
+                seeded += 1;
+            }
+        }
+        let head = AtomicUsize::new(seeded);
+
+        let sh = ParShared::<P> {
+            queues: self.slab.queues.as_mut_ptr(),
+            reserved: self.slab.reserved.as_mut_ptr(),
+            cap: self.slab.cap.as_ptr(),
+            rr_next: self.slab.rr_next.as_mut_ptr(),
+            queued: self.slab.queued.as_mut_ptr(),
+            queued_total: self.slab.queued_total.as_mut_ptr(),
+            busy_until: self.slab.busy_until.as_mut_ptr(),
+            in_transit: self.slab.in_transit.as_mut_ptr(),
+            util: self.slab.util.as_mut_ptr(),
+            arena: &self.arena,
+            eject: self.eject.as_mut_ptr(),
+            eject_pending: self.eject_pending.as_mut_ptr(),
+            stage: scratch.stage.as_mut_ptr(),
+            bpp: self.slab.buffers_per_port,
+        };
+        let torus = &self.torus;
+        let layout = &self.layout;
+        let cfg = &self.cfg;
+        let routing = self.routing;
+        let order = &scratch.order;
+        let succ = &scratch.succ;
+        let indeg = &scratch.indeg;
+        let ready = &scratch.ready;
+        let head_ref = &head;
+        // Wavefront execution. Worker `slot` runs the `slot`-th task to
+        // become runnable: it spins until that slot is published, executes
+        // the switch, then retires its DAG successors (the `AcqRel`
+        // decrement chains every predecessor's slab writes before the
+        // `Release` publish / `Acquire` claim of the successor). Progress is
+        // guaranteed: while any task is unexecuted, the one with the lowest
+        // visit position among those whose predecessors have all finished
+        // has been published, so the number of published tasks always
+        // exceeds the number of executed ones — the lowest spinning slot
+        // always fills.
+        pool.run(m, |slot| {
+            let t = loop {
+                let t = ready[slot].load(AtomicOrdering::Acquire);
+                if t != u32::MAX {
+                    break t as usize;
+                }
+                std::hint::spin_loop();
+            };
+            let i = order[t] as usize;
+            // Disjointness of `stage[t]` across workers follows from slot
+            // uniqueness: each task index is published exactly once.
+            let fx = unsafe { &mut *sh.stage.add(t) };
+            forward_switch_parallel(&sh, torus, layout, cfg, routing, i, now, start_port, fx);
+            for &sp in &succ[t] {
+                if sp == u32::MAX {
+                    continue;
+                }
+                if indeg[sp as usize].fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+                    let k = head_ref.fetch_add(1, AtomicOrdering::Relaxed);
+                    ready[k].store(sp, AtomicOrdering::Release);
+                }
+            }
+        });
+
+        // Merge staged effects in serial visit order: each globally ordered
+        // structure observes exactly the sequence the serial path would have
+        // produced (the serial path finishes switch t entirely before t+1).
+        for t in 0..m {
+            let i = scratch.order[t] as usize;
+            let fx = &mut scratch.stage[t];
+            for &(src, dst, vnet, seq, latency) in &fx.deliveries {
+                self.ordering.observe_delivery(src, dst, vnet, seq);
+                self.stats.record_delivery(vnet, latency);
+            }
+            fx.deliveries.clear();
+            for &(arrival, si, di) in &fx.arrivals {
+                self.arrivals.schedule(arrival, si as usize, di as usize);
+            }
+            fx.arrivals.clear();
+            if fx.ejected > 0 {
+                self.eject_active.insert(i);
+                self.in_flight = self.in_flight.saturating_sub(fx.ejected as usize);
+                fx.ejected = 0;
+            }
+            for _ in 0..fx.hops {
+                self.stats.hops.incr();
+            }
+            fx.hops = 0;
+            if fx.progress {
+                self.watchdog.record_progress(now);
+                fx.progress = false;
+            }
+            if fx.deactivate {
+                self.active.remove(i);
+                fx.deactivate = false;
+            }
+        }
+        // Reset the inverse index for the next phase.
+        for &i in &scratch.order {
+            scratch.visit_pos[i as usize] = u32::MAX;
+        }
+        self.par_scratch = scratch;
+    }
+}
+
+/// One switch's forward work inside a parallel phase: the fault-free,
+/// unpooled specialization of `forward_switch` + `plan_port_move` +
+/// `apply_move`, operating through the raw-pointer slab view. Slab writes
+/// land in place (own rows plus the facing downstream `reserved` columns);
+/// schedule-order effects are staged into `fx` for the in-order merge.
+///
+/// Safety: see [`ParShared`] — the caller's dependency DAG guarantees no
+/// two concurrently-running tasks touch overlapping rows.
+#[allow(clippy::too_many_arguments)]
+fn forward_switch_parallel<P>(
+    sh: &ParShared<P>,
+    torus: &Torus,
+    layout: &BufferLayout,
+    cfg: &NetConfig,
+    routing: RoutingPolicy,
+    i: usize,
+    now: Cycle,
+    start_port: usize,
+    fx: &mut TaskEffects,
+) {
+    unsafe {
+        let node = NodeId::from(i);
+        let bpp = sh.bpp;
+        let adaptive = routing == RoutingPolicy::Adaptive;
+        let occupancy = |s: usize| (*sh.queues.add(s)).len() + *sh.reserved.add(s) as usize;
+        let has_space = |s: usize| {
+            let c = *sh.cap.add(s);
+            c == UNBOUNDED || ((*sh.queues.add(s)).len() as u32) + *sh.reserved.add(s) < c
+        };
+        let mut congestion: Option<[usize; 4]> = None;
+        for pk in 0..ALL_PORTS.len() {
+            let p = (start_port + pk) % ALL_PORTS.len();
+            let pi = SwitchSlab::port(i, p);
+            if *sh.queued.add(pi) == 0 {
+                continue;
+            }
+            let c = if adaptive {
+                *congestion.get_or_insert_with(|| {
+                    let mut cg = [0usize; 4];
+                    for d in LINK_DIRECTIONS {
+                        let di = d.index();
+                        let l = SwitchSlab::link(i, di);
+                        let j = torus.neighbor(node, d).index();
+                        let opp = d.opposite().index();
+                        let base = SwitchSlab::port(j, opp) * bpp;
+                        let port_occ: usize = (base..base + bpp).map(occupancy).sum();
+                        cg[di] = (*sh.in_transit.add(l)).len()
+                            + usize::from(*sh.busy_until.add(l) > now)
+                            + port_occ;
+                    }
+                    cg
+                })
+            } else {
+                [0usize; 4]
+            };
+            // Planning pass (read-only), mirroring `plan_port_move` with the
+            // pool and fault branches dissolved.
+            let incoming = ALL_PORTS[p];
+            let rr = *sh.rr_next.add(pi) as usize;
+            let mut decision: Option<MoveDecision> = None;
+            'plan: for bk in 0..bpp {
+                let b = (rr + bk) % bpp;
+                let Some(&id) = (*sh.queues.add(pi * bpp + b)).front() else {
+                    continue;
+                };
+                let pkt = (*sh.arena).get(id);
+                if pkt.dst == node {
+                    let q = layout.ejection_index(pkt.vnet);
+                    if !(&(*sh.eject.add(i)))[q].is_full() {
+                        decision = Some(MoveDecision {
+                            buffer: b,
+                            action: MoveAction::Eject { queue: q },
+                        });
+                        break 'plan;
+                    }
+                    continue;
+                }
+                let cands = route_candidates(torus, routing, node, pkt.dst, &c);
+                let current_vc = layout.vc_of_buffer(b);
+                let serialization = cfg.link_bandwidth.serialization_cycles(pkt.bytes());
+                let try_hop = |dir: Direction, use_adaptive: bool| -> Option<MoveDecision> {
+                    let di = dir.index();
+                    if *sh.busy_until.add(SwitchSlab::link(i, di)) > now {
+                        return None;
+                    }
+                    let crosses = torus.crosses_dateline(node, dir);
+                    let j = torus.neighbor(node, dir).index();
+                    let opp = dir.opposite().index();
+                    let tb = layout.next_buffer_index(
+                        pkt.vnet,
+                        current_vc,
+                        incoming,
+                        dir,
+                        crosses,
+                        use_adaptive,
+                    );
+                    let target_slot = SwitchSlab::port(j, opp) * bpp + tb;
+                    if has_space(target_slot) {
+                        Some(MoveDecision {
+                            buffer: b,
+                            action: MoveAction::Forward {
+                                dir,
+                                target_slot,
+                                serialization,
+                            },
+                        })
+                    } else {
+                        None
+                    }
+                };
+                if cands.adaptive {
+                    for &dir in &cands.directions {
+                        if let Some(mv) = try_hop(dir, true) {
+                            decision = Some(mv);
+                            break 'plan;
+                        }
+                    }
+                    let dor = torus.dimension_order_direction(node, pkt.dst);
+                    if let Some(mv) = try_hop(dor, false) {
+                        decision = Some(mv);
+                        break 'plan;
+                    }
+                } else {
+                    for &dir in &cands.directions {
+                        if dir == Direction::Local {
+                            break;
+                        }
+                        if let Some(mv) = try_hop(dir, false) {
+                            decision = Some(mv);
+                            break 'plan;
+                        }
+                    }
+                }
+            }
+            let Some(decision) = decision else {
+                continue;
+            };
+            // Apply pass, mirroring `apply_move`.
+            let s = pi * bpp + decision.buffer;
+            match decision.action {
+                MoveAction::Eject { queue } => {
+                    let id = (*sh.queues.add(s))
+                        .pop_front()
+                        .expect("planned packet vanished");
+                    let pkt = (*sh.arena).get(id);
+                    fx.deliveries.push((
+                        pkt.src,
+                        pkt.dst,
+                        pkt.vnet,
+                        pkt.seq,
+                        now.saturating_sub(pkt.injected_at),
+                    ));
+                    (&mut (*sh.eject.add(i)))[queue]
+                        .push(id)
+                        .unwrap_or_else(|_| panic!("ejection space was checked during planning"));
+                    *sh.eject_pending.add(i) += 1;
+                    fx.ejected += 1;
+                    fx.progress = true;
+                }
+                MoveAction::Forward {
+                    dir,
+                    target_slot,
+                    serialization,
+                } => {
+                    let id = (*sh.queues.add(s))
+                        .pop_front()
+                        .expect("planned packet vanished");
+                    let arrival = now + serialization + cfg.switch_latency;
+                    let l = SwitchSlab::link(i, dir.index());
+                    *sh.busy_until.add(l) = now + serialization;
+                    (*sh.util.add(l)).add_busy(serialization);
+                    (*sh.in_transit.add(l)).push_back(InTransit {
+                        arrival,
+                        target_slot: target_slot as u32,
+                        id,
+                    });
+                    fx.arrivals.push((arrival, i as u32, dir.index() as u8));
+                    *sh.reserved.add(target_slot) += 1;
+                    fx.hops += 1;
+                    fx.progress = true;
+                }
+            }
+            *sh.queued.add(pi) -= 1;
+            *sh.queued_total.add(i) -= 1;
+            if *sh.queued_total.add(i) == 0 {
+                fx.deactivate = true;
+            }
+            *sh.rr_next.add(pi) = ((decision.buffer + 1) % bpp) as u32;
+            congestion = None;
+        }
     }
 }
 
 impl<P> Network<P> {
     /// Checks the incremental worklist bookkeeping (per-port and per-switch
-    /// queued counters, active-set membership, per-node ejection counts)
-    /// against a full scan of the underlying queues. Test support; O(network).
+    /// queued counters, active-set membership, per-node ejection counts,
+    /// arena liveness) against a full scan of the underlying queues. Test
+    /// support; O(network).
     #[cfg(test)]
     fn assert_worklist_invariants(&self) {
-        for (i, sw) in self.switches.iter().enumerate() {
+        use crate::switch::PORTS_PER_SWITCH;
+        let n = self.slab.num_nodes();
+        for i in 0..n {
             let mut total = 0;
-            for port in &sw.ports {
-                assert_eq!(port.queued, port.queued_scan(), "port counter at {i}");
-                total += port.queued;
+            for p in 0..PORTS_PER_SWITCH {
+                let scan = self.slab.port_queued_scan(i, p);
+                assert_eq!(
+                    self.slab.queued[SwitchSlab::port(i, p)] as usize,
+                    scan,
+                    "port counter at {i}"
+                );
+                total += scan;
             }
-            assert_eq!(sw.queued_total, total, "switch counter at {i}");
+            assert_eq!(
+                self.slab.queued_total[i] as usize, total,
+                "switch counter at {i}"
+            );
             assert_eq!(
                 self.active.contains(i),
                 total > 0,
@@ -1143,6 +1736,16 @@ impl<P> Network<P> {
                 "eject-active membership at node {i}"
             );
         }
+        // Every live arena packet is either queued in the fabric, in transit
+        // on a link, or waiting in an ejection queue — and vice versa.
+        let fabric: usize = (0..n).map(|i| self.slab.node_occupancy(i)).sum();
+        let ejected: usize = self
+            .eject
+            .iter()
+            .flat_map(|qs| qs.iter())
+            .map(MsgQueue::len)
+            .sum();
+        assert_eq!(self.arena.live(), fabric + ejected, "arena live count");
         self.assert_pool_invariants();
     }
 
@@ -1154,31 +1757,32 @@ impl<P> Network<P> {
     /// covers the ejection queues. No-op for unpooled networks.
     #[cfg(test)]
     fn assert_pool_invariants(&self) {
+        use crate::switch::PORTS_PER_SWITCH;
         let Some(pools) = &self.pools else { return };
-        let n = self.switches.len();
+        let n = self.slab.num_nodes();
         let mut switch_side = vec![[0usize; 4]; n];
         let mut eject_side = vec![[0usize; 4]; n];
-        for (i, sw) in self.switches.iter().enumerate() {
-            for port in &sw.ports {
-                for buffer in &port.buffers {
-                    for pkt in buffer.queue.iter() {
-                        switch_side[i][pkt.vnet.index()] += 1;
+        for i in 0..n {
+            for p in 0..PORTS_PER_SWITCH {
+                for b in 0..self.slab.buffers_per_port {
+                    for &id in &self.slab.queues[self.slab.slot(i, p, b)] {
+                        switch_side[i][self.arena.get(id).vnet.index()] += 1;
                     }
                 }
             }
             // In-flight packets hold their downstream slot from forwarding
             // time until delivery.
             for d in LINK_DIRECTIONS {
-                let j = self.torus.neighbor(sw.node, d).index();
-                for t in &sw.links[d.index()].in_transit {
-                    switch_side[j][t.packet.vnet.index()] += 1;
+                let j = self.torus.neighbor(NodeId::from(i), d).index();
+                for t in &self.slab.in_transit[SwitchSlab::link(i, d.index())] {
+                    switch_side[j][self.arena.get(t.id).vnet.index()] += 1;
                 }
             }
         }
         for (i, queues) in self.eject.iter().enumerate() {
             for q in queues {
-                for pkt in q.iter() {
-                    eject_side[i][pkt.vnet.index()] += 1;
+                for &id in q.iter() {
+                    eject_side[i][self.arena.get(id).vnet.index()] += 1;
                 }
             }
         }
@@ -1226,1042 +1830,5 @@ impl<P> Network<P> {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use specsim_base::{DetRng, LinkBandwidth};
-
-    type Net = Network<u64>;
-
-    /// Drains one batch from the calendar the way `deliver_phase` does.
-    fn pop_batch(cal: &mut ArrivalCalendar, now: Cycle) -> Option<Vec<(u32, u8)>> {
-        let mut out = Vec::new();
-        cal.pop_ripe_into(now, &mut out).then_some(out)
-    }
-
-    #[test]
-    fn calendar_drains_cycles_in_order_and_batches_in_schedule_order() {
-        let mut cal = ArrivalCalendar::default();
-        assert!(pop_batch(&mut cal, 0).is_none());
-        cal.schedule(5, 1, 0);
-        cal.schedule(3, 2, 1);
-        cal.schedule(5, 3, 2);
-        // Nothing ripe before cycle 3.
-        assert!(pop_batch(&mut cal, 2).is_none());
-        // Earliest cycle first; within a cycle, schedule order.
-        assert_eq!(pop_batch(&mut cal, 10), Some(vec![(2, 1)]));
-        assert_eq!(pop_batch(&mut cal, 10), Some(vec![(1, 0), (3, 2)]));
-        assert!(pop_batch(&mut cal, 10).is_none());
-        // Empty again: the cursor re-anchors and far-future cycles work.
-        cal.schedule(11, 4, 3);
-        assert!(pop_batch(&mut cal, 10).is_none());
-        assert_eq!(pop_batch(&mut cal, 11), Some(vec![(4, 3)]));
-    }
-
-    #[test]
-    fn calendar_overflow_beyond_the_wheel_horizon_is_preserved_in_order() {
-        let mut cal = ArrivalCalendar::default();
-        let far = MIN_WHEEL_BUCKETS as Cycle + 500;
-        // Scheduled while `next` is 0, so `far` lands in the overflow map...
-        cal.schedule(far, 9, 1);
-        cal.schedule(2, 1, 0);
-        // ...and an in-wheel entry for the same far cycle, scheduled later
-        // (after the cursor advanced), must drain *after* the overflow one.
-        assert_eq!(pop_batch(&mut cal, 2), Some(vec![(1, 0)]));
-        cal.schedule(far, 7, 2);
-        assert!(pop_batch(&mut cal, far - 1).is_none());
-        assert_eq!(pop_batch(&mut cal, far), Some(vec![(9, 1), (7, 2)]));
-        assert!(pop_batch(&mut cal, far + MIN_WHEEL_BUCKETS as Cycle).is_none());
-    }
-
-    #[test]
-    fn calendar_clear_discards_everything_but_keeps_working() {
-        let mut cal = ArrivalCalendar::default();
-        cal.schedule(4, 1, 0);
-        cal.schedule(MIN_WHEEL_BUCKETS as Cycle + 9, 2, 1);
-        cal.clear();
-        assert!(pop_batch(&mut cal, MIN_WHEEL_BUCKETS as Cycle * 2).is_none());
-        cal.schedule(MIN_WHEEL_BUCKETS as Cycle * 2 + 3, 5, 3);
-        assert_eq!(
-            pop_batch(&mut cal, MIN_WHEEL_BUCKETS as Cycle * 2 + 3),
-            Some(vec![(5, 3)])
-        );
-    }
-
-    #[test]
-    fn calendar_wheel_is_sized_from_the_horizon() {
-        // The floor applies when the horizon fits the minimum wheel...
-        assert_eq!(
-            ArrivalCalendar::with_horizon(0).wheel.len(),
-            MIN_WHEEL_BUCKETS
-        );
-        assert_eq!(
-            ArrivalCalendar::with_horizon(1023).wheel.len(),
-            MIN_WHEEL_BUCKETS
-        );
-        // ...and a longer horizon rounds up to the next power of two, so the
-        // full common scheduling distance stays on the wheel.
-        assert_eq!(ArrivalCalendar::with_horizon(1024).wheel.len(), 2048);
-        assert_eq!(ArrivalCalendar::with_horizon(3000).wheel.len(), 4096);
-        let cal = ArrivalCalendar::with_horizon(3000);
-        assert!(cal.wheel.len().is_power_of_two());
-    }
-
-    #[test]
-    fn calendar_overflow_heavy_schedule_drains_in_exact_order() {
-        // Park far more entries in the overflow map than on the wheel —
-        // every distinct due cycle beyond the horizon, interleaved with
-        // near-term wheel entries — and require the global drain order to be
-        // exactly (due cycle asc, schedule order within a cycle), overflow
-        // entries strictly before wheel entries for the same cycle.
-        let mut cal = ArrivalCalendar::default();
-        let lap = MIN_WHEEL_BUCKETS as Cycle;
-        let mut expected: BTreeMap<Cycle, Vec<(u32, u8)>> = BTreeMap::new();
-        // 64 overflow cycles, several laps deep, three entries each.
-        for k in 0..64u32 {
-            let due = lap + 17 + 3 * k as Cycle * 37 % (5 * lap);
-            for j in 0..3u8 {
-                cal.schedule(due, k as usize, j as usize);
-                expected.entry(due).or_default().push((k, j));
-            }
-        }
-        // A handful of near entries that must drain first.
-        for k in 0..8u32 {
-            let due = 2 + k as Cycle * 5;
-            cal.schedule(due, 100 + k as usize, 0);
-            expected.entry(due).or_default().push((100 + k, 0));
-        }
-        // Same-cycle mix: an overflow entry scheduled first must come out
-        // before a wheel entry scheduled for the same cycle later.
-        let mixed = lap + 17; // already in overflow from the loop above
-        let mut now = 0;
-        let mut got: Vec<(Cycle, Vec<(u32, u8)>)> = Vec::new();
-        while now < 8 * lap {
-            now += 1;
-            if now == mixed {
-                // Close enough now to land on the wheel.
-                cal.schedule(mixed, 999, 3);
-                expected.entry(mixed).or_default().push((999, 3));
-            }
-            while let Some(batch) = pop_batch(&mut cal, now) {
-                got.push((now, batch));
-            }
-        }
-        let want: Vec<(Cycle, Vec<(u32, u8)>)> = expected.into_iter().collect();
-        assert_eq!(got, want);
-    }
-
-    #[test]
-    fn calendar_matches_a_btreemap_model_under_random_traffic() {
-        // Drive the wheel and the old BTreeMap<Cycle, Vec> representation
-        // with the same schedule/pop stream and require identical batches.
-        let mut cal = ArrivalCalendar::default();
-        let mut model: BTreeMap<Cycle, Vec<(u32, u8)>> = BTreeMap::new();
-        let mut rng = DetRng::new(71);
-        let mut now: Cycle = 0;
-        for _ in 0..3_000 {
-            now += 1 + rng.next_below(3);
-            // Drain everything ripe, comparing batch-for-batch (the model
-            // pops its earliest entry exactly like the old implementation).
-            loop {
-                let expected = match model.first_key_value() {
-                    Some((&c, _)) if c <= now => model.remove(&c),
-                    _ => None,
-                };
-                let got = pop_batch(&mut cal, now);
-                assert_eq!(got, expected, "divergence at cycle {now}");
-                if got.is_none() {
-                    break;
-                }
-            }
-            // Schedule a burst of arrivals, occasionally far enough out to
-            // exercise the overflow map.
-            for _ in 0..rng.next_below(4) {
-                let horizon = if rng.next_below(10) == 0 {
-                    MIN_WHEEL_BUCKETS as Cycle + rng.next_below(400)
-                } else {
-                    1 + rng.next_below(800)
-                };
-                let arrival = now + horizon;
-                let sw = rng.next_below(16) as u32;
-                let dir = rng.next_below(4) as u8;
-                cal.schedule(arrival, sw as usize, dir as usize);
-                model.entry(arrival).or_default().push((sw, dir));
-            }
-        }
-    }
-
-    fn drain_all_ejections(net: &mut Net) -> Vec<Packet<u64>> {
-        let mut out = Vec::new();
-        for i in 0..net.num_nodes() {
-            while let Some(p) = net.eject_any(NodeId::from(i)) {
-                out.push(p);
-            }
-        }
-        out
-    }
-
-    /// Ticks the network (draining every ejection queue each cycle, as live
-    /// endpoints would) until the fabric is empty or `max_cycles` elapse.
-    /// Returns the final cycle and every packet delivered while draining.
-    fn run_until_drained(
-        net: &mut Net,
-        start: Cycle,
-        max_cycles: u64,
-    ) -> (Cycle, Vec<Packet<u64>>) {
-        let mut now = start;
-        let mut delivered = drain_all_ejections(net);
-        while net.in_flight() > 0 && now < start + max_cycles {
-            now += 1;
-            net.tick(now);
-            delivered.extend(drain_all_ejections(net));
-        }
-        (now, delivered)
-    }
-
-    #[test]
-    fn single_message_is_delivered_across_the_torus() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
-        net.inject(
-            0,
-            NodeId(0),
-            NodeId(10),
-            VirtualNetwork::Request,
-            MessageSize::Control,
-            7,
-        )
-        .unwrap();
-        let (end, delivered) = run_until_drained(&mut net, 0, 100_000);
-        assert!(net.in_flight() == 0, "message still in flight at {end}");
-        assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].payload, 7);
-        assert_eq!(delivered[0].dst, NodeId(10));
-        // Latency must cover at least distance hops of serialization.
-        let min = net.torus().distance(NodeId(0), NodeId(10)) as u64
-            * LinkBandwidth::GB_3_2.serialization_cycles(8);
-        assert!(net.stats().mean_latency() >= min as f64);
-    }
-
-    #[test]
-    fn self_send_is_delivered_locally() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
-        net.inject(
-            0,
-            NodeId(5),
-            NodeId(5),
-            VirtualNetwork::Response,
-            MessageSize::Data,
-            1,
-        )
-        .unwrap();
-        let (_, delivered) = run_until_drained(&mut net, 0, 1000);
-        assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].payload, 1);
-        assert_eq!(delivered[0].src, NodeId(5));
-        assert_eq!(delivered[0].dst, NodeId(5));
-    }
-
-    #[test]
-    fn static_routing_preserves_point_to_point_order() {
-        let mut net: Net = Network::new(NetConfig::full_buffering(
-            16,
-            LinkBandwidth::MB_400,
-            RoutingPolicy::Static,
-        ));
-        let mut now = 0;
-        let mut sent = 0u64;
-        // Keep a stream of messages flowing from node 0 to node 10 while
-        // other nodes add background traffic.
-        let mut rng = DetRng::new(1);
-        for _ in 0..400 {
-            now += 1;
-            if net.can_inject(NodeId(0), VirtualNetwork::ForwardedRequest) && sent < 200 {
-                net.inject(
-                    now,
-                    NodeId(0),
-                    NodeId(10),
-                    VirtualNetwork::ForwardedRequest,
-                    MessageSize::Control,
-                    sent,
-                )
-                .unwrap();
-                sent += 1;
-            }
-            let src = NodeId::from((rng.next_below(16)) as usize);
-            let dst = NodeId::from((rng.next_below(16)) as usize);
-            if src != dst && net.can_inject(src, VirtualNetwork::Response) {
-                let _ = net.inject(
-                    now,
-                    src,
-                    dst,
-                    VirtualNetwork::Response,
-                    MessageSize::Data,
-                    0,
-                );
-            }
-            net.tick(now);
-            for i in 0..16 {
-                while net.eject_any(NodeId::from(i)).is_some() {}
-            }
-        }
-        let (now, _) = run_until_drained(&mut net, now, 200_000);
-        assert_eq!(net.in_flight(), 0, "not drained by {now}");
-        assert_eq!(net.ordering().total_reordered(), 0);
-        assert!(net.ordering().total_delivered() > 200);
-    }
-
-    #[test]
-    fn all_messages_are_delivered_under_heavy_random_traffic_with_vcs() {
-        let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
-        cfg.routing = RoutingPolicy::Adaptive;
-        let mut net: Net = Network::new(cfg);
-        let mut rng = DetRng::new(99);
-        let mut now = 0;
-        let mut injected = 0u64;
-        for _ in 0..2000 {
-            now += 1;
-            for _ in 0..4 {
-                let src = NodeId::from(rng.next_below(16) as usize);
-                let dst = NodeId::from(rng.next_below(16) as usize);
-                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
-                if net.can_inject(src, vnet) {
-                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
-                        .unwrap();
-                    injected += 1;
-                }
-            }
-            net.tick(now);
-            // Endpoints drain their ejection queues every cycle.
-            for i in 0..16 {
-                while net.eject_any(NodeId::from(i)).is_some() {}
-            }
-        }
-        let (now, _) = run_until_drained(&mut net, now, 200_000);
-        assert_eq!(net.in_flight(), 0, "VC network wedged at {now}");
-        assert!(!net.is_stalled(now));
-        assert_eq!(net.stats().delivered.get(), injected);
-        assert!(injected > 1000);
-    }
-
-    #[test]
-    fn rectangular_torus_delivers_all_traffic_and_keeps_counters() {
-        // An 8×4 rectangular machine under adaptive VC traffic: everything
-        // must be delivered and the worklist bookkeeping must stay exact.
-        let mut cfg = NetConfig::conventional(32, LinkBandwidth::GB_3_2);
-        cfg.routing = RoutingPolicy::Adaptive;
-        let mut net: Net = Network::new(cfg);
-        assert_eq!(net.torus().dims(), (8, 4));
-        let mut rng = DetRng::new(41);
-        let mut now = 0;
-        let mut injected = 0u64;
-        for _ in 0..1500 {
-            now += 1;
-            for _ in 0..4 {
-                let src = NodeId::from(rng.next_below(32) as usize);
-                let dst = NodeId::from(rng.next_below(32) as usize);
-                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
-                if net.can_inject(src, vnet) {
-                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
-                        .unwrap();
-                    injected += 1;
-                }
-            }
-            net.tick(now);
-            for i in 0..32 {
-                while net.eject_any(NodeId::from(i)).is_some() {}
-            }
-            net.assert_worklist_invariants();
-        }
-        let (now, _) = run_until_drained(&mut net, now, 200_000);
-        assert_eq!(net.in_flight(), 0, "8x4 network wedged at {now}");
-        assert_eq!(net.stats().delivered.get(), injected);
-        assert!(injected > 1000);
-    }
-
-    #[test]
-    fn explicit_torus_dims_override_the_squarest_derivation() {
-        let mut cfg = NetConfig::conventional(32, LinkBandwidth::GB_3_2);
-        cfg.torus_dims = Some((16, 2));
-        let net: Net = Network::new(cfg);
-        assert_eq!(net.torus().dims(), (16, 2));
-    }
-
-    #[test]
-    #[should_panic(expected = "does not cover")]
-    fn mismatched_torus_dims_panic() {
-        let mut cfg = NetConfig::conventional(32, LinkBandwidth::GB_3_2);
-        cfg.torus_dims = Some((4, 4));
-        let _ = Network::<u64>::new(cfg);
-    }
-
-    #[test]
-    fn worst_case_buffering_never_rejects_injection() {
-        let mut net: Net = Network::new(NetConfig::full_buffering(
-            16,
-            LinkBandwidth::MB_400,
-            RoutingPolicy::Adaptive,
-        ));
-        let mut rng = DetRng::new(5);
-        for now in 1..200u64 {
-            for _ in 0..16 {
-                let src = NodeId::from(rng.next_below(16) as usize);
-                let dst = NodeId::from(rng.next_below(16) as usize);
-                net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Data, 0)
-                    .unwrap();
-            }
-            net.tick(now);
-        }
-        assert_eq!(net.stats().injection_rejects.get(), 0);
-    }
-
-    #[test]
-    fn undrained_endpoints_back_pressure_and_stall_the_fabric() {
-        // Tiny shared buffers and nobody draining ejection queues: the fabric
-        // must eventually wedge (endpoint-induced stall), which the watchdog
-        // reports. This is the failure mode that, in the full system, the
-        // coherence-transaction timeout converts into a recovery.
-        let mut net: Net = Network::new(NetConfig::speculative(16, LinkBandwidth::GB_3_2, 2));
-        net.set_stall_threshold(2_000);
-        let mut rng = DetRng::new(17);
-        let mut now = 0;
-        for _ in 0..20_000 {
-            now += 1;
-            let src = NodeId::from(rng.next_below(16) as usize);
-            let dst = NodeId::from(rng.next_below(16) as usize);
-            if src != dst {
-                let _ = net.inject(
-                    now,
-                    src,
-                    dst,
-                    VirtualNetwork::Request,
-                    MessageSize::Control,
-                    0,
-                );
-            }
-            net.tick(now);
-            if net.is_stalled(now) {
-                break;
-            }
-        }
-        assert!(
-            net.is_stalled(now),
-            "expected a stall with undrained endpoints"
-        );
-        assert!(net.in_flight() > 0);
-        // Recovery drains everything and clears the stall.
-        let dropped = net.drain(now);
-        assert!(dropped > 0);
-        assert_eq!(net.in_flight(), 0);
-        assert!(!net.is_stalled(now + 1));
-    }
-
-    #[test]
-    fn worklist_counters_stay_consistent_under_traffic() {
-        let mut cfg = NetConfig::conventional(16, LinkBandwidth::GB_3_2);
-        cfg.routing = RoutingPolicy::Adaptive;
-        let mut net: Net = Network::new(cfg);
-        let mut rng = DetRng::new(23);
-        let mut now = 0;
-        for step in 0..600u64 {
-            now += 1;
-            let src = NodeId::from(rng.next_below(16) as usize);
-            let dst = NodeId::from(rng.next_below(16) as usize);
-            if src != dst && net.can_inject(src, VirtualNetwork::Request) {
-                net.inject(now, src, dst, VirtualNetwork::Request, MessageSize::Data, 0)
-                    .unwrap();
-            }
-            net.tick(now);
-            // Drain endpoints only intermittently so ejection queues back up.
-            if step % 7 == 0 {
-                for i in 0..16 {
-                    while net.eject_any(NodeId::from(i)).is_some() {}
-                }
-            }
-            net.assert_worklist_invariants();
-        }
-        // Recovery drain must reset every counter and the calendar.
-        net.drain(now);
-        net.assert_worklist_invariants();
-        assert_eq!(net.in_flight(), 0);
-        for i in 0..16 {
-            assert!(!net.has_ejectable(NodeId::from(i)));
-        }
-        // The network still works after a drain.
-        net.inject(
-            now,
-            NodeId(0),
-            NodeId(9),
-            VirtualNetwork::Response,
-            MessageSize::Control,
-            5,
-        )
-        .unwrap();
-        let (_, delivered) = run_until_drained(&mut net, now, 10_000);
-        assert_eq!(delivered.len(), 1);
-        net.assert_worklist_invariants();
-    }
-
-    #[test]
-    fn stall_threshold_comes_from_the_config() {
-        let mut cfg = NetConfig::speculative(16, LinkBandwidth::GB_3_2, 2);
-        cfg.stall_threshold = 500;
-        let mut net: Net = Network::new(cfg);
-        net.inject(
-            0,
-            NodeId(0),
-            NodeId(3),
-            VirtualNetwork::Request,
-            MessageSize::Control,
-            0,
-        )
-        .unwrap();
-        // Nothing moves (no ticks): the watchdog trips after the configured
-        // threshold rather than the 10_000-cycle default.
-        assert!(!net.is_stalled(499));
-        assert!(net.is_stalled(500));
-    }
-
-    #[test]
-    fn routing_policy_can_be_changed_at_runtime() {
-        let mut net: Net = Network::new(NetConfig::speculative(16, LinkBandwidth::MB_400, 16));
-        assert_eq!(net.routing(), RoutingPolicy::Adaptive);
-        net.set_routing(RoutingPolicy::Static);
-        assert_eq!(net.routing(), RoutingPolicy::Static);
-    }
-
-    #[test]
-    fn shared_buffer_injection_back_pressure_reports_rejects() {
-        let mut net: Net = Network::new(NetConfig::speculative(4, LinkBandwidth::MB_400, 1));
-        // Saturate node 0's injection queue (capacity 1) without ticking.
-        assert!(net
-            .inject(
-                0,
-                NodeId(0),
-                NodeId(3),
-                VirtualNetwork::Request,
-                MessageSize::Data,
-                0
-            )
-            .is_ok());
-        assert!(!net.can_inject(NodeId(0), VirtualNetwork::Request));
-        let err = net.inject(
-            0,
-            NodeId(0),
-            NodeId(3),
-            VirtualNetwork::Request,
-            MessageSize::Data,
-            42,
-        );
-        assert_eq!(err, Err(InjectError(42)));
-        assert_eq!(net.stats().injection_rejects.get(), 1);
-    }
-
-    #[test]
-    fn hop_count_matches_distance_for_a_single_message() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
-        net.inject(
-            0,
-            NodeId(0),
-            NodeId(15),
-            VirtualNetwork::FinalAck,
-            MessageSize::Control,
-            0,
-        )
-        .unwrap();
-        run_until_drained(&mut net, 0, 100_000);
-        assert_eq!(net.in_flight(), 0);
-        assert_eq!(
-            net.stats().hops.get(),
-            net.torus().distance(NodeId(0), NodeId(15)) as u64
-        );
-    }
-
-    #[test]
-    fn shared_pool_network_delivers_traffic_with_exact_slot_accounting() {
-        // Random all-class traffic on a pooled network: everything is
-        // delivered and the per-node slot accounting (checked against a full
-        // scan every cycle, in-flight link reservations included) stays
-        // exact.
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
-        assert!(net.is_pooled());
-        let mut rng = DetRng::new(61);
-        let mut now = 0;
-        let mut injected = 0u64;
-        for _ in 0..1500 {
-            now += 1;
-            for _ in 0..3 {
-                let src = NodeId::from(rng.next_below(16) as usize);
-                let dst = NodeId::from(rng.next_below(16) as usize);
-                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
-                if net.can_inject(src, vnet) {
-                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
-                        .unwrap();
-                    injected += 1;
-                }
-            }
-            net.tick(now);
-            for i in 0..16 {
-                while net.eject_any(NodeId::from(i)).is_some() {}
-            }
-            net.assert_worklist_invariants();
-        }
-        let (now, _) = run_until_drained(&mut net, now, 200_000);
-        assert_eq!(net.in_flight(), 0, "pooled network wedged at {now}");
-        assert_eq!(net.stats().delivered.get(), injected);
-        assert!(injected > 500);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-        net.assert_worklist_invariants();
-    }
-
-    #[test]
-    fn pool_back_pressure_rejects_injection_when_slots_run_out() {
-        // A 4-slot pool: the node's injection path is cut off by pool
-        // exhaustion even though the (unbounded) injection buffer has room.
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::MB_400, 4));
-        for k in 0..4 {
-            assert!(net
-                .inject(
-                    0,
-                    NodeId(0),
-                    NodeId(9),
-                    VirtualNetwork::Request,
-                    MessageSize::Data,
-                    k,
-                )
-                .is_ok());
-        }
-        assert!(!net.can_inject(NodeId(0), VirtualNetwork::Request));
-        assert!(
-            !net.can_inject(NodeId(0), VirtualNetwork::Response),
-            "every class shares the exhausted pool"
-        );
-        let err = net.inject(
-            0,
-            NodeId(0),
-            NodeId(9),
-            VirtualNetwork::Response,
-            MessageSize::Data,
-            99,
-        );
-        assert_eq!(err, Err(InjectError(99)));
-        assert_eq!(net.stats().injection_rejects.get(), 1);
-        // Other nodes' pools are unaffected.
-        assert!(net.can_inject(NodeId(1), VirtualNetwork::Request));
-        net.assert_worklist_invariants();
-    }
-
-    #[test]
-    fn undrained_endpoints_deadlock_an_undersized_pool_and_drain_recovers() {
-        // The tentpole failure mode: nobody drains ejection queues, delivered
-        // packets pin pool slots, upstream hops back up across nodes and the
-        // fabric wedges — the buffer-dependency deadlock of Figures 2–3.
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 4));
-        net.set_stall_threshold(2_000);
-        let mut rng = DetRng::new(29);
-        let mut now = 0;
-        for _ in 0..30_000 {
-            now += 1;
-            let src = NodeId::from(rng.next_below(16) as usize);
-            let dst = NodeId::from(rng.next_below(16) as usize);
-            if src != dst {
-                let _ = net.inject(
-                    now,
-                    src,
-                    dst,
-                    VirtualNetwork::Request,
-                    MessageSize::Control,
-                    0,
-                );
-            }
-            net.tick(now);
-            if net.is_stalled(now) {
-                break;
-            }
-        }
-        assert!(net.is_stalled(now), "undersized pool should wedge");
-        assert!(net.in_flight() > 0);
-        // Recovery drain frees every slot; conservative re-execution reserves
-        // one slot per class and the network works again.
-        let dropped = net.drain(now);
-        assert!(dropped > 0);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-        assert!(net.set_pool_reservation(1));
-        assert_eq!(net.pool_reservation(), Some(1));
-        net.inject(
-            now,
-            NodeId(0),
-            NodeId(5),
-            VirtualNetwork::Response,
-            MessageSize::Control,
-            7,
-        )
-        .unwrap();
-        let (_, delivered) = run_until_drained(&mut net, now, 100_000);
-        assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].payload, 7);
-        assert!(net.set_pool_reservation(0), "reservation can be lifted");
-        net.assert_worklist_invariants();
-    }
-
-    #[test]
-    fn unpooled_networks_refuse_pool_reservations() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
-        assert!(!net.is_pooled());
-        assert!(!net.set_pool_reservation(2));
-        assert_eq!(net.pool_reservation(), None);
-        assert!(net.pool_occupancy_snapshot().is_empty());
-    }
-
-    use specsim_base::{FaultEvent, FaultPlan, FaultSite};
-
-    /// A director with one `kind` event armed on every outgoing link of
-    /// `node` (so the test does not depend on the routing decision).
-    fn link_faults(at: Cycle, node: usize, kind: FaultKind, param: u64) -> FaultDirector {
-        let events = (0..4)
-            .map(|dir| FaultEvent {
-                at,
-                site: FaultSite::Link {
-                    node,
-                    dir,
-                    vnet: None,
-                },
-                kind,
-                param,
-            })
-            .collect();
-        FaultDirector::new(FaultPlan { events })
-    }
-
-    fn window_fault(at: Cycle, site: FaultSite, kind: FaultKind, param: u64) -> FaultDirector {
-        FaultDirector::new(FaultPlan::single(FaultEvent {
-            at,
-            site,
-            kind,
-            param,
-        }))
-    }
-
-    /// Like [`run_until_drained`] but ticking through the fault director.
-    fn run_faulted_until_drained(
-        net: &mut Net,
-        faults: &mut FaultDirector,
-        start: Cycle,
-        max_cycles: u64,
-    ) -> (Cycle, Vec<Packet<u64>>) {
-        let mut now = start;
-        let mut delivered = drain_all_ejections(net);
-        while net.in_flight() > 0 && now < start + max_cycles {
-            now += 1;
-            net.tick_faulted(now, Some(faults));
-            net.assert_worklist_invariants();
-            delivered.extend(drain_all_ejections(net));
-        }
-        (now, delivered)
-    }
-
-    fn inject_one(net: &mut Net, now: Cycle, src: usize, dst: usize, payload: u64) {
-        net.inject(
-            now,
-            NodeId::from(src),
-            NodeId::from(dst),
-            VirtualNetwork::Request,
-            MessageSize::Control,
-            payload,
-        )
-        .unwrap();
-    }
-
-    #[test]
-    fn tick_faulted_without_a_director_matches_tick() {
-        // `tick_faulted(now, None)` must be a strict no-op relative to
-        // `tick(now)`: same schedule, same deliveries, same stats.
-        let cfg = NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24);
-        let mut a: Net = Network::new(cfg.clone());
-        let mut b: Net = Network::new(cfg);
-        let mut rng_a = DetRng::new(77);
-        let mut rng_b = DetRng::new(77);
-        let mut got_a = Vec::new();
-        let mut got_b = Vec::new();
-        for now in 1..800u64 {
-            for (net, rng) in [(&mut a, &mut rng_a), (&mut b, &mut rng_b)] {
-                let src = NodeId::from(rng.next_below(16) as usize);
-                let dst = NodeId::from(rng.next_below(16) as usize);
-                if net.can_inject(src, VirtualNetwork::Response) {
-                    let _ = net.inject(
-                        now,
-                        src,
-                        dst,
-                        VirtualNetwork::Response,
-                        MessageSize::Data,
-                        now,
-                    );
-                }
-            }
-            a.tick(now);
-            b.tick_faulted(now, None);
-            got_a.extend(
-                drain_all_ejections(&mut a)
-                    .into_iter()
-                    .map(|p| (p.src, p.seq)),
-            );
-            got_b.extend(
-                drain_all_ejections(&mut b)
-                    .into_iter()
-                    .map(|p| (p.src, p.seq)),
-            );
-        }
-        assert_eq!(got_a, got_b);
-        assert_eq!(a.in_flight(), b.in_flight());
-        assert_eq!(a.stats().delivered.get(), b.stats().delivered.get());
-    }
-
-    #[test]
-    fn drop_fault_loses_exactly_one_message() {
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
-        let mut faults = link_faults(0, 0, FaultKind::Drop, 0);
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 10_000);
-        assert!(delivered.is_empty(), "dropped message must not arrive");
-        assert_eq!(net.in_flight(), 0, "drop releases the slot and the count");
-        assert_eq!(faults.fires(), 1);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-        // A later message on the same link sails through (one-shot fault).
-        inject_one(&mut net, 100, 0, 1, 8);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 100, 10_000);
-        assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].payload, 8);
-        assert_eq!(delivered[0].taint, PacketTaint::Clean);
-    }
-
-    #[test]
-    fn corrupt_fault_taints_the_delivered_packet() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
-        let mut faults = link_faults(0, 0, FaultKind::Corrupt, 0);
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 10_000);
-        assert_eq!(delivered.len(), 1, "corruption does not lose the message");
-        assert_eq!(delivered[0].taint, PacketTaint::Corrupt);
-        assert!(delivered[0].taint.is_detectable());
-        assert_eq!(faults.fires(), 1);
-    }
-
-    #[test]
-    fn duplicate_fault_delivers_one_clean_and_one_tainted_copy() {
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
-        let mut faults = link_faults(0, 0, FaultKind::Duplicate, 0);
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 10_000);
-        assert_eq!(delivered.len(), 2);
-        let clean: Vec<_> = delivered
-            .iter()
-            .filter(|p| p.taint == PacketTaint::Clean)
-            .collect();
-        let dup: Vec<_> = delivered
-            .iter()
-            .filter(|p| p.taint == PacketTaint::Duplicate)
-            .collect();
-        assert_eq!((clean.len(), dup.len()), (1, 1));
-        assert_eq!(
-            clean[0].seq, dup[0].seq,
-            "the copy keeps the sequence number"
-        );
-        assert_eq!(dup[0].payload, 7);
-        // An equal (duplicated) sequence number is not an ordering inversion.
-        assert_eq!(net.ordering().total_reordered(), 0);
-        assert_eq!(net.in_flight(), 0);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-    }
-
-    #[test]
-    fn delay_fault_postpones_delivery_by_its_parameter() {
-        let mk = || -> Net { Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2)) };
-        let mut clean_net = mk();
-        inject_one(&mut clean_net, 0, 0, 1, 7);
-        let (clean_end, d) = run_until_drained(&mut clean_net, 0, 10_000);
-        assert_eq!(d.len(), 1);
-        let mut net = mk();
-        let mut faults = link_faults(0, 0, FaultKind::Delay, 700);
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (end, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 20_000);
-        assert_eq!(delivered.len(), 1);
-        assert_eq!(delivered[0].taint, PacketTaint::Clean);
-        assert!(
-            end >= clean_end + 700,
-            "delayed delivery at {end}, clean at {clean_end}"
-        );
-    }
-
-    #[test]
-    fn switch_stall_window_pauses_forwarding_then_releases() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::GB_3_2));
-        let mut faults = window_fault(
-            1,
-            FaultSite::Switch { node: 0 },
-            FaultKind::SwitchStall,
-            600,
-        );
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (end, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 20_000);
-        assert_eq!(delivered.len(), 1, "stall is temporary — no loss");
-        assert!(end >= 601, "nothing forwarded before the window closed");
-        assert_eq!(faults.fires(), 1);
-    }
-
-    #[test]
-    fn switch_blackout_discards_arrivals_at_the_dead_switch() {
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
-        let mut faults = window_fault(
-            1,
-            FaultSite::Switch { node: 1 },
-            FaultKind::SwitchBlackout,
-            50_000,
-        );
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 60_000);
-        assert!(
-            delivered.is_empty(),
-            "arrival at a blacked-out switch is lost"
-        );
-        assert_eq!(net.in_flight(), 0);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-    }
-
-    #[test]
-    fn inbox_drop_window_discards_ejections() {
-        let mut net: Net = Network::new(NetConfig::shared_pool(16, LinkBandwidth::GB_3_2, 24));
-        let mut faults = window_fault(
-            1,
-            FaultSite::Inbox { node: 1 },
-            FaultKind::InboxDrop,
-            50_000,
-        );
-        inject_one(&mut net, 0, 0, 1, 7);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults, 0, 60_000);
-        assert!(delivered.is_empty(), "inbox-dropped message is lost");
-        assert_eq!(net.in_flight(), 0);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-        // After the window a fresh message is delivered normally.
-        let mut faults2 = FaultDirector::new(FaultPlan::none());
-        inject_one(&mut net, 60_001, 0, 1, 9);
-        let (_, delivered) = run_faulted_until_drained(&mut net, &mut faults2, 60_001, 10_000);
-        assert_eq!(delivered.len(), 1);
-    }
-
-    #[test]
-    fn split_pool_network_delivers_with_exact_accounting() {
-        // The endpoint/switch split budget under random all-class traffic:
-        // everything is delivered and both sides' slot accounting (checked
-        // against full scans every cycle) stays exact.
-        let mut net: Net = Network::new(NetConfig::shared_pool_split(
-            16,
-            LinkBandwidth::GB_3_2,
-            18,
-            6,
-        ));
-        assert!(net.is_pooled());
-        assert!(net.is_pool_split());
-        let mut rng = DetRng::new(61);
-        let mut now = 0;
-        let mut injected = 0u64;
-        for _ in 0..1500 {
-            now += 1;
-            for _ in 0..3 {
-                let src = NodeId::from(rng.next_below(16) as usize);
-                let dst = NodeId::from(rng.next_below(16) as usize);
-                let vnet = crate::packet::ALL_VIRTUAL_NETWORKS[rng.next_below(4) as usize];
-                if net.can_inject(src, vnet) {
-                    net.inject(now, src, dst, vnet, MessageSize::Control, injected)
-                        .unwrap();
-                    injected += 1;
-                }
-            }
-            net.tick(now);
-            for i in 0..16 {
-                while net.eject_any(NodeId::from(i)).is_some() {}
-            }
-            net.assert_worklist_invariants();
-        }
-        let (now, _) = run_until_drained(&mut net, now, 200_000);
-        assert_eq!(net.in_flight(), 0, "split-pool network wedged at {now}");
-        assert_eq!(net.stats().delivered.get(), injected);
-        assert!(injected > 500);
-        assert!(net.pool_occupancy_snapshot().iter().all(|&o| o == 0));
-        assert!(net
-            .endpoint_pool_occupancy_snapshot()
-            .iter()
-            .all(|&o| o == 0));
-        net.assert_worklist_invariants();
-    }
-
-    #[test]
-    fn split_pool_endpoint_budget_gates_ejection_but_not_the_fabric() {
-        // One endpoint slot at every node: with nobody draining, at most one
-        // delivered message can hold node 1's endpoint budget; the others
-        // wait *in the fabric* (their switch-side slots intact) instead of
-        // overrunning the ejection queue. Draining releases the endpoint
-        // slot and the next message comes through.
-        let mut net: Net = Network::new(NetConfig::shared_pool_split(
-            16,
-            LinkBandwidth::MB_400,
-            12,
-            1,
-        ));
-        inject_one(&mut net, 0, 0, 1, 10);
-        inject_one(&mut net, 0, 2, 1, 11);
-        inject_one(&mut net, 0, 5, 1, 12);
-        let mut now = 0;
-        for _ in 0..5_000 {
-            now += 1;
-            net.tick(now);
-            net.assert_worklist_invariants();
-        }
-        assert!(net.has_ejectable(NodeId(1)));
-        assert!(net.has_exhausted_pool(), "endpoint budget is pinned");
-        let mut got = Vec::new();
-        for _ in 0..3 {
-            let p = net.eject_any(NodeId(1));
-            assert!(p.is_some(), "one message per endpoint slot");
-            got.push(p.unwrap().payload);
-            assert!(net.eject_any(NodeId(1)).is_none(), "budget gates the rest");
-            for _ in 0..5_000 {
-                now += 1;
-                net.tick(now);
-                net.assert_worklist_invariants();
-            }
-        }
-        got.sort_unstable();
-        assert_eq!(got, vec![10, 11, 12]);
-        assert_eq!(net.in_flight(), 0);
-        assert!(net
-            .endpoint_pool_occupancy_snapshot()
-            .iter()
-            .all(|&o| o == 0));
-    }
-
-    #[test]
-    fn mean_link_utilization_is_nonzero_under_traffic_and_bounded() {
-        let mut net: Net = Network::new(NetConfig::conventional(16, LinkBandwidth::MB_400));
-        let mut rng = DetRng::new(2);
-        let mut now = 0;
-        for _ in 0..500 {
-            now += 1;
-            let src = NodeId::from(rng.next_below(16) as usize);
-            let dst = NodeId::from(rng.next_below(16) as usize);
-            if src != dst && net.can_inject(src, VirtualNetwork::Response) {
-                let _ = net.inject(
-                    now,
-                    src,
-                    dst,
-                    VirtualNetwork::Response,
-                    MessageSize::Data,
-                    0,
-                );
-            }
-            net.tick(now);
-            for i in 0..16 {
-                while net.eject_any(NodeId::from(i)).is_some() {}
-            }
-        }
-        let u = net.mean_link_utilization(now);
-        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
-    }
-}
+#[path = "network_tests.rs"]
+mod tests;

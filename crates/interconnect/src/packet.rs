@@ -116,6 +116,101 @@ impl<P> Packet<P> {
     }
 }
 
+/// Dense-id arena for packets travelling through a
+/// [`crate::network::Network`].
+///
+/// The switch slab's queues and link pipelines store `u32` packet ids; the
+/// packets themselves live here, in one contiguous allocation. A packet is
+/// allocated at injection, moves between queues by id (no payload copies per
+/// hop), and is taken out when the endpoint drains it (or a fault/recovery
+/// drops it). Freed slots are recycled LIFO, so id assignment is a pure
+/// function of the alloc/free history — deterministic whenever the schedule
+/// is, and never itself an input to the schedule.
+#[derive(Debug, Clone)]
+pub struct PacketArena<P> {
+    slots: Vec<Option<Packet<P>>>,
+    free: Vec<u32>,
+}
+
+impl<P> Default for PacketArena<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PacketArena<P> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `packet` and returns its dense id.
+    pub fn alloc(&mut self, packet: Packet<P>) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(packet);
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("packet arena overflow");
+                self.slots.push(Some(packet));
+                id
+            }
+        }
+    }
+
+    /// Borrows the packet behind a live id.
+    ///
+    /// # Panics
+    /// Panics if `id` was already freed (a dangling id is a flow-control
+    /// bug, never a recoverable condition).
+    #[must_use]
+    pub fn get(&self, id: u32) -> &Packet<P> {
+        self.slots[id as usize]
+            .as_ref()
+            .expect("packet arena id was already freed")
+    }
+
+    /// Mutably borrows the packet behind a live id (fault tainting).
+    ///
+    /// # Panics
+    /// Panics if `id` was already freed.
+    pub fn get_mut(&mut self, id: u32) -> &mut Packet<P> {
+        self.slots[id as usize]
+            .as_mut()
+            .expect("packet arena id was already freed")
+    }
+
+    /// Removes and returns the packet behind a live id, recycling the slot.
+    ///
+    /// # Panics
+    /// Panics if `id` was already freed.
+    pub fn take(&mut self, id: u32) -> Packet<P> {
+        let p = self.slots[id as usize]
+            .take()
+            .expect("packet arena id was already freed");
+        self.free.push(id);
+        p
+    }
+
+    /// Number of live packets.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Drops every live packet and resets id assignment (recovery drain).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +241,52 @@ mod tests {
         assert!(!p.taint.is_detectable());
         assert!(PacketTaint::Corrupt.is_detectable());
         assert!(PacketTaint::Duplicate.is_detectable());
+    }
+
+    #[test]
+    fn arena_recycles_ids_deterministically() {
+        let mut arena: PacketArena<u32> = PacketArena::new();
+        let mk = |n: u32| Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            vnet: VirtualNetwork::Request,
+            size: MessageSize::Control,
+            seq: u64::from(n),
+            injected_at: 0,
+            taint: PacketTaint::Clean,
+            payload: n,
+        };
+        let a = arena.alloc(mk(0));
+        let b = arena.alloc(mk(1));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.get(a).payload, 0);
+        assert_eq!(arena.take(a).payload, 0);
+        // LIFO recycling: the freed slot is reused first.
+        assert_eq!(arena.alloc(mk(2)), a);
+        assert_eq!(arena.take(b).payload, 1);
+        assert_eq!(arena.take(a).payload, 2);
+        assert_eq!(arena.live(), 0);
+        arena.clear();
+        assert_eq!(arena.alloc(mk(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet arena id was already freed")]
+    fn arena_take_of_freed_id_panics() {
+        let mut arena: PacketArena<()> = PacketArena::new();
+        let id = arena.alloc(Packet {
+            src: NodeId(0),
+            dst: NodeId(0),
+            vnet: VirtualNetwork::Request,
+            size: MessageSize::Control,
+            seq: 0,
+            injected_at: 0,
+            taint: PacketTaint::Clean,
+            payload: (),
+        });
+        arena.take(id);
+        arena.take(id);
     }
 
     #[test]

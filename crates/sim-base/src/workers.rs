@@ -79,7 +79,19 @@ impl WorkerPool {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         let host = std::thread::available_parallelism().map_or(1, usize::from);
-        let threads = threads.clamp(1, host);
+        Self::with_exact_threads(threads.clamp(1, host))
+    }
+
+    /// Creates a pool with **exactly** `threads.max(1)` threads (including
+    /// the caller), ignoring the host-core clamp of [`WorkerPool::new`].
+    /// Oversubscribing cores only adds scheduling noise, so production runs
+    /// never want this — it exists so determinism tests can drive the
+    /// multi-threaded code paths (claim racing, barrier hand-off, parallel
+    /// task merging) with real concurrent threads even on single-core
+    /// hosts, where `new` would silently fall back to inline execution.
+    #[must_use]
+    pub fn with_exact_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
         let shared = Arc::new(Shared {
             epoch: AtomicU64::new(0),
             job_data: AtomicUsize::new(0),

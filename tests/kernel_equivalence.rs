@@ -546,6 +546,78 @@ fn phase_split_engine_is_byte_identical_to_serial_at_256_nodes() {
 }
 
 #[test]
+fn parallel_exchange_is_byte_identical_and_actually_parallel_at_256_nodes() {
+    // The acceptance gate for the parallel exchange phase: at 256 nodes the
+    // phase-split run must match the serial golden digest byte-for-byte,
+    // and — when the host actually has cores to shard over — the worker
+    // pool must have fanned the torus's forward phase out in parallel
+    // shards, not merely been constructed. The forward probe is
+    // observability only (it never feeds back into the schedule), so it can
+    // prove the parallel path ran without perturbing the digest. On a
+    // single-core host the pool clamps to one thread and the network
+    // rightly keeps the serial scan (sharding for no parallelism is pure
+    // overhead); the sharded executor's byte-identity is then pinned by the
+    // interconnect's own oversubscribed-pool equivalence test.
+    let mut serial = DirectorySystem::new(dir_256_config().with_workers_pinned(1));
+    let ms = serial.run_for(6_000).expect("no protocol errors");
+    assert_eq!(
+        serial.net_forward_probe().parallel_phases,
+        0,
+        "the serial reference kernel must never shard the forward phase"
+    );
+    let mut parallel = DirectorySystem::new(dir_256_config().with_workers_pinned(4));
+    let mp = parallel.run_for(6_000).expect("no protocol errors");
+    let probe = parallel.net_forward_probe();
+    let multi_core = std::thread::available_parallelism().map_or(1, usize::from) > 1;
+    if multi_core {
+        assert!(
+            probe.parallel_phases > 0,
+            "the parallel exchange never engaged at 256 nodes under heavy traffic"
+        );
+        assert!(
+            probe.parallel_tasks >= probe.parallel_phases,
+            "each sharded phase forwards at least one switch"
+        );
+    } else {
+        assert_eq!(
+            probe.parallel_phases, 0,
+            "a one-thread pool must not pay for shard planning"
+        );
+    }
+    assert_eq!(
+        metrics_digest(&ms),
+        metrics_digest(&mp),
+        "parallel exchange diverged from the serial reference kernel"
+    );
+    check("dir_256_nodes", GOLDEN_DIR_256_NODES, metrics_digest(&mp));
+}
+
+#[test]
+fn snooping_parallel_data_torus_matches_the_serial_golden() {
+    // The snooping machine's phase split: the address bus stays serial by
+    // design (no parallel tick), but the point-to-point data torus adopts
+    // the parallel forward phase. Pinned to 4 workers — the digest must be
+    // the historical serial snooping golden byte-for-byte, whatever
+    // `SPECSIM_WORKERS` says.
+    let mut cfg = SnoopSystemConfig::new(WorkloadKind::Apache, ProtocolVariant::Speculative, 11)
+        .with_workers_pinned(4);
+    cfg.memory.l1_bytes = 16 * 1024;
+    cfg.memory.l2_bytes = 64 * 1024;
+    cfg.memory.safetynet.checkpoint_interval_requests = 200;
+    let mut sys = SnoopingSystem::new(cfg);
+    let m = sys.run_for(20_000).expect("no protocol errors");
+    assert!(
+        sys.data_forward_probe().switch_visits > 0,
+        "the data torus forwarded nothing in 20k cycles"
+    );
+    check(
+        "snoop_speculative",
+        GOLDEN_SNOOP_SPECULATIVE,
+        metrics_digest(&m),
+    );
+}
+
+#[test]
 fn sharded_runner_preserves_per_seed_results_and_order() {
     use specsim::experiments::{measure_directory, ExperimentScale};
     let mut cfg = small_dir_config(ProtocolVariant::Speculative, RoutingPolicy::Adaptive);
