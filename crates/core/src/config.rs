@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use specsim_base::{
     BufferPolicy, CycleDelta, FaultConfig, FlowControl, LinkBandwidth, MemorySystemConfig,
-    ProtocolVariant, RoutingPolicy,
+    ProtocolVariant, RoutingPolicy, TelemetryConfig,
 };
 use specsim_net::NetConfig;
 use specsim_workloads::{Trace, TrafficConfig, WorkloadKind};
@@ -130,6 +130,10 @@ pub struct SystemConfig {
     /// to the serial scan); the scaling sweep pins it off for its
     /// tick-only timing column. Irrelevant when `worker_threads` is 1.
     pub parallel_exchange: bool,
+    /// Telemetry knobs (windowed time-series sampler + lifecycle event
+    /// trace). Disabled by default; purely observational — the simulated
+    /// schedule is byte-identical with telemetry on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SystemConfig {
@@ -174,6 +178,7 @@ impl SystemConfig {
             worker_threads: 1,
             worker_threads_pinned: false,
             parallel_exchange: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -206,6 +211,7 @@ impl SystemConfig {
             worker_threads: 1,
             worker_threads_pinned: false,
             parallel_exchange: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -242,6 +248,7 @@ impl SystemConfig {
             worker_threads: 1,
             worker_threads_pinned: false,
             parallel_exchange: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -285,6 +292,7 @@ impl SystemConfig {
             worker_threads: 1,
             worker_threads_pinned: false,
             parallel_exchange: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -420,6 +428,16 @@ impl SystemConfig {
     pub fn with_parallel_exchange(&self, enabled: bool) -> Self {
         let mut c = self.clone();
         c.parallel_exchange = enabled;
+        c
+    }
+
+    /// Returns a copy with the given telemetry knobs (see
+    /// [`Self::telemetry`]). Observational only — the simulated schedule is
+    /// byte-identical with telemetry on or off.
+    #[must_use]
+    pub fn with_telemetry(&self, telemetry: TelemetryConfig) -> Self {
+        let mut c = self.clone();
+        c.telemetry = telemetry;
         c
     }
 

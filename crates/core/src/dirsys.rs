@@ -443,6 +443,16 @@ impl ProtocolNode for DirProtocol {
             m.reordered_per_vnet[vn.index()] = arch.net.ordering().reordered(vn);
         }
         m.link_utilization = arch.net.mean_link_utilization(now);
+        m.vnet_latency = arch.net.stats().latency_hist_per_vnet.clone();
+    }
+
+    fn fabric_counters(arch: &ArchState) -> specsim_base::FabricCounters {
+        let s = arch.net.stats();
+        specsim_base::FabricCounters {
+            link_busy_cycles: s.link_busy_cycles,
+            num_links: s.num_links as u64,
+            delivered: s.delivered.get(),
+        }
     }
 }
 
@@ -513,6 +523,7 @@ impl DirectorySystem {
             worker_threads,
         );
         engine.set_parallel_exchange(parallel_exchange);
+        engine.set_telemetry(cfg.telemetry);
         Self { engine }
     }
 
@@ -553,6 +564,26 @@ impl DirectorySystem {
     #[must_use]
     pub fn net_forward_probe(&self) -> specsim_net::ForwardProbe {
         self.engine.arch().net.forward_probe()
+    }
+
+    /// The always-on engine-mode timeline (availability observability).
+    #[must_use]
+    pub fn mode_timeline(&self) -> &specsim_base::ModeTimeline {
+        self.engine.mode_timeline()
+    }
+
+    /// The windowed telemetry samples as JSONL, when
+    /// [`SystemConfig::telemetry`] enabled the sampler.
+    #[must_use]
+    pub fn telemetry_jsonl(&self) -> Option<String> {
+        self.engine.telemetry_jsonl()
+    }
+
+    /// The speculation-lifecycle trace as a Chrome trace-event JSON
+    /// document (Perfetto-loadable), when telemetry is enabled.
+    #[must_use]
+    pub fn telemetry_trace(&self) -> Option<String> {
+        self.engine.telemetry_trace()
     }
 
     /// Maps a protocol message class to its virtual network (Section 3.1:

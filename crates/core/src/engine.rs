@@ -36,8 +36,9 @@
 use std::collections::VecDeque;
 
 use specsim_base::{
-    ActiveSet, BlockAddr, Cycle, CycleDelta, DetRng, FaultDirector, FaultKind, FaultPlan, NodeId,
-    SafetyNetConfig, WorkerPool,
+    ActiveSet, BlockAddr, Cycle, CycleDelta, DetRng, EngineMode, FabricCounters, FaultDirector,
+    FaultKind, FaultPlan, ModeTimeline, NodeId, SafetyNetConfig, SpecEvent, TelemetryConfig,
+    TelemetryRecorder, WindowCounters, WorkerPool,
 };
 use specsim_coherence::types::{CpuAccess, CpuRequest, MisSpecKind, MisSpeculation, ProtocolError};
 use specsim_net::Network;
@@ -378,7 +379,15 @@ impl<'a, A: Clone> EngineCtx<'a, A> {
             let mut woken = false;
             while let Some((addr, access)) = take_completed(i) {
                 woken = true;
-                proc.note_miss_completed(now, addr, access == CpuAccess::Store);
+                if let Some(wait) = proc.note_miss_completed(now, addr, access == CpuAccess::Store)
+                {
+                    // Per-miss wait into the latency histogram. Recorded at
+                    // delivery time, so completions later undone by a
+                    // rollback stay counted — the histogram observes the
+                    // speculative execution, the committed-stats mean does
+                    // not.
+                    self.metrics.miss_latency.record(wait);
+                }
                 // A completed store modifies cached state that SafetyNet must
                 // be able to undo: account one log entry at this node.
                 if access == CpuAccess::Store
@@ -634,6 +643,14 @@ pub trait ProtocolNode {
     /// Fills the protocol-specific half of the run metrics (fabric stats,
     /// ordering stats, address-network counts).
     fn collect_protocol_metrics(&self, arch: &Self::Arch, now: Cycle, m: &mut RunMetrics);
+
+    /// Cumulative counters of the protocol's primary data-carrying fabric,
+    /// differenced per window by the telemetry sampler (the directory torus
+    /// or the snooping data torus). The default reports zeros for protocols
+    /// without a fabric.
+    fn fabric_counters(_arch: &Self::Arch) -> FabricCounters {
+        FabricCounters::default()
+    }
 }
 
 /// The wake-calendar index of the phase split's tick phase, present only
@@ -746,6 +763,13 @@ pub struct SystemEngine<P: ProtocolNode> {
     /// included: visiting a superset of the busy nodes is a no-op, so the
     /// lists are a pure scan-cost optimization).
     exchange: ExchangeIndex,
+    /// Always-on availability record: which [`EngineMode`] each cycle
+    /// executed in (one array increment per cycle; transitions are as rare
+    /// as recoveries). Feeds the mode-cycle totals in [`RunMetrics`].
+    timeline: ModeTimeline,
+    /// The gated telemetry recorder (windowed sampler + lifecycle event
+    /// trace), present only when a [`TelemetryConfig`] enabled it.
+    telemetry: Option<TelemetryRecorder>,
 }
 
 impl<P: ProtocolNode> SystemEngine<P> {
@@ -818,6 +842,8 @@ impl<P: ProtocolNode> SystemEngine<P> {
             par,
             parallel_exchange: true,
             exchange: ExchangeIndex::new_full(n),
+            timeline: ModeTimeline::new(),
+            telemetry: None,
         }
     }
 
@@ -825,6 +851,41 @@ impl<P: ProtocolNode> SystemEngine<P> {
     /// (see the field doc: schedule-neutral, timing only).
     pub fn set_parallel_exchange(&mut self, enabled: bool) {
         self.parallel_exchange = enabled;
+    }
+
+    /// Installs (or, with a disabled config, removes) the telemetry
+    /// recorder. Intended to be called before the first step; installing
+    /// mid-run starts a fresh recording. Telemetry is purely observational:
+    /// the simulated schedule is byte-identical with it on or off.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = TelemetryRecorder::new(cfg);
+    }
+
+    /// The telemetry recorder, when one was enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&TelemetryRecorder> {
+        self.telemetry.as_ref()
+    }
+
+    /// The always-on engine-mode timeline (availability observability).
+    #[must_use]
+    pub fn mode_timeline(&self) -> &ModeTimeline {
+        &self.timeline
+    }
+
+    /// The windowed time-series samples as JSONL, when the sampler is on.
+    #[must_use]
+    pub fn telemetry_jsonl(&self) -> Option<String> {
+        self.telemetry.as_ref().map(TelemetryRecorder::jsonl)
+    }
+
+    /// The lifecycle event trace plus mode timeline as a Chrome trace-event
+    /// JSON document (Perfetto-loadable), when telemetry is on.
+    #[must_use]
+    pub fn telemetry_trace(&self) -> Option<String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.chrome_trace(&self.timeline, self.now))
     }
 
     /// The fault injector, when a fault plan is active (observability for
@@ -894,9 +955,12 @@ impl<P: ProtocolNode> SystemEngine<P> {
         if now < self.resume_at {
             // The recovery procedure is still restoring state; no forward
             // progress during these cycles.
+            self.timeline.observe(now, EngineMode::Rollback);
+            self.sample_telemetry_window(now);
             return Ok(());
         }
         self.update_forward_progress(now);
+        self.timeline.observe(now, self.engine_mode(now));
         if self.par.as_ref().is_some_and(|p| p.tick_index.is_some()) {
             self.tick_processors_indexed(now);
         } else {
@@ -932,6 +996,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         if self.fabric_deadlocked {
             self.fabric_deadlock_at = Some(now);
         }
+        let mut fault_fired: Option<(Cycle, FaultKind)> = None;
         if let Some(d) = &self.fault_director {
             // Fold newly-fired injections into the evidence record. Guarded by
             // the fire counter: an old fire whose evidence was cleared by a
@@ -943,15 +1008,71 @@ impl<P: ProtocolNode> SystemEngine<P> {
                     if self.fault_evidence_at.map_or(true, |(a, _)| a <= at) {
                         self.fault_evidence_at = Some((at, kind));
                     }
+                    fault_fired = Some((at, kind));
                 }
             }
+        }
+        if let (Some(t), Some((at, kind))) = (self.telemetry.as_mut(), fault_fired) {
+            t.record(SpecEvent::FaultFired {
+                at,
+                kind: kind.label(),
+            });
         }
         self.safetynet_tick(now);
         self.check_recovery(now);
         if let Some(e) = self.protocol_error.take() {
             return Err(e);
         }
+        self.sample_telemetry_window(now);
         Ok(())
+    }
+
+    /// The availability mode cycle `now` executes in: the rollback stall
+    /// window when `now` precedes the resume cycle, the forward-progress
+    /// mode otherwise.
+    fn engine_mode(&self, now: Cycle) -> EngineMode {
+        if now < self.resume_at {
+            return EngineMode::Rollback;
+        }
+        match self.fp_mode {
+            ForwardProgressMode::Normal => EngineMode::Normal,
+            ForwardProgressMode::AdaptiveRoutingDisabled { .. } => EngineMode::AdaptiveDegraded,
+            ForwardProgressMode::SlowStart { .. } => EngineMode::SlowStart,
+            ForwardProgressMode::ReservedSlots { .. } => EngineMode::ReservedSlots,
+        }
+    }
+
+    /// Closes the telemetry sampler's window ending at `now`, if one is due:
+    /// snapshots the cumulative counters (processor ops, fabric busy-cycles,
+    /// SafetyNet log state, recoveries) and lets the recorder difference
+    /// them into a [`specsim_base::WindowSample`]. All inputs are simulated
+    /// state, so samples are bit-identical across kernels.
+    fn sample_telemetry_window(&mut self, now: Cycle) {
+        if !self.telemetry.as_ref().is_some_and(|t| t.window_due(now)) {
+            return;
+        }
+        let procs = P::procs(&self.arch);
+        let n = procs.len();
+        let ops_completed = procs.iter().map(Processor::ops_completed).sum();
+        let outstanding = P::outstanding_demand(&self.arch) as u64;
+        let fabric = P::fabric_counters(&self.arch);
+        let log_occupancy = (0..n)
+            .map(|i| self.safetynet.log_occupancy(NodeId::from(i)) as u64)
+            .sum();
+        let counters = WindowCounters {
+            ops_completed,
+            recoveries: self.metrics.recoveries + self.metrics.injected_recoveries,
+            link_busy_cycles: fabric.link_busy_cycles,
+            num_links: fabric.num_links,
+            messages_delivered: fabric.delivered,
+            log_entries: self.safetynet.stats().entries_logged,
+            outstanding,
+            log_occupancy,
+        };
+        let mode = self.engine_mode(now);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.sample_window(now, mode, counters);
+        }
     }
 
     fn update_forward_progress(&mut self, now: Cycle) {
@@ -1171,6 +1292,9 @@ impl<P: ProtocolNode> SystemEngine<P> {
             self.settle_parked_stalls(now);
             let snapshot = self.arch.clone();
             self.safetynet.take_checkpoint(now, snapshot);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record(SpecEvent::Checkpoint { at: now });
+            }
         }
     }
 
@@ -1268,10 +1392,26 @@ impl<P: ProtocolNode> SystemEngine<P> {
             if ms.kind == MisSpecKind::BufferDeadlock {
                 self.metrics.deadlock_recoveries += 1;
             }
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record(SpecEvent::MisSpec {
+                    at: ms.at,
+                    kind: ms.kind.label(),
+                    node: ms.node.index() as u64,
+                });
+            }
             if ms.kind.is_transient_fault() {
                 self.metrics.fault_recoveries += 1;
                 if let Some((at, _)) = self.fault_evidence_at {
-                    self.metrics.fault_detection_latency_cycles += ms.at.saturating_sub(at);
+                    let latency = ms.at.saturating_sub(at);
+                    self.metrics.fault_detection_latency_cycles += latency;
+                    self.metrics.fault_detection_latency.record(latency);
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.record(SpecEvent::FaultDetected {
+                            at: ms.at,
+                            injected_at: at,
+                            kind: ms.kind.label(),
+                        });
+                    }
                 }
             }
             self.perform_recovery(now, RecoveryCause::MisSpeculation(ms.kind));
@@ -1305,6 +1445,16 @@ impl<P: ProtocolNode> SystemEngine<P> {
         self.timeout_anchor = self.resume_at;
         // The anchor moved: force a fresh timeout scan once stepping resumes.
         self.next_timeout_scan = self.resume_at;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record(SpecEvent::Rollback {
+                at: now,
+                resume_at: self.resume_at,
+                cause: match cause {
+                    RecoveryCause::MisSpeculation(kind) => kind.label(),
+                    RecoveryCause::Injected => "injected",
+                },
+            });
+        }
         if let Some(ti) = self.par.as_mut().and_then(|p| p.tick_index.as_mut()) {
             // The rollback invalidated every scheduled wake-up (the restored
             // processors carry restored wake cycles): rebuild the calendar by
@@ -1388,6 +1538,7 @@ impl<P: ProtocolNode> SystemEngine<P> {
         m.log_entries = self.safetynet.stats().entries_logged;
         m.log_stall_cycles = self.safetynet.stats().log_stall_cycles;
         m.faults_injected = self.fault_director.as_ref().map_or(0, FaultDirector::fires);
+        m.mode_cycles = self.timeline.cycle_totals();
         self.metrics = m.clone();
         m
     }
@@ -1708,5 +1859,97 @@ mod tests {
             ..Default::default()
         };
         assert!((m.misspeculation_rate() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_timeline_accounts_for_every_cycle_and_transitions_chain() {
+        // Drive the machine through real mode churn (injected recoveries →
+        // rollback windows → slow-start) and check the always-on timeline's
+        // invariants: every simulated cycle lands in exactly one mode, the
+        // fractions sum to one, and the transition list chains.
+        let mut cfg = dir_cfg();
+        cfg.inject_recovery_every = Some(20_000);
+        let mut sys = DirectorySystem::new(cfg);
+        let m = sys.run_for(90_000).expect("no protocol errors");
+        assert!(m.recoveries + m.injected_recoveries > 0, "no mode churn");
+
+        let tl = sys.mode_timeline();
+        assert_eq!(
+            tl.total_cycles(),
+            m.cycles,
+            "cycles leaked from the timeline"
+        );
+        assert_eq!(tl.cycle_totals().iter().sum::<u64>(), m.cycles);
+        let frac_sum: f64 = specsim_base::ALL_ENGINE_MODES
+            .iter()
+            .map(|&mode| tl.fraction(mode))
+            .sum();
+        assert!(
+            (frac_sum - 1.0).abs() < 1e-12,
+            "fractions sum to {frac_sum}"
+        );
+        // RunMetrics carries the same accounting.
+        assert_eq!(m.mode_cycles, tl.cycle_totals());
+        let m_frac_sum = m.normal_frac()
+            + m.slow_start_frac()
+            + m.rollback_frac()
+            + m.mode_fraction(specsim_base::EngineMode::AdaptiveDegraded)
+            + m.mode_fraction(specsim_base::EngineMode::ReservedSlots);
+        assert!((m_frac_sum - 1.0).abs() < 1e-12);
+        // Rollback windows actually show up as unavailable cycles.
+        assert!(tl.cycles_in(specsim_base::EngineMode::Rollback) > 0);
+        assert!(m.rollback_frac() > 0.0 && m.normal_frac() < 1.0);
+        // Transitions chain: each one starts where the previous ended, and
+        // none is a self-transition.
+        let transitions = tl.transitions();
+        assert!(!transitions.is_empty());
+        let mut prev = specsim_base::EngineMode::Normal;
+        let mut prev_at = 0;
+        for t in transitions {
+            assert_eq!(t.from, prev, "broken chain at cycle {}", t.at);
+            assert_ne!(t.from, t.to, "self-transition at cycle {}", t.at);
+            assert!(t.at >= prev_at, "transitions out of order");
+            prev = t.to;
+            prev_at = t.at;
+        }
+        // Spans tile the run: inclusive, contiguous, covering cycles 1..=now.
+        let spans = tl.spans(sys.now());
+        let covered: u64 = spans.iter().map(|(start, end, _)| end - start + 1).sum();
+        assert_eq!(spans[0].0, 1);
+        assert_eq!(covered, sys.now());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0, "spans must be contiguous");
+        }
+    }
+
+    #[test]
+    fn fault_free_timeline_is_all_normal() {
+        let mut sys = DirectorySystem::new(dir_cfg());
+        let m = sys.run_for(30_000).expect("no protocol errors");
+        assert_eq!(m.recoveries, 0);
+        assert_eq!(m.normal_frac(), 1.0);
+        assert_eq!(m.rollback_frac(), 0.0);
+        assert!(sys.mode_timeline().transitions().is_empty());
+    }
+
+    #[test]
+    fn telemetry_recorder_is_purely_observational() {
+        // The same configuration with the recorder on and off must produce
+        // byte-identical metrics: telemetry never perturbs the schedule.
+        let mut cfg = dir_cfg();
+        cfg.inject_recovery_every = Some(10_000);
+        let mut plain = DirectorySystem::new(cfg.clone());
+        let m_plain = plain.run_for(40_000).expect("no protocol errors");
+        let instrumented_cfg = cfg.with_telemetry(specsim_base::TelemetryConfig::windowed(1_000));
+        let mut instrumented = DirectorySystem::new(instrumented_cfg);
+        let m_inst = instrumented.run_for(40_000).expect("no protocol errors");
+        assert_eq!(format!("{m_plain:?}"), format!("{m_inst:?}"));
+        // ... and the instrumented run actually recorded.
+        let jsonl = instrumented.telemetry_jsonl().expect("recorder installed");
+        assert_eq!(jsonl.lines().count(), 40);
+        let trace = instrumented.telemetry_trace().expect("recorder installed");
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("rollback"));
+        assert!(plain.telemetry_jsonl().is_none());
     }
 }

@@ -133,6 +133,14 @@ pub struct FaultToleranceRow {
     /// Mean cycles from fault injection to the classified recovery, weighted
     /// over all fault recoveries of the row (0 when none happened).
     pub mean_detection_latency_cycles: f64,
+    /// Fraction of simulated cycles the engine spent in the unrestricted
+    /// Normal mode, aggregated over the perturbed runs (the availability
+    /// figure: 1.0 means no cycle was lost to recovery or throttling).
+    pub normal_frac: f64,
+    /// Fraction of cycles spent in post-recovery slow-start throttling.
+    pub slow_start_frac: f64,
+    /// Fraction of cycles spent stalled in rollback/restore windows.
+    pub rollback_frac: f64,
 }
 
 /// The completed campaign.
@@ -206,6 +214,22 @@ fn row_from_runs(
 ) -> FaultToleranceRow {
     let fault_recoveries: u64 = runs.iter().map(|r| r.fault_recoveries).sum();
     let latency: u64 = runs.iter().map(|r| r.fault_detection_latency_cycles).sum();
+    // Availability: mode-timeline cycles summed across the perturbed runs,
+    // then normalised by the row's total simulated cycles.
+    let mut mode_cycles = [0u64; specsim_base::ENGINE_MODE_COUNT];
+    for r in runs {
+        for (total, cycles) in mode_cycles.iter_mut().zip(r.mode_cycles) {
+            *total += cycles;
+        }
+    }
+    let total_cycles: u64 = mode_cycles.iter().sum();
+    let frac = |mode: specsim_base::EngineMode| {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            mode_cycles[mode.index()] as f64 / total_cycles as f64
+        }
+    };
     FaultToleranceRow {
         machine,
         kind,
@@ -220,6 +244,9 @@ fn row_from_runs(
         } else {
             latency as f64 / fault_recoveries as f64
         },
+        normal_frac: frac(specsim_base::EngineMode::Normal),
+        slow_start_frac: frac(specsim_base::EngineMode::SlowStart),
+        rollback_frac: frac(specsim_base::EngineMode::Rollback),
     }
 }
 
@@ -288,11 +315,12 @@ impl FaultToleranceData {
         ));
         out.push_str(
             "machine    kind            rate/Mcyc  ops/kcycle        injected  detected  \
-             fault-rec  recoveries  det-latency\n",
+             fault-rec  recoveries  det-latency  normal%  slow%  rollbk%\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<9}  {:<14}  {:>9}  {:<16}  {:>8}  {:>8}  {:>9}  {:>10}  {:>11.1}\n",
+                "{:<9}  {:<14}  {:>9}  {:<16}  {:>8}  {:>8}  {:>9}  {:>10}  {:>11.1}  \
+                 {:>7.2}  {:>5.2}  {:>7.2}\n",
                 r.machine.label(),
                 r.kind_label(),
                 r.rate_per_mcycle,
@@ -302,6 +330,9 @@ impl FaultToleranceData {
                 r.fault_recoveries,
                 r.recoveries,
                 r.mean_detection_latency_cycles,
+                r.normal_frac * 100.0,
+                r.slow_start_frac * 100.0,
+                r.rollback_frac * 100.0,
             ));
         }
         out
@@ -328,7 +359,9 @@ impl FaultToleranceData {
                  \"throughput_mean\": {:.6}, \"throughput_std\": {:.6}, \
                  \"faults_injected\": {}, \"faults_detected\": {}, \
                  \"fault_recoveries\": {}, \"recoveries\": {}, \
-                 \"mean_detection_latency_cycles\": {:.1}}}{comma}\n",
+                 \"mean_detection_latency_cycles\": {:.1}, \
+                 \"normal_frac\": {:.6}, \"slow_start_frac\": {:.6}, \
+                 \"rollback_frac\": {:.6}}}{comma}\n",
                 r.machine.label(),
                 r.kind_label(),
                 r.rate_per_mcycle,
@@ -339,6 +372,9 @@ impl FaultToleranceData {
                 r.fault_recoveries,
                 r.recoveries,
                 r.mean_detection_latency_cycles,
+                r.normal_frac,
+                r.slow_start_frac,
+                r.rollback_frac,
             ));
         }
         json.push_str("  ]\n}\n");
@@ -412,10 +448,35 @@ mod tests {
         // throughput collapses below the fault-free control.
         assert!(control.throughput.mean > 0.0);
         assert!(faulted.throughput.mean < control.throughput.mean);
+        // Availability: the fault-free control spends every cycle in Normal
+        // mode (1.0 exactly — a congestion recovery here would be a
+        // regression in the heavy-traffic tuning); the fault storm loses
+        // cycles to rollback and slow-start.
+        eprintln!(
+            "control normal={} slow={} rollback={} recoveries={}; \
+             faulted normal={} slow={} rollback={}",
+            control.normal_frac,
+            control.slow_start_frac,
+            control.rollback_frac,
+            control.recoveries,
+            faulted.normal_frac,
+            faulted.slow_start_frac,
+            faulted.rollback_frac
+        );
+        assert_eq!(control.normal_frac, 1.0);
+        assert_eq!(control.rollback_frac, 0.0);
+        assert!(faulted.normal_frac < 1.0);
+        assert!(faulted.rollback_frac > 0.0);
+        assert!(
+            (faulted.normal_frac + faulted.slow_start_frac + faulted.rollback_frac) <= 1.0 + 1e-9
+        );
         let txt = data.render();
         assert!(txt.contains("corrupt") && txt.contains("none"));
+        assert!(txt.contains("normal%"));
         let json = data.to_json();
         assert!(json.contains("\"kind\": \"corrupt\""));
         assert!(json.contains("\"rate_per_mcycle\": 10000"));
+        assert!(json.contains("\"normal_frac\": 1.000000"));
+        assert!(json.contains("\"rollback_frac\""));
     }
 }

@@ -247,6 +247,12 @@ pub struct ScalingRow {
     /// forwarding). The schedule is byte-identical to the serial run; only
     /// the kernel differs.
     pub ns_per_cycle_parallel: f64,
+    /// Engine work counters ([`crate::engine::EngineProbe`]) of the pinned
+    /// parallel timing run: processor polls performed, wake-calendar skips,
+    /// and exchange-worklist node visits. Deterministic observability for
+    /// how much per-cycle work the active-set kernel actually did at this
+    /// machine size — the denominator behind the `ns_per_cycle` columns.
+    pub probe: crate::engine::EngineProbe,
 }
 
 /// The completed sweep.
@@ -339,6 +345,11 @@ pub fn run(cfg: &ScalingConfig) -> Result<ScalingData, ProtocolError> {
                 let started_par = Instant::now();
                 timed_par.run_for(cfg.scale.cycles)?;
                 let wall_ns_par = started_par.elapsed().as_nanos() as f64;
+                // Work counters of the pinned parallel run: deterministic
+                // regardless of SPECSIM_WORKERS (the probe counts scheduled
+                // work, not wall time), so the JSON stays byte-stable across
+                // hosts and reruns.
+                let probe = timed_par.engine_probe();
                 rows.push(ScalingRow {
                     num_nodes: n,
                     width,
@@ -350,6 +361,7 @@ pub fn run(cfg: &ScalingConfig) -> Result<ScalingData, ProtocolError> {
                     ns_per_cycle: wall_ns / cfg.scale.cycles.max(1) as f64,
                     ns_per_cycle_parallel_tick: wall_ns_tick / cfg.scale.cycles.max(1) as f64,
                     ns_per_cycle_parallel: wall_ns_par / cfg.scale.cycles.max(1) as f64,
+                    probe,
                 });
             }
         }
@@ -373,11 +385,14 @@ impl ScalingData {
         ));
         out.push_str(
             "nodes  torus  workload   routing   ops/kcycle        misspec/Mcycle    \
-             ns/cyc-serial  ns/cyc-par-tick  ns/cyc-parallel\n",
+             ns/cyc-serial  ns/cyc-par-tick  ns/cyc-parallel  \
+             polls/kcyc  skips/kcyc  exch-visits/kcyc\n",
         );
+        let kcycles = (self.cycles as f64 / 1_000.0).max(f64::MIN_POSITIVE);
         for r in &self.rows {
             out.push_str(&format!(
-                "{:>5}  {:>2}x{:<2}  {:<9}  {:<8}  {:<16}  {:<16}  {:>13.1}  {:>15.1}  {:>15.1}\n",
+                "{:>5}  {:>2}x{:<2}  {:<9}  {:<8}  {:<16}  {:<16}  {:>13.1}  {:>15.1}  {:>15.1}  \
+                 {:>10.1}  {:>10.1}  {:>16.1}\n",
                 r.num_nodes,
                 r.width,
                 r.height,
@@ -388,6 +403,10 @@ impl ScalingData {
                 r.ns_per_cycle,
                 r.ns_per_cycle_parallel_tick,
                 r.ns_per_cycle_parallel,
+                r.probe.processor_polls as f64 / kcycles,
+                r.probe.processor_skips as f64 / kcycles,
+                (r.probe.exchange_completion_visits + r.probe.exchange_outbox_visits) as f64
+                    / kcycles,
             ));
         }
         out
@@ -412,7 +431,10 @@ impl ScalingData {
                  \"misspec_per_mcycle_std\": {:.6}, \
                  \"ns_per_cycle\": {:.2}, \
                  \"ns_per_cycle_parallel_tick\": {:.2}, \
-                 \"ns_per_cycle_parallel\": {:.2}}}{comma}\n",
+                 \"ns_per_cycle_parallel\": {:.2}, \
+                 \"processor_polls\": {}, \"processor_skips\": {}, \
+                 \"exchange_completion_visits\": {}, \
+                 \"exchange_outbox_visits\": {}}}{comma}\n",
                 r.num_nodes,
                 r.width,
                 r.height,
@@ -425,6 +447,10 @@ impl ScalingData {
                 r.ns_per_cycle,
                 r.ns_per_cycle_parallel_tick,
                 r.ns_per_cycle_parallel,
+                r.probe.processor_polls,
+                r.probe.processor_skips,
+                r.probe.exchange_completion_visits,
+                r.probe.exchange_outbox_visits,
             ));
         }
         json.push_str("  ]\n}\n");
@@ -521,15 +547,22 @@ mod tests {
             assert!(r.ns_per_cycle_parallel_tick > 0.0);
             assert!(r.ns_per_cycle_parallel > 0.0);
             assert!(r.misspec_per_mcycle.mean >= 0.0);
+            // The pinned timing run did real work, and the wake calendar
+            // skipped at least some idle processor visits.
+            assert!(r.probe.processor_polls > 0);
+            assert!(r.probe.exchange_completion_visits + r.probe.exchange_outbox_visits > 0);
         }
         let txt = data.render();
         assert!(txt.contains("4x2") && txt.contains("adaptive"));
         assert!(txt.contains("ns/cyc-par-tick") && txt.contains("ns/cyc-parallel"));
+        assert!(txt.contains("polls/kcyc"));
         let json = data.to_json();
         assert!(json.contains("\"nodes\": 8") && json.contains("\"routing\": \"static\""));
         assert!(json.contains("\"ns_per_cycle\""));
         assert!(json.contains("\"ns_per_cycle_parallel_tick\""));
         assert!(json.contains("\"ns_per_cycle_parallel\""));
+        assert!(json.contains("\"processor_polls\""));
+        assert!(json.contains("\"exchange_outbox_visits\""));
     }
 
     #[test]

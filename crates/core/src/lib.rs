@@ -42,3 +42,6 @@ pub use engine::{
 pub use framework::SpeculativeDesign;
 pub use metrics::{DataClass, RunMetrics, ALL_DATA_CLASSES};
 pub use snoopsys::{SnoopSystemConfig, SnoopingSystem};
+pub use specsim_base::{
+    EngineMode, Log2Histogram, ModeTimeline, SpecEvent, TelemetryConfig, WindowSample,
+};

@@ -1,6 +1,8 @@
 //! Run-level metrics and normalized-performance accounting.
 
-use specsim_base::Cycle;
+use std::fmt;
+
+use specsim_base::{Cycle, EngineMode, Log2Histogram, ALL_ENGINE_MODES, ENGINE_MODE_COUNT};
 use specsim_coherence::MisSpecKind;
 use specsim_net::VirtualNetwork;
 
@@ -81,6 +83,22 @@ pub struct RunMetrics {
     /// in cycles, indexed like
     /// [`RunMetrics::data_delivered_per_class`].
     pub data_latency_per_class: [f64; 2],
+    /// Cycles spent in each [`EngineMode`], indexed by
+    /// [`EngineMode::index`] — the availability view of the run (always
+    /// recorded; sums to [`RunMetrics::cycles`]).
+    pub mode_cycles: [u64; ENGINE_MODE_COUNT],
+    /// Per-miss wait-latency distribution, recorded at completion delivery.
+    /// Unlike the committed-stats mean ([`RunMetrics::mean_miss_latency`]),
+    /// completions later undone by a rollback stay counted: the histogram
+    /// observes the speculative execution.
+    pub miss_latency: Log2Histogram,
+    /// Fault detection-latency distribution (injection → detection cycles)
+    /// over fault-classified recoveries.
+    pub fault_detection_latency: Log2Histogram,
+    /// In-fabric latency distribution per virtual network of the primary
+    /// fabric (the directory torus; the snooping system reports its data
+    /// torus here).
+    pub vnet_latency: [Log2Histogram; 4],
 }
 
 /// Traffic classes of the snooping system's point-to-point data network.
@@ -227,6 +245,127 @@ impl RunMetrics {
         } else {
             self.miss_wait_cycles as f64 / self.misses as f64
         }
+    }
+
+    /// Fraction of the run's cycles spent in `mode` (0 when the mode
+    /// timeline is empty, e.g. a hand-built metrics value).
+    #[must_use]
+    pub fn mode_fraction(&self, mode: EngineMode) -> f64 {
+        let total: u64 = self.mode_cycles.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.mode_cycles[mode.index()] as f64 / total as f64
+        }
+    }
+
+    /// Fraction of cycles in full-speed normal operation — the paper's
+    /// availability metric.
+    #[must_use]
+    pub fn normal_frac(&self) -> f64 {
+        self.mode_fraction(EngineMode::Normal)
+    }
+
+    /// Fraction of cycles in the slow-start window after a timeout
+    /// recovery.
+    #[must_use]
+    pub fn slow_start_frac(&self) -> f64 {
+        self.mode_fraction(EngineMode::SlowStart)
+    }
+
+    /// Fraction of cycles stalled in the recovery (rollback) procedure.
+    #[must_use]
+    pub fn rollback_frac(&self) -> f64 {
+        self.mode_fraction(EngineMode::Rollback)
+    }
+
+    /// The human-readable run report (same text as the [`fmt::Display`]
+    /// impl).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    /// A multi-line run report: throughput, mis-speculation breakdown,
+    /// availability fractions and latency percentiles.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles            : {} ({} checkpoints, {} log entries)",
+            self.cycles, self.checkpoints, self.log_entries
+        )?;
+        writeln!(
+            f,
+            "ops completed     : {} ({:.2} ops/kcycle; {} loads, {} stores, {} misses)",
+            self.ops_completed, // committed work only
+            self.throughput(),
+            self.loads,
+            self.stores,
+            self.misses
+        )?;
+        writeln!(
+            f,
+            "miss latency      : committed mean {:.1}; speculative {}",
+            self.mean_miss_latency(),
+            self.miss_latency.summary()
+        )?;
+        write!(f, "availability      :")?;
+        for mode in ALL_ENGINE_MODES {
+            write!(
+                f,
+                " {} {:.2}%",
+                mode.label(),
+                100.0 * self.mode_fraction(mode)
+            )?;
+        }
+        writeln!(f)?;
+        if self.misspeculations.is_empty() {
+            writeln!(f, "misspeculations   : none")?;
+        } else {
+            write!(f, "misspeculations   :")?;
+            for (kind, n) in &self.misspeculations {
+                write!(f, " {} x{}", kind.label(), n)?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "recoveries        : {} detected, {} injected ({} lost-work cycles, {} recovery cycles)",
+            self.recoveries,
+            self.injected_recoveries,
+            self.lost_work_cycles,
+            self.recovery_latency_cycles
+        )?;
+        if self.faults_injected > 0 {
+            writeln!(
+                f,
+                "faults            : {} injected, {} detected; detection latency {}",
+                self.faults_injected,
+                self.faults_detected(),
+                self.fault_detection_latency.summary()
+            )?;
+        }
+        writeln!(
+            f,
+            "fabric            : {} delivered, link utilization {:.4}",
+            self.messages_delivered, self.link_utilization
+        )?;
+        for vnet in specsim_net::ALL_VIRTUAL_NETWORKS {
+            let h = &self.vnet_latency[vnet.index()];
+            if !h.is_empty() {
+                writeln!(f, "  vnet {:<15}: {}", vnet.label(), h.summary())?;
+            }
+        }
+        if self.bus_requests > 0 {
+            writeln!(
+                f,
+                "address bus       : {} requests ordered; data net {} delivered, utilization {:.4}",
+                self.bus_requests, self.data_messages_delivered, self.data_link_utilization
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -100,6 +100,10 @@ pub struct SnoopSystemConfig {
     /// (Zipfian hot blocks and/or bursty injection). The unshaped default
     /// is bit-identical to the historical generators.
     pub traffic: TrafficConfig,
+    /// Optional windowed telemetry sampling and speculation-lifecycle event
+    /// tracing. Disabled by default; purely observational — the simulated
+    /// schedule is byte-identical with it on or off.
+    pub telemetry: specsim_base::TelemetryConfig,
     /// Transient-fault injection schedule for chaos campaigns, applied to
     /// the point-to-point **data torus** only (the ordered address bus stays
     /// ideal — it is the protocol's logical time base). Disabled by default;
@@ -143,6 +147,7 @@ impl SnoopSystemConfig {
             inject_recovery_every: None,
             perturbation_cycles: 4,
             traffic: TrafficConfig::default(),
+            telemetry: specsim_base::TelemetryConfig::default(),
             fault_config: FaultConfig::Disabled,
             worker_threads: 1,
             worker_threads_pinned: false,
@@ -579,6 +584,16 @@ impl ProtocolNode for SnoopProtocol {
                 arch.data_net.stats().delivered_per_vnet[vnet.index()].get();
             m.data_latency_per_class[class.index()] = arch.data_net.stats().mean_latency_of(vnet);
         }
+        m.vnet_latency = arch.data_net.stats().latency_hist_per_vnet.clone();
+    }
+
+    fn fabric_counters(arch: &ArchState) -> specsim_base::FabricCounters {
+        let s = arch.data_net.stats();
+        specsim_base::FabricCounters {
+            link_busy_cycles: s.link_busy_cycles,
+            num_links: s.num_links as u64,
+            delivered: s.delivered.get(),
+        }
     }
 }
 
@@ -626,7 +641,7 @@ impl SnoopingSystem {
         };
         let perturb_rng = seed_rng.fork();
         let fault_plan = cfg.fault_config.lower(cfg.seed, n);
-        let engine = SystemEngine::new(
+        let mut engine = SystemEngine::new(
             SnoopProtocol {
                 cfg: cfg.clone(),
                 requests_at_last_checkpoint: 0,
@@ -642,6 +657,7 @@ impl SnoopingSystem {
             // parallel forward phase (byte-identical schedule).
             cfg.effective_worker_threads(),
         );
+        engine.set_telemetry(cfg.telemetry);
         Self { engine }
     }
 
@@ -682,6 +698,26 @@ impl SnoopingSystem {
     #[must_use]
     pub fn data_forward_probe(&self) -> specsim_net::ForwardProbe {
         self.engine.arch().data_net.forward_probe()
+    }
+
+    /// The always-on engine-mode timeline (availability observability).
+    #[must_use]
+    pub fn mode_timeline(&self) -> &specsim_base::ModeTimeline {
+        self.engine.mode_timeline()
+    }
+
+    /// The windowed telemetry samples as JSONL, when
+    /// [`SnoopSystemConfig::telemetry`] enabled the sampler.
+    #[must_use]
+    pub fn telemetry_jsonl(&self) -> Option<String> {
+        self.engine.telemetry_jsonl()
+    }
+
+    /// The speculation-lifecycle trace as a Chrome trace-event JSON
+    /// document (Perfetto-loadable), when telemetry is enabled.
+    #[must_use]
+    pub fn telemetry_trace(&self) -> Option<String> {
+        self.engine.telemetry_trace()
     }
 
     /// Runs the system for `cycles` cycles and returns the metrics so far.

@@ -1,6 +1,6 @@
 //! Network statistics.
 
-use specsim_base::{Counter, Cycle, Histogram};
+use specsim_base::{Counter, Cycle, Histogram, Log2Histogram};
 
 use crate::packet::VirtualNetwork;
 
@@ -17,6 +17,10 @@ pub struct NetStats {
     /// mean latencies, e.g. the snooping data torus's owner-transfer vs.
     /// writeback classes).
     pub latency_sum_per_vnet: [u64; 4],
+    /// In-fabric latency distribution by virtual network, log2-bucketed for
+    /// p50/p95/p99 reporting (the fixed-width [`NetStats::latency`]
+    /// histogram tops out too early for congested tails).
+    pub latency_hist_per_vnet: [Log2Histogram; 4],
     /// Link-to-link hops taken (excluding injection/ejection).
     pub hops: Counter,
     /// End-to-end latency (injection to ejection-queue arrival) in cycles.
@@ -41,6 +45,7 @@ impl NetStats {
             delivered: Counter::new(),
             delivered_per_vnet: [Counter::new(); 4],
             latency_sum_per_vnet: [0; 4],
+            latency_hist_per_vnet: Default::default(),
             hops: Counter::new(),
             latency: Histogram::new(50, 200),
             injection_rejects: Counter::new(),
@@ -56,6 +61,7 @@ impl NetStats {
         self.delivered.incr();
         self.delivered_per_vnet[vnet.index()].incr();
         self.latency_sum_per_vnet[vnet.index()] += latency;
+        self.latency_hist_per_vnet[vnet.index()].record(latency);
         self.latency.record(latency);
     }
 
@@ -118,6 +124,13 @@ mod tests {
             2
         );
         assert!((s.mean_latency() - 100.0).abs() < 1e-12);
+        let hist = &s.latency_hist_per_vnet[VirtualNetwork::Response.index()];
+        assert_eq!(hist.count(), 2);
+        assert!((hist.mean() - 100.0).abs() < 1e-12);
+        assert_eq!(
+            s.latency_hist_per_vnet[VirtualNetwork::Request.index()].count(),
+            0
+        );
     }
 
     #[test]

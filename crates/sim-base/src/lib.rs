@@ -23,6 +23,9 @@
 //!   controllers and the interconnection network exchange messages,
 //! * [`msgsize`] — the message size model (control vs. data messages) used by
 //!   the link serialization model,
+//! * [`telemetry`] — deterministic observability primitives: log2-bucketed
+//!   latency histograms, engine-mode timelines, cycle-windowed samplers and
+//!   speculation-lifecycle event traces (all stamped in simulated cycles),
 //! * [`workers`] — a persistent barrier-phase thread pool for the engine's
 //!   deterministic intra-run parallel phase split.
 
@@ -37,6 +40,7 @@ pub mod msgsize;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod workers;
 
@@ -53,5 +57,10 @@ pub use msgsize::{MessageSize, CONTROL_MSG_BYTES, DATA_MSG_BYTES};
 pub use queue::MsgQueue;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RunningStats, UtilizationTracker};
+pub use telemetry::{
+    EngineMode, FabricCounters, Log2Histogram, ModeTimeline, ModeTransition, SpecEvent,
+    TelemetryConfig, TelemetryRecorder, WindowCounters, WindowSample, ALL_ENGINE_MODES,
+    ENGINE_MODE_COUNT,
+};
 pub use time::{Cycle, CycleDelta};
 pub use workers::WorkerPool;

@@ -335,11 +335,16 @@ impl Processor {
     /// An outstanding miss on `addr` completed. Completions may arrive in
     /// any order; they are matched by block address. A completion with no
     /// matching in-flight entry (possible transiently around a recovery) is
-    /// ignored.
-    pub fn note_miss_completed(&mut self, now: Cycle, addr: BlockAddr, was_store: bool) {
-        let Some(pos) = self.in_flight.iter().position(|f| f.req.addr == addr) else {
-            return;
-        };
+    /// ignored and reported as `None`; otherwise the retired miss's wait in
+    /// cycles is returned (the engine feeds it to the miss-latency
+    /// histogram).
+    pub fn note_miss_completed(
+        &mut self,
+        now: Cycle,
+        addr: BlockAddr,
+        was_store: bool,
+    ) -> Option<CycleDelta> {
+        let pos = self.in_flight.iter().position(|f| f.req.addr == addr)?;
         let entry = self.in_flight.remove(pos);
         self.stats.ops_completed += 1;
         if was_store {
@@ -347,10 +352,12 @@ impl Processor {
         } else {
             self.stats.loads += 1;
         }
-        self.stats.miss_wait_cycles += now.saturating_sub(entry.issued_at);
+        let wait = now.saturating_sub(entry.issued_at);
+        self.stats.miss_wait_cycles += wait;
         if self.phase == Phase::Blocked {
             self.advance_to_next_op(now, 0);
         }
+        Some(wait)
     }
 
     /// Captures processor state (including the op source and any recording)

@@ -45,6 +45,15 @@ fn main() {
             "{:<13} {:>14} {:>21}   {}",
             buffers, metrics.ops_completed, deadlocks, note
         );
+        if deadlocks > 0 || buffers == 2 {
+            // Full run report for wedged points and the tightest buffering:
+            // the availability line shows cycles lost to rollback and
+            // slow-start when a recovery happened.
+            println!();
+            println!("--- run report at {buffers} buffers/port ---");
+            println!("{}", metrics.summary());
+            println!("---");
+        }
     }
 
     println!();

@@ -8,7 +8,6 @@
 use specsim::experiments::ExperimentScale;
 use specsim::{DirectorySystem, SystemConfig};
 use specsim_base::LinkBandwidth;
-use specsim_net::VirtualNetwork;
 use specsim_workloads::WorkloadKind;
 
 fn main() {
@@ -29,37 +28,9 @@ fn main() {
 
     println!("speculation-for-simplicity quickstart");
     println!("=====================================");
-    println!("simulated cycles        : {}", metrics.cycles);
-    println!("memory ops completed    : {}", metrics.ops_completed);
-    println!(
-        "  loads / stores        : {} / {}",
-        metrics.loads, metrics.stores
-    );
-    println!("coherence transactions  : {}", metrics.misses);
-    println!(
-        "mean miss latency       : {:.0} cycles",
-        metrics.mean_miss_latency()
-    );
-    println!("messages delivered      : {}", metrics.messages_delivered);
-    println!(
-        "reordered on FwdRequest : {:.4}% (the virtual network whose order matters)",
-        metrics.reorder_fraction(VirtualNetwork::ForwardedRequest) * 100.0
-    );
-    println!(
-        "reordered overall       : {:.4}%",
-        metrics.total_reorder_fraction() * 100.0
-    );
-    println!("checkpoints taken       : {}", metrics.checkpoints);
-    println!("mis-speculation recoveries: {}", metrics.recoveries);
-    println!(
-        "link utilization        : {:.1}%",
-        metrics.link_utilization * 100.0
-    );
-    println!();
-    println!(
-        "throughput              : {:.2} memory ops per kilo-cycle",
-        metrics.throughput()
-    );
+    // The run report: throughput, latency percentiles, availability and
+    // speculation activity, straight from the metrics.
+    println!("{}", metrics.summary());
     system
         .verify_coherence()
         .expect("coherence invariants hold");

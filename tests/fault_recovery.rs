@@ -244,5 +244,8 @@ fn same_seed_and_fault_plan_replay_bit_identically() {
     );
 }
 
-/// See [`same_seed_and_fault_plan_replay_bit_identically`].
-const GOLDEN_REPLAY_DIGEST: u64 = 14_385_490_842_333_025_048;
+/// See [`same_seed_and_fault_plan_replay_bit_identically`]. Re-pinned when
+/// the telemetry layer added fields to `RunMetrics` (mode-cycle timeline and
+/// latency histograms): every pre-existing field was verified byte-identical
+/// against the previous revision — only the debug rendering grew.
+const GOLDEN_REPLAY_DIGEST: u64 = 4_892_265_765_428_987_279;
